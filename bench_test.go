@@ -1,0 +1,321 @@
+// Package vexsmt_test is the benchmark harness that regenerates every table
+// and figure of the paper's evaluation (Section VI) as Go benchmarks:
+//
+//	BenchmarkFigure13a — per-benchmark single-thread IPCr/IPCp
+//	BenchmarkFigure14  — CCSI speedup over CSMT (2T/4T, NS/AS)
+//	BenchmarkFigure15  — COSI and OOSI speedups over SMT
+//	BenchmarkFigure16  — absolute IPC of all eight techniques
+//
+// plus ablations the paper motivates but does not plot (cluster renaming,
+// IMT/BMT modes, cluster-count scaling) and micro-benchmarks of the
+// simulator substrates. Figures report their headline numbers through
+// b.ReportMetric, so `go test -bench=.` prints the reproduced series.
+// Benchmarks run at a reduced scale for tractability; `cmd/paperbench
+// -scale 1` reproduces paper-scale runs.
+package vexsmt_test
+
+import (
+	"testing"
+
+	"vexsmt/internal/cache"
+	"vexsmt/internal/core"
+	"vexsmt/internal/experiments"
+	"vexsmt/internal/isa"
+	"vexsmt/internal/rng"
+	"vexsmt/internal/sim"
+	"vexsmt/internal/synth"
+	"vexsmt/internal/workload"
+)
+
+// benchScale divides the paper's 200M-instruction runs for benchmarking.
+const benchScale = 2000
+
+// BenchmarkFigure13a reproduces the benchmark characterization table: one
+// sub-benchmark per paper benchmark, reporting measured IPCr and IPCp next
+// to the paper's values.
+func BenchmarkFigure13a(b *testing.B) {
+	for _, row := range workload.PaperFigure13a() {
+		b.Run(row.Name, func(b *testing.B) {
+			prof, ok := synth.ByName(row.Name)
+			if !ok {
+				b.Fatal("missing profile")
+			}
+			var ipcr, ipcp float64
+			for i := 0; i < b.N; i++ {
+				var err error
+				ipcr, ipcp, err = sim.MeasuredIPC(prof, benchScale)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(ipcr, "IPCr")
+			b.ReportMetric(ipcp, "IPCp")
+			b.ReportMetric(row.IPCr, "paper-IPCr")
+			b.ReportMetric(row.IPCp, "paper-IPCp")
+		})
+	}
+}
+
+// BenchmarkFigure14 reproduces the CCSI-over-CSMT speedup series.
+func BenchmarkFigure14(b *testing.B) {
+	paper := map[string]float64{
+		"NS-2T": 6.1, "AS-2T": 8.7, "NS-4T": 3.5, "AS-4T": 7.5,
+	}
+	for _, threads := range []int{2, 4} {
+		for _, comm := range []core.CommPolicy{core.CommNoSplit, core.CommAlwaysSplit} {
+			name := comm.String() + "-" + map[int]string{2: "2T", 4: "4T"}[threads]
+			b.Run(name, func(b *testing.B) {
+				var avg float64
+				for i := 0; i < b.N; i++ {
+					m := experiments.NewMatrix(benchScale, 1)
+					s, err := m.Speedups(core.CCSI(comm), core.CSMT(), threads)
+					if err != nil {
+						b.Fatal(err)
+					}
+					avg = s.Avg
+				}
+				b.ReportMetric(avg, "speedup-%")
+				b.ReportMetric(paper[name], "paper-%")
+			})
+		}
+	}
+}
+
+// BenchmarkFigure15 reproduces the COSI/OOSI-over-SMT speedup series.
+func BenchmarkFigure15(b *testing.B) {
+	type series struct {
+		name  string
+		tech  core.Technique
+		th    int
+		paper float64
+	}
+	list := []series{
+		{"COSI-NS-2T", core.COSI(core.CommNoSplit), 2, 7.5},
+		{"COSI-AS-2T", core.COSI(core.CommAlwaysSplit), 2, 9.8},
+		{"OOSI-NS-2T", core.OOSI(core.CommNoSplit), 2, 8.2},
+		{"OOSI-AS-2T", core.OOSI(core.CommAlwaysSplit), 2, 13.0},
+		{"COSI-NS-4T", core.COSI(core.CommNoSplit), 4, 6.4},
+		{"COSI-AS-4T", core.COSI(core.CommAlwaysSplit), 4, 9.4},
+		{"OOSI-NS-4T", core.OOSI(core.CommNoSplit), 4, 7.9},
+		{"OOSI-AS-4T", core.OOSI(core.CommAlwaysSplit), 4, 15.7},
+	}
+	for _, s := range list {
+		b.Run(s.name, func(b *testing.B) {
+			var avg float64
+			for i := 0; i < b.N; i++ {
+				m := experiments.NewMatrix(benchScale, 1)
+				sp, err := m.Speedups(s.tech, core.SMT(), s.th)
+				if err != nil {
+					b.Fatal(err)
+				}
+				avg = sp.Avg
+			}
+			b.ReportMetric(avg, "speedup-%")
+			b.ReportMetric(s.paper, "paper-%")
+		})
+	}
+}
+
+// BenchmarkFigure16 reproduces the absolute-IPC comparison of all eight
+// techniques at 2 and 4 threads.
+func BenchmarkFigure16(b *testing.B) {
+	for _, threads := range []int{2, 4} {
+		for _, tech := range core.AllTechniques() {
+			name := map[int]string{2: "2T/", 4: "4T/"}[threads] + tech.Name()
+			b.Run(name, func(b *testing.B) {
+				var ipc float64
+				for i := 0; i < b.N; i++ {
+					m := experiments.NewMatrix(benchScale, 1)
+					var sum float64
+					for _, mix := range workload.Figure13b() {
+						r, err := m.Run(mix, tech, threads)
+						if err != nil {
+							b.Fatal(err)
+						}
+						sum += r.IPC()
+					}
+					ipc = sum / 9
+				}
+				b.ReportMetric(ipc, "IPC")
+			})
+		}
+	}
+}
+
+// BenchmarkAblationRenaming quantifies cluster renaming (used by all paper
+// experiments; proposed in the authors' CSMT paper).
+func BenchmarkAblationRenaming(b *testing.B) {
+	for _, renaming := range []bool{true, false} {
+		name := map[bool]string{true: "on", false: "off"}[renaming]
+		b.Run(name, func(b *testing.B) {
+			mix, _ := workload.MixByLabel("llmm")
+			profs, _ := mix.Profiles()
+			var ipc float64
+			for i := 0; i < b.N; i++ {
+				cfg := sim.DefaultConfig(core.CSMT(), 4).WithScale(benchScale)
+				cfg.ClusterRenaming = renaming
+				s, err := sim.NewWorkload(cfg, profs)
+				if err != nil {
+					b.Fatal(err)
+				}
+				r, err := s.Run()
+				if err != nil {
+					b.Fatal(err)
+				}
+				ipc = r.IPC()
+			}
+			b.ReportMetric(ipc, "IPC")
+		})
+	}
+}
+
+// BenchmarkAblationModes compares the multithreading taxonomy of the
+// paper's introduction: single-thread, IMT, BMT, SMT.
+func BenchmarkAblationModes(b *testing.B) {
+	type mode struct {
+		name    string
+		m       sim.Mode
+		threads int
+	}
+	for _, md := range []mode{
+		{"single", sim.ModeSimultaneous, 1},
+		{"IMT-4T", sim.ModeInterleaved, 4},
+		{"BMT-4T", sim.ModeBlocked, 4},
+		{"SMT-4T", sim.ModeSimultaneous, 4},
+	} {
+		b.Run(md.name, func(b *testing.B) {
+			mix, _ := workload.MixByLabel("llhh")
+			profs, _ := mix.Profiles()
+			var ipc float64
+			for i := 0; i < b.N; i++ {
+				cfg := sim.DefaultConfig(core.SMT(), md.threads).WithScale(benchScale)
+				cfg.Mode = md.m
+				s, err := sim.NewWorkload(cfg, profs)
+				if err != nil {
+					b.Fatal(err)
+				}
+				r, err := s.Run()
+				if err != nil {
+					b.Fatal(err)
+				}
+				ipc = r.IPC()
+			}
+			b.ReportMetric(ipc, "IPC")
+		})
+	}
+}
+
+// BenchmarkAblationClusters sweeps the cluster count at constant total
+// issue width, an axis the paper's related work discusses.
+func BenchmarkAblationClusters(b *testing.B) {
+	geoms := map[string]isa.Geometry{
+		"2x8": {Clusters: 2, IssueWidth: 8, ALUs: 8, Muls: 4, MemUnits: 2},
+		"4x4": isa.ST200x4,
+		"8x2": {Clusters: 8, IssueWidth: 2, ALUs: 2, Muls: 1, MemUnits: 1},
+	}
+	for _, name := range []string{"2x8", "4x4", "8x2"} {
+		b.Run(name, func(b *testing.B) {
+			mix, _ := workload.MixByLabel("mmhh")
+			profs, _ := mix.Profiles()
+			var ipc float64
+			for i := 0; i < b.N; i++ {
+				cfg := sim.DefaultConfig(core.CCSI(core.CommAlwaysSplit), 4).WithScale(benchScale)
+				cfg.Geom = geoms[name]
+				s, err := sim.NewWorkload(cfg, profs)
+				if err != nil {
+					b.Fatal(err)
+				}
+				r, err := s.Run()
+				if err != nil {
+					b.Fatal(err)
+				}
+				ipc = r.IPC()
+			}
+			b.ReportMetric(ipc, "IPC")
+		})
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Micro-benchmarks of the substrates.
+
+func BenchmarkEngineCycle(b *testing.B) {
+	for _, tech := range []core.Technique{core.CSMT(), core.CCSI(core.CommAlwaysSplit), core.SMT(), core.OOSI(core.CommAlwaysSplit)} {
+		b.Run(tech.Name(), func(b *testing.B) {
+			eng, err := core.NewEngine(isa.ST200x4, tech, 4)
+			if err != nil {
+				b.Fatal(err)
+			}
+			prof, _ := synth.ByName("x264")
+			gens := make([]*synth.Generator, 4)
+			for t := range gens {
+				p := prof
+				p.Seed += uint64(t)
+				gens[t] = synth.MustNewGenerator(p, isa.ST200x4)
+			}
+			var ti synth.TInst
+			var ready [core.MaxThreads]bool
+			for t := 0; t < 4; t++ {
+				ready[t] = true
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				for t := 0; t < 4; t++ {
+					if !eng.Active(t) {
+						gens[t].Next(&ti)
+						eng.Load(t, ti.Demand)
+					}
+				}
+				eng.Cycle(&ready)
+			}
+		})
+	}
+}
+
+func BenchmarkGeneratorNext(b *testing.B) {
+	for _, name := range []string{"bzip2", "colorspace"} {
+		b.Run(name, func(b *testing.B) {
+			prof, _ := synth.ByName(name)
+			gen := synth.MustNewGenerator(prof, isa.ST200x4)
+			var ti synth.TInst
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				gen.Next(&ti)
+			}
+		})
+	}
+}
+
+func BenchmarkCacheAccess(b *testing.B) {
+	c := cache.MustNew(cache.Paper64KB4Way)
+	r := rng.New(1)
+	addrs := make([]uint64, 4096)
+	for i := range addrs {
+		addrs[i] = r.Uint64() % (256 << 10)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Access(addrs[i%len(addrs)])
+	}
+}
+
+func BenchmarkSimulatorThroughput(b *testing.B) {
+	// Whole-simulator speed in VLIW instructions per second.
+	mix, _ := workload.MixByLabel("mmhh")
+	profs, _ := mix.Profiles()
+	b.ResetTimer()
+	var instrs int64
+	for i := 0; i < b.N; i++ {
+		cfg := sim.DefaultConfig(core.CCSI(core.CommAlwaysSplit), 4).WithScale(benchScale)
+		s, err := sim.NewWorkload(cfg, profs)
+		if err != nil {
+			b.Fatal(err)
+		}
+		r, err := s.Run()
+		if err != nil {
+			b.Fatal(err)
+		}
+		instrs += r.Instrs
+	}
+	b.ReportMetric(float64(instrs)/b.Elapsed().Seconds(), "instrs/s")
+}

@@ -1,0 +1,113 @@
+// Command paperbench regenerates every table and figure of the paper's
+// evaluation section:
+//
+//	Figure 13(a) — benchmark characterization (IPCr/IPCp)
+//	Figure 13(b) — workload mixes
+//	Figure 14    — CCSI speedups over CSMT (2T/4T, NS/AS)
+//	Figure 15    — COSI and OOSI speedups over SMT (2T/4T, NS/AS)
+//	Figure 16    — absolute IPC of all eight techniques
+//
+// Usage:
+//
+//	paperbench                 # all figures at the default 1/100 scale
+//	paperbench -quick          # 1/1000 scale smoke run
+//	paperbench -fig 14         # a single figure
+//	paperbench -scale 1        # full paper scale (slow: 200M instrs/run)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"vexsmt/internal/experiments"
+	"vexsmt/internal/report"
+)
+
+func main() {
+	var (
+		fig   = flag.String("fig", "all", "figure to regenerate: 13a, 13b, 14, 15, 16, all")
+		scale = flag.Int64("scale", 100, "scale divisor of paper scale (1 = paper scale)")
+		quick = flag.Bool("quick", false, "shorthand for -scale 1000")
+		seed  = flag.Uint64("seed", 1, "simulation seed")
+	)
+	flag.Parse()
+	if *quick {
+		*scale = 1000
+	}
+
+	m := experiments.NewMatrix(*scale, *seed)
+	start := time.Now()
+
+	if *fig == "all" || *fig == "13a" {
+		rows, err := experiments.Figure13a(max64(*scale, 150))
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Print(report.Figure13aTable(rows))
+		fmt.Println()
+	}
+	if *fig == "all" || *fig == "13b" {
+		fmt.Print(report.Figure13bTable())
+		fmt.Println()
+	}
+	if *fig == "all" || *fig == "14" {
+		series, err := m.Figure14()
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Print(report.SpeedupChart("Figure 14: Cluster-level split-issue (CCSI) speedups over CSMT", series))
+		fmt.Println()
+		paper := report.PaperFigure14Averages()
+		var rows []report.Headline
+		for i, s := range series {
+			rows = append(rows, report.Headline{Label: s.Label, Measured: s.Avg, Paper: paper[i]})
+		}
+		fmt.Print(report.HeadlineTable(rows))
+		fmt.Println()
+	}
+	if *fig == "all" || *fig == "15" {
+		series, err := m.Figure15()
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Print(report.SpeedupChart("Figure 15: COSI and OOSI speedups over SMT", series))
+		fmt.Println()
+		paper := report.PaperFigure15Averages()
+		var rows []report.Headline
+		for i, s := range series {
+			rows = append(rows, report.Headline{Label: s.Label, Measured: s.Avg, Paper: paper[permute15(i)]})
+		}
+		fmt.Print(report.HeadlineTable(rows))
+		fmt.Println()
+	}
+	if *fig == "all" || *fig == "16" {
+		points, err := m.Figure16()
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Print(report.IPCChart(points))
+		fmt.Println()
+	}
+	fmt.Printf("(%d simulations, %.1fs, 1/%d paper scale, seed %d)\n",
+		m.Cells(), time.Since(start).Seconds(), *scale, *seed)
+}
+
+// permute15 maps Figure15() series order (2T: COSI NS, COSI AS, OOSI NS,
+// OOSI AS; then 4T same) onto PaperFigure15Averages order (COSI NS, COSI
+// AS, OOSI NS, OOSI AS at 2T, then 4T) — identical, so identity; kept as a
+// named function to document the correspondence.
+func permute15(i int) int { return i }
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "paperbench:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,147 @@
+// Command tracegen inspects the synthetic benchmark generators: it dumps
+// sample instructions, measures stream shape (ops/instruction, branch and
+// memory behaviour), and reports single-thread IPC against the paper's
+// Figure 13(a) values.
+//
+// Usage:
+//
+//	tracegen -bench colorspace -dump 20
+//	tracegen -bench mcf -measure 100000
+//	tracegen -table            # full Figure 13(a) reproduction
+//	tracegen -table -scale 100 # longer, more accurate runs
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"vexsmt/internal/experiments"
+	"vexsmt/internal/isa"
+	"vexsmt/internal/report"
+	"vexsmt/internal/sim"
+	"vexsmt/internal/synth"
+	"vexsmt/internal/trace"
+)
+
+func main() {
+	var (
+		bench   = flag.String("bench", "", "benchmark name (see -list)")
+		list    = flag.Bool("list", false, "list benchmark profiles")
+		dump    = flag.Int("dump", 0, "dump N sample instructions")
+		measure = flag.Int64("measure", 0, "measure stream shape over N instructions")
+		table   = flag.Bool("table", false, "reproduce the Figure 13(a) IPC table")
+		scale   = flag.Int64("scale", 150, "scale divisor for -table (1 = paper scale)")
+		record  = flag.Int("record", 0, "record N instructions of -bench to -out")
+		out     = flag.String("out", "", "output trace file for -record")
+		replay  = flag.String("replay", "", "replay a recorded trace file and print its shape")
+	)
+	flag.Parse()
+
+	switch {
+	case *record > 0:
+		prof, ok := synth.ByName(*bench)
+		if !ok {
+			fatal(fmt.Errorf("-record needs -bench (try -list)"))
+		}
+		if *out == "" {
+			fatal(fmt.Errorf("-record needs -out"))
+		}
+		gen, err := synth.NewGenerator(prof, isa.ST200x4)
+		if err != nil {
+			fatal(err)
+		}
+		instrs := trace.Record(gen, *record)
+		f, err := os.Create(*out)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		if err := trace.Write(f, prof.Name, isa.ST200x4.Clusters, instrs); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("recorded %d instructions of %s to %s\n", len(instrs), prof.Name, *out)
+
+	case *replay != "":
+		f, err := os.Open(*replay)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		name, clusters, instrs, err := trace.Read(f)
+		if err != nil {
+			fatal(err)
+		}
+		rep, err := trace.NewReplayer(name, instrs)
+		if err != nil {
+			fatal(err)
+		}
+		sh := synth.Measure(rep, int64(len(instrs)))
+		fmt.Printf("trace %s: %d instructions, %d clusters\n", name, len(instrs), clusters)
+		fmt.Printf("  ops/instr %.3f  taken %.3f  mem/instr %.3f  comm %.3f\n",
+			sh.OpsPerInstr, sh.TakenFrac, sh.MemPerInstr, sh.CommFrac)
+	case *list:
+		fmt.Printf("%-12s %-4s %8s %8s %8s %8s\n", "name", "ilp", "meanOps", "memFrac", "commPr", "lenM")
+		for _, p := range synth.Catalog() {
+			fmt.Printf("%-12s %-4s %8.2f %8.2f %8.2f %8.0f\n",
+				p.Name, p.Class.String(), p.MeanOps, p.MemFrac, p.CommProb, p.LengthMInstr)
+		}
+
+	case *table:
+		rows, err := experiments.Figure13a(*scale)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Print(report.Figure13aTable(rows))
+
+	case *bench != "":
+		prof, ok := synth.ByName(*bench)
+		if !ok {
+			fatal(fmt.Errorf("unknown benchmark %q (try -list)", *bench))
+		}
+		gen, err := synth.NewGenerator(prof, isa.ST200x4)
+		if err != nil {
+			fatal(err)
+		}
+		if *dump > 0 {
+			var ti synth.TInst
+			for i := 0; i < *dump; i++ {
+				gen.Next(&ti)
+				fmt.Printf("pc=0x%06x ops=%2d taken=%-5v clusters=%04b",
+					ti.PC, ti.Demand.NumOps(), ti.Taken, ti.Demand.UsedClusters())
+				for c := 0; c < isa.ST200x4.Clusters; c++ {
+					b := ti.Demand.B[c]
+					if !b.IsEmpty() {
+						fmt.Printf("  c%d[%da %dm %dx]", c, b.ALU, b.Mul, b.Mem)
+					}
+				}
+				fmt.Println()
+			}
+			return
+		}
+		n := *measure
+		if n == 0 {
+			n = 100_000
+		}
+		sh := synth.Measure(gen, n)
+		fmt.Printf("%s over %d instructions:\n", prof.Name, sh.Instrs)
+		fmt.Printf("  ops/instr   %.3f\n", sh.OpsPerInstr)
+		fmt.Printf("  taken frac  %.3f\n", sh.TakenFrac)
+		fmt.Printf("  mem/instr   %.3f\n", sh.MemPerInstr)
+		fmt.Printf("  comm frac   %.3f\n", sh.CommFrac)
+		ipcr, ipcp, err := sim.MeasuredIPC(prof, *scale)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("  IPCr %.2f  IPCp %.2f (at 1/%d paper scale)\n", ipcr, ipcp, *scale)
+
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "tracegen:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,101 @@
+// Command vexsim runs one workload mix under one machine configuration and
+// prints detailed statistics.
+//
+// Usage:
+//
+//	vexsim -mix llhh -tech "CCSI AS" -threads 4
+//	vexsim -mix hhhh -tech SMT -threads 2 -scale 100 -seed 7
+//	vexsim -mix llll -tech CSMT -threads 4 -mode BMT        # ablation mode
+//	vexsim -mix mmhh -tech "COSI NS" -threads 4 -no-renaming
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"vexsmt/internal/core"
+	"vexsmt/internal/sim"
+	"vexsmt/internal/workload"
+)
+
+func main() {
+	var (
+		mixLabel = flag.String("mix", "llhh", "workload mix label (Figure 13b) or 'list'")
+		techName = flag.String("tech", "CCSI AS", `technique: SMT, CSMT, "CCSI NS", "CCSI AS", "COSI NS", "COSI AS", "OOSI NS", "OOSI AS"`)
+		threads  = flag.Int("threads", 4, "hardware thread contexts")
+		scale    = flag.Int64("scale", 100, "scale divisor of paper scale (1 = 200M instructions)")
+		seed     = flag.Uint64("seed", 1, "simulation seed")
+		mode     = flag.String("mode", "SMT", "issue mode: SMT, IMT, BMT (IMT/BMT are ablations)")
+		perfect  = flag.Bool("perfect", false, "perfect memory (no cache misses)")
+		noRename = flag.Bool("no-renaming", false, "disable cluster renaming (ablation)")
+	)
+	flag.Parse()
+
+	if *mixLabel == "list" {
+		for _, m := range workload.Figure13b() {
+			fmt.Printf("%-6s %v\n", m.Label, m.Benchmarks)
+		}
+		return
+	}
+	mix, err := workload.MixByLabel(*mixLabel)
+	if err != nil {
+		fatal(err)
+	}
+	tech, err := core.ParseTechnique(*techName)
+	if err != nil {
+		fatal(err)
+	}
+	cfg := sim.DefaultConfig(tech, *threads).WithScale(*scale)
+	cfg.Seed = *seed
+	cfg.PerfectMemory = *perfect
+	cfg.ClusterRenaming = !*noRename
+	switch *mode {
+	case "SMT":
+		cfg.Mode = sim.ModeSimultaneous
+	case "IMT":
+		cfg.Mode = sim.ModeInterleaved
+	case "BMT":
+		cfg.Mode = sim.ModeBlocked
+	default:
+		fatal(fmt.Errorf("unknown mode %q", *mode))
+	}
+
+	profs, err := mix.Profiles()
+	if err != nil {
+		fatal(err)
+	}
+	s, err := sim.NewWorkload(cfg, profs)
+	if err != nil {
+		fatal(err)
+	}
+	r, err := s.Run()
+	if err != nil {
+		fatal(err)
+	}
+
+	fmt.Printf("workload %s on %d-thread %s machine (%s mode, 1/%d scale, seed %d)\n",
+		mix.Label, *threads, tech.Name(), cfg.Mode, *scale, *seed)
+	fmt.Printf("  cycles             %12d\n", r.Cycles)
+	fmt.Printf("  VLIW instructions  %12d\n", r.Instrs)
+	fmt.Printf("  operations         %12d\n", r.Ops)
+	fmt.Printf("  IPC                %12.3f\n", r.IPC())
+	fmt.Printf("  VLIW/cycle         %12.3f\n", r.VLIWPerCycle())
+	fmt.Printf("  vertical waste     %11.1f%%\n", r.VerticalWaste()*100)
+	fmt.Printf("  horizontal waste   %11.1f%%\n", r.HorizontalWaste()*100)
+	fmt.Printf("  merged cycles      %12d\n", r.MergedCycles)
+	fmt.Printf("  split instructions %12d\n", r.SplitInstrs)
+	fmt.Printf("  icache miss rate   %11.2f%%\n", r.ICacheMissRate()*100)
+	fmt.Printf("  dcache miss rate   %11.2f%%\n", r.DCacheMissRate()*100)
+	fmt.Printf("  fetch stalls       %12d thread-cycles\n", r.FetchStallCycles)
+	fmt.Printf("  memory stalls      %12d thread-cycles\n", r.MemStallCycles)
+	fmt.Printf("  branch stalls      %12d thread-cycles\n", r.BranchStallCycles)
+	fmt.Printf("  mem-port stalls    %12d cycles\n", r.MemPortStallCycles)
+	fmt.Printf("  context switches   %12d\n", r.ContextSwitches)
+	fmt.Printf("  respawns           %12d\n", r.Respawns)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "vexsim:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,61 @@
+// Dvdplayback models the workload the paper's introduction motivates:
+// playing a DVD needs a decryption thread (low ILP), a video decoder
+// (high ILP), an audio decoder (medium ILP) and an operating-system thread
+// (low ILP), all sharing one embedded clustered VLIW. The example runs that
+// mix under every multithreading technique of the paper and prints the
+// resulting IPC ladder.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"vexsmt/internal/core"
+	"vexsmt/internal/sim"
+	"vexsmt/internal/synth"
+)
+
+func main() {
+	names := []string{
+		"blowfish",   // stream decryption (low ILP)
+		"x264",       // video codec (high ILP)
+		"g721decode", // audio codec (medium ILP)
+		"gsmencode",  // stand-in for OS/housekeeping work (low ILP)
+	}
+	var profiles []synth.Profile
+	for _, n := range names {
+		p, ok := synth.ByName(n)
+		if !ok {
+			log.Fatalf("no profile for %s", n)
+		}
+		profiles = append(profiles, p)
+	}
+
+	fmt.Println("DVD-playback workload: blowfish + x264 + g721decode + gsmencode")
+	fmt.Println("4 hardware threads on the 16-issue 4-cluster machine")
+	fmt.Println()
+	fmt.Printf("%-10s %8s %14s %14s\n", "technique", "IPC", "vs CSMT", "split instrs")
+
+	var csmtIPC float64
+	for _, tech := range core.AllTechniques() {
+		cfg := sim.DefaultConfig(tech, 4).WithScale(500)
+		s, err := sim.NewWorkload(cfg, profiles)
+		if err != nil {
+			log.Fatal(err)
+		}
+		r, err := s.Run()
+		if err != nil {
+			log.Fatal(err)
+		}
+		if tech == core.CSMT() {
+			csmtIPC = r.IPC()
+		}
+		rel := ""
+		if csmtIPC > 0 {
+			rel = fmt.Sprintf("%+.1f%%", (r.IPC()/csmtIPC-1)*100)
+		}
+		fmt.Printf("%-10s %8.3f %14s %14d\n", tech.Name(), r.IPC(), rel, r.SplitInstrs)
+	}
+	fmt.Println("\nCluster-level split-issue (CCSI) buys most of the gap to operation-")
+	fmt.Println("level merging at a fraction of the hardware cost — the paper's thesis.")
+}

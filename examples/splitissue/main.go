@@ -1,0 +1,103 @@
+// Splitissue walks through the paper's Figures 5 and 6 cycle by cycle: the
+// same two-thread instruction sequences scheduled without split-issue, with
+// cluster-level split-issue (COSI/CCSI) and with operation-level
+// split-issue (OOSI), printing the execution packet each cycle.
+package main
+
+import (
+	"fmt"
+
+	"vexsmt/internal/core"
+	"vexsmt/internal/isa"
+)
+
+func bd(alu, mul, mem int, load, stor bool) isa.BundleDemand {
+	return isa.BundleDemand{
+		Ops: uint8(alu + mul + mem), ALU: uint8(alu), Mul: uint8(mul),
+		Mem: uint8(mem), Load: load, Stor: stor,
+	}
+}
+
+func mk(bundles ...isa.BundleDemand) isa.InstrDemand {
+	var d isa.InstrDemand
+	copy(d.B[:], bundles)
+	return d
+}
+
+// geом: 2 clusters x 3 issue slots, as in Figures 5 and 6.
+var geom = isa.Geometry{Clusters: 2, IssueWidth: 3, ALUs: 3, Muls: 2, MemUnits: 1}
+
+func main() {
+	// Figure 5's instruction streams.
+	fig5 := [][]isa.InstrDemand{
+		{ // Thread 0: Ins0 = add,sub | ld ; Ins1 = st,shr | xor,add
+			mk(bd(2, 0, 0, false, false), bd(0, 0, 1, true, false)),
+			mk(bd(1, 0, 1, false, true), bd(2, 0, 0, false, false)),
+		},
+		{ // Thread 1: Ins0 = mpy,shl | mpy,and ; Ins1 = sub,ld | or
+			mk(bd(1, 1, 0, false, false), bd(1, 1, 0, false, false)),
+			mk(bd(1, 0, 1, true, false), bd(1, 0, 0, false, false)),
+		},
+	}
+	fmt.Println("=== Figure 5 streams (2 clusters x 3 issue) ===")
+	for _, tech := range []core.Technique{core.SMT(), core.COSI(core.CommNoSplit), core.OOSI(core.CommNoSplit)} {
+		replay(tech, fig5)
+	}
+
+	// Figure 6's instruction streams.
+	fig6 := [][]isa.InstrDemand{
+		{
+			mk(bd(1, 0, 1, true, false)),                            // Ins0: cluster 0 only
+			mk(bd(1, 0, 1, false, true), bd(2, 0, 0, false, false)), // Ins1: both clusters
+		},
+		{
+			mk(bd(1, 1, 0, false, false), bd(1, 1, 0, false, false)), // Ins0: both clusters
+			mk(bd(0, 0, 0, false, false), bd(2, 0, 0, false, false)), // Ins1: cluster 1 only
+		},
+	}
+	fmt.Println("=== Figure 6 streams ===")
+	for _, tech := range []core.Technique{core.CSMT(), core.CCSI(core.CommNoSplit)} {
+		replay(tech, fig6)
+	}
+}
+
+func replay(tech core.Technique, queues [][]isa.InstrDemand) {
+	eng, err := core.NewEngine(geom, tech, len(queues))
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("\n--- %s ---\n", tech.Name())
+	next := make([]int, len(queues))
+	var ready [core.MaxThreads]bool
+	for cycle := 0; cycle < 16; cycle++ {
+		done := true
+		for t := range queues {
+			if !eng.Active(t) && next[t] < len(queues[t]) {
+				eng.Load(t, queues[t][next[t]])
+				next[t]++
+			}
+			ready[t] = true
+			if eng.Active(t) {
+				done = false
+			}
+		}
+		if done {
+			fmt.Printf("all instructions issued in %d cycles\n", cycle)
+			return
+		}
+		res := eng.Cycle(&ready)
+		fmt.Printf("cycle %d:", cycle)
+		for t := range queues {
+			tr := res.Thread[t]
+			if tr.Ops == 0 {
+				continue
+			}
+			state := "last part"
+			if tr.Split {
+				state = "split"
+			}
+			fmt.Printf("  T%d issues %d ops on clusters %02b (%s)", t, tr.Ops, tr.Clusters, state)
+		}
+		fmt.Println()
+	}
+}

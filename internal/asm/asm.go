@@ -1,0 +1,408 @@
+// Package asm implements a small VEX-flavoured assembler for the functional
+// machine. It exists so examples and tests can express clustered VLIW
+// programs readably instead of as struct literals.
+//
+// Syntax (one operation per line, ";;" ends a VLIW instruction, "#" starts
+// a comment, "label:" names the next instruction):
+//
+//	start:
+//	  c0 mov $r1 = 100
+//	  c1 ldw $r5 = 8[$r1]
+//	  c0 send $r3 -> c1
+//	  c1 recv $r6 <- c0
+//	;;
+//	  c0 cmplt $b0 = $r1, $r2
+//	;;
+//	  c0 br $b0, start
+//	;;
+package asm
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"vexsmt/internal/isa"
+	"vexsmt/internal/vexmach"
+)
+
+// Error reports an assembly problem with its line number.
+type Error struct {
+	Line int
+	Msg  string
+}
+
+func (e *Error) Error() string { return fmt.Sprintf("asm: line %d: %s", e.Line, e.Msg) }
+
+func errf(line int, format string, args ...any) error {
+	return &Error{Line: line, Msg: fmt.Sprintf(format, args...)}
+}
+
+// Assemble parses source into a program laid out at base for the given
+// geometry.
+func Assemble(geom isa.Geometry, base uint64, src string) (*vexmach.Program, error) {
+	lines := strings.Split(src, "\n")
+
+	type pendingOp struct {
+		line    int
+		cluster int
+		op      isa.Operation
+		label   string // unresolved branch target
+	}
+	type pendingIns struct {
+		ops []pendingOp
+	}
+
+	var instrs []pendingIns
+	labels := make(map[string]int) // label -> instruction index
+	cur := pendingIns{}
+	flush := func() {
+		if len(cur.ops) > 0 {
+			instrs = append(instrs, cur)
+			cur = pendingIns{}
+		}
+	}
+
+	for ln, raw := range lines {
+		line := raw
+		if i := strings.IndexByte(line, '#'); i >= 0 {
+			line = line[:i]
+		}
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		if line == ";;" {
+			flush()
+			continue
+		}
+		if strings.HasSuffix(line, ":") && !strings.ContainsAny(line, " \t") {
+			name := strings.TrimSuffix(line, ":")
+			if _, dup := labels[name]; dup {
+				return nil, errf(ln+1, "duplicate label %q", name)
+			}
+			flush() // a label starts a fresh instruction
+			labels[name] = len(instrs)
+			continue
+		}
+		op, cluster, label, err := parseOp(ln+1, line)
+		if err != nil {
+			return nil, err
+		}
+		cur.ops = append(cur.ops, pendingOp{line: ln + 1, cluster: cluster, op: op, label: label})
+	}
+	flush()
+
+	out := make([]*isa.Instruction, len(instrs))
+	for i, pi := range instrs {
+		in := &isa.Instruction{}
+		for _, po := range pi.ops {
+			if po.cluster >= geom.Clusters {
+				return nil, errf(po.line, "cluster c%d out of range (machine has %d)", po.cluster, geom.Clusters)
+			}
+			op := po.op
+			if po.label != "" {
+				idx, ok := labels[po.label]
+				if !ok {
+					return nil, errf(po.line, "undefined label %q", po.label)
+				}
+				op.Target = uint32(base + uint64(idx)*vexmach.InstrBytes)
+			}
+			in.Bundles[po.cluster] = append(in.Bundles[po.cluster], op)
+		}
+		out[i] = in
+	}
+	p, err := vexmach.NewProgram(geom, base, out)
+	if err != nil {
+		return nil, fmt.Errorf("asm: %w", err)
+	}
+	return p, nil
+}
+
+// MustAssemble is Assemble panicking on error, for tests and examples with
+// known-good sources.
+func MustAssemble(geom isa.Geometry, base uint64, src string) *vexmach.Program {
+	p, err := Assemble(geom, base, src)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// parseOp parses one "cN mnemonic operands" line. For branch operations it
+// may return a label name to resolve later.
+func parseOp(line int, s string) (isa.Operation, int, string, error) {
+	var op isa.Operation
+	fields := strings.Fields(s)
+	if len(fields) < 2 {
+		return op, 0, "", errf(line, "expected 'cN mnemonic ...', got %q", s)
+	}
+	if !strings.HasPrefix(fields[0], "c") {
+		return op, 0, "", errf(line, "operation must start with a cluster (cN), got %q", fields[0])
+	}
+	cluster, err := strconv.Atoi(fields[0][1:])
+	if err != nil || cluster < 0 || cluster >= isa.MaxClusters {
+		return op, 0, "", errf(line, "bad cluster %q", fields[0])
+	}
+	opcode, ok := isa.ParseOpcode(fields[1])
+	if !ok {
+		return op, 0, "", errf(line, "unknown mnemonic %q", fields[1])
+	}
+	op.Op = opcode
+	op.Dest, op.Src1, op.Src2 = isa.RegNone, isa.RegNone, isa.RegNone
+	op.BDest, op.BSrc = isa.BRegNone, isa.BRegNone
+	rest := strings.TrimSpace(strings.TrimPrefix(strings.TrimPrefix(s, fields[0]), " "))
+	rest = strings.TrimSpace(strings.TrimPrefix(rest, fields[1]))
+
+	switch opcode {
+	case isa.Nop:
+		return op, cluster, "", nil
+
+	case isa.Ldw: // $rD = imm[$rS]
+		d, mem, found := cut(rest, "=")
+		if !found {
+			return op, 0, "", errf(line, "ldw syntax: $rD = imm[$rS]")
+		}
+		if op.Dest, err = parseGPR(d); err != nil {
+			return op, 0, "", errf(line, "%v", err)
+		}
+		if op.Imm, op.Src1, err = parseMemRef(mem); err != nil {
+			return op, 0, "", errf(line, "%v", err)
+		}
+		return op, cluster, "", nil
+
+	case isa.Stw: // imm[$rS] = $rV
+		mem, v, found := cut(rest, "=")
+		if !found {
+			return op, 0, "", errf(line, "stw syntax: imm[$rS] = $rV")
+		}
+		if op.Imm, op.Src1, err = parseMemRef(mem); err != nil {
+			return op, 0, "", errf(line, "%v", err)
+		}
+		if op.Src2, err = parseGPR(v); err != nil {
+			return op, 0, "", errf(line, "%v", err)
+		}
+		return op, cluster, "", nil
+
+	case isa.Br, isa.Brf: // $bN, target
+		b, tgt, found := cut(rest, ",")
+		if !found {
+			return op, 0, "", errf(line, "%s syntax: $bN, target", opcode)
+		}
+		if op.BSrc, err = parseBR(b); err != nil {
+			return op, 0, "", errf(line, "%v", err)
+		}
+		return finishTarget(op, cluster, line, tgt)
+
+	case isa.Goto: // target
+		return finishTarget(op, cluster, line, rest)
+
+	case isa.Send: // $rS -> cN
+		src, dst, found := cut(rest, "->")
+		if !found {
+			return op, 0, "", errf(line, "send syntax: $rS -> cN")
+		}
+		if op.Src1, err = parseGPR(src); err != nil {
+			return op, 0, "", errf(line, "%v", err)
+		}
+		t, err := parseCluster(dst)
+		if err != nil {
+			return op, 0, "", errf(line, "%v", err)
+		}
+		op.Target = uint32(t)
+		return op, cluster, "", nil
+
+	case isa.Recv: // $rD <- cN
+		d, src, found := cut(rest, "<-")
+		if !found {
+			return op, 0, "", errf(line, "recv syntax: $rD <- cN")
+		}
+		if op.Dest, err = parseGPR(d); err != nil {
+			return op, 0, "", errf(line, "%v", err)
+		}
+		t, err := parseCluster(src)
+		if err != nil {
+			return op, 0, "", errf(line, "%v", err)
+		}
+		op.Target = uint32(t)
+		return op, cluster, "", nil
+
+	case isa.CmpEQ, isa.CmpNE, isa.CmpLT, isa.CmpGE: // $bD = $rS, $rS2|imm
+		d, srcs, found := cut(rest, "=")
+		if !found {
+			return op, 0, "", errf(line, "compare syntax: $bD = $rS, src2")
+		}
+		if op.BDest, err = parseBR(d); err != nil {
+			return op, 0, "", errf(line, "%v", err)
+		}
+		if err = parseTwoSources(&op, srcs); err != nil {
+			return op, 0, "", errf(line, "%v", err)
+		}
+		return op, cluster, "", nil
+
+	case isa.Mov: // $rD = $rS | imm
+		d, src, found := cut(rest, "=")
+		if !found {
+			return op, 0, "", errf(line, "mov syntax: $rD = src")
+		}
+		if op.Dest, err = parseGPR(d); err != nil {
+			return op, 0, "", errf(line, "%v", err)
+		}
+		src = strings.TrimSpace(src)
+		if strings.HasPrefix(src, "$r") {
+			if op.Src1, err = parseGPR(src); err != nil {
+				return op, 0, "", errf(line, "%v", err)
+			}
+		} else {
+			imm, err := parseImm(src)
+			if err != nil {
+				return op, 0, "", errf(line, "%v", err)
+			}
+			op.Imm, op.UseImm = imm, true
+		}
+		return op, cluster, "", nil
+
+	default: // three-operand ALU/MUL: $rD = $rS, $rS2|imm
+		d, srcs, found := cut(rest, "=")
+		if !found {
+			return op, 0, "", errf(line, "%s syntax: $rD = $rS, src2", opcode)
+		}
+		if op.Dest, err = parseGPR(d); err != nil {
+			return op, 0, "", errf(line, "%v", err)
+		}
+		if err = parseTwoSources(&op, srcs); err != nil {
+			return op, 0, "", errf(line, "%v", err)
+		}
+		return op, cluster, "", nil
+	}
+}
+
+func finishTarget(op isa.Operation, cluster, line int, tgt string) (isa.Operation, int, string, error) {
+	tgt = strings.TrimSpace(tgt)
+	if tgt == "" {
+		return op, 0, "", errf(line, "missing branch target")
+	}
+	if strings.HasPrefix(tgt, "0x") {
+		v, err := strconv.ParseUint(tgt[2:], 16, 32)
+		if err != nil {
+			return op, 0, "", errf(line, "bad address %q", tgt)
+		}
+		op.Target = uint32(v)
+		return op, cluster, "", nil
+	}
+	return op, cluster, tgt, nil // label, resolved later
+}
+
+func parseTwoSources(op *isa.Operation, s string) error {
+	a, b, found := cut(s, ",")
+	if !found {
+		return fmt.Errorf("expected two sources %q", s)
+	}
+	var err error
+	if op.Src1, err = parseGPR(a); err != nil {
+		return err
+	}
+	b = strings.TrimSpace(b)
+	if strings.HasPrefix(b, "$r") {
+		op.Src2, err = parseGPR(b)
+		return err
+	}
+	imm, err := parseImm(b)
+	if err != nil {
+		return err
+	}
+	op.Imm, op.UseImm = imm, true
+	return nil
+}
+
+func cut(s, sep string) (string, string, bool) {
+	i := strings.Index(s, sep)
+	if i < 0 {
+		return s, "", false
+	}
+	return strings.TrimSpace(s[:i]), strings.TrimSpace(s[i+len(sep):]), true
+}
+
+func parseGPR(s string) (isa.Reg, error) {
+	s = strings.TrimSpace(s)
+	if !strings.HasPrefix(s, "$r") {
+		return isa.RegNone, fmt.Errorf("expected $rN, got %q", s)
+	}
+	n, err := strconv.Atoi(s[2:])
+	if err != nil || n < 0 || n >= isa.NumGPR {
+		return isa.RegNone, fmt.Errorf("bad register %q", s)
+	}
+	return isa.Reg(n), nil
+}
+
+func parseBR(s string) (isa.BReg, error) {
+	s = strings.TrimSpace(s)
+	if !strings.HasPrefix(s, "$b") {
+		return isa.BRegNone, fmt.Errorf("expected $bN, got %q", s)
+	}
+	n, err := strconv.Atoi(s[2:])
+	if err != nil || n < 0 || n >= isa.NumBR {
+		return isa.BRegNone, fmt.Errorf("bad branch register %q", s)
+	}
+	return isa.BReg(n), nil
+}
+
+func parseCluster(s string) (int, error) {
+	s = strings.TrimSpace(s)
+	if !strings.HasPrefix(s, "c") {
+		return 0, fmt.Errorf("expected cN, got %q", s)
+	}
+	n, err := strconv.Atoi(s[1:])
+	if err != nil || n < 0 || n >= isa.MaxClusters {
+		return 0, fmt.Errorf("bad cluster %q", s)
+	}
+	return n, nil
+}
+
+func parseImm(s string) (int32, error) {
+	s = strings.TrimSpace(s)
+	v, err := strconv.ParseInt(s, 0, 32)
+	if err != nil {
+		return 0, fmt.Errorf("bad immediate %q", s)
+	}
+	return int32(v), nil
+}
+
+// parseMemRef parses "imm[$rS]".
+func parseMemRef(s string) (int32, isa.Reg, error) {
+	s = strings.TrimSpace(s)
+	open := strings.IndexByte(s, '[')
+	closeB := strings.IndexByte(s, ']')
+	if open < 0 || closeB < open {
+		return 0, isa.RegNone, fmt.Errorf("expected imm[$rS], got %q", s)
+	}
+	immStr := strings.TrimSpace(s[:open])
+	imm := int32(0)
+	if immStr != "" {
+		v, err := parseImm(immStr)
+		if err != nil {
+			return 0, isa.RegNone, err
+		}
+		imm = v
+	}
+	r, err := parseGPR(s[open+1 : closeB])
+	if err != nil {
+		return 0, isa.RegNone, err
+	}
+	return imm, r, nil
+}
+
+// Disassemble renders a program back to assembler text.
+func Disassemble(p *vexmach.Program) string {
+	var b strings.Builder
+	for i, in := range p.Instrs {
+		fmt.Fprintf(&b, "# 0x%x (instr %d)\n", p.AddrOf(i), i)
+		for c := range in.Bundles {
+			for j := range in.Bundles[c] {
+				fmt.Fprintf(&b, "  c%d %s\n", c, in.Bundles[c][j].String())
+			}
+		}
+		b.WriteString(";;\n")
+	}
+	return b.String()
+}

@@ -1,0 +1,222 @@
+package asm
+
+import (
+	"strings"
+	"testing"
+
+	"vexsmt/internal/isa"
+	"vexsmt/internal/vexmach"
+)
+
+func TestAssembleBasicProgram(t *testing.T) {
+	src := `
+# compute (3 + 4) * 2 on cluster 0
+  c0 mov $r1 = 3
+  c0 mov $r2 = 4
+;;
+  c0 add $r3 = $r1, $r2
+;;
+  c0 mpy $r4 = $r3, 2
+;;
+`
+	p, err := Assemble(isa.ST200x4, 0x1000, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Instrs) != 3 {
+		t.Fatalf("got %d instructions", len(p.Instrs))
+	}
+	m := vexmach.MustNew(isa.ST200x4)
+	m.SetPC(p.Base)
+	if _, err := m.Run(p, 100); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Reg(0, 4); got != 14 {
+		t.Fatalf("$r4 = %d, want 14", got)
+	}
+}
+
+func TestAssembleLoopWithLabels(t *testing.T) {
+	src := `
+  c0 mov $r1 = 0      # counter
+  c0 mov $r2 = 0      # sum
+;;
+loop:
+  c0 add $r1 = $r1, 1
+;;
+  c0 add $r2 = $r2, $r1
+  c0 cmplt $b0 = $r1, 10
+;;
+  c0 br $b0, loop
+;;
+`
+	p, err := Assemble(isa.ST200x4, 0x2000, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := vexmach.MustNew(isa.ST200x4)
+	m.SetPC(p.Base)
+	if _, err := m.Run(p, 1000); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Reg(0, 2); got != 55 {
+		t.Fatalf("sum = %d, want 55", got)
+	}
+}
+
+func TestAssembleMemoryOps(t *testing.T) {
+	src := `
+  c0 mov $r1 = 0x10000
+  c0 mov $r2 = 77
+;;
+  c0 stw 8[$r1] = $r2
+;;
+  c0 ldw $r3 = 8[$r1]
+;;
+`
+	p := MustAssemble(isa.ST200x4, 0, src)
+	m := vexmach.MustNew(isa.ST200x4)
+	if _, err := m.Run(p, 100); err != nil {
+		t.Fatal(err)
+	}
+	if m.Reg(0, 3) != 77 {
+		t.Fatalf("$r3 = %d", m.Reg(0, 3))
+	}
+}
+
+func TestAssembleSendRecv(t *testing.T) {
+	src := `
+  c0 mov $r3 = 1234
+;;
+  c0 send $r3 -> c1
+  c1 recv $r5 <- c0
+;;
+`
+	p := MustAssemble(isa.ST200x4, 0, src)
+	m := vexmach.MustNew(isa.ST200x4)
+	if _, err := m.Run(p, 100); err != nil {
+		t.Fatal(err)
+	}
+	if m.Reg(1, 5) != 1234 {
+		t.Fatalf("$r5@c1 = %d", m.Reg(1, 5))
+	}
+}
+
+func TestAssembleGotoHexAddress(t *testing.T) {
+	src := `
+  c0 goto 0x40
+;;
+  c0 mov $r1 = 1   # skipped
+;;
+  c0 mov $r2 = 2   # not reached either (0x40 is past the program)
+;;
+`
+	p := MustAssemble(isa.ST200x4, 0, src)
+	m := vexmach.MustNew(isa.ST200x4)
+	steps, err := m.Run(p, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if steps != 1 || m.Reg(0, 1) != 0 {
+		t.Fatalf("steps=%d r1=%d", steps, m.Reg(0, 1))
+	}
+}
+
+func TestAssembleBrfAndNop(t *testing.T) {
+	src := `
+  c0 cmpeq $b1 = $r1, 99
+  c1 nop
+;;
+  c0 brf $b1, skip
+;;
+  c0 mov $r5 = 1 # executed only if $r1 == 99
+;;
+skip:
+  c0 mov $r6 = 2
+;;
+`
+	p := MustAssemble(isa.ST200x4, 0, src)
+	m := vexmach.MustNew(isa.ST200x4)
+	if _, err := m.Run(p, 100); err != nil {
+		t.Fatal(err)
+	}
+	if m.Reg(0, 5) != 0 || m.Reg(0, 6) != 2 {
+		t.Fatalf("r5=%d r6=%d", m.Reg(0, 5), m.Reg(0, 6))
+	}
+}
+
+func TestAssembleErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+	}{
+		{"unknown mnemonic", "c0 frob $r1 = $r2, $r3\n;;\n"},
+		{"bad cluster", "c9 add $r1 = $r2, $r3\n;;\n"},
+		{"cluster out of geometry", "c5 add $r1 = $r2, $r3\n;;\n"},
+		{"bad register", "c0 add $r99 = $r2, $r3\n;;\n"},
+		{"missing equals", "c0 add $r1 $r2, $r3\n;;\n"},
+		{"undefined label", "c0 goto nowhere\n;;\n"},
+		{"duplicate label", "x:\nc0 nop\n;;\nx:\nc0 nop\n;;\n"},
+		{"no cluster prefix", "add $r1 = $r2, $r3\n;;\n"},
+		{"too many mem ops", "c0 ldw $r1 = 0[$r2]\nc0 stw 0[$r2] = $r1\n;;\n"},
+		{"bad send", "c0 send $r1\n;;\n"},
+		{"bad memref", "c0 ldw $r1 = $r2\n;;\n"},
+	}
+	for _, c := range cases {
+		if _, err := Assemble(isa.ST200x4, 0, c.src); err == nil {
+			t.Errorf("%s: accepted", c.name)
+		}
+	}
+}
+
+func TestErrorHasLineNumber(t *testing.T) {
+	_, err := Assemble(isa.ST200x4, 0, "c0 nop\n;;\nc0 bogus $r1 = $r2, $r3\n;;\n")
+	if err == nil {
+		t.Fatal("no error")
+	}
+	var ae *Error
+	if !strings.Contains(err.Error(), "line 3") {
+		t.Fatalf("error %q lacks line number", err)
+	}
+	_ = ae
+}
+
+func TestDisassembleRoundTrip(t *testing.T) {
+	src := `
+  c0 add $r1 = $r2, $r3
+  c1 ldw $r4 = 16[$r6]
+  c2 stw 4[$r6] = $r2
+  c3 mov $r9 = -5
+;;
+  c0 send $r3 -> c1
+  c1 recv $r5 <- c0
+;;
+`
+	p := MustAssemble(isa.ST200x4, 0, src)
+	text := Disassemble(p)
+	// Re-assemble the disassembly: same instruction count and semantics.
+	p2, err := Assemble(isa.ST200x4, 0, text)
+	if err != nil {
+		t.Fatalf("disassembly does not re-assemble: %v\n%s", err, text)
+	}
+	if len(p2.Instrs) != len(p.Instrs) {
+		t.Fatalf("instruction count changed: %d -> %d", len(p.Instrs), len(p2.Instrs))
+	}
+	for i := range p.Instrs {
+		for c := range p.Instrs[i].Bundles {
+			if len(p.Instrs[i].Bundles[c]) != len(p2.Instrs[i].Bundles[c]) {
+				t.Fatalf("instr %d cluster %d op count changed", i, c)
+			}
+		}
+	}
+}
+
+func TestEmptyProgram(t *testing.T) {
+	p, err := Assemble(isa.ST200x4, 0, "# nothing\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Instrs) != 0 {
+		t.Fatal("instructions from empty source")
+	}
+}

@@ -1,0 +1,180 @@
+// Package cache implements the set-associative cache model used for the
+// instruction and data caches of the base architecture: the paper assumes a
+// single-level 64 KB 4-way set-associative cache with a 20-cycle miss
+// penalty for both ICache and DCache (no L2), Section VI-A.
+package cache
+
+import "fmt"
+
+// Config describes a cache geometry.
+type Config struct {
+	SizeBytes   int // total capacity
+	LineBytes   int // line (block) size
+	Ways        int // associativity
+	MissPenalty int // cycles added on a miss
+}
+
+// Paper64KB4Way is the paper's cache configuration. The paper does not state
+// the line size; 64-byte lines are the ST200 documented line size.
+var Paper64KB4Way = Config{SizeBytes: 64 << 10, LineBytes: 64, Ways: 4, MissPenalty: 20}
+
+// Validate checks the configuration for consistency (power-of-two geometry).
+func (c Config) Validate() error {
+	switch {
+	case c.SizeBytes <= 0 || c.LineBytes <= 0 || c.Ways <= 0:
+		return fmt.Errorf("cache: non-positive geometry %+v", c)
+	case c.LineBytes&(c.LineBytes-1) != 0:
+		return fmt.Errorf("cache: line size %d not a power of two", c.LineBytes)
+	case c.SizeBytes%(c.LineBytes*c.Ways) != 0:
+		return fmt.Errorf("cache: size %d not divisible by way size", c.SizeBytes)
+	}
+	sets := c.SizeBytes / (c.LineBytes * c.Ways)
+	if sets&(sets-1) != 0 {
+		return fmt.Errorf("cache: set count %d not a power of two", sets)
+	}
+	return nil
+}
+
+// Stats accumulates cache accesses.
+type Stats struct {
+	Accesses uint64
+	Misses   uint64
+}
+
+// MissRate returns misses/accesses (0 when no accesses have happened).
+func (s Stats) MissRate() float64 {
+	if s.Accesses == 0 {
+		return 0
+	}
+	return float64(s.Misses) / float64(s.Accesses)
+}
+
+// Cache is a set-associative cache with true-LRU replacement. It models tag
+// state only (no data): the simulator needs hit/miss timing, while data
+// correctness is owned by the functional machine's flat memory.
+type Cache struct {
+	cfg      Config
+	sets     int
+	ways     int
+	lineBits uint
+	setMask  uint64
+	tags     []uint64 // sets*ways entries
+	valid    []bool
+	lru      []uint32 // per-entry LRU stamp; larger = more recent
+	clock    uint32
+	stats    Stats
+}
+
+// New builds a cache from a validated configuration.
+func New(cfg Config) (*Cache, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	sets := cfg.SizeBytes / (cfg.LineBytes * cfg.Ways)
+	lineBits := uint(0)
+	for 1<<lineBits < cfg.LineBytes {
+		lineBits++
+	}
+	n := sets * cfg.Ways
+	return &Cache{
+		cfg:      cfg,
+		sets:     sets,
+		ways:     cfg.Ways,
+		lineBits: lineBits,
+		setMask:  uint64(sets - 1),
+		tags:     make([]uint64, n),
+		valid:    make([]bool, n),
+		lru:      make([]uint32, n),
+	}, nil
+}
+
+// MustNew is New but panics on configuration error; for tests and fixed
+// known-good configurations.
+func MustNew(cfg Config) *Cache {
+	c, err := New(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// Config returns the cache's configuration.
+func (c *Cache) Config() Config { return c.cfg }
+
+// Stats returns a copy of the access statistics.
+func (c *Cache) Stats() Stats { return c.stats }
+
+// Access looks up addr, updating LRU state and allocating on miss
+// (write-allocate for stores, which matches a blocking first-level cache
+// with fetch-on-write). It returns true on hit.
+func (c *Cache) Access(addr uint64) bool {
+	c.stats.Accesses++
+	line := addr >> c.lineBits
+	set := int(line & c.setMask)
+	tag := line >> 1 // keep full line id as tag (shifted to avoid set bits aliasing is unnecessary; full id is unique)
+	base := set * c.ways
+	c.clock++
+	victim, victimStamp := base, c.lru[base]
+	for w := 0; w < c.ways; w++ {
+		i := base + w
+		if c.valid[i] && c.tags[i] == tag {
+			c.lru[i] = c.clock
+			return true
+		}
+		if !c.valid[i] {
+			victim, victimStamp = i, 0
+		} else if c.lru[i] < victimStamp {
+			victim, victimStamp = i, c.lru[i]
+		}
+	}
+	c.stats.Misses++
+	c.tags[victim] = tag
+	c.valid[victim] = true
+	c.lru[victim] = c.clock
+	return false
+}
+
+// AccessPenalty performs Access and returns the stall penalty in cycles:
+// 0 on hit, MissPenalty on miss.
+func (c *Cache) AccessPenalty(addr uint64) int {
+	if c.Access(addr) {
+		return 0
+	}
+	return c.cfg.MissPenalty
+}
+
+// Probe reports whether addr currently hits without touching LRU or
+// statistics and without allocating.
+func (c *Cache) Probe(addr uint64) bool {
+	line := addr >> c.lineBits
+	set := int(line & c.setMask)
+	tag := line >> 1
+	base := set * c.ways
+	for w := 0; w < c.ways; w++ {
+		i := base + w
+		if c.valid[i] && c.tags[i] == tag {
+			return true
+		}
+	}
+	return false
+}
+
+// Flush invalidates all lines and clears statistics. Used at context-switch
+// points when simulating cold-cache policies and between benchmark runs.
+func (c *Cache) Flush() {
+	for i := range c.valid {
+		c.valid[i] = false
+		c.lru[i] = 0
+	}
+	c.clock = 0
+	c.stats = Stats{}
+}
+
+// Invalidate clears tag state but keeps accumulated statistics.
+func (c *Cache) Invalidate() {
+	for i := range c.valid {
+		c.valid[i] = false
+		c.lru[i] = 0
+	}
+	c.clock = 0
+}

@@ -1,0 +1,347 @@
+package core
+
+import (
+	"fmt"
+
+	"vexsmt/internal/isa"
+)
+
+// MaxThreads bounds the hardware thread contexts supported by fixed-size
+// arrays. The paper evaluates 1, 2 and 4 threads.
+const MaxThreads = 8
+
+// ThreadIssue tracks the in-flight VLIW instruction of one hardware thread
+// context. Execution is always in-order between the VLIW instructions of a
+// thread: the next instruction is loaded only after the current one has
+// issued in its entirety (its "last part").
+type ThreadIssue struct {
+	active    bool
+	started   bool // some part already issued in an earlier cycle
+	demand    isa.InstrDemand
+	remaining [isa.MaxClusters]isa.BundleDemand
+	// storeBuffered marks clusters whose store was split-issued into the
+	// memory delay buffer and is still awaiting commit at the last part
+	// (Section V-B / V-D).
+	storeBuffered [isa.MaxClusters]bool
+}
+
+// ThreadResult reports what one thread did during a cycle.
+type ThreadResult struct {
+	Ops      int   // operations issued this cycle
+	Clusters uint8 // bitmask of clusters that received operations
+	LastPart bool  // instruction completed (entirely issued) this cycle
+	Split    bool  // instruction left partially issued after this cycle
+	LoadsAt  uint8 // bitmask of clusters where a load issued this cycle
+	StoresAt uint8 // bitmask of clusters where a store issued this cycle
+}
+
+// CycleResult reports one issue cycle of the whole machine.
+type CycleResult struct {
+	Thread [MaxThreads]ThreadResult
+	// MemOps counts memory-port uses per cluster this cycle: loads execute
+	// (and use the port) at issue time; stores use the port only when
+	// issued in their instruction's last part. Stores issued in an earlier
+	// split part write the delay buffer instead and take the port at
+	// commit time (counted in Commits).
+	MemOps [isa.MaxClusters]uint8
+	// Commits counts delayed stores committed per cluster this cycle
+	// because their instruction's last part issued (Section V-D).
+	Commits [isa.MaxClusters]uint8
+	// Ops is the total operation count of the execution packet.
+	Ops int
+	// Threads is the number of distinct threads in the packet.
+	Threads int
+}
+
+// MemPortOverflow returns the number of extra cycles the pipeline must
+// stall because delayed store commits plus new memory operations exceed the
+// per-cluster memory ports (Figure 11: "the pipeline is stalled till all
+// the memory operations have been performed"). Clusters drain in parallel,
+// so the stall is the maximum per-cluster overflow.
+func (r *CycleResult) MemPortOverflow(geom isa.Geometry) int {
+	worst := 0
+	for c := 0; c < geom.Clusters; c++ {
+		total := int(r.MemOps[c]) + int(r.Commits[c])
+		if over := total - geom.MemUnits; over > worst {
+			worst = over
+		}
+	}
+	return worst
+}
+
+// Engine is the merging hardware plus split-issue state machine. It is
+// deliberately independent of fetch, caches and scheduling: the caller
+// loads per-thread instruction demands and asks for one issue cycle at a
+// time, passing which threads are ready (not stalled).
+type Engine struct {
+	geom   isa.Geometry
+	tech   Technique
+	nt     int
+	state  [MaxThreads]ThreadIssue
+	packet *Packet
+	prio   Rotator
+	order  [MaxThreads]int
+}
+
+// NewEngine builds an issue engine. It returns an error for invalid
+// geometry or a technique combination the paper rules out.
+func NewEngine(geom isa.Geometry, tech Technique, threads int) (*Engine, error) {
+	if err := geom.Validate(); err != nil {
+		return nil, err
+	}
+	if err := tech.Validate(); err != nil {
+		return nil, err
+	}
+	if threads <= 0 || threads > MaxThreads {
+		return nil, fmt.Errorf("core: thread count %d out of range [1,%d]", threads, MaxThreads)
+	}
+	return &Engine{
+		geom:   geom,
+		tech:   tech,
+		nt:     threads,
+		packet: NewPacket(geom),
+		prio:   NewRotator(threads),
+	}, nil
+}
+
+// Geometry returns the machine geometry.
+func (e *Engine) Geometry() isa.Geometry { return e.geom }
+
+// PacketUsed returns the resources claimed at cluster c by the most recent
+// Cycle call. Intended for tests and ablation instrumentation.
+func (e *Engine) PacketUsed(c int) isa.BundleDemand { return e.packet.used[c] }
+
+// Technique returns the configured multithreading technique.
+func (e *Engine) Technique() Technique { return e.tech }
+
+// Threads returns the number of hardware contexts.
+func (e *Engine) Threads() int { return e.nt }
+
+// Active reports whether thread t has an in-flight instruction.
+func (e *Engine) Active(t int) bool { return e.state[t].active }
+
+// Started reports whether thread t's in-flight instruction has already
+// issued some part (and therefore must not be abandoned on context switch).
+func (e *Engine) Started(t int) bool { return e.state[t].active && e.state[t].started }
+
+// Remaining returns the unissued demand of thread t at cluster c.
+func (e *Engine) Remaining(t, c int) isa.BundleDemand { return e.state[t].remaining[c] }
+
+// Load hands thread t its next VLIW instruction. The caller must only call
+// it when the thread has no in-flight instruction. Demands must already be
+// cluster-renamed if renaming is in effect (the simulator owns renaming so
+// that its per-cluster metadata stays aligned).
+func (e *Engine) Load(t int, d isa.InstrDemand) {
+	st := &e.state[t]
+	if st.active {
+		panic("core: Load on thread with in-flight instruction")
+	}
+	st.active = true
+	st.started = false
+	st.demand = d
+	st.remaining = d.B
+	for c := range st.storeBuffered {
+		st.storeBuffered[c] = false
+	}
+}
+
+// Flush abandons thread t's in-flight instruction (context switch between
+// timeslices; the scheduler only switches at instruction boundaries, but
+// Flush also covers squashes after taken branches in the fetch model).
+func (e *Engine) Flush(t int) {
+	e.state[t] = ThreadIssue{}
+}
+
+// splittable reports whether the in-flight instruction of st may be issued
+// in parts: split-issue must be enabled, and under the NS communication
+// policy instructions containing send/recv are never split.
+func (e *Engine) splittable(st *ThreadIssue) bool {
+	if e.tech.Split == SplitNone {
+		return false
+	}
+	if st.demand.HasComm && e.tech.Comm == CommNoSplit {
+		return false
+	}
+	return true
+}
+
+// Cycle assembles one execution packet. ready[t] gates which threads may
+// issue this cycle (false models fetch stalls, cache-miss stalls and branch
+// penalties). Threads are considered in round-robin rotated priority order;
+// the highest-priority thread is always selected in its entirety (an empty
+// packet never collides with it).
+func (e *Engine) Cycle(ready *[MaxThreads]bool) CycleResult {
+	var res CycleResult
+	e.packet.Reset()
+	e.prio.Order(&e.order)
+	for i := 0; i < e.nt; i++ {
+		t := e.order[i]
+		st := &e.state[t]
+		if !st.active || !ready[t] {
+			continue
+		}
+		tr := e.tryIssue(st)
+		if tr.Ops == 0 {
+			continue
+		}
+		res.Thread[t] = tr
+		res.Ops += tr.Ops
+		res.Threads++
+		if tr.LastPart {
+			// Commit delayed stores; make the context available for the
+			// next instruction.
+			for c := 0; c < e.geom.Clusters; c++ {
+				if st.storeBuffered[c] {
+					res.Commits[c]++
+				}
+			}
+			st.active = false
+			st.started = false
+		} else {
+			st.started = true
+		}
+	}
+	for t := 0; t < e.nt; t++ {
+		tr := &res.Thread[t]
+		if tr.Ops == 0 {
+			continue
+		}
+		for c := 0; c < e.geom.Clusters; c++ {
+			bit := uint8(1) << uint(c)
+			if tr.LoadsAt&bit != 0 {
+				res.MemOps[c]++
+			}
+			if tr.LastPart && tr.StoresAt&bit != 0 {
+				res.MemOps[c]++
+			}
+		}
+	}
+	return res
+}
+
+// tryIssue attempts to add as much of st's remaining instruction to the
+// packet as the technique allows, returning what happened.
+func (e *Engine) tryIssue(st *ThreadIssue) ThreadResult {
+	var tr ThreadResult
+	if !e.splittable(st) {
+		// Whole-instruction semantics: all remaining bundles or nothing.
+		// (An unsplittable instruction always has remaining == full demand.)
+		if !e.packet.FitsWhole(&st.remaining, e.tech.Merge) {
+			return tr
+		}
+		for c := 0; c < e.geom.Clusters; c++ {
+			d := st.remaining[c]
+			if d.IsEmpty() {
+				continue
+			}
+			e.packet.AddBundle(c, d)
+			tr.Ops += int(d.Ops)
+			tr.Clusters |= 1 << uint(c)
+			if d.Load {
+				tr.LoadsAt |= 1 << uint(c)
+			}
+			if d.Stor {
+				tr.StoresAt |= 1 << uint(c)
+			}
+			st.remaining[c] = isa.BundleDemand{}
+		}
+		tr.LastPart = tr.Ops > 0
+		return tr
+	}
+
+	switch e.tech.Split {
+	case SplitCluster:
+		done := true
+		for c := 0; c < e.geom.Clusters; c++ {
+			d := st.remaining[c]
+			if d.IsEmpty() {
+				continue
+			}
+			if !e.packet.FitsBundle(c, d, e.tech.Merge) {
+				done = false
+				continue
+			}
+			e.packet.AddBundle(c, d)
+			tr.Ops += int(d.Ops)
+			tr.Clusters |= 1 << uint(c)
+			if d.Load {
+				tr.LoadsAt |= 1 << uint(c)
+			}
+			if d.Stor {
+				tr.StoresAt |= 1 << uint(c)
+			}
+			st.remaining[c] = isa.BundleDemand{}
+		}
+		tr.LastPart = done && tr.Ops > 0
+		tr.Split = !done && tr.Ops > 0
+		if tr.Split {
+			e.markBufferedStores(st, tr.StoresAt)
+		}
+		return tr
+
+	case SplitOperation:
+		done := true
+		for c := 0; c < e.geom.Clusters; c++ {
+			d := st.remaining[c]
+			if d.IsEmpty() {
+				continue
+			}
+			take := e.packet.TakeOps(c, d)
+			if take.IsEmpty() {
+				done = false
+				continue
+			}
+			e.packet.AddBundle(c, take)
+			tr.Ops += int(take.Ops)
+			tr.Clusters |= 1 << uint(c)
+			if take.Load {
+				tr.LoadsAt |= 1 << uint(c)
+			}
+			if take.Stor {
+				tr.StoresAt |= 1 << uint(c)
+			}
+			st.remaining[c] = subDemand(d, take)
+			if !st.remaining[c].IsEmpty() {
+				done = false
+			}
+		}
+		tr.LastPart = done && tr.Ops > 0
+		tr.Split = !done && tr.Ops > 0
+		if tr.Split {
+			e.markBufferedStores(st, tr.StoresAt)
+		}
+		return tr
+	}
+	return tr
+}
+
+// markBufferedStores records that stores issued this cycle went to the
+// memory delay buffer because the instruction is still split (not its last
+// part); they will be committed — and will contend for memory ports — when
+// the last part issues.
+func (e *Engine) markBufferedStores(st *ThreadIssue, storesAt uint8) {
+	for c := 0; c < e.geom.Clusters; c++ {
+		if storesAt&(1<<uint(c)) != 0 {
+			st.storeBuffered[c] = true
+		}
+	}
+}
+
+// subDemand returns d minus take (component-wise), clearing satisfied
+// flags. take must be a sub-demand of d.
+func subDemand(d, take isa.BundleDemand) isa.BundleDemand {
+	out := isa.BundleDemand{
+		Ops: d.Ops - take.Ops,
+		ALU: d.ALU - take.ALU,
+		Mul: d.Mul - take.Mul,
+		Mem: d.Mem - take.Mem,
+	}
+	if out.Mem > 0 {
+		out.Load = d.Load
+		out.Stor = d.Stor
+	}
+	if d.Comm && out.ALU > 0 {
+		out.Comm = true
+	}
+	return out
+}

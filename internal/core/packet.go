@@ -1,0 +1,128 @@
+package core
+
+import "vexsmt/internal/isa"
+
+// Packet is the execution packet being assembled for one cycle: the
+// resources already claimed at every cluster. The collision-detection logic
+// (CL in Figure 7) checks a candidate bundle against the packet; the merge
+// logic (ML) then adds it.
+type Packet struct {
+	geom isa.Geometry
+	used [isa.MaxClusters]isa.BundleDemand
+	busy [isa.MaxClusters]bool // any operations present (cluster-level collision)
+}
+
+// NewPacket returns an empty packet for the given machine geometry.
+func NewPacket(geom isa.Geometry) *Packet {
+	return &Packet{geom: geom}
+}
+
+// Reset empties the packet for a new cycle.
+func (p *Packet) Reset() {
+	for c := 0; c < p.geom.Clusters; c++ {
+		p.used[c] = isa.BundleDemand{}
+		p.busy[c] = false
+	}
+}
+
+// ClusterBusy reports whether any operations occupy cluster c.
+func (p *Packet) ClusterBusy(c int) bool { return p.busy[c] }
+
+// Used returns the resources claimed at cluster c so far this cycle.
+func (p *Packet) Used(c int) isa.BundleDemand { return p.used[c] }
+
+// FitsBundle is the collision-detection logic for one cluster: it reports
+// whether demand d can join cluster c under the given merge policy.
+func (p *Packet) FitsBundle(c int, d isa.BundleDemand, merge MergePolicy) bool {
+	if d.IsEmpty() {
+		return true
+	}
+	if merge == MergeCluster {
+		return !p.busy[c]
+	}
+	u := p.used[c]
+	return int(u.Ops)+int(d.Ops) <= p.geom.IssueWidth &&
+		int(u.ALU)+int(d.ALU) <= p.geom.ALUs &&
+		int(u.Mul)+int(d.Mul) <= p.geom.Muls &&
+		int(u.Mem)+int(d.Mem) <= p.geom.MemUnits
+}
+
+// FitsWhole checks every cluster of an instruction's remaining demand: the
+// AND across clusters in Figure 7(a). Only when no cluster collides may a
+// whole instruction merge.
+func (p *Packet) FitsWhole(rem *[isa.MaxClusters]isa.BundleDemand, merge MergePolicy) bool {
+	for c := 0; c < p.geom.Clusters; c++ {
+		if !p.FitsBundle(c, rem[c], merge) {
+			return false
+		}
+	}
+	return true
+}
+
+// AddBundle merges demand d into cluster c. The caller must have checked
+// FitsBundle.
+func (p *Packet) AddBundle(c int, d isa.BundleDemand) {
+	if d.IsEmpty() {
+		return
+	}
+	p.used[c] = p.used[c].Add(d)
+	p.busy[c] = true
+}
+
+// SlackOps returns the free issue slots remaining at cluster c.
+func (p *Packet) SlackOps(c int) int { return p.geom.IssueWidth - int(p.used[c].Ops) }
+
+// TotalOps returns the number of operations in the packet.
+func (p *Packet) TotalOps() int {
+	n := 0
+	for c := 0; c < p.geom.Clusters; c++ {
+		n += int(p.used[c].Ops)
+	}
+	return n
+}
+
+// TakeOps carves the largest sub-demand of rem that fits cluster c under
+// operation-level merging, preferring scarce units first (memory, then
+// multiplier, then ALU). It returns the demand actually taken. This is the
+// operation-level split-issue selection: individual operations of a bundle
+// may issue in different cycles.
+func (p *Packet) TakeOps(c int, rem isa.BundleDemand) isa.BundleDemand {
+	if rem.IsEmpty() {
+		return isa.BundleDemand{}
+	}
+	u := p.used[c]
+	slots := p.geom.IssueWidth - int(u.Ops)
+	if slots <= 0 {
+		return isa.BundleDemand{}
+	}
+	var take isa.BundleDemand
+	m := min3(int(rem.Mem), p.geom.MemUnits-int(u.Mem), slots)
+	take.Mem = uint8(m)
+	slots -= m
+	mu := min3(int(rem.Mul), p.geom.Muls-int(u.Mul), slots)
+	take.Mul = uint8(mu)
+	slots -= mu
+	a := min3(int(rem.ALU), p.geom.ALUs-int(u.ALU), slots)
+	take.ALU = uint8(a)
+	take.Ops = take.Mem + take.Mul + take.ALU
+	if take.Mem > 0 {
+		// The single LSU op of the bundle is either a load or a store.
+		take.Load = rem.Load
+		take.Stor = rem.Stor
+	}
+	take.Comm = rem.Comm && take.ALU > 0
+	return take
+}
+
+func min3(a, b, c int) int {
+	if b < a {
+		a = b
+	}
+	if c < a {
+		a = c
+	}
+	if a < 0 {
+		return 0
+	}
+	return a
+}

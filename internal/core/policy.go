@@ -1,0 +1,176 @@
+// Package core implements the paper's contribution: the instruction-merging
+// and split-issue machinery for SMT clustered VLIW processors.
+//
+// Two axes define a multithreading technique (Figure 4 of the paper):
+//
+//   - merge granularity: operation-level (SMT) or cluster-level (CSMT);
+//   - split granularity: none, cluster-level (the paper's proposal), or
+//     operation-level (prior work, Rau '93 / Iyer et al. '04).
+//
+// The five meaningful combinations are SMT, CSMT, CCSI (cluster merge +
+// cluster split), COSI (operation merge + cluster split) and OOSI
+// (operation merge + operation split). Operation-level split with
+// cluster-level merging is marked "—" in the paper's Figure 4 and is
+// rejected by Technique.Validate.
+//
+// Split-capable techniques additionally choose an inter-cluster
+// communication policy: NS ("No split communication") never splits an
+// instruction containing send/recv, AS ("Always split") splits freely and
+// relies on network buffering for correctness (Section V-E).
+package core
+
+import "fmt"
+
+// MergePolicy selects the granularity at which the merging hardware checks
+// resource collisions between threads.
+type MergePolicy uint8
+
+const (
+	// MergeOperation merges at operation granularity: two bundles may share
+	// a cluster as long as issue slots and functional units suffice (SMT).
+	MergeOperation MergePolicy = iota
+	// MergeCluster merges at cluster granularity: a cluster may carry
+	// operations of at most one thread per cycle (CSMT).
+	MergeCluster
+)
+
+func (m MergePolicy) String() string {
+	if m == MergeCluster {
+		return "cluster-merge"
+	}
+	return "operation-merge"
+}
+
+// SplitPolicy selects how a VLIW instruction may be divided across cycles.
+type SplitPolicy uint8
+
+const (
+	// SplitNone issues every instruction in its entirety (classic VLIW SMT).
+	SplitNone SplitPolicy = iota
+	// SplitCluster allows bundles of one instruction to issue in different
+	// cycles; operations within a bundle stay together (the paper's
+	// proposal).
+	SplitCluster
+	// SplitOperation allows individual operations to issue in different
+	// cycles (prior work; requires superscalar-like hardware).
+	SplitOperation
+)
+
+func (s SplitPolicy) String() string {
+	switch s {
+	case SplitCluster:
+		return "cluster-split"
+	case SplitOperation:
+		return "operation-split"
+	}
+	return "no-split"
+}
+
+// CommPolicy selects the handling of instructions containing inter-cluster
+// communication operations under split-issue (Section VI-B).
+type CommPolicy uint8
+
+const (
+	// CommNoSplit ("NS") never splits an instruction that contains a send
+	// or recv, so compiler assumptions cannot be violated and no extra
+	// hardware is needed.
+	CommNoSplit CommPolicy = iota
+	// CommAlwaysSplit ("AS") splits such instructions too; the network
+	// buffers early sends and a pending-recv buffer handles recv-before-
+	// send (Section V-E).
+	CommAlwaysSplit
+)
+
+func (c CommPolicy) String() string {
+	if c == CommAlwaysSplit {
+		return "AS"
+	}
+	return "NS"
+}
+
+// Technique is one point in the paper's design space.
+type Technique struct {
+	Merge MergePolicy
+	Split SplitPolicy
+	Comm  CommPolicy // meaningful only when Split != SplitNone
+}
+
+// The named techniques evaluated in the paper.
+func SMT() Technique  { return Technique{Merge: MergeOperation, Split: SplitNone} }
+func CSMT() Technique { return Technique{Merge: MergeCluster, Split: SplitNone} }
+
+// CCSI is cluster-level merging with cluster-level split-issue.
+func CCSI(comm CommPolicy) Technique {
+	return Technique{Merge: MergeCluster, Split: SplitCluster, Comm: comm}
+}
+
+// COSI is operation-level merging with cluster-level split-issue.
+func COSI(comm CommPolicy) Technique {
+	return Technique{Merge: MergeOperation, Split: SplitCluster, Comm: comm}
+}
+
+// OOSI is operation-level merging with operation-level split-issue
+// (the previously proposed split-issue technique).
+func OOSI(comm CommPolicy) Technique {
+	return Technique{Merge: MergeOperation, Split: SplitOperation, Comm: comm}
+}
+
+// Validate rejects the combinations the paper marks as meaningless.
+func (t Technique) Validate() error {
+	if t.Split == SplitOperation && t.Merge == MergeCluster {
+		return fmt.Errorf("core: operation-level split-issue makes sense only with operation-level merging (Figure 4)")
+	}
+	return nil
+}
+
+// Name returns the paper's name for the technique ("SMT", "CSMT",
+// "CCSI NS", "COSI AS", ...).
+func (t Technique) Name() string {
+	switch {
+	case t.Split == SplitNone && t.Merge == MergeOperation:
+		return "SMT"
+	case t.Split == SplitNone && t.Merge == MergeCluster:
+		return "CSMT"
+	case t.Split == SplitCluster && t.Merge == MergeCluster:
+		return "CCSI " + t.Comm.String()
+	case t.Split == SplitCluster && t.Merge == MergeOperation:
+		return "COSI " + t.Comm.String()
+	case t.Split == SplitOperation && t.Merge == MergeOperation:
+		return "OOSI " + t.Comm.String()
+	}
+	return fmt.Sprintf("%s/%s/%s", t.Merge, t.Split, t.Comm)
+}
+
+// ParseTechnique parses names as produced by Name (case-sensitive),
+// defaulting to NS when the comm policy is omitted.
+func ParseTechnique(name string) (Technique, error) {
+	switch name {
+	case "SMT":
+		return SMT(), nil
+	case "CSMT":
+		return CSMT(), nil
+	case "CCSI", "CCSI NS":
+		return CCSI(CommNoSplit), nil
+	case "CCSI AS":
+		return CCSI(CommAlwaysSplit), nil
+	case "COSI", "COSI NS":
+		return COSI(CommNoSplit), nil
+	case "COSI AS":
+		return COSI(CommAlwaysSplit), nil
+	case "OOSI", "OOSI NS":
+		return OOSI(CommNoSplit), nil
+	case "OOSI AS":
+		return OOSI(CommAlwaysSplit), nil
+	}
+	return Technique{}, fmt.Errorf("core: unknown technique %q", name)
+}
+
+// AllTechniques returns the eight configurations of the paper's Figure 16,
+// in the paper's presentation order.
+func AllTechniques() []Technique {
+	return []Technique{
+		CSMT(), CCSI(CommNoSplit), CCSI(CommAlwaysSplit),
+		SMT(), COSI(CommNoSplit), COSI(CommAlwaysSplit),
+		OOSI(CommNoSplit), OOSI(CommAlwaysSplit),
+	}
+}

@@ -1,0 +1,143 @@
+package core
+
+import "testing"
+
+func TestTechniqueNames(t *testing.T) {
+	cases := []struct {
+		tech Technique
+		want string
+	}{
+		{SMT(), "SMT"},
+		{CSMT(), "CSMT"},
+		{CCSI(CommNoSplit), "CCSI NS"},
+		{CCSI(CommAlwaysSplit), "CCSI AS"},
+		{COSI(CommNoSplit), "COSI NS"},
+		{COSI(CommAlwaysSplit), "COSI AS"},
+		{OOSI(CommNoSplit), "OOSI NS"},
+		{OOSI(CommAlwaysSplit), "OOSI AS"},
+	}
+	for _, c := range cases {
+		if got := c.tech.Name(); got != c.want {
+			t.Errorf("Name() = %q, want %q", got, c.want)
+		}
+	}
+}
+
+func TestParseTechniqueRoundTrip(t *testing.T) {
+	for _, tech := range AllTechniques() {
+		got, err := ParseTechnique(tech.Name())
+		if err != nil {
+			t.Errorf("ParseTechnique(%q): %v", tech.Name(), err)
+			continue
+		}
+		if got != tech {
+			t.Errorf("round trip %q: got %+v", tech.Name(), got)
+		}
+	}
+	if _, err := ParseTechnique("BOGUS"); err == nil {
+		t.Error("bogus technique accepted")
+	}
+	// Bare split names default to NS.
+	ccsi, err := ParseTechnique("CCSI")
+	if err != nil || ccsi.Comm != CommNoSplit {
+		t.Errorf("CCSI default comm: %+v, %v", ccsi, err)
+	}
+}
+
+func TestFigure4RuledOutCombination(t *testing.T) {
+	// Operation-level split with cluster-level merging is "—" in Figure 4.
+	bad := Technique{Merge: MergeCluster, Split: SplitOperation}
+	if err := bad.Validate(); err == nil {
+		t.Fatal("cluster-merge + operation-split accepted")
+	}
+	for _, tech := range AllTechniques() {
+		if err := tech.Validate(); err != nil {
+			t.Errorf("%s rejected: %v", tech.Name(), err)
+		}
+	}
+}
+
+func TestAllTechniquesOrder(t *testing.T) {
+	// The paper's Figure 16 presents: CSMT, CCSI NS, CCSI AS, SMT, COSI NS,
+	// COSI AS, OOSI NS, OOSI AS.
+	want := []string{"CSMT", "CCSI NS", "CCSI AS", "SMT", "COSI NS", "COSI AS", "OOSI NS", "OOSI AS"}
+	got := AllTechniques()
+	if len(got) != len(want) {
+		t.Fatalf("%d techniques, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i].Name() != want[i] {
+			t.Errorf("position %d: %s, want %s", i, got[i].Name(), want[i])
+		}
+	}
+}
+
+func TestPolicyStrings(t *testing.T) {
+	if MergeCluster.String() != "cluster-merge" || MergeOperation.String() != "operation-merge" {
+		t.Error("merge policy strings")
+	}
+	if SplitNone.String() != "no-split" || SplitCluster.String() != "cluster-split" ||
+		SplitOperation.String() != "operation-split" {
+		t.Error("split policy strings")
+	}
+	if CommNoSplit.String() != "NS" || CommAlwaysSplit.String() != "AS" {
+		t.Error("comm policy strings")
+	}
+}
+
+func TestRotatorCycles(t *testing.T) {
+	r := NewRotator(3)
+	var buf [MaxThreads]int
+	wantOrders := [][3]int{{0, 1, 2}, {1, 2, 0}, {2, 0, 1}, {0, 1, 2}}
+	for i, want := range wantOrders {
+		r.Order(&buf)
+		for j := 0; j < 3; j++ {
+			if buf[j] != want[j] {
+				t.Fatalf("cycle %d: order %v, want %v", i, buf[:3], want)
+			}
+		}
+	}
+}
+
+func TestRotatorFairness(t *testing.T) {
+	// Every thread is highest-priority exactly once per n cycles.
+	const n = 4
+	r := NewRotator(n)
+	var buf [MaxThreads]int
+	counts := make([]int, n)
+	for i := 0; i < 100*n; i++ {
+		r.Order(&buf)
+		counts[buf[0]]++
+	}
+	for th, c := range counts {
+		if c != 100 {
+			t.Errorf("thread %d highest priority %d times, want 100", th, c)
+		}
+	}
+}
+
+func TestRenameRotation(t *testing.T) {
+	// 4-thread 4-cluster: rotations 0,1,2,3 (paper Section IV).
+	for th := 0; th < 4; th++ {
+		if got := RenameRotation(th, 4, 4); got != th {
+			t.Errorf("4T4C thread %d: rotation %d, want %d", th, got, th)
+		}
+	}
+	// 2-thread 4-cluster: rotations follow the thread index -> 0 and 1.
+	if RenameRotation(0, 4, 2) != 0 || RenameRotation(1, 4, 2) != 1 {
+		t.Error("2T4C rotation should be 0, 1")
+	}
+	// 1 thread: no rotation.
+	if RenameRotation(0, 4, 1) != 0 {
+		t.Error("1T rotation should be 0")
+	}
+	// More threads than clusters wraps.
+	if RenameRotation(5, 4, 8) != 1 {
+		t.Errorf("8T4C thread 5: got %d, want 1", RenameRotation(5, 4, 8))
+	}
+	// 4-thread 4-cluster: rotations 0,1,2,3 as before.
+	_ = 0
+	if RenameRotation(0, 0, 0) != 0 {
+		t.Error("degenerate inputs should return 0")
+	}
+}

@@ -1,0 +1,43 @@
+package core
+
+// Rotator implements the paper's merge priority policy: "a different
+// priority is assigned to each selected thread in a round robin way every
+// cycle" (Section VI-A). On cycle k the priority order is
+// k mod n, k+1 mod n, ..., so every thread is periodically the
+// highest-priority thread, which is always merged in its entirety.
+type Rotator struct {
+	n    int
+	base int
+}
+
+// NewRotator returns a rotator over n threads starting at thread 0.
+func NewRotator(n int) Rotator { return Rotator{n: n} }
+
+// Order fills buf[0:n] with this cycle's priority order (highest first) and
+// advances the rotation.
+func (r *Rotator) Order(buf *[MaxThreads]int) {
+	for i := 0; i < r.n; i++ {
+		buf[i] = (r.base + i) % r.n
+	}
+	r.base++
+	if r.base == r.n {
+		r.base = 0
+	}
+}
+
+// Peek returns the thread that will have highest priority next cycle.
+func (r *Rotator) Peek() int { return r.base }
+
+// Reset restarts the rotation at thread 0.
+func (r *Rotator) Reset() { r.base = 0 }
+
+// RenameRotation returns the static cluster-renaming rotation for hardware
+// thread context t: thread t is rotated by t modulo the cluster count
+// (Section IV: "Thread 0 is rotated by 0, Thread 1 by 1, Thread 2 by 2,
+// and Thread 3 by 3"). The renaming value is fixed at design time.
+func RenameRotation(t, clusters, threads int) int {
+	if threads <= 0 || clusters <= 0 {
+		return 0
+	}
+	return t % clusters
+}

@@ -1,0 +1,187 @@
+// Package cosim couples the issue engine (timing) with functional machines
+// (semantics): N programs run simultaneously on one SMT clustered VLIW, the
+// merging/split-issue hardware decides each cycle which parts of which
+// thread's instruction issue, and split-execution sessions perform exactly
+// those parts with the delay-buffer machinery.
+//
+// Its purpose is the paper's implicit correctness theorem: *whatever*
+// schedule the merging hardware produces — whole instructions, split
+// bundles, split operations, any interleaving across threads — every
+// thread's architectural result equals serial atomic execution of its own
+// program. The property tests in this package machine-check that claim for
+// every technique.
+package cosim
+
+import (
+	"fmt"
+
+	"vexsmt/internal/core"
+	"vexsmt/internal/isa"
+	"vexsmt/internal/vexmach"
+)
+
+// Thread is one hardware context executing one program.
+type Thread struct {
+	Machine *vexmach.Machine
+	Program *vexmach.Program
+
+	session *vexmach.Session
+	current *isa.Instruction
+	steps   int
+	done    bool
+}
+
+// Steps returns the number of VLIW instructions the thread has committed.
+func (t *Thread) Steps() int { return t.steps }
+
+// Done reports whether the thread has run off its program.
+func (t *Thread) Done() bool { return t.done }
+
+// CoSim is the coupled timing+functional simulator.
+type CoSim struct {
+	geom    isa.Geometry
+	tech    core.Technique
+	eng     *core.Engine
+	threads []*Thread
+	// Rename enables cluster renaming: thread t's instructions are rotated
+	// by core.RenameRotation(t, ...) before issue. The thread's serial
+	// reference must then execute the identically rotated program.
+	rename bool
+}
+
+// New builds a co-simulation of the given programs, one per hardware
+// context. Machines start with zeroed state and PC at each program's base.
+func New(geom isa.Geometry, tech core.Technique, progs []*vexmach.Program, rename bool) (*CoSim, error) {
+	if len(progs) == 0 {
+		return nil, fmt.Errorf("cosim: no programs")
+	}
+	eng, err := core.NewEngine(geom, tech, len(progs))
+	if err != nil {
+		return nil, err
+	}
+	cs := &CoSim{geom: geom, tech: tech, eng: eng, rename: rename}
+	for _, p := range progs {
+		m, err := vexmach.New(geom)
+		if err != nil {
+			return nil, err
+		}
+		m.SetPC(p.Base)
+		cs.threads = append(cs.threads, &Thread{Machine: m, Program: p})
+	}
+	return cs, nil
+}
+
+// Thread returns hardware context t.
+func (cs *CoSim) Thread(t int) *Thread { return cs.threads[t] }
+
+// Rotation returns the cluster renaming rotation applied to thread t.
+func (cs *CoSim) Rotation(t int) int {
+	if !cs.rename {
+		return 0
+	}
+	return core.RenameRotation(t, cs.geom.Clusters, len(cs.threads))
+}
+
+// Run executes until every thread halts or maxCycles elapse, returning the
+// cycle count.
+func (cs *CoSim) Run(maxCycles int) (int, error) {
+	var ready [core.MaxThreads]bool
+	var before [core.MaxThreads][isa.MaxClusters]isa.BundleDemand
+	for cycle := 0; cycle < maxCycles; cycle++ {
+		anyActive := false
+		for t, th := range cs.threads {
+			if th.done {
+				ready[t] = false
+				continue
+			}
+			if th.current == nil {
+				idx, ok := th.Program.IndexOf(th.Machine.PC())
+				if !ok {
+					th.done = true
+					ready[t] = false
+					continue
+				}
+				in := th.Program.Instrs[idx].Rotate(cs.Rotation(t), cs.geom.Clusters)
+				th.current = in
+				th.session = th.Machine.Begin(in)
+				cs.eng.Load(t, isa.DemandOf(in))
+			}
+			ready[t] = true
+			anyActive = true
+		}
+		if !anyActive {
+			return cycle, nil
+		}
+		for t := range cs.threads {
+			for c := 0; c < cs.geom.Clusters; c++ {
+				before[t][c] = cs.eng.Remaining(t, c)
+			}
+		}
+		res := cs.eng.Cycle(&ready)
+		for t, th := range cs.threads {
+			tr := res.Thread[t]
+			if tr.Ops == 0 {
+				continue
+			}
+			// Execute exactly the parts the engine issued: the difference
+			// between the remaining demand before and after the cycle.
+			for c := 0; c < cs.geom.Clusters; c++ {
+				take := subDemand(before[t][c], cs.eng.Remaining(t, c))
+				if take.IsEmpty() {
+					continue
+				}
+				if err := th.session.IssueOpCounts(c, take); err != nil {
+					return cycle, fmt.Errorf("cosim: thread %d pc=0x%x: %w", t, th.current.Addr, err)
+				}
+			}
+			if tr.LastPart {
+				if !th.session.Done() {
+					return cycle, fmt.Errorf("cosim: thread %d: engine reported last part but session has unissued ops", t)
+				}
+				if err := th.session.Commit(); err != nil {
+					return cycle, fmt.Errorf("cosim: thread %d commit: %w", t, err)
+				}
+				th.steps++
+				th.current = nil
+				th.session = nil
+			}
+		}
+	}
+	return maxCycles, fmt.Errorf("cosim: exceeded %d cycles", maxCycles)
+}
+
+func subDemand(a, b isa.BundleDemand) isa.BundleDemand {
+	return isa.BundleDemand{
+		Ops: a.Ops - b.Ops,
+		ALU: a.ALU - b.ALU,
+		Mul: a.Mul - b.Mul,
+		Mem: a.Mem - b.Mem,
+	}
+}
+
+// RunSerial executes one program alone with atomic VLIW semantics (the
+// reference for equivalence checks), applying the same rotation thread t
+// would receive in this co-simulation.
+func (cs *CoSim) RunSerial(t int, maxSteps int) (*vexmach.Machine, error) {
+	m, err := vexmach.New(cs.geom)
+	if err != nil {
+		return nil, err
+	}
+	p := cs.threads[t].Program
+	m.SetPC(p.Base)
+	rot := cs.Rotation(t)
+	steps := 0
+	for {
+		idx, ok := p.IndexOf(m.PC())
+		if !ok {
+			return m, nil
+		}
+		if steps >= maxSteps {
+			return m, fmt.Errorf("cosim: serial reference exceeded %d steps", maxSteps)
+		}
+		if err := m.Exec(p.Instrs[idx].Rotate(rot, cs.geom.Clusters)); err != nil {
+			return m, err
+		}
+		steps++
+	}
+}

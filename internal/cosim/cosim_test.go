@@ -1,0 +1,239 @@
+package cosim
+
+import (
+	"testing"
+
+	"vexsmt/internal/core"
+	"vexsmt/internal/isa"
+	"vexsmt/internal/rng"
+	"vexsmt/internal/vexmach"
+)
+
+// buildProgram generates a compiler-legal branch-free program whose
+// instructions mix ALU/MUL/MEM work across clusters, with optional
+// send/recv pairs; every destination register is unique per cluster within
+// an instruction (no intra-instruction WAW).
+func buildProgram(t *testing.T, r *rng.Rand, g isa.Geometry, n int, commProb float64) *vexmach.Program {
+	t.Helper()
+	var instrs []*isa.Instruction
+	setup := &isa.Instruction{}
+	for c := 0; c < g.Clusters; c++ {
+		setup.Bundles[c] = isa.Bundle{
+			{Op: isa.Mov, Dest: 1, Imm: int32(0x40000 + c*0x2000), UseImm: true},
+			{Op: isa.Mov, Dest: 2, Imm: int32(r.Intn(1000) + 1), UseImm: true},
+		}
+	}
+	instrs = append(instrs, setup)
+	src := func() isa.Reg { return isa.Reg(2 + r.Intn(14)) }
+	for i := 0; i < n; i++ {
+		in := &isa.Instruction{}
+		var destUsed [isa.MaxClusters][isa.NumGPR]bool
+		dest := func(c int) isa.Reg {
+			for {
+				d := isa.Reg(2 + r.Intn(14))
+				if !destUsed[c][d] {
+					destUsed[c][d] = true
+					return d
+				}
+			}
+		}
+		commSrc, commDst := -1, -1
+		if r.Bool(commProb) && g.Clusters > 1 {
+			commSrc = r.Intn(g.Clusters)
+			commDst = (commSrc + 1 + r.Intn(g.Clusters-1)) % g.Clusters
+		}
+		for c := 0; c < g.Clusters; c++ {
+			budget := g.IssueWidth
+			if c == commSrc || c == commDst {
+				budget-- // leave room for the copy op
+			}
+			nops := r.Intn(budget + 1)
+			if c == 0 && nops == 0 && commSrc < 0 {
+				nops = 1 // keep instructions non-empty
+			}
+			var b isa.Bundle
+			mems, muls := 0, 0
+			for len(b) < nops {
+				switch k := r.Intn(10); {
+				case k < 2 && mems < g.MemUnits:
+					mems++
+					if r.Bool(0.5) {
+						b = append(b, isa.Operation{Op: isa.Ldw, Dest: dest(c), Src1: 1, Imm: int32(4 * r.Intn(32))})
+					} else {
+						b = append(b, isa.Operation{Op: isa.Stw, Src1: 1, Src2: src(), Imm: int32(4 * r.Intn(32))})
+					}
+				case k < 4 && muls < g.Muls:
+					muls++
+					b = append(b, isa.Operation{Op: isa.Mpy, Dest: dest(c), Src1: src(), Src2: src()})
+				default:
+					ops := []isa.Opcode{isa.Add, isa.Sub, isa.Xor, isa.And, isa.Or, isa.Shl, isa.Max}
+					b = append(b, isa.Operation{Op: ops[r.Intn(len(ops))], Dest: dest(c), Src1: src(), Src2: src()})
+				}
+			}
+			in.Bundles[c] = b
+		}
+		if commSrc >= 0 {
+			in.Bundles[commSrc] = append(in.Bundles[commSrc],
+				isa.Operation{Op: isa.Send, Src1: src(), Target: uint32(commDst)})
+			in.Bundles[commDst] = append(in.Bundles[commDst],
+				isa.Operation{Op: isa.Recv, Dest: dest(commDst), Target: uint32(commSrc)})
+		}
+		if in.NumOps() == 0 {
+			in.Bundles[0] = isa.Bundle{{Op: isa.Add, Dest: dest(0), Src1: src(), Src2: src()}}
+		}
+		instrs = append(instrs, in)
+	}
+	p, err := vexmach.NewProgram(g, 0x1000, instrs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// TestCoSimMatchesSerial is the central correctness theorem: under every
+// technique, every thread's final architectural state equals serial atomic
+// execution of its program, regardless of how the merging hardware
+// interleaved and split the instructions.
+func TestCoSimMatchesSerial(t *testing.T) {
+	g := isa.ST200x4
+	r := rng.New(20240611)
+	for _, tech := range core.AllTechniques() {
+		for trial := 0; trial < 3; trial++ {
+			progs := []*vexmach.Program{
+				buildProgram(t, r, g, 40, 0.2),
+				buildProgram(t, r, g, 40, 0.2),
+				buildProgram(t, r, g, 40, 0.2),
+				buildProgram(t, r, g, 40, 0.2),
+			}
+			cs, err := New(g, tech, progs, false)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cycles, err := cs.Run(100_000)
+			if err != nil {
+				t.Fatalf("%s trial %d: %v", tech.Name(), trial, err)
+			}
+			if cycles == 0 {
+				t.Fatalf("%s: zero cycles", tech.Name())
+			}
+			for th := 0; th < 4; th++ {
+				ref, err := cs.RunSerial(th, 10_000)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if d := cs.Thread(th).Machine.Diff(ref); d != "" {
+					t.Fatalf("%s trial %d thread %d diverged from serial execution: %s",
+						tech.Name(), trial, th, d)
+				}
+				if cs.Thread(th).Steps() != 41 {
+					t.Fatalf("thread %d committed %d instructions, want 41", th, cs.Thread(th).Steps())
+				}
+			}
+		}
+	}
+}
+
+// TestCoSimWithRenaming checks the same theorem with cluster renaming
+// enabled: rotated execution must match the serially executed rotated
+// program.
+func TestCoSimWithRenaming(t *testing.T) {
+	g := isa.ST200x4
+	r := rng.New(777)
+	progs := []*vexmach.Program{
+		buildProgram(t, r, g, 30, 0.15),
+		buildProgram(t, r, g, 30, 0.15),
+		buildProgram(t, r, g, 30, 0.15),
+		buildProgram(t, r, g, 30, 0.15),
+	}
+	cs, err := New(g, core.CCSI(core.CommAlwaysSplit), progs, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cs.Rotation(0) != 0 || cs.Rotation(2) != 2 {
+		t.Fatalf("rotations: %d %d", cs.Rotation(0), cs.Rotation(2))
+	}
+	if _, err := cs.Run(100_000); err != nil {
+		t.Fatal(err)
+	}
+	for th := 0; th < 4; th++ {
+		ref, err := cs.RunSerial(th, 10_000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d := cs.Thread(th).Machine.Diff(ref); d != "" {
+			t.Fatalf("thread %d (rotation %d) diverged: %s", th, cs.Rotation(th), d)
+		}
+	}
+}
+
+// TestCoSimTechniqueSpeedOrdering measures cycles on identical program sets:
+// operation-level merging must not be slower than cluster-level merging,
+// and split-issue must not be slower than no-split, on average.
+func TestCoSimTechniqueSpeedOrdering(t *testing.T) {
+	g := isa.ST200x4
+	r := rng.New(31415)
+	var csmt, ccsi, smt, oosi int
+	for trial := 0; trial < 5; trial++ {
+		seed := r.Uint64()
+		cyclesFor := func(tech core.Technique) int {
+			rr := rng.New(seed)
+			progs := []*vexmach.Program{
+				buildProgram(t, rr, g, 50, 0.1),
+				buildProgram(t, rr, g, 50, 0.1),
+			}
+			cs, err := New(g, tech, progs, false)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cycles, err := cs.Run(100_000)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return cycles
+		}
+		csmt += cyclesFor(core.CSMT())
+		ccsi += cyclesFor(core.CCSI(core.CommAlwaysSplit))
+		smt += cyclesFor(core.SMT())
+		oosi += cyclesFor(core.OOSI(core.CommAlwaysSplit))
+	}
+	if ccsi > csmt {
+		t.Errorf("CCSI total cycles %d > CSMT %d", ccsi, csmt)
+	}
+	if oosi > smt {
+		t.Errorf("OOSI total cycles %d > SMT %d", oosi, smt)
+	}
+	if smt > csmt {
+		t.Errorf("SMT total cycles %d > CSMT %d", smt, csmt)
+	}
+}
+
+func TestCoSimRejectsEmpty(t *testing.T) {
+	if _, err := New(isa.ST200x4, core.SMT(), nil, false); err == nil {
+		t.Fatal("empty program list accepted")
+	}
+}
+
+func TestCoSimSingleThread(t *testing.T) {
+	g := isa.ST200x4
+	r := rng.New(55)
+	prog := buildProgram(t, r, g, 25, 0.2)
+	cs, err := New(g, core.OOSI(core.CommAlwaysSplit), []*vexmach.Program{prog}, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cycles, err := cs.Run(10_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A single thread issues one instruction per cycle.
+	if cycles != 26 {
+		t.Fatalf("single-thread cycles = %d, want 26", cycles)
+	}
+	ref, err := cs.RunSerial(0, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := cs.Thread(0).Machine.Diff(ref); d != "" {
+		t.Fatalf("diverged: %s", d)
+	}
+}

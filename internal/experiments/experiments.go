@@ -1,0 +1,243 @@
+// Package experiments orchestrates the paper's evaluation (Section VI):
+// the single-thread benchmark characterization of Figure 13(a) and the
+// 2-thread/4-thread multithreading sweeps behind Figures 14, 15 and 16.
+// A Matrix memoizes runs so the three figures share the same simulations,
+// exactly as in the paper.
+package experiments
+
+import (
+	"fmt"
+	"sort"
+
+	"vexsmt/internal/core"
+	"vexsmt/internal/sim"
+	"vexsmt/internal/stats"
+	"vexsmt/internal/synth"
+	"vexsmt/internal/workload"
+)
+
+// Matrix lazily runs and memoizes (mix, technique, thread-count) cells.
+type Matrix struct {
+	Scale int64 // divisor of paper scale (1 = paper scale)
+	Seed  uint64
+	cells map[cellKey]*stats.Run
+}
+
+type cellKey struct {
+	mix     string
+	tech    core.Technique
+	threads int
+}
+
+// NewMatrix builds an empty result matrix at the given scale.
+func NewMatrix(scale int64, seed uint64) *Matrix {
+	return &Matrix{Scale: scale, Seed: seed, cells: make(map[cellKey]*stats.Run)}
+}
+
+// Run returns the memoized run for one cell, simulating on first use.
+func (m *Matrix) Run(mix workload.Mix, tech core.Technique, threads int) (*stats.Run, error) {
+	key := cellKey{mix.Label, tech, threads}
+	if r, ok := m.cells[key]; ok {
+		return r, nil
+	}
+	cfg := sim.DefaultConfig(tech, threads).WithScale(m.Scale)
+	cfg.Seed = m.Seed
+	profs, err := mix.Profiles()
+	if err != nil {
+		return nil, err
+	}
+	s, err := sim.NewWorkload(cfg, profs)
+	if err != nil {
+		return nil, err
+	}
+	r, err := s.Run()
+	if err != nil {
+		return nil, fmt.Errorf("experiments: %s/%s/%dT: %w", mix.Label, tech.Name(), threads, err)
+	}
+	m.cells[key] = r
+	return r, nil
+}
+
+// ---------------------------------------------------------------------------
+// Figure 13(a)
+
+// Fig13Row pairs paper-reported and measured single-thread IPC.
+type Fig13Row struct {
+	Name                 string
+	Class                synth.ILPClass
+	PaperIPCr, PaperIPCp float64
+	IPCr, IPCp           float64
+}
+
+// Figure13a measures every benchmark single-threaded with real and perfect
+// memory.
+func Figure13a(scale int64) ([]Fig13Row, error) {
+	var rows []Fig13Row
+	for _, pr := range workload.PaperFigure13a() {
+		prof, ok := synth.ByName(pr.Name)
+		if !ok {
+			return nil, fmt.Errorf("experiments: no profile for %s", pr.Name)
+		}
+		ipcr, ipcp, err := sim.MeasuredIPC(prof, scale)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, Fig13Row{
+			Name: pr.Name, Class: pr.Class,
+			PaperIPCr: pr.IPCr, PaperIPCp: pr.IPCp,
+			IPCr: ipcr, IPCp: ipcp,
+		})
+	}
+	return rows, nil
+}
+
+// ---------------------------------------------------------------------------
+// Figures 14 and 15: per-workload speedups
+
+// SpeedupSeries is one bar group: speedup percentage per workload plus the
+// average, for one (technique, baseline, thread count) combination.
+type SpeedupSeries struct {
+	Label     string // e.g. "CCSI AS over CSMT, 4-Thread"
+	Tech      core.Technique
+	Baseline  core.Technique
+	Threads   int
+	Workloads []string
+	Pct       []float64 // per workload, same order as Workloads
+	Avg       float64
+}
+
+// Speedups computes one series across all nine mixes.
+func (m *Matrix) Speedups(tech, baseline core.Technique, threads int) (SpeedupSeries, error) {
+	s := SpeedupSeries{
+		Label: fmt.Sprintf("%s over %s, %d-Thread", tech.Name(), baseline.Name(), threads),
+		Tech:  tech, Baseline: baseline, Threads: threads,
+	}
+	var sum float64
+	for _, mix := range workload.Figure13b() {
+		rt, err := m.Run(mix, tech, threads)
+		if err != nil {
+			return s, err
+		}
+		rb, err := m.Run(mix, baseline, threads)
+		if err != nil {
+			return s, err
+		}
+		pct := stats.SpeedupPct(rt, rb)
+		s.Workloads = append(s.Workloads, mix.Label)
+		s.Pct = append(s.Pct, pct)
+		sum += pct
+	}
+	s.Avg = sum / float64(len(s.Pct))
+	return s, nil
+}
+
+// Figure14 returns the four series of the paper's Figure 14: CCSI NS and
+// CCSI AS over CSMT, for 2-thread and 4-thread machines.
+func (m *Matrix) Figure14() ([]SpeedupSeries, error) {
+	var out []SpeedupSeries
+	for _, threads := range []int{2, 4} {
+		for _, comm := range []core.CommPolicy{core.CommNoSplit, core.CommAlwaysSplit} {
+			s, err := m.Speedups(core.CCSI(comm), core.CSMT(), threads)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, s)
+		}
+	}
+	return out, nil
+}
+
+// Figure15 returns the eight series of the paper's Figure 15: COSI NS/AS
+// and OOSI NS/AS over SMT, for 2-thread and 4-thread machines.
+func (m *Matrix) Figure15() ([]SpeedupSeries, error) {
+	var out []SpeedupSeries
+	for _, threads := range []int{2, 4} {
+		for _, tech := range []core.Technique{
+			core.COSI(core.CommNoSplit), core.COSI(core.CommAlwaysSplit),
+			core.OOSI(core.CommNoSplit), core.OOSI(core.CommAlwaysSplit),
+		} {
+			s, err := m.Speedups(tech, core.SMT(), threads)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, s)
+		}
+	}
+	return out, nil
+}
+
+// ---------------------------------------------------------------------------
+// Figure 16: absolute IPC of every technique
+
+// IPCPoint is one bar of Figure 16.
+type IPCPoint struct {
+	Tech    core.Technique
+	Threads int
+	IPC     float64 // average over the nine workloads
+}
+
+// Figure16 returns average IPC for the eight techniques at 2 and 4 threads,
+// in the paper's presentation order.
+func (m *Matrix) Figure16() ([]IPCPoint, error) {
+	var out []IPCPoint
+	for _, threads := range []int{2, 4} {
+		for _, tech := range core.AllTechniques() {
+			var sum float64
+			for _, mix := range workload.Figure13b() {
+				r, err := m.Run(mix, tech, threads)
+				if err != nil {
+					return nil, err
+				}
+				sum += r.IPC()
+			}
+			out = append(out, IPCPoint{Tech: tech, Threads: threads,
+				IPC: sum / float64(len(workload.Figure13b()))})
+		}
+	}
+	return out, nil
+}
+
+// ---------------------------------------------------------------------------
+// Thread scaling (not a paper figure; supports the Section I motivation)
+
+// ScalePoint is one point of a thread-count scaling study.
+type ScalePoint struct {
+	Threads int
+	IPC     float64
+}
+
+// ThreadScaling measures one mix under one technique across thread counts.
+func ThreadScaling(mix workload.Mix, tech core.Technique, threadCounts []int, scale int64, seed uint64) ([]ScalePoint, error) {
+	var out []ScalePoint
+	for _, th := range threadCounts {
+		cfg := sim.DefaultConfig(tech, th).WithScale(scale)
+		cfg.Seed = seed
+		profs, err := mix.Profiles()
+		if err != nil {
+			return nil, err
+		}
+		s, err := sim.NewWorkload(cfg, profs)
+		if err != nil {
+			return nil, err
+		}
+		r, err := s.Run()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, ScalePoint{Threads: th, IPC: r.IPC()})
+	}
+	return out, nil
+}
+
+// Cells returns the memoized cell count (test instrumentation).
+func (m *Matrix) Cells() int { return len(m.cells) }
+
+// SortedCellKeys aids deterministic debugging output.
+func (m *Matrix) SortedCellKeys() []string {
+	keys := make([]string, 0, len(m.cells))
+	for k := range m.cells {
+		keys = append(keys, fmt.Sprintf("%s/%s/%dT", k.mix, k.tech.Name(), k.threads))
+	}
+	sort.Strings(keys)
+	return keys
+}

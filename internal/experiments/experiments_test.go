@@ -1,0 +1,153 @@
+package experiments
+
+import (
+	"testing"
+
+	"vexsmt/internal/core"
+	"vexsmt/internal/workload"
+)
+
+// quickScale keeps experiment tests fast; statistical assertions are coarse.
+const quickScale = 4000
+
+func TestMatrixMemoizes(t *testing.T) {
+	m := NewMatrix(quickScale, 1)
+	mix, _ := workload.MixByLabel("mmmm")
+	a, err := m.Run(mix, core.SMT(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := m.Run(mix, core.SMT(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatal("second Run did not return the memoized result")
+	}
+	if m.Cells() != 1 {
+		t.Fatalf("cells = %d, want 1", m.Cells())
+	}
+	if len(m.SortedCellKeys()) != 1 {
+		t.Fatal("cell keys wrong")
+	}
+}
+
+func TestFigure13aRows(t *testing.T) {
+	rows, err := Figure13a(quickScale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 12 {
+		t.Fatalf("%d rows, want 12", len(rows))
+	}
+	for _, r := range rows {
+		if r.IPCr <= 0 || r.IPCp < r.IPCr*0.99 {
+			t.Errorf("%s: IPCr %.2f IPCp %.2f", r.Name, r.IPCr, r.IPCp)
+		}
+	}
+	// Class ordering must survive measurement: every h beats every l.
+	var maxLow, minHigh float64 = 0, 99
+	for _, r := range rows {
+		if r.Class == 'l' && r.IPCp > maxLow {
+			maxLow = r.IPCp
+		}
+		if r.Class == 'h' && r.IPCp < minHigh {
+			minHigh = r.IPCp
+		}
+	}
+	if maxLow >= minHigh {
+		t.Errorf("ILP classes overlap: max low %.2f, min high %.2f", maxLow, minHigh)
+	}
+}
+
+func TestSpeedupSeriesShape(t *testing.T) {
+	m := NewMatrix(quickScale, 1)
+	s, err := m.Speedups(core.CCSI(core.CommAlwaysSplit), core.CSMT(), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Workloads) != 9 || len(s.Pct) != 9 {
+		t.Fatalf("series covers %d workloads, want 9", len(s.Workloads))
+	}
+	if s.Label != "CCSI AS over CSMT, 4-Thread" {
+		t.Fatalf("label %q", s.Label)
+	}
+	// The headline claim at 4 threads, coarse: positive average speedup.
+	if s.Avg <= 0 {
+		t.Errorf("CCSI AS average speedup %.2f%% not positive", s.Avg)
+	}
+}
+
+func TestFigure14SeriesCount(t *testing.T) {
+	m := NewMatrix(quickScale, 1)
+	series, err := m.Figure14()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(series) != 4 {
+		t.Fatalf("%d series, want 4", len(series))
+	}
+	// 9 workloads x (CSMT + CCSI NS + CCSI AS) x 2 thread counts = 54 runs.
+	if m.Cells() != 54 {
+		t.Fatalf("cells = %d, want 54", m.Cells())
+	}
+}
+
+func TestThreadScaling(t *testing.T) {
+	mix, _ := workload.MixByLabel("llmh")
+	points, err := ThreadScaling(mix, core.SMT(), []int{1, 2, 4}, quickScale, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 3 {
+		t.Fatalf("%d points", len(points))
+	}
+	if !(points[0].IPC < points[1].IPC && points[1].IPC < points[2].IPC) {
+		t.Fatalf("IPC not increasing with threads: %+v", points)
+	}
+}
+
+func TestFigure16OrderAndShape(t *testing.T) {
+	m := NewMatrix(quickScale, 1)
+	points, err := m.Figure16()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 16 {
+		t.Fatalf("%d points, want 16", len(points))
+	}
+	get := func(name string, threads int) float64 {
+		for _, p := range points {
+			if p.Tech.Name() == name && p.Threads == threads {
+				return p.IPC
+			}
+		}
+		t.Fatalf("missing point %s %dT", name, threads)
+		return 0
+	}
+	// Qualitative shape of Figure 16 at 4 threads, where effects are
+	// largest: operation-level merging beats cluster-level; split-issue
+	// beats no-split within each merge policy.
+	if !(get("SMT", 4) > get("CSMT", 4)) {
+		t.Error("SMT <= CSMT at 4T")
+	}
+	if !(get("CCSI AS", 4) > get("CSMT", 4)) {
+		t.Error("CCSI AS <= CSMT at 4T")
+	}
+	if !(get("OOSI AS", 4) > get("SMT", 4)) {
+		t.Error("OOSI AS <= SMT at 4T")
+	}
+	// 4 threads outperform 2 threads for every technique.
+	for _, tech := range core.AllTechniques() {
+		if !(get(tech.Name(), 4) > get(tech.Name(), 2)) {
+			t.Errorf("%s: 4T not above 2T", tech.Name())
+		}
+	}
+	// Split-issue narrows the CSMT-to-SMT gap (the paper's 27% -> 13%
+	// observation, qualitatively).
+	gapNoSplit := get("SMT", 4) / get("CSMT", 4)
+	gapSplit := get("SMT", 4) / get("CCSI AS", 4)
+	if !(gapSplit < gapNoSplit) {
+		t.Errorf("CCSI AS did not narrow the CSMT/SMT gap: %.3f vs %.3f", gapSplit, gapNoSplit)
+	}
+}

@@ -1,0 +1,150 @@
+// Package hwcost estimates the merging-hardware complexity of each
+// multithreading technique, quantifying the paper's central cost argument
+// (Sections II-B, III and V-A): operation-level split-issue needs an issue
+// queue and delay-buffer renaming comparable to a superscalar, while
+// cluster-level split-issue only adds per-cluster independence and a
+// last-part signal to the CSMT merging hardware.
+//
+// The model counts the structures of Figure 7 in comparator-equivalent
+// gates and critical-path levels. The absolute numbers are first-order
+// estimates (as in Palacharla/Jouppi/Smith-style complexity studies); the
+// *ratios* between techniques are what the paper argues from.
+package hwcost
+
+import (
+	"fmt"
+
+	"vexsmt/internal/core"
+	"vexsmt/internal/isa"
+)
+
+// Estimate summarizes the issue-path hardware of one technique.
+type Estimate struct {
+	Tech core.Technique
+
+	// CollisionGates counts gate-equivalents in the collision-detection
+	// logic (CL blocks of Figure 7): cluster-level CL is a busy-bit AND;
+	// operation-level CL sums per-class operation counts and compares
+	// against per-cluster resources.
+	CollisionGates int
+	// MergeGates counts the merge multiplexers (ML blocks): per issue slot
+	// and thread level, a W-wide mux of operation lanes.
+	MergeGates int
+	// IssueQueueEntries is the dynamic-scheduling window operation-level
+	// split-issue requires (threads × machine width); zero for the others
+	// ("an issue queue logic of 32 entries is required for supporting
+	// split-issue on a 4-thread 8-issue VLIW processor").
+	IssueQueueEntries int
+	// RenameEntries counts delay-buffer renaming entries (operation-level
+	// split-issue only).
+	RenameEntries int
+	// BufferWords counts the RF/memory delay buffer storage all split
+	// techniques need (issue-width words per thread plus one word per
+	// memory unit per thread, Section V-B).
+	BufferWords int
+	// CriticalPathLevels approximates logic levels through CL+ML before
+	// the execution packet is ready; cluster-level split-issue *removes*
+	// the cross-cluster AND (Figure 7b), shortening the path.
+	CriticalPathLevels int
+	// LastPartSignals counts the extra per-thread completion signals
+	// cluster-level split-issue adds (not on the critical path).
+	LastPartSignals int
+}
+
+const (
+	gatesPerComparator = 12 // n-bit magnitude comparator, gate equivalents
+	gatesPerBusyBitAND = 1
+	gatesPerOpMux      = 8 // per-operation 2:1 mux lane through ML
+)
+
+// Model estimates the issue-path hardware for a technique on a machine
+// geometry with the given hardware thread count.
+func Model(geom isa.Geometry, tech core.Technique, threads int) (Estimate, error) {
+	if err := geom.Validate(); err != nil {
+		return Estimate{}, err
+	}
+	if err := tech.Validate(); err != nil {
+		return Estimate{}, err
+	}
+	if threads <= 0 {
+		return Estimate{}, fmt.Errorf("hwcost: thread count %d", threads)
+	}
+	e := Estimate{Tech: tech}
+	mergeLevels := threads - 1 // T0+T1, then +T2, ... (Figure 7)
+	if mergeLevels < 1 {
+		mergeLevels = 1
+	}
+
+	// Collision detection per cluster per merge level.
+	switch tech.Merge {
+	case core.MergeCluster:
+		e.CollisionGates = geom.Clusters * mergeLevels * gatesPerBusyBitAND
+	case core.MergeOperation:
+		// Adders + comparators for slots, ALU, MUL, MEM classes.
+		const classes = 4
+		e.CollisionGates = geom.Clusters * mergeLevels * classes * gatesPerComparator
+	}
+	// Merge multiplexers: one lane per issue slot per cluster per level.
+	e.MergeGates = geom.Clusters * geom.IssueWidth * mergeLevels * gatesPerOpMux
+
+	// Critical path: CL then ML per level; whole-instruction merging also
+	// needs the across-cluster AND reduction (Figure 7a) which cluster-
+	// level split-issue removes (Figure 7b).
+	perLevel := 2 // CL + ML
+	if tech.Merge == core.MergeOperation {
+		perLevel = 4 // adders + comparators before the mux
+	}
+	e.CriticalPathLevels = mergeLevels * perLevel
+	if tech.Split == core.SplitNone || tech.Comm == core.CommNoSplit {
+		// The AND across clusters gates the merge decision. (NS keeps the
+		// whole-instruction path for comm instructions, so it remains.)
+		e.CriticalPathLevels += log2ceil(geom.Clusters)
+	}
+
+	// Split-issue additions.
+	if tech.Split != core.SplitNone {
+		e.BufferWords = threads * (geom.TotalIssueWidth() + geom.Clusters*geom.MemUnits)
+		e.LastPartSignals = threads
+	}
+	if tech.Split == core.SplitOperation {
+		// "an issue queue logic of 32 entries is required for supporting
+		// split-issue on a 4-thread 8-issue VLIW processor" -> threads ×
+		// total issue width entries, plus renaming for the delay buffers.
+		e.IssueQueueEntries = threads * geom.TotalIssueWidth()
+		e.RenameEntries = threads * geom.TotalIssueWidth()
+	}
+	return e, nil
+}
+
+// TotalGates returns a single gate-equivalent figure, costing issue-queue
+// and rename entries at superscalar-typical CAM-cell weights.
+func (e Estimate) TotalGates() int {
+	const gatesPerIQEntry = 120 // wakeup CAM + select logic per entry
+	const gatesPerRenameEntry = 40
+	const gatesPerBufferWord = 10 // latch + bypass-free write mux
+	return e.CollisionGates + e.MergeGates +
+		e.IssueQueueEntries*gatesPerIQEntry +
+		e.RenameEntries*gatesPerRenameEntry +
+		e.BufferWords*gatesPerBufferWord
+}
+
+// Table builds estimates for the paper's eight configurations.
+func Table(geom isa.Geometry, threads int) ([]Estimate, error) {
+	var out []Estimate
+	for _, tech := range core.AllTechniques() {
+		e, err := Model(geom, tech, threads)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, e)
+	}
+	return out, nil
+}
+
+func log2ceil(n int) int {
+	l := 0
+	for 1<<l < n {
+		l++
+	}
+	return l
+}

@@ -1,0 +1,139 @@
+package hwcost
+
+import (
+	"testing"
+
+	"vexsmt/internal/core"
+	"vexsmt/internal/isa"
+)
+
+func TestModelValidation(t *testing.T) {
+	if _, err := Model(isa.Geometry{}, core.SMT(), 4); err == nil {
+		t.Error("bad geometry accepted")
+	}
+	if _, err := Model(isa.ST200x4, core.SMT(), 0); err == nil {
+		t.Error("zero threads accepted")
+	}
+	bad := core.Technique{Merge: core.MergeCluster, Split: core.SplitOperation}
+	if _, err := Model(isa.ST200x4, bad, 4); err == nil {
+		t.Error("ruled-out technique accepted")
+	}
+}
+
+// The paper's cost ordering: cluster-level merging is cheaper than
+// operation-level; cluster-level split-issue adds little; operation-level
+// split-issue needs superscalar-class structures.
+func TestCostOrdering(t *testing.T) {
+	g := isa.ST200x4
+	csmt, _ := Model(g, core.CSMT(), 4)
+	ccsi, _ := Model(g, core.CCSI(core.CommAlwaysSplit), 4)
+	smt, _ := Model(g, core.SMT(), 4)
+	oosi, _ := Model(g, core.OOSI(core.CommAlwaysSplit), 4)
+	cosi, _ := Model(g, core.COSI(core.CommAlwaysSplit), 4)
+
+	if !(csmt.TotalGates() < smt.TotalGates()) {
+		t.Errorf("CSMT %d not cheaper than SMT %d", csmt.TotalGates(), smt.TotalGates())
+	}
+	// "Cluster-level merging is much cheaper to implement than
+	// operation-level": the merge-path logic itself.
+	mergePath := func(e Estimate) int { return e.CollisionGates + e.MergeGates }
+	if !(mergePath(ccsi) < mergePath(smt)) {
+		t.Errorf("CCSI merge path %d not cheaper than SMT's %d", mergePath(ccsi), mergePath(smt))
+	}
+	// "Cluster-level split-issue is a more cost effective solution than
+	// operation-level split-issue": totals including buffers and queues.
+	if !(ccsi.TotalGates() < oosi.TotalGates()/2) {
+		t.Errorf("CCSI %d not far cheaper than OOSI %d — the paper's cost argument", ccsi.TotalGates(), oosi.TotalGates())
+	}
+	if !(oosi.TotalGates() > 2*cosi.TotalGates()) {
+		t.Errorf("OOSI %d not clearly above COSI %d (issue queue + renaming)", oosi.TotalGates(), cosi.TotalGates())
+	}
+	if oosi.IssueQueueEntries == 0 || oosi.RenameEntries == 0 {
+		t.Error("OOSI lacks issue queue / renaming entries")
+	}
+	if ccsi.IssueQueueEntries != 0 || cosi.IssueQueueEntries != 0 {
+		t.Error("cluster-level split-issue must not need an issue queue")
+	}
+}
+
+// Paper Section II-B: "an issue queue logic of 32 entries is required for
+// supporting split-issue on a 4-thread 8-issue VLIW processor".
+func TestIssueQueuePaperExample(t *testing.T) {
+	g := isa.Geometry{Clusters: 2, IssueWidth: 4, ALUs: 4, Muls: 2, MemUnits: 1}
+	e, err := Model(g, core.OOSI(core.CommAlwaysSplit), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.IssueQueueEntries != 32 {
+		t.Fatalf("issue queue entries = %d, want 32", e.IssueQueueEntries)
+	}
+}
+
+// Figure 7(b): per-cluster independent merging removes the across-cluster
+// AND, so CCSI AS has a shorter critical path than CSMT.
+func TestSplitShortensCriticalPath(t *testing.T) {
+	g := isa.ST200x4
+	csmt, _ := Model(g, core.CSMT(), 4)
+	ccsiAS, _ := Model(g, core.CCSI(core.CommAlwaysSplit), 4)
+	ccsiNS, _ := Model(g, core.CCSI(core.CommNoSplit), 4)
+	if !(ccsiAS.CriticalPathLevels < csmt.CriticalPathLevels) {
+		t.Errorf("CCSI AS path %d not shorter than CSMT %d",
+			ccsiAS.CriticalPathLevels, csmt.CriticalPathLevels)
+	}
+	// NS retains the whole-instruction path for comm instructions.
+	if !(ccsiNS.CriticalPathLevels >= ccsiAS.CriticalPathLevels) {
+		t.Error("NS path shorter than AS path")
+	}
+}
+
+func TestBufferSizing(t *testing.T) {
+	// Section V-B: per thread, issue-width words for the RF buffers plus
+	// one word per memory unit.
+	g := isa.ST200x4
+	e, _ := Model(g, core.CCSI(core.CommNoSplit), 2)
+	want := 2 * (16 + 4)
+	if e.BufferWords != want {
+		t.Fatalf("buffer words = %d, want %d", e.BufferWords, want)
+	}
+	smt, _ := Model(g, core.SMT(), 2)
+	if smt.BufferWords != 0 || smt.LastPartSignals != 0 {
+		t.Fatal("no-split technique has split-issue structures")
+	}
+}
+
+func TestTableCoversAllTechniques(t *testing.T) {
+	rows, err := Table(isa.ST200x4, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 8 {
+		t.Fatalf("%d rows, want 8", len(rows))
+	}
+	for _, r := range rows {
+		if r.TotalGates() <= 0 {
+			t.Errorf("%s: non-positive gate count", r.Tech.Name())
+		}
+	}
+}
+
+func TestScalesWithThreads(t *testing.T) {
+	g := isa.ST200x4
+	two, _ := Model(g, core.OOSI(core.CommAlwaysSplit), 2)
+	four, _ := Model(g, core.OOSI(core.CommAlwaysSplit), 4)
+	if !(four.TotalGates() > two.TotalGates()) {
+		t.Error("cost does not grow with thread count")
+	}
+	one, _ := Model(g, core.SMT(), 1)
+	if one.CriticalPathLevels <= 0 {
+		t.Error("single-thread path must still be positive")
+	}
+}
+
+func TestLog2Ceil(t *testing.T) {
+	cases := map[int]int{1: 0, 2: 1, 3: 2, 4: 2, 5: 3, 8: 3}
+	for n, want := range cases {
+		if got := log2ceil(n); got != want {
+			t.Errorf("log2ceil(%d) = %d, want %d", n, got, want)
+		}
+	}
+}

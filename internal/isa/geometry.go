@@ -1,0 +1,88 @@
+package isa
+
+import "fmt"
+
+// Geometry describes the per-cluster resources of the machine. The paper's
+// base architecture (Section IV) is 4 clusters, each 4-issue with 4 ALUs,
+// 2 multipliers and 1 load/store unit.
+type Geometry struct {
+	Clusters   int // number of clusters
+	IssueWidth int // issue slots per cluster
+	ALUs       int // ALUs per cluster (also execute branches and comm copies)
+	Muls       int // multipliers per cluster
+	MemUnits   int // load/store units per cluster
+}
+
+// ST200x4 is the paper's evaluation machine: 16-issue, 4 clusters,
+// 4-issue per cluster.
+var ST200x4 = Geometry{Clusters: 4, IssueWidth: 4, ALUs: 4, Muls: 2, MemUnits: 1}
+
+// TotalIssueWidth returns Clusters * IssueWidth.
+func (g Geometry) TotalIssueWidth() int { return g.Clusters * g.IssueWidth }
+
+// Validate checks that the geometry is internally consistent.
+func (g Geometry) Validate() error {
+	switch {
+	case g.Clusters <= 0 || g.Clusters > MaxClusters:
+		return fmt.Errorf("isa: clusters must be in [1,%d], got %d", MaxClusters, g.Clusters)
+	case g.IssueWidth <= 0:
+		return fmt.Errorf("isa: issue width must be positive, got %d", g.IssueWidth)
+	case g.ALUs <= 0:
+		return fmt.Errorf("isa: need at least one ALU per cluster")
+	case g.Muls < 0 || g.MemUnits < 0:
+		return fmt.Errorf("isa: negative functional unit count")
+	}
+	return nil
+}
+
+// ValidateBundle checks that a single bundle respects the per-cluster
+// resource limits a VEX compiler would have honored: at most IssueWidth
+// operations, at most Muls multiplies, at most MemUnits memory operations.
+func (g Geometry) ValidateBundle(b Bundle) error {
+	if len(b) > g.IssueWidth {
+		return fmt.Errorf("isa: bundle has %d ops, issue width is %d", len(b), g.IssueWidth)
+	}
+	var muls, mems int
+	for i := range b {
+		switch b[i].Class() {
+		case ClassMul:
+			muls++
+		case ClassMem:
+			mems++
+		}
+	}
+	if muls > g.Muls {
+		return fmt.Errorf("isa: bundle has %d multiplies, cluster has %d multipliers", muls, g.Muls)
+	}
+	if mems > g.MemUnits {
+		return fmt.Errorf("isa: bundle has %d memory ops, cluster has %d memory units", mems, g.MemUnits)
+	}
+	return nil
+}
+
+// ValidateInstruction checks every bundle of the instruction, plus the
+// cross-cluster constraint that send/recv operations name valid partner
+// clusters.
+func (g Geometry) ValidateInstruction(in *Instruction) error {
+	for c := 0; c < MaxClusters; c++ {
+		if c >= g.Clusters && len(in.Bundles[c]) > 0 {
+			return fmt.Errorf("isa: bundle on cluster %d but machine has %d clusters", c, g.Clusters)
+		}
+		if err := g.ValidateBundle(in.Bundles[c]); err != nil {
+			return fmt.Errorf("cluster %d: %w", c, err)
+		}
+		for i := range in.Bundles[c] {
+			op := &in.Bundles[c][i]
+			if IsComm(op.Op) {
+				if int(op.Target) >= g.Clusters {
+					return fmt.Errorf("isa: cluster %d: %s names cluster %d, machine has %d",
+						c, op.Op, op.Target, g.Clusters)
+				}
+				if int(op.Target) == c {
+					return fmt.Errorf("isa: cluster %d: %s targets its own cluster", c, op.Op)
+				}
+			}
+		}
+	}
+	return nil
+}

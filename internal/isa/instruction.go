@@ -1,0 +1,183 @@
+package isa
+
+import (
+	"fmt"
+	"strings"
+)
+
+// MaxClusters bounds the number of clusters supported by fixed-size arrays
+// on the simulator hot path. The paper evaluates 4 clusters; the model
+// supports up to 8 for scaling studies.
+const MaxClusters = 8
+
+// NumGPR is the number of 32-bit general-purpose registers per cluster
+// (VEX/ST200 have 64).
+const NumGPR = 64
+
+// NumBR is the number of single-bit branch registers per cluster.
+const NumBR = 8
+
+// Reg names a general-purpose register within a cluster (0..NumGPR-1).
+type Reg uint8
+
+// BReg names a branch register within a cluster (0..NumBR-1).
+type BReg uint8
+
+// RegNone marks an absent register operand.
+const RegNone Reg = 0xFF
+
+// BRegNone marks an absent branch-register operand.
+const BRegNone BReg = 0xFF
+
+// Operation is one RISC-like operation, the basic execution unit.
+type Operation struct {
+	Op     Opcode
+	Dest   Reg   // GPR destination, RegNone if none
+	Src1   Reg   // first GPR source, RegNone if none
+	Src2   Reg   // second GPR source, RegNone if unused or immediate form
+	Imm    int32 // immediate; used when UseImm is set (or as Ldw/Stw offset)
+	UseImm bool  // second operand is Imm instead of Src2
+	BDest  BReg  // branch-register destination (compares), BRegNone if none
+	BSrc   BReg  // branch-register source (Br/Brf), BRegNone if none
+	Target uint32
+	// Target is the branch target address for control-flow operations, and
+	// the partner cluster index for Send (destination cluster) and Recv
+	// (source cluster).
+}
+
+// Class returns the functional-unit class of the operation.
+func (op *Operation) Class() Class { return ClassOf(op.Op) }
+
+// String renders the operation in assembler-like syntax.
+func (op *Operation) String() string {
+	var b strings.Builder
+	b.WriteString(op.Op.String())
+	switch op.Op {
+	case Nop:
+	case Ldw:
+		fmt.Fprintf(&b, " $r%d = %d[$r%d]", op.Dest, op.Imm, op.Src1)
+	case Stw:
+		fmt.Fprintf(&b, " %d[$r%d] = $r%d", op.Imm, op.Src1, op.Src2)
+	case Br, Brf:
+		fmt.Fprintf(&b, " $b%d, 0x%x", op.BSrc, op.Target)
+	case Goto:
+		fmt.Fprintf(&b, " 0x%x", op.Target)
+	case Send:
+		fmt.Fprintf(&b, " $r%d -> c%d", op.Src1, op.Target)
+	case Recv:
+		fmt.Fprintf(&b, " $r%d <- c%d", op.Dest, op.Target)
+	case CmpEQ, CmpNE, CmpLT, CmpGE:
+		fmt.Fprintf(&b, " $b%d = $r%d, ", op.BDest, op.Src1)
+		op.writeSecond(&b)
+	case Mov:
+		fmt.Fprintf(&b, " $r%d = ", op.Dest)
+		op.writeSecondAsFirst(&b)
+	default:
+		fmt.Fprintf(&b, " $r%d = $r%d, ", op.Dest, op.Src1)
+		op.writeSecond(&b)
+	}
+	return b.String()
+}
+
+func (op *Operation) writeSecond(b *strings.Builder) {
+	if op.UseImm {
+		fmt.Fprintf(b, "%d", op.Imm)
+	} else {
+		fmt.Fprintf(b, "$r%d", op.Src2)
+	}
+}
+
+func (op *Operation) writeSecondAsFirst(b *strings.Builder) {
+	if op.UseImm {
+		fmt.Fprintf(b, "%d", op.Imm)
+	} else {
+		fmt.Fprintf(b, "$r%d", op.Src1)
+	}
+}
+
+// Bundle is the set of operations scheduled on one cluster in one VLIW
+// instruction. A nil or empty bundle means the cluster is idle.
+type Bundle []Operation
+
+// Instruction is one VLIW instruction: at most one bundle per cluster plus
+// the fetch metadata used by the timing model.
+type Instruction struct {
+	Bundles [MaxClusters]Bundle
+	Addr    uint64 // fetch address
+	Size    uint32 // encoded size in bytes (compressed encoding)
+}
+
+// NumOps returns the total operation count across all bundles.
+func (in *Instruction) NumOps() int {
+	n := 0
+	for c := range in.Bundles {
+		n += len(in.Bundles[c])
+	}
+	return n
+}
+
+// HasComm reports whether any bundle contains a send or recv operation.
+func (in *Instruction) HasComm() bool {
+	for c := range in.Bundles {
+		for i := range in.Bundles[c] {
+			if IsComm(in.Bundles[c][i].Op) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// UsedClusters returns a bitmask of clusters with non-empty bundles.
+func (in *Instruction) UsedClusters() uint8 {
+	var mask uint8
+	for c := range in.Bundles {
+		if len(in.Bundles[c]) > 0 {
+			mask |= 1 << uint(c)
+		}
+	}
+	return mask
+}
+
+// String renders the instruction with per-cluster bundles separated by ";"
+// and terminated by ";;" as in VEX assembly listings.
+func (in *Instruction) String() string {
+	var parts []string
+	for c := range in.Bundles {
+		for i := range in.Bundles[c] {
+			parts = append(parts, fmt.Sprintf("c%d %s", c, in.Bundles[c][i].String()))
+		}
+	}
+	if len(parts) == 0 {
+		return ";;"
+	}
+	return strings.Join(parts, " ; ") + " ;;"
+}
+
+// Rotate returns a copy of the instruction with every bundle moved from
+// cluster c to cluster (c+by) mod clusters, implementing the static cluster
+// renaming of Gupta et al. (ICCD 2007) that all experiments in the paper
+// apply: the rotation rebalances per-thread cluster bias. Send/Recv partner
+// cluster indices are rotated consistently.
+func (in *Instruction) Rotate(by, clusters int) *Instruction {
+	if clusters <= 0 || by%clusters == 0 {
+		return in
+	}
+	by = ((by % clusters) + clusters) % clusters
+	out := &Instruction{Addr: in.Addr, Size: in.Size}
+	for c := 0; c < clusters; c++ {
+		src := in.Bundles[c]
+		if len(src) == 0 {
+			continue
+		}
+		dst := make(Bundle, len(src))
+		copy(dst, src)
+		for i := range dst {
+			if IsComm(dst[i].Op) {
+				dst[i].Target = uint32((int(dst[i].Target) + by) % clusters)
+			}
+		}
+		out.Bundles[(c+by)%clusters] = dst
+	}
+	return out
+}

@@ -1,0 +1,278 @@
+package isa
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestLatencies(t *testing.T) {
+	// Section IV: memory and multiply have latency 2, everything else 1.
+	cases := []struct {
+		op   Opcode
+		want int
+	}{
+		{Add, 1}, {Sub, 1}, {Shl, 1}, {Mov, 1}, {CmpEQ, 1}, {Br, 1},
+		{Send, 1}, {Recv, 1},
+		{Mpy, 2}, {MpyH, 2}, {MpySh, 2}, {Ldw, 2}, {Stw, 2},
+	}
+	for _, c := range cases {
+		if got := Latency(c.op); got != c.want {
+			t.Errorf("Latency(%v) = %d, want %d", c.op, got, c.want)
+		}
+	}
+}
+
+func TestClasses(t *testing.T) {
+	if ClassOf(Mpy) != ClassMul || ClassOf(Ldw) != ClassMem ||
+		ClassOf(Br) != ClassBranch || ClassOf(Send) != ClassComm ||
+		ClassOf(Add) != ClassALU {
+		t.Fatal("opcode class mapping wrong")
+	}
+}
+
+func TestWritesGPR(t *testing.T) {
+	writes := []Opcode{Add, Sub, Mpy, Ldw, Mov, Recv}
+	noWrites := []Opcode{Nop, Stw, Br, Brf, Goto, Send, CmpEQ, CmpLT}
+	for _, op := range writes {
+		if !WritesGPR(op) {
+			t.Errorf("WritesGPR(%v) = false, want true", op)
+		}
+	}
+	for _, op := range noWrites {
+		if WritesGPR(op) {
+			t.Errorf("WritesGPR(%v) = true, want false", op)
+		}
+	}
+}
+
+func TestParseOpcodeRoundTrip(t *testing.T) {
+	for op := Opcode(0); op < numOpcodes; op++ {
+		got, ok := ParseOpcode(op.String())
+		if !ok || got != op {
+			t.Errorf("ParseOpcode(%q) = %v, %v", op.String(), got, ok)
+		}
+	}
+	if _, ok := ParseOpcode("frobnicate"); ok {
+		t.Error("ParseOpcode accepted a bogus mnemonic")
+	}
+}
+
+func TestGeometryValidate(t *testing.T) {
+	if err := ST200x4.Validate(); err != nil {
+		t.Fatalf("ST200x4 invalid: %v", err)
+	}
+	bad := []Geometry{
+		{Clusters: 0, IssueWidth: 4, ALUs: 4},
+		{Clusters: 9, IssueWidth: 4, ALUs: 4},
+		{Clusters: 4, IssueWidth: 0, ALUs: 4},
+		{Clusters: 4, IssueWidth: 4, ALUs: 0},
+		{Clusters: 4, IssueWidth: 4, ALUs: 4, Muls: -1},
+	}
+	for i, g := range bad {
+		if err := g.Validate(); err == nil {
+			t.Errorf("case %d: bad geometry accepted", i)
+		}
+	}
+}
+
+func TestValidateBundleResourceLimits(t *testing.T) {
+	g := ST200x4
+	ok := Bundle{
+		{Op: Add}, {Op: Mpy}, {Op: Mpy}, {Op: Ldw},
+	}
+	if err := g.ValidateBundle(ok); err != nil {
+		t.Fatalf("legal bundle rejected: %v", err)
+	}
+	tooWide := Bundle{{Op: Add}, {Op: Add}, {Op: Add}, {Op: Add}, {Op: Add}}
+	if err := g.ValidateBundle(tooWide); err == nil {
+		t.Error("5-op bundle accepted on 4-issue cluster")
+	}
+	tooManyMuls := Bundle{{Op: Mpy}, {Op: Mpy}, {Op: Mpy}}
+	if err := g.ValidateBundle(tooManyMuls); err == nil {
+		t.Error("3-mul bundle accepted with 2 multipliers")
+	}
+	tooManyMems := Bundle{{Op: Ldw}, {Op: Stw}}
+	if err := g.ValidateBundle(tooManyMems); err == nil {
+		t.Error("2-mem bundle accepted with 1 LSU")
+	}
+}
+
+func TestValidateInstructionCommTargets(t *testing.T) {
+	g := ST200x4
+	in := &Instruction{}
+	in.Bundles[0] = Bundle{{Op: Send, Src1: 3, Target: 1}}
+	in.Bundles[1] = Bundle{{Op: Recv, Dest: 5, Target: 0}}
+	if err := g.ValidateInstruction(in); err != nil {
+		t.Fatalf("legal comm instruction rejected: %v", err)
+	}
+	in2 := &Instruction{}
+	in2.Bundles[0] = Bundle{{Op: Send, Src1: 3, Target: 7}}
+	if err := g.ValidateInstruction(in2); err == nil {
+		t.Error("send to nonexistent cluster accepted")
+	}
+	in3 := &Instruction{}
+	in3.Bundles[2] = Bundle{{Op: Send, Src1: 3, Target: 2}}
+	if err := g.ValidateInstruction(in3); err == nil {
+		t.Error("send to own cluster accepted")
+	}
+	in4 := &Instruction{}
+	in4.Bundles[5] = Bundle{{Op: Add}}
+	if err := g.ValidateInstruction(in4); err == nil {
+		t.Error("bundle beyond cluster count accepted")
+	}
+}
+
+func TestInstructionHelpers(t *testing.T) {
+	in := &Instruction{}
+	in.Bundles[1] = Bundle{{Op: Add}, {Op: Mpy}}
+	in.Bundles[3] = Bundle{{Op: Send, Target: 1}}
+	if in.NumOps() != 3 {
+		t.Errorf("NumOps = %d, want 3", in.NumOps())
+	}
+	if !in.HasComm() {
+		t.Error("HasComm = false")
+	}
+	if in.UsedClusters() != 0b1010 {
+		t.Errorf("UsedClusters = %b, want 1010", in.UsedClusters())
+	}
+	var empty Instruction
+	if empty.HasComm() || empty.NumOps() != 0 || empty.UsedClusters() != 0 {
+		t.Error("empty instruction helpers wrong")
+	}
+}
+
+func TestRotateMovesBundlesAndCommTargets(t *testing.T) {
+	in := &Instruction{}
+	in.Bundles[0] = Bundle{{Op: Send, Src1: 1, Target: 2}}
+	in.Bundles[2] = Bundle{{Op: Recv, Dest: 1, Target: 0}}
+	out := in.Rotate(1, 4)
+	if len(out.Bundles[1]) != 1 || out.Bundles[1][0].Op != Send {
+		t.Fatal("send bundle not rotated to cluster 1")
+	}
+	if out.Bundles[1][0].Target != 3 {
+		t.Errorf("send target = %d, want 3", out.Bundles[1][0].Target)
+	}
+	if len(out.Bundles[3]) != 1 || out.Bundles[3][0].Target != 1 {
+		t.Errorf("recv not rotated correctly: %+v", out.Bundles[3])
+	}
+	// Rotating by 0 or a multiple of clusters is the identity.
+	if in.Rotate(0, 4) != in || in.Rotate(4, 4) != in {
+		t.Error("identity rotation should return the receiver")
+	}
+}
+
+func TestRotatePreservesValidity(t *testing.T) {
+	g := ST200x4
+	f := func(c0 uint8, c1 uint8, by uint8) bool {
+		in := &Instruction{}
+		if c0%3 != 0 {
+			in.Bundles[0] = Bundle{{Op: Add}, {Op: Ldw}}
+		}
+		if c1%2 == 0 {
+			in.Bundles[1] = Bundle{{Op: Mpy}}
+		}
+		out := in.Rotate(int(by%4), 4)
+		return g.ValidateInstruction(out) == nil && out.NumOps() == in.NumOps()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDemandOfBundle(t *testing.T) {
+	b := Bundle{
+		{Op: Add}, {Op: Mpy}, {Op: Ldw, Dest: 1, Src1: 2},
+		{Op: Send, Src1: 3, Target: 1},
+	}
+	d := DemandOfBundle(b)
+	if d.Ops != 4 || d.ALU != 2 || d.Mul != 1 || d.Mem != 1 {
+		t.Fatalf("demand = %+v", d)
+	}
+	if !d.Load || d.Stor || !d.Comm {
+		t.Fatalf("flags = %+v", d)
+	}
+}
+
+func TestDemandOfInstruction(t *testing.T) {
+	in := &Instruction{}
+	in.Bundles[0] = Bundle{{Op: Stw, Src1: 1, Src2: 2}}
+	in.Bundles[2] = Bundle{{Op: Add}, {Op: Add}}
+	d := DemandOf(in)
+	if d.HasComm {
+		t.Error("HasComm = true for comm-free instruction")
+	}
+	if d.B[0].Mem != 1 || !d.B[0].Stor || d.B[0].Load {
+		t.Errorf("cluster 0 demand = %+v", d.B[0])
+	}
+	if d.B[2].Ops != 2 || d.B[2].ALU != 2 {
+		t.Errorf("cluster 2 demand = %+v", d.B[2])
+	}
+	if d.NumOps() != 3 {
+		t.Errorf("NumOps = %d", d.NumOps())
+	}
+	if d.UsedClusters() != 0b101 {
+		t.Errorf("UsedClusters = %b", d.UsedClusters())
+	}
+}
+
+func TestDemandRotate(t *testing.T) {
+	var d InstrDemand
+	d.B[0] = BundleDemand{Ops: 2, ALU: 2}
+	d.B[3] = BundleDemand{Ops: 1, Mem: 1, Load: true}
+	r := d.Rotate(2, 4)
+	if r.B[2].Ops != 2 || r.B[1].Mem != 1 {
+		t.Fatalf("rotate wrong: %+v", r)
+	}
+	// Rotation is invertible.
+	back := r.Rotate(-2, 4)
+	if back != d {
+		t.Fatalf("rotate not invertible: %+v vs %+v", back, d)
+	}
+}
+
+func TestFitsAlone(t *testing.T) {
+	g := ST200x4
+	if !(BundleDemand{Ops: 4, ALU: 2, Mul: 2}).FitsAlone(g) {
+		t.Error("legal demand rejected")
+	}
+	if (BundleDemand{Ops: 5}).FitsAlone(g) {
+		t.Error("over-wide demand accepted")
+	}
+	if (BundleDemand{Ops: 2, Mem: 2}).FitsAlone(g) {
+		t.Error("2 mem ops accepted with 1 LSU")
+	}
+}
+
+func TestOperationString(t *testing.T) {
+	cases := []struct {
+		op   Operation
+		want string
+	}{
+		{Operation{Op: Add, Dest: 1, Src1: 2, Src2: 3}, "add $r1 = $r2, $r3"},
+		{Operation{Op: Add, Dest: 1, Src1: 2, Imm: 7, UseImm: true}, "add $r1 = $r2, 7"},
+		{Operation{Op: Ldw, Dest: 4, Src1: 6, Imm: 16}, "ldw $r4 = 16[$r6]"},
+		{Operation{Op: Stw, Src1: 6, Src2: 2, Imm: 4}, "stw 4[$r6] = $r2"},
+		{Operation{Op: Send, Src1: 3, Target: 1}, "send $r3 -> c1"},
+		{Operation{Op: Recv, Dest: 5, Target: 0}, "recv $r5 <- c0"},
+		{Operation{Op: Nop}, "nop"},
+	}
+	for _, c := range cases {
+		if got := c.op.String(); got != c.want {
+			t.Errorf("String() = %q, want %q", got, c.want)
+		}
+	}
+}
+
+func TestInstructionString(t *testing.T) {
+	in := &Instruction{}
+	in.Bundles[0] = Bundle{{Op: Add, Dest: 1, Src1: 2, Src2: 3}}
+	s := in.String()
+	if !strings.Contains(s, "c0 add") || !strings.HasSuffix(s, ";;") {
+		t.Errorf("String() = %q", s)
+	}
+	var empty Instruction
+	if empty.String() != ";;" {
+		t.Errorf("empty String() = %q", empty.String())
+	}
+}

@@ -1,0 +1,139 @@
+// Package regfile models the two multithreaded register file organizations
+// of Section V-C: shared (one register file per cluster with extra
+// registers, ports shared between threads) and partitioned (one register
+// file per thread per cluster, each with its own ports).
+//
+// The key architectural constraint reproduced here: split-issue requires W
+// write ports *per thread* at each cluster, because the last parts of
+// several threads may commit their delay buffers in the same cycle. The
+// shared organization cannot provide that without adding ports, so the
+// paper mandates the partitioned organization for split-issue.
+package regfile
+
+import (
+	"fmt"
+
+	"vexsmt/internal/isa"
+)
+
+// Org selects the register file organization.
+type Org uint8
+
+const (
+	// Shared is a single register file per cluster, with the threads'
+	// architectural registers mapped into disjoint windows and the W write
+	// ports shared between all threads.
+	Shared Org = iota
+	// Partitioned gives each thread its own register file per cluster,
+	// each with its own W write ports.
+	Partitioned
+)
+
+func (o Org) String() string {
+	if o == Partitioned {
+		return "partitioned"
+	}
+	return "shared"
+}
+
+// CheckSplitCompat enforces Section V-C: "A shared register file
+// organization cannot be used with split-issue because the sharing of the
+// ports limits the number of simultaneous writes."
+func CheckSplitCompat(o Org, splitIssue bool) error {
+	if splitIssue && o == Shared {
+		return fmt.Errorf("regfile: split-issue requires the partitioned register file organization (paper Section V-C)")
+	}
+	return nil
+}
+
+// File is the register state for one cluster across all hardware threads,
+// with per-cycle write port accounting.
+type File struct {
+	org        Org
+	threads    int
+	writePorts int       // per physical register file (= cluster issue width W)
+	gpr        [][]int32 // [thread][reg]
+	br         [][]bool  // [thread][breg]
+	writesUsed []int     // per-cycle, indexed by port domain
+}
+
+// NewFile builds the register state of one cluster. writePorts is W, the
+// cluster issue width.
+func NewFile(org Org, threads, writePorts int) (*File, error) {
+	if threads <= 0 {
+		return nil, fmt.Errorf("regfile: thread count %d", threads)
+	}
+	if writePorts <= 0 {
+		return nil, fmt.Errorf("regfile: write port count %d", writePorts)
+	}
+	f := &File{org: org, threads: threads, writePorts: writePorts}
+	f.gpr = make([][]int32, threads)
+	f.br = make([][]bool, threads)
+	for t := range f.gpr {
+		f.gpr[t] = make([]int32, isa.NumGPR)
+		f.br[t] = make([]bool, isa.NumBR)
+	}
+	if org == Shared {
+		f.writesUsed = make([]int, 1) // one shared port pool
+	} else {
+		f.writesUsed = make([]int, threads) // per-thread pools
+	}
+	return f, nil
+}
+
+// Org returns the organization.
+func (f *File) Org() Org { return f.org }
+
+func (f *File) pool(thread int) int {
+	if f.org == Shared {
+		return 0
+	}
+	return thread
+}
+
+// BeginCycle resets per-cycle write port accounting.
+func (f *File) BeginCycle() {
+	for i := range f.writesUsed {
+		f.writesUsed[i] = 0
+	}
+}
+
+// ErrPortConflict is returned when a cycle attempts more writes than the
+// organization provides ports for.
+type ErrPortConflict struct {
+	Thread int
+	Org    Org
+}
+
+func (e *ErrPortConflict) Error() string {
+	return fmt.Sprintf("regfile: write port conflict (org=%s, thread=%d)", e.Org, e.Thread)
+}
+
+// Write stores val into thread t's register r, consuming one write port
+// from the thread's port pool. It fails when the pool is exhausted — the
+// situation Section V-C shows the shared organization runs into under
+// split-issue.
+func (f *File) Write(thread int, r isa.Reg, val int32) error {
+	p := f.pool(thread)
+	if f.writesUsed[p] >= f.writePorts {
+		return &ErrPortConflict{Thread: thread, Org: f.org}
+	}
+	f.writesUsed[p]++
+	f.gpr[thread][r] = val
+	return nil
+}
+
+// Read returns thread t's register r. Reads are not port-limited in this
+// model (VEX clusters provision full read bandwidth).
+func (f *File) Read(thread int, r isa.Reg) int32 { return f.gpr[thread][r] }
+
+// WriteBR sets a branch register (branch registers have dedicated ports).
+func (f *File) WriteBR(thread int, b isa.BReg, val bool) { f.br[thread][b] = val }
+
+// ReadBR returns a branch register.
+func (f *File) ReadBR(thread int, b isa.BReg) bool { return f.br[thread][b] }
+
+// PortsFree returns how many write ports thread t may still use this cycle.
+func (f *File) PortsFree(thread int) int {
+	return f.writePorts - f.writesUsed[f.pool(thread)]
+}

@@ -1,0 +1,125 @@
+package regfile
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestCheckSplitCompat(t *testing.T) {
+	if err := CheckSplitCompat(Shared, true); err == nil {
+		t.Error("shared org accepted with split-issue (paper forbids it)")
+	}
+	if err := CheckSplitCompat(Shared, false); err != nil {
+		t.Errorf("shared org rejected without split-issue: %v", err)
+	}
+	if err := CheckSplitCompat(Partitioned, true); err != nil {
+		t.Errorf("partitioned org rejected with split-issue: %v", err)
+	}
+}
+
+func TestNewFileValidation(t *testing.T) {
+	if _, err := NewFile(Shared, 0, 4); err == nil {
+		t.Error("zero threads accepted")
+	}
+	if _, err := NewFile(Shared, 2, 0); err == nil {
+		t.Error("zero ports accepted")
+	}
+}
+
+func TestReadWriteRoundTrip(t *testing.T) {
+	f, err := NewFile(Partitioned, 2, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.BeginCycle()
+	if err := f.Write(0, 5, 42); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Write(1, 5, 99); err != nil {
+		t.Fatal(err)
+	}
+	if f.Read(0, 5) != 42 || f.Read(1, 5) != 99 {
+		t.Fatal("threads not isolated")
+	}
+	f.WriteBR(0, 2, true)
+	if !f.ReadBR(0, 2) || f.ReadBR(1, 2) {
+		t.Fatal("branch registers wrong")
+	}
+}
+
+func TestSharedPortExhaustion(t *testing.T) {
+	// 2 threads, 2 write ports shared: thread 0 uses both, thread 1's write
+	// must fail — the precise failure mode that rules shared org out for
+	// split-issue.
+	f, _ := NewFile(Shared, 2, 2)
+	f.BeginCycle()
+	if err := f.Write(0, 1, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Write(0, 2, 2); err != nil {
+		t.Fatal(err)
+	}
+	err := f.Write(1, 3, 3)
+	if err == nil {
+		t.Fatal("third write on 2-port shared file succeeded")
+	}
+	var pc *ErrPortConflict
+	if !errors.As(err, &pc) {
+		t.Fatalf("error type: %T", err)
+	}
+	if pc.Thread != 1 || pc.Org != Shared {
+		t.Fatalf("conflict details: %+v", pc)
+	}
+}
+
+func TestPartitionedPortsIndependent(t *testing.T) {
+	// Same scenario under partitioned org: each thread has its own ports,
+	// so simultaneous last-part commits from both threads succeed.
+	f, _ := NewFile(Partitioned, 2, 2)
+	f.BeginCycle()
+	for th := 0; th < 2; th++ {
+		if err := f.Write(th, 1, 1); err != nil {
+			t.Fatalf("thread %d write 1: %v", th, err)
+		}
+		if err := f.Write(th, 2, 2); err != nil {
+			t.Fatalf("thread %d write 2: %v", th, err)
+		}
+	}
+	// But a single thread is still limited to W writes.
+	if err := f.Write(0, 3, 3); err == nil {
+		t.Fatal("third write by one thread succeeded on 2-port file")
+	}
+}
+
+func TestBeginCycleResetsPorts(t *testing.T) {
+	f, _ := NewFile(Shared, 1, 1)
+	f.BeginCycle()
+	if err := f.Write(0, 1, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Write(0, 2, 2); err == nil {
+		t.Fatal("port not exhausted")
+	}
+	f.BeginCycle()
+	if err := f.Write(0, 2, 2); err != nil {
+		t.Fatalf("port not replenished: %v", err)
+	}
+}
+
+func TestPortsFree(t *testing.T) {
+	f, _ := NewFile(Partitioned, 2, 3)
+	f.BeginCycle()
+	if f.PortsFree(0) != 3 {
+		t.Fatalf("initial free = %d", f.PortsFree(0))
+	}
+	_ = f.Write(0, 1, 1)
+	if f.PortsFree(0) != 2 || f.PortsFree(1) != 3 {
+		t.Fatal("per-thread accounting wrong")
+	}
+}
+
+func TestOrgString(t *testing.T) {
+	if Shared.String() != "shared" || Partitioned.String() != "partitioned" {
+		t.Fatal("org strings")
+	}
+}

@@ -1,0 +1,127 @@
+// Package report renders the reproduction's results in the layout of the
+// paper's tables and figures: the Figure 13(a) benchmark table, grouped
+// bar charts of speedups (Figures 14 and 15) and absolute IPC (Figure 16),
+// all as plain text suitable for terminals and EXPERIMENTS.md.
+package report
+
+import (
+	"fmt"
+	"strings"
+
+	"vexsmt/internal/experiments"
+	"vexsmt/internal/workload"
+)
+
+// Figure13aTable renders measured-vs-paper benchmark IPC.
+func Figure13aTable(rows []experiments.Fig13Row) string {
+	var b strings.Builder
+	b.WriteString("Figure 13(a): Benchmarks — single-thread IPC (measured vs paper)\n")
+	b.WriteString(fmt.Sprintf("%-12s %-4s | %7s %7s | %7s %7s | %6s %6s\n",
+		"benchmark", "ilp", "IPCr", "IPCp", "paper-r", "paper-p", "r-err%", "p-err%"))
+	b.WriteString(strings.Repeat("-", 76) + "\n")
+	for _, r := range rows {
+		rErr := pctErr(r.IPCr, r.PaperIPCr)
+		pErr := pctErr(r.IPCp, r.PaperIPCp)
+		b.WriteString(fmt.Sprintf("%-12s %-4s | %7.2f %7.2f | %7.2f %7.2f | %+6.1f %+6.1f\n",
+			r.Name, r.Class.String(), r.IPCr, r.IPCp, r.PaperIPCr, r.PaperIPCp, rErr, pErr))
+	}
+	return b.String()
+}
+
+func pctErr(got, want float64) float64 {
+	if want == 0 {
+		return 0
+	}
+	return (got/want - 1) * 100
+}
+
+// Figure13bTable renders the workload mixes.
+func Figure13bTable() string {
+	var b strings.Builder
+	b.WriteString("Figure 13(b): Workloads\n")
+	b.WriteString(fmt.Sprintf("%-6s %-12s %-12s %-12s %-12s\n",
+		"mix", "thread 0", "thread 1", "thread 2", "thread 3"))
+	b.WriteString(strings.Repeat("-", 58) + "\n")
+	for _, m := range workload.Figure13b() {
+		b.WriteString(fmt.Sprintf("%-6s %-12s %-12s %-12s %-12s\n",
+			m.Label, m.Benchmarks[0], m.Benchmarks[1], m.Benchmarks[2], m.Benchmarks[3]))
+	}
+	return b.String()
+}
+
+// SpeedupChart renders one or more speedup series as per-workload rows with
+// horizontal bars, mirroring the grouped bars of Figures 14/15.
+func SpeedupChart(title string, series []experiments.SpeedupSeries) string {
+	var b strings.Builder
+	b.WriteString(title + "\n")
+	for _, s := range series {
+		b.WriteString("\n" + s.Label + "\n")
+		for i, w := range s.Workloads {
+			b.WriteString(fmt.Sprintf("  %-6s %+7.2f%% %s\n", w, s.Pct[i], bar(s.Pct[i], 2)))
+		}
+		b.WriteString(fmt.Sprintf("  %-6s %+7.2f%% %s\n", "avg", s.Avg, bar(s.Avg, 2)))
+	}
+	return b.String()
+}
+
+// IPCChart renders Figure 16: absolute IPC bars for every technique at each
+// thread count.
+func IPCChart(points []experiments.IPCPoint) string {
+	var b strings.Builder
+	b.WriteString("Figure 16: Performance of all multithreading techniques (avg IPC)\n")
+	lastThreads := -1
+	for _, p := range points {
+		if p.Threads != lastThreads {
+			b.WriteString(fmt.Sprintf("\n%d-Thread\n", p.Threads))
+			lastThreads = p.Threads
+		}
+		b.WriteString(fmt.Sprintf("  %-8s %6.3f %s\n", p.Tech.Name(), p.IPC, bar(p.IPC, 8)))
+	}
+	return b.String()
+}
+
+// bar renders a non-negative horizontal bar; negative values render with a
+// leading minus marker so regressions are visible.
+func bar(v float64, unitsPerChar float64) string {
+	n := int(v/unitsPerChar*8 + 0.5)
+	if n < 0 {
+		return "-" + strings.Repeat("#", min(-n, 60))
+	}
+	return strings.Repeat("#", min(n, 60))
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// Summary renders the headline comparison against the paper's averages.
+type Headline struct {
+	Label    string
+	Measured float64
+	Paper    float64
+}
+
+// HeadlineTable renders measured-vs-paper average speedups.
+func HeadlineTable(rows []Headline) string {
+	var b strings.Builder
+	b.WriteString(fmt.Sprintf("%-36s %10s %10s\n", "series", "measured", "paper"))
+	b.WriteString(strings.Repeat("-", 58) + "\n")
+	for _, r := range rows {
+		b.WriteString(fmt.Sprintf("%-36s %+9.2f%% %+9.2f%%\n", r.Label, r.Measured, r.Paper))
+	}
+	return b.String()
+}
+
+// PaperFigure14Averages returns the paper's reported average speedups for
+// Figure 14 in series order (2T NS, 2T AS, 4T NS, 4T AS).
+func PaperFigure14Averages() []float64 { return []float64{6.1, 8.7, 3.5, 7.5} }
+
+// PaperFigure15Averages returns the paper's reported average speedups for
+// Figure 15 in series order (2T: COSI NS, COSI AS, OOSI NS, OOSI AS; then
+// the same four at 4T).
+func PaperFigure15Averages() []float64 {
+	return []float64{7.5, 9.8, 8.2, 13.0, 6.4, 9.4, 7.9, 15.7}
+}

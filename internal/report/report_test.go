@@ -1,0 +1,88 @@
+package report
+
+import (
+	"strings"
+	"testing"
+
+	"vexsmt/internal/core"
+	"vexsmt/internal/experiments"
+	"vexsmt/internal/synth"
+)
+
+func TestFigure13aTable(t *testing.T) {
+	rows := []experiments.Fig13Row{
+		{Name: "mcf", Class: synth.LowILP, PaperIPCr: 0.96, PaperIPCp: 1.34, IPCr: 0.95, IPCp: 1.35},
+	}
+	s := Figure13aTable(rows)
+	if !strings.Contains(s, "mcf") || !strings.Contains(s, "0.95") || !strings.Contains(s, "1.34") {
+		t.Fatalf("table missing content:\n%s", s)
+	}
+}
+
+func TestFigure13bTable(t *testing.T) {
+	s := Figure13bTable()
+	for _, label := range []string{"llll", "hhhh", "colorspace", "mcf"} {
+		if !strings.Contains(s, label) {
+			t.Errorf("table missing %q", label)
+		}
+	}
+}
+
+func TestSpeedupChart(t *testing.T) {
+	series := []experiments.SpeedupSeries{{
+		Label:     "CCSI AS over CSMT, 4-Thread",
+		Tech:      core.CCSI(core.CommAlwaysSplit),
+		Baseline:  core.CSMT(),
+		Threads:   4,
+		Workloads: []string{"llll", "hhhh"},
+		Pct:       []float64{5.0, -1.0},
+		Avg:       2.0,
+	}}
+	s := SpeedupChart("Figure 14", series)
+	if !strings.Contains(s, "llll") || !strings.Contains(s, "+5.00%") {
+		t.Fatalf("chart missing rows:\n%s", s)
+	}
+	if !strings.Contains(s, "avg") {
+		t.Fatal("chart missing average row")
+	}
+	if !strings.Contains(s, "-#") {
+		t.Fatal("negative bar not marked")
+	}
+}
+
+func TestIPCChart(t *testing.T) {
+	points := []experiments.IPCPoint{
+		{Tech: core.CSMT(), Threads: 2, IPC: 3.1},
+		{Tech: core.SMT(), Threads: 2, IPC: 3.7},
+		{Tech: core.CSMT(), Threads: 4, IPC: 4.4},
+	}
+	s := IPCChart(points)
+	if !strings.Contains(s, "2-Thread") || !strings.Contains(s, "4-Thread") {
+		t.Fatalf("chart missing thread sections:\n%s", s)
+	}
+	if !strings.Contains(s, "CSMT") || !strings.Contains(s, "3.100") {
+		t.Fatalf("chart missing bars:\n%s", s)
+	}
+}
+
+func TestHeadlineTable(t *testing.T) {
+	s := HeadlineTable([]Headline{{Label: "CCSI AS over CSMT (4T)", Measured: 6.3, Paper: 7.5}})
+	if !strings.Contains(s, "+6.30%") || !strings.Contains(s, "+7.50%") {
+		t.Fatalf("headline table wrong:\n%s", s)
+	}
+}
+
+func TestPaperAverages(t *testing.T) {
+	if len(PaperFigure14Averages()) != 4 {
+		t.Fatal("figure 14 has four series")
+	}
+	if len(PaperFigure15Averages()) != 8 {
+		t.Fatal("figure 15 has eight series")
+	}
+}
+
+func TestBarClamp(t *testing.T) {
+	if len(bar(1e9, 1)) > 61 {
+		t.Fatal("bar not clamped")
+	}
+}

@@ -1,0 +1,194 @@
+package rng
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDeterminism(t *testing.T) {
+	a := New(42)
+	b := New(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("streams diverged at step %d", i)
+		}
+	}
+}
+
+func TestSeedReset(t *testing.T) {
+	r := New(7)
+	first := make([]uint64, 16)
+	for i := range first {
+		first[i] = r.Uint64()
+	}
+	r.Seed(7)
+	for i := range first {
+		if got := r.Uint64(); got != first[i] {
+			t.Fatalf("after reseed, step %d = %d, want %d", i, got, first[i])
+		}
+	}
+}
+
+func TestDistinctSeedsDistinctStreams(t *testing.T) {
+	a, b := New(1), New(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("%d collisions between distinct seeds", same)
+	}
+}
+
+func TestIntnRange(t *testing.T) {
+	r := New(3)
+	for n := 1; n <= 17; n++ {
+		for i := 0; i < 200; i++ {
+			if v := r.Intn(n); v < 0 || v >= n {
+				t.Fatalf("Intn(%d) = %d out of range", n, v)
+			}
+		}
+	}
+}
+
+func TestIntnPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) did not panic")
+		}
+	}()
+	New(1).Intn(0)
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := New(9)
+	for i := 0; i < 10000; i++ {
+		f := r.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64() = %v out of [0,1)", f)
+		}
+	}
+}
+
+func TestFloat64Mean(t *testing.T) {
+	r := New(11)
+	const n = 200000
+	var sum float64
+	for i := 0; i < n; i++ {
+		sum += r.Float64()
+	}
+	mean := sum / n
+	if math.Abs(mean-0.5) > 0.01 {
+		t.Fatalf("mean = %v, want ~0.5", mean)
+	}
+}
+
+func TestBoolEdges(t *testing.T) {
+	r := New(5)
+	for i := 0; i < 100; i++ {
+		if r.Bool(0) {
+			t.Fatal("Bool(0) returned true")
+		}
+		if !r.Bool(1) {
+			t.Fatal("Bool(1) returned false")
+		}
+	}
+}
+
+func TestBoolProbability(t *testing.T) {
+	r := New(6)
+	const n = 100000
+	hits := 0
+	for i := 0; i < n; i++ {
+		if r.Bool(0.3) {
+			hits++
+		}
+	}
+	frac := float64(hits) / n
+	if math.Abs(frac-0.3) > 0.01 {
+		t.Fatalf("Bool(0.3) frequency = %v", frac)
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	r := New(8)
+	dst := make([]int, 16)
+	for trial := 0; trial < 50; trial++ {
+		r.Perm(dst)
+		seen := make(map[int]bool, len(dst))
+		for _, v := range dst {
+			if v < 0 || v >= len(dst) || seen[v] {
+				t.Fatalf("not a permutation: %v", dst)
+			}
+			seen[v] = true
+		}
+	}
+}
+
+func TestPickWeighted(t *testing.T) {
+	r := New(10)
+	w := []float64{1, 0, 3}
+	counts := make([]int, 3)
+	const n = 100000
+	for i := 0; i < n; i++ {
+		counts[r.Pick(w)]++
+	}
+	if counts[1] != 0 {
+		t.Fatalf("picked zero-weight index %d times", counts[1])
+	}
+	frac0 := float64(counts[0]) / n
+	if math.Abs(frac0-0.25) > 0.01 {
+		t.Fatalf("index 0 frequency = %v, want ~0.25", frac0)
+	}
+}
+
+func TestGeometricMean(t *testing.T) {
+	r := New(12)
+	const p = 0.25
+	const n = 100000
+	var sum float64
+	for i := 0; i < n; i++ {
+		sum += float64(r.Geometric(p))
+	}
+	mean := sum / n
+	want := (1 - p) / p // mean of geometric on {0,1,...}
+	if math.Abs(mean-want) > 0.1 {
+		t.Fatalf("geometric mean = %v, want ~%v", mean, want)
+	}
+}
+
+func TestSplitIndependence(t *testing.T) {
+	parent := New(99)
+	child := parent.Split()
+	same := 0
+	for i := 0; i < 100; i++ {
+		if parent.Uint64() == child.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("%d collisions between parent and split child", same)
+	}
+}
+
+func TestUint64nRange(t *testing.T) {
+	if err := quick.Check(func(seed uint64, n uint64) bool {
+		if n == 0 {
+			n = 1
+		}
+		r := New(seed)
+		v := r.Uint64n(n)
+		return v < n
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestZeroValueUsable(t *testing.T) {
+	var r Rand
+	_ = r.Uint64()
+	_ = r.Intn(5)
+}

@@ -1,0 +1,100 @@
+// Package stats collects the counters the evaluation reports: IPC,
+// horizontal/vertical waste, merge and split activity, and stall
+// breakdowns, plus the speedup arithmetic used by Figures 14–16.
+package stats
+
+import "fmt"
+
+// Run accumulates one simulation's counters.
+type Run struct {
+	Cycles       int64 // total machine cycles including stalls
+	Instrs       int64 // VLIW instructions completed (all threads)
+	Ops          int64 // RISC operations issued
+	IssueSlots   int64 // cycles * total issue width (for waste metrics)
+	EmptyCycles  int64 // cycles in which no operation issued (vertical waste)
+	MergedCycles int64 // cycles whose packet contained >= 2 threads
+	SplitInstrs  int64 // instructions that issued in more than one cycle
+
+	ICacheAccesses int64
+	ICacheMisses   int64
+	DCacheAccesses int64
+	DCacheMisses   int64
+
+	FetchStallCycles   int64 // thread-cycles lost to ICache misses
+	MemStallCycles     int64 // thread-cycles lost to DCache load misses
+	BranchStallCycles  int64 // thread-cycles lost to taken-branch penalty
+	MemPortStallCycles int64 // machine cycles lost to delayed-store port conflicts
+
+	ContextSwitches int64
+	Respawns        int64
+}
+
+// IPC returns operations per cycle, the paper's headline metric.
+func (r *Run) IPC() float64 {
+	if r.Cycles == 0 {
+		return 0
+	}
+	return float64(r.Ops) / float64(r.Cycles)
+}
+
+// VLIWPerCycle returns VLIW instructions completed per cycle.
+func (r *Run) VLIWPerCycle() float64 {
+	if r.Cycles == 0 {
+		return 0
+	}
+	return float64(r.Instrs) / float64(r.Cycles)
+}
+
+// VerticalWaste returns the fraction of cycles with no issue at all.
+func (r *Run) VerticalWaste() float64 {
+	if r.Cycles == 0 {
+		return 0
+	}
+	return float64(r.EmptyCycles) / float64(r.Cycles)
+}
+
+// HorizontalWaste returns the fraction of issue slots left empty during
+// non-empty cycles.
+func (r *Run) HorizontalWaste() float64 {
+	busy := r.IssueSlots - r.EmptyCycles*slotsPerCycle(r)
+	if busy <= 0 {
+		return 0
+	}
+	return float64(busy-r.Ops) / float64(busy)
+}
+
+func slotsPerCycle(r *Run) int64 {
+	if r.Cycles == 0 {
+		return 0
+	}
+	return r.IssueSlots / r.Cycles
+}
+
+// ICacheMissRate returns the instruction cache miss rate.
+func (r *Run) ICacheMissRate() float64 { return rate(r.ICacheMisses, r.ICacheAccesses) }
+
+// DCacheMissRate returns the data cache miss rate.
+func (r *Run) DCacheMissRate() float64 { return rate(r.DCacheMisses, r.DCacheAccesses) }
+
+func rate(n, d int64) float64 {
+	if d == 0 {
+		return 0
+	}
+	return float64(n) / float64(d)
+}
+
+// SpeedupPct returns the percentage speedup of a over b measured in IPC,
+// the quantity plotted in Figures 14 and 15.
+func SpeedupPct(a, b *Run) float64 {
+	if b.IPC() == 0 {
+		return 0
+	}
+	return (a.IPC()/b.IPC() - 1) * 100
+}
+
+// String gives a compact one-line summary.
+func (r *Run) String() string {
+	return fmt.Sprintf("cycles=%d instrs=%d ops=%d IPC=%.3f vWaste=%.1f%% ic=%.2f%% dc=%.2f%%",
+		r.Cycles, r.Instrs, r.Ops, r.IPC(),
+		r.VerticalWaste()*100, r.ICacheMissRate()*100, r.DCacheMissRate()*100)
+}

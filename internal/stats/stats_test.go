@@ -1,0 +1,72 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestIPC(t *testing.T) {
+	r := Run{Cycles: 100, Ops: 250}
+	if r.IPC() != 2.5 {
+		t.Fatalf("IPC = %v", r.IPC())
+	}
+	var zero Run
+	if zero.IPC() != 0 {
+		t.Fatal("zero-cycle IPC not 0")
+	}
+}
+
+func TestVLIWPerCycle(t *testing.T) {
+	r := Run{Cycles: 200, Instrs: 100}
+	if r.VLIWPerCycle() != 0.5 {
+		t.Fatalf("VLIWPerCycle = %v", r.VLIWPerCycle())
+	}
+}
+
+func TestWasteMetrics(t *testing.T) {
+	// 10 cycles on a 16-wide machine; 2 empty cycles; 40 ops issued in the
+	// other 8 cycles (128 busy slots).
+	r := Run{Cycles: 10, IssueSlots: 160, EmptyCycles: 2, Ops: 40}
+	if r.VerticalWaste() != 0.2 {
+		t.Fatalf("vertical = %v", r.VerticalWaste())
+	}
+	want := (128.0 - 40.0) / 128.0
+	if math.Abs(r.HorizontalWaste()-want) > 1e-12 {
+		t.Fatalf("horizontal = %v, want %v", r.HorizontalWaste(), want)
+	}
+}
+
+func TestMissRates(t *testing.T) {
+	r := Run{ICacheAccesses: 100, ICacheMisses: 5, DCacheAccesses: 50, DCacheMisses: 10}
+	if r.ICacheMissRate() != 0.05 || r.DCacheMissRate() != 0.2 {
+		t.Fatal("miss rates wrong")
+	}
+	var zero Run
+	if zero.ICacheMissRate() != 0 || zero.DCacheMissRate() != 0 {
+		t.Fatal("zero-access miss rate not 0")
+	}
+}
+
+func TestSpeedupPct(t *testing.T) {
+	base := &Run{Cycles: 100, Ops: 100} // IPC 1
+	fast := &Run{Cycles: 100, Ops: 110} // IPC 1.1
+	if got := SpeedupPct(fast, base); math.Abs(got-10) > 1e-9 {
+		t.Fatalf("speedup = %v, want 10", got)
+	}
+	if got := SpeedupPct(base, fast); got >= 0 {
+		t.Fatalf("slowdown should be negative, got %v", got)
+	}
+	var zero Run
+	if SpeedupPct(fast, &zero) != 0 {
+		t.Fatal("speedup over zero-IPC base should be 0")
+	}
+}
+
+func TestStringSummary(t *testing.T) {
+	r := Run{Cycles: 10, Instrs: 5, Ops: 20}
+	s := r.String()
+	if !strings.Contains(s, "IPC=2.000") {
+		t.Fatalf("summary %q", s)
+	}
+}

@@ -1,0 +1,396 @@
+package synth
+
+import (
+	"fmt"
+
+	"vexsmt/internal/isa"
+	"vexsmt/internal/rng"
+)
+
+// TInst is one trace instruction: the resource demand the issue engine
+// needs plus the addresses the cache models need. It carries no operand
+// values — a statically scheduled VLIW's timing does not depend on them.
+type TInst struct {
+	Demand  isa.InstrDemand
+	PC      uint64
+	Size    uint32
+	Taken   bool // instruction ends with a taken branch
+	MemAddr [isa.MaxClusters]uint64
+}
+
+// Stream produces a deterministic instruction trace.
+type Stream interface {
+	// Next fills t with the next instruction of the trace.
+	Next(t *TInst)
+	// Reset restarts the trace; variant perturbs dynamic behaviour (data
+	// addresses, iteration counts) so a respawned benchmark does not replay
+	// bit-identically, while code layout stays fixed.
+	Reset(variant uint64)
+	// Length returns the number of instructions to completion at the given
+	// scale divisor (paper scale: divisor 1 -> hundreds of millions).
+	Length(scaleDiv int64) int64
+	// Name identifies the benchmark.
+	Name() string
+}
+
+// codeBase separates benchmark code layouts so per-thread ICache streams
+// do not alias by construction; the generator offsets by a seed-derived
+// amount as well.
+const codeBase = 0x0040_0000
+
+// dataBase is where each benchmark's data footprint starts.
+const dataBase = 0x2000_0000
+
+// template is one precomputed body instruction of a loop region. Templates
+// are deterministic per (profile, region, position), so every iteration of
+// a loop re-fetches the same addresses — the property the ICache model
+// depends on.
+type template struct {
+	demand isa.InstrDemand
+	pc     uint64
+	size   uint32
+	brKind uint8 // 0 none, 1 inner conditional, 2 back-edge
+	skip   uint8 // inner-branch forward skip (instructions)
+}
+
+const (
+	brNone     = 0
+	brInner    = 1
+	brBackEdge = 2
+)
+
+// region is one loop nest of the synthetic program.
+type region struct {
+	body      []template
+	meanIters int
+}
+
+// Generator implements Stream for a benchmark profile.
+type Generator struct {
+	prof    Profile
+	geom    isa.Geometry
+	regions []region
+
+	dyn       *rng.Rand // dynamic decisions: taken, iteration counts, data addresses
+	ri        int       // current region
+	pos       int       // position in region body
+	itersLeft int
+	streamPos uint64
+}
+
+// NewGenerator builds the (deterministic) code layout for a profile on the
+// given geometry and primes the dynamic state.
+func NewGenerator(prof Profile, geom isa.Geometry) (*Generator, error) {
+	if err := geom.Validate(); err != nil {
+		return nil, err
+	}
+	if prof.MeanOps < 1 || prof.MeanOps > float64(geom.TotalIssueWidth()) {
+		return nil, fmt.Errorf("synth: %s: mean ops %.2f outside [1,%d]",
+			prof.Name, prof.MeanOps, geom.TotalIssueWidth())
+	}
+	if prof.LoopInstrs <= 0 || prof.LoopIters <= 0 {
+		return nil, fmt.Errorf("synth: %s: loop shape must be positive", prof.Name)
+	}
+	g := &Generator{prof: prof, geom: geom}
+	g.buildRegions()
+	g.Reset(0)
+	return g, nil
+}
+
+// MustNewGenerator panics on error (known-good catalog profiles).
+func MustNewGenerator(prof Profile, geom isa.Geometry) *Generator {
+	g, err := NewGenerator(prof, geom)
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+// Name implements Stream.
+func (g *Generator) Name() string { return g.prof.Name }
+
+// CodeCycleInstrs estimates the instructions executed per full pass over
+// the benchmark's code footprint (every region, every iteration). Warmup
+// phases should cover at least one pass so compulsory ICache misses do not
+// bias short scaled-down measurements.
+func (g *Generator) CodeCycleInstrs() int64 {
+	var total int64
+	for _, reg := range g.regions {
+		total += int64(len(reg.body)) * int64(reg.meanIters)
+	}
+	return total
+}
+
+// Length implements Stream.
+func (g *Generator) Length(scaleDiv int64) int64 {
+	if scaleDiv < 1 {
+		scaleDiv = 1
+	}
+	n := int64(g.prof.LengthMInstr * 1e6 / float64(scaleDiv))
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// Reset implements Stream.
+func (g *Generator) Reset(variant uint64) {
+	g.dyn = rng.New(g.prof.Seed*0x9e37_79b9 + 0xd1b5_4a32 + variant*0x100_0001b3)
+	g.ri = 0
+	g.pos = 0
+	g.itersLeft = g.jitterIters(g.regions[0].meanIters)
+	g.streamPos = 0
+}
+
+// buildRegions lays out loop regions until the code footprint reaches
+// CodeKB. Layout is derived purely from the profile seed.
+func (g *Generator) buildRegions() {
+	layout := rng.New(g.prof.Seed ^ 0xc0de_5eed)
+	pc := uint64(codeBase) + (g.prof.Seed%64)*4096
+	targetBytes := uint64(g.prof.CodeKB) * 1024
+	var total uint64
+	for total < targetBytes || len(g.regions) == 0 {
+		bodyLen := g.prof.LoopInstrs/2 + layout.Intn(g.prof.LoopInstrs+1)
+		if bodyLen < 2 {
+			bodyLen = 2
+		}
+		reg := region{meanIters: g.prof.LoopIters}
+		for i := 0; i < bodyLen; i++ {
+			last := i == bodyLen-1
+			t := g.buildTemplate(layout, pc, last, bodyLen-1-i)
+			reg.body = append(reg.body, t)
+			pc += uint64(t.size)
+			total += uint64(t.size)
+		}
+		g.regions = append(g.regions, reg)
+	}
+}
+
+// buildTemplate synthesizes one compiler-legal instruction template.
+func (g *Generator) buildTemplate(r *rng.Rand, pc uint64, backEdge bool, room int) template {
+	w := g.geom.IssueWidth
+	maxOps := g.geom.TotalIssueWidth()
+	// ops ~ 1 + Binomial(maxOps-1, p) with mean MeanOps, compensated for
+	// the ~2*CommProb ops the send/recv pairs add on average so the
+	// measured ops/instruction lands on MeanOps.
+	target := g.prof.MeanOps - 2*g.prof.CommProb
+	if target < 1 {
+		target = 1
+	}
+	p := (target - 1) / float64(maxOps-1)
+	ops := 1
+	for i := 0; i < maxOps-1; i++ {
+		if r.Bool(p) {
+			ops++
+		}
+	}
+
+	// Cluster assignment mimics Bottom-Up-Greedy: operations follow their
+	// data. Placement is bimodal — dependence chains pack into one cluster
+	// (dense bundles that cause operation-level resource conflicts between
+	// threads), while independent operations spread across clusters (thin
+	// bundles that cause partial cluster-level conflicts) — and the anchor
+	// cluster wanders instruction to instruction. Both kinds of
+	// variability are what give the merging hardware conflicts to resolve;
+	// renaming alone cannot separate threads whose placements wander.
+	k := (ops + w - 1) / w
+	if !r.Bool(0.5) { // spread mode
+		spread := g.prof.SpreadProb
+		if spread == 0 {
+			spread = 0.85
+		}
+		for k < g.geom.Clusters && k < ops && r.Bool(spread) {
+			k++
+		}
+	}
+	start := 0
+	if r.Bool(0.5) {
+		start = r.Intn(g.geom.Clusters)
+	}
+	var perCluster [isa.MaxClusters]int
+	for i := 0; i < ops; i++ {
+		perCluster[(start+i%k)%g.geom.Clusters]++
+	}
+
+	var d isa.InstrDemand
+	memBudget := int(float64(ops)*g.prof.MemFrac + 0.5)
+	mulBudget := int(float64(ops)*g.prof.MulFrac + 0.5)
+	for j := 0; j < k; j++ {
+		c := (start + j) % g.geom.Clusters
+		n := perCluster[c]
+		b := isa.BundleDemand{Ops: uint8(n)}
+		if memBudget > 0 && g.geom.MemUnits > 0 && n > 0 {
+			b.Mem = 1
+			memBudget--
+			n--
+			if r.Bool(g.prof.StoreFrac) {
+				b.Stor = true
+			} else {
+				b.Load = true
+			}
+		}
+		for n > 0 && mulBudget > 0 && int(b.Mul) < g.geom.Muls {
+			b.Mul++
+			mulBudget--
+			n--
+		}
+		b.ALU = uint8(n)
+		d.B[c] = b
+	}
+
+	// Inter-cluster copy pair: one extra ALU-class op on two clusters.
+	if g.geom.Clusters > 1 && r.Bool(g.prof.CommProb) {
+		src := r.Intn(g.geom.Clusters)
+		dst := (src + 1 + r.Intn(g.geom.Clusters-1)) % g.geom.Clusters
+		for _, c := range []int{src, dst} {
+			if int(d.B[c].Ops) < w && int(d.B[c].ALU) < g.geom.ALUs {
+				d.B[c].Ops++
+				d.B[c].ALU++
+			}
+			d.B[c].Comm = d.B[c].Ops > 0
+		}
+		d.HasComm = d.B[src].Comm || d.B[dst].Comm
+		if d.HasComm {
+			ops = d.NumOps()
+		}
+	}
+
+	// Control flow: the branch operation is one of the instruction's
+	// ALU-class operations (it needs no separate demand accounting; the
+	// Taken flag carries the timing semantics).
+	t := template{demand: d, pc: pc, size: uint32(4 * d.NumOps()), brKind: brNone}
+	switch {
+	case backEdge:
+		t.brKind = brBackEdge
+	case room > 0 && r.Bool(g.prof.BranchProb):
+		t.brKind = brInner
+		skip := 1 + r.Intn(3)
+		if skip > room {
+			skip = room
+		}
+		t.skip = uint8(skip)
+	}
+	if t.size == 0 {
+		t.size = 4
+	}
+	return t
+}
+
+func (g *Generator) jitterIters(mean int) int {
+	if mean <= 1 {
+		return 1
+	}
+	// Uniform in [mean/2, 3*mean/2].
+	lo := mean / 2
+	if lo < 1 {
+		lo = 1
+	}
+	return lo + g.dyn.Intn(mean+1)
+}
+
+// Next implements Stream.
+func (g *Generator) Next(t *TInst) {
+	reg := &g.regions[g.ri]
+	tm := &reg.body[g.pos]
+	t.Demand = tm.demand
+	t.PC = tm.pc
+	t.Size = tm.size
+	t.Taken = false
+
+	// Data addresses for the cache model.
+	for c := 0; c < g.geom.Clusters; c++ {
+		if tm.demand.B[c].Mem == 0 {
+			t.MemAddr[c] = 0
+			continue
+		}
+		if g.dyn.Bool(g.prof.StreamFrac) {
+			wrap := uint64(g.prof.StreamKB) * 1024
+			if wrap < 64 {
+				wrap = 64
+			}
+			t.MemAddr[c] = dataBase + (g.streamPos % wrap)
+			g.streamPos += 4
+		} else {
+			foot := uint64(g.prof.DataKB) * 1024
+			if foot < 64 {
+				foot = 64
+			}
+			t.MemAddr[c] = dataBase + uint64(g.prof.StreamKB)*1024 +
+				(g.dyn.Uint64n(foot) &^ 3)
+		}
+	}
+
+	// Advance control flow.
+	switch tm.brKind {
+	case brBackEdge:
+		if g.itersLeft > 0 {
+			g.itersLeft--
+			t.Taken = true
+			g.pos = 0
+			return
+		}
+		// Loop exit: fall through to the next region; wrapping from the
+		// last region back to the first is a taken jump.
+		if g.ri == len(g.regions)-1 {
+			t.Taken = true
+		}
+		g.ri = (g.ri + 1) % len(g.regions)
+		g.pos = 0
+		g.itersLeft = g.jitterIters(g.regions[g.ri].meanIters)
+	case brInner:
+		if g.dyn.Bool(g.prof.TakenProb) {
+			t.Taken = true
+			g.pos += int(tm.skip) + 1
+			if g.pos >= len(reg.body) {
+				g.pos = len(reg.body) - 1
+			}
+			return
+		}
+		g.pos++
+	default:
+		g.pos++
+	}
+	if g.pos >= len(reg.body) {
+		g.pos = 0 // defensive; back-edge handling should prevent this
+	}
+}
+
+// MeasuredShape summarizes a sample of the stream; used by calibration
+// tests and cmd/tracegen.
+type MeasuredShape struct {
+	Instrs      int64
+	Ops         int64
+	TakenFrac   float64
+	MemPerInstr float64
+	CommFrac    float64
+	OpsPerInstr float64
+}
+
+// Measure draws n instructions (without disturbing determinism guarantees —
+// call Reset afterwards if reuse is intended) and reports aggregate shape.
+func Measure(s Stream, n int64) MeasuredShape {
+	var t TInst
+	var sh MeasuredShape
+	var taken, comm, mem int64
+	for i := int64(0); i < n; i++ {
+		s.Next(&t)
+		sh.Instrs++
+		sh.Ops += int64(t.Demand.NumOps())
+		if t.Taken {
+			taken++
+		}
+		if t.Demand.HasComm {
+			comm++
+		}
+		for c := range t.MemAddr {
+			if t.Demand.B[c].Mem > 0 {
+				mem++
+			}
+		}
+	}
+	sh.TakenFrac = float64(taken) / float64(n)
+	sh.CommFrac = float64(comm) / float64(n)
+	sh.MemPerInstr = float64(mem) / float64(n)
+	sh.OpsPerInstr = float64(sh.Ops) / float64(n)
+	return sh
+}

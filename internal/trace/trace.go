@@ -1,0 +1,228 @@
+// Package trace records synthetic instruction streams to a compact binary
+// format and replays them as simulator inputs. Recorded traces make
+// experiments exactly portable: a trace file pins the workload independent
+// of future generator changes, the same way the paper's binaries pinned
+// theirs.
+//
+// Format (little-endian):
+//
+//	magic   [4]byte "VXT1"
+//	clusters uint8
+//	name    uint8 length + bytes
+//	count   uint32
+//	count × instruction records:
+//	  pc     uint64
+//	  size   uint32
+//	  flags  uint8            (bit0 taken, bit1 hasComm)
+//	  used   uint8            (bitmask of non-empty clusters)
+//	  per used cluster:
+//	    packed uint8 ×2       (ops|alu, mul|mem nibbles)
+//	    cflags uint8          (bit0 load, bit1 stor, bit2 comm)
+//	    addr   uint64         (present iff mem != 0)
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"vexsmt/internal/isa"
+	"vexsmt/internal/synth"
+)
+
+var magic = [4]byte{'V', 'X', 'T', '1'}
+
+// Record drains n instructions from a stream into memory.
+func Record(s synth.Stream, n int) []synth.TInst {
+	out := make([]synth.TInst, n)
+	for i := range out {
+		s.Next(&out[i])
+	}
+	return out
+}
+
+// Write serializes a recorded trace.
+func Write(w io.Writer, name string, clusters int, instrs []synth.TInst) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.Write(magic[:]); err != nil {
+		return err
+	}
+	if clusters <= 0 || clusters > isa.MaxClusters {
+		return fmt.Errorf("trace: bad cluster count %d", clusters)
+	}
+	if len(name) > 255 {
+		return fmt.Errorf("trace: name too long")
+	}
+	bw.WriteByte(byte(clusters))
+	bw.WriteByte(byte(len(name)))
+	bw.WriteString(name)
+	var buf [8]byte
+	binary.LittleEndian.PutUint32(buf[:4], uint32(len(instrs)))
+	bw.Write(buf[:4])
+
+	for i := range instrs {
+		ti := &instrs[i]
+		binary.LittleEndian.PutUint64(buf[:8], ti.PC)
+		bw.Write(buf[:8])
+		binary.LittleEndian.PutUint32(buf[:4], ti.Size)
+		bw.Write(buf[:4])
+		var flags byte
+		if ti.Taken {
+			flags |= 1
+		}
+		if ti.Demand.HasComm {
+			flags |= 2
+		}
+		bw.WriteByte(flags)
+		var used byte
+		for c := 0; c < clusters; c++ {
+			if !ti.Demand.B[c].IsEmpty() {
+				used |= 1 << uint(c)
+			}
+		}
+		bw.WriteByte(used)
+		for c := 0; c < clusters; c++ {
+			if used&(1<<uint(c)) == 0 {
+				continue
+			}
+			b := ti.Demand.B[c]
+			if b.Ops > 15 || b.ALU > 15 || b.Mul > 15 || b.Mem > 15 {
+				return fmt.Errorf("trace: bundle counts exceed nibble range: %+v", b)
+			}
+			bw.WriteByte(b.Ops<<4 | b.ALU)
+			bw.WriteByte(b.Mul<<4 | b.Mem)
+			var cf byte
+			if b.Load {
+				cf |= 1
+			}
+			if b.Stor {
+				cf |= 2
+			}
+			if b.Comm {
+				cf |= 4
+			}
+			bw.WriteByte(cf)
+			if b.Mem != 0 {
+				binary.LittleEndian.PutUint64(buf[:8], ti.MemAddr[c])
+				bw.Write(buf[:8])
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// Read deserializes a trace.
+func Read(r io.Reader) (name string, clusters int, instrs []synth.TInst, err error) {
+	br := bufio.NewReader(r)
+	var m [4]byte
+	if _, err = io.ReadFull(br, m[:]); err != nil {
+		return "", 0, nil, fmt.Errorf("trace: %w", err)
+	}
+	if m != magic {
+		return "", 0, nil, fmt.Errorf("trace: bad magic %q", m)
+	}
+	cb, err := br.ReadByte()
+	if err != nil {
+		return "", 0, nil, err
+	}
+	clusters = int(cb)
+	if clusters <= 0 || clusters > isa.MaxClusters {
+		return "", 0, nil, fmt.Errorf("trace: bad cluster count %d", clusters)
+	}
+	nl, err := br.ReadByte()
+	if err != nil {
+		return "", 0, nil, err
+	}
+	nameBytes := make([]byte, nl)
+	if _, err = io.ReadFull(br, nameBytes); err != nil {
+		return "", 0, nil, err
+	}
+	name = string(nameBytes)
+	var buf [8]byte
+	if _, err = io.ReadFull(br, buf[:4]); err != nil {
+		return "", 0, nil, err
+	}
+	count := binary.LittleEndian.Uint32(buf[:4])
+	instrs = make([]synth.TInst, count)
+	for i := range instrs {
+		ti := &instrs[i]
+		if _, err = io.ReadFull(br, buf[:8]); err != nil {
+			return "", 0, nil, fmt.Errorf("trace: instr %d: %w", i, err)
+		}
+		ti.PC = binary.LittleEndian.Uint64(buf[:8])
+		if _, err = io.ReadFull(br, buf[:4]); err != nil {
+			return "", 0, nil, err
+		}
+		ti.Size = binary.LittleEndian.Uint32(buf[:4])
+		flags, err2 := br.ReadByte()
+		if err2 != nil {
+			return "", 0, nil, err2
+		}
+		ti.Taken = flags&1 != 0
+		ti.Demand.HasComm = flags&2 != 0
+		used, err2 := br.ReadByte()
+		if err2 != nil {
+			return "", 0, nil, err2
+		}
+		for c := 0; c < clusters; c++ {
+			if used&(1<<uint(c)) == 0 {
+				continue
+			}
+			var pk [3]byte
+			if _, err = io.ReadFull(br, pk[:]); err != nil {
+				return "", 0, nil, err
+			}
+			b := &ti.Demand.B[c]
+			b.Ops, b.ALU = pk[0]>>4, pk[0]&15
+			b.Mul, b.Mem = pk[1]>>4, pk[1]&15
+			b.Load = pk[2]&1 != 0
+			b.Stor = pk[2]&2 != 0
+			b.Comm = pk[2]&4 != 0
+			if b.Mem != 0 {
+				if _, err = io.ReadFull(br, buf[:8]); err != nil {
+					return "", 0, nil, err
+				}
+				ti.MemAddr[c] = binary.LittleEndian.Uint64(buf[:8])
+			}
+		}
+	}
+	return name, clusters, instrs, nil
+}
+
+// Replayer serves a recorded trace as a synth.Stream. The trace loops if
+// the consumer reads past its end (mirroring benchmark respawn).
+type Replayer struct {
+	name   string
+	instrs []synth.TInst
+	pos    int
+}
+
+// NewReplayer wraps a recorded instruction sequence.
+func NewReplayer(name string, instrs []synth.TInst) (*Replayer, error) {
+	if len(instrs) == 0 {
+		return nil, fmt.Errorf("trace: empty trace")
+	}
+	return &Replayer{name: name, instrs: instrs}, nil
+}
+
+// Next implements synth.Stream.
+func (r *Replayer) Next(t *synth.TInst) {
+	*t = r.instrs[r.pos]
+	r.pos++
+	if r.pos == len(r.instrs) {
+		r.pos = 0
+	}
+}
+
+// Reset implements synth.Stream; the variant is ignored (a recorded trace
+// replays identically).
+func (r *Replayer) Reset(uint64) { r.pos = 0 }
+
+// Length implements synth.Stream: one full pass over the trace.
+func (r *Replayer) Length(int64) int64 { return int64(len(r.instrs)) }
+
+// Name implements synth.Stream.
+func (r *Replayer) Name() string { return r.name }
+
+var _ synth.Stream = (*Replayer)(nil)

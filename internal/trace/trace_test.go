@@ -1,0 +1,139 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"vexsmt/internal/isa"
+	"vexsmt/internal/synth"
+)
+
+func record(t *testing.T, bench string, n int) []synth.TInst {
+	t.Helper()
+	p, ok := synth.ByName(bench)
+	if !ok {
+		t.Fatal("unknown benchmark")
+	}
+	return Record(synth.MustNewGenerator(p, isa.ST200x4), n)
+}
+
+func TestRoundTrip(t *testing.T) {
+	instrs := record(t, "idct", 5000)
+	var buf bytes.Buffer
+	if err := Write(&buf, "idct", 4, instrs); err != nil {
+		t.Fatal(err)
+	}
+	name, clusters, got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if name != "idct" || clusters != 4 {
+		t.Fatalf("header: %q %d", name, clusters)
+	}
+	if len(got) != len(instrs) {
+		t.Fatalf("count %d, want %d", len(got), len(instrs))
+	}
+	for i := range instrs {
+		if got[i] != instrs[i] {
+			t.Fatalf("instr %d mismatch:\n%+v\n%+v", i, got[i], instrs[i])
+		}
+	}
+}
+
+func TestRoundTripAllBenchmarks(t *testing.T) {
+	for _, p := range synth.Catalog() {
+		instrs := record(t, p.Name, 500)
+		var buf bytes.Buffer
+		if err := Write(&buf, p.Name, 4, instrs); err != nil {
+			t.Fatalf("%s: %v", p.Name, err)
+		}
+		_, _, got, err := Read(&buf)
+		if err != nil {
+			t.Fatalf("%s: %v", p.Name, err)
+		}
+		for i := range instrs {
+			if got[i] != instrs[i] {
+				t.Fatalf("%s instr %d mismatch", p.Name, i)
+			}
+		}
+	}
+}
+
+func TestBadInputs(t *testing.T) {
+	if _, _, _, err := Read(strings.NewReader("BOGUS data")); err == nil {
+		t.Fatal("bad magic accepted")
+	}
+	if _, _, _, err := Read(strings.NewReader("")); err == nil {
+		t.Fatal("empty input accepted")
+	}
+	var buf bytes.Buffer
+	if err := Write(&buf, "x", 0, nil); err == nil {
+		t.Fatal("zero clusters accepted")
+	}
+	if err := Write(&buf, strings.Repeat("n", 300), 4, nil); err == nil {
+		t.Fatal("oversized name accepted")
+	}
+}
+
+func TestTruncatedStream(t *testing.T) {
+	instrs := record(t, "djpeg", 100)
+	var buf bytes.Buffer
+	if err := Write(&buf, "djpeg", 4, instrs); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	for _, cut := range []int{5, 10, len(full) / 2, len(full) - 3} {
+		if _, _, _, err := Read(bytes.NewReader(full[:cut])); err == nil {
+			t.Fatalf("truncation at %d accepted", cut)
+		}
+	}
+}
+
+func TestReplayerLoops(t *testing.T) {
+	instrs := record(t, "gsmencode", 50)
+	r, err := NewReplayer("gsm", instrs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Name() != "gsm" || r.Length(123) != 50 {
+		t.Fatal("metadata wrong")
+	}
+	var ti synth.TInst
+	for i := 0; i < 50; i++ {
+		r.Next(&ti)
+	}
+	r.Next(&ti) // wraps
+	if ti != instrs[0] {
+		t.Fatal("replayer did not loop")
+	}
+	r.Reset(99)
+	r.Next(&ti)
+	if ti != instrs[0] {
+		t.Fatal("reset did not rewind")
+	}
+}
+
+func TestEmptyReplayerRejected(t *testing.T) {
+	if _, err := NewReplayer("x", nil); err == nil {
+		t.Fatal("empty trace accepted")
+	}
+}
+
+func TestReplayerMatchesGenerator(t *testing.T) {
+	// A replayed trace must drive the same instruction sequence as the
+	// generator it was recorded from.
+	p, _ := synth.ByName("cjpeg")
+	gen := synth.MustNewGenerator(p, isa.ST200x4)
+	instrs := Record(gen, 1000)
+	rep, _ := NewReplayer("cjpeg", instrs)
+	gen2 := synth.MustNewGenerator(p, isa.ST200x4)
+	var a, b synth.TInst
+	for i := 0; i < 1000; i++ {
+		rep.Next(&a)
+		gen2.Next(&b)
+		if a != b {
+			t.Fatalf("replay diverged at %d", i)
+		}
+	}
+}

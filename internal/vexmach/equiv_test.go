@@ -1,0 +1,253 @@
+package vexmach
+
+// Property tests for the paper's central correctness claim: split-issue
+// execution with delay buffers produces exactly the same architectural
+// state as atomic VLIW execution, for every split ordering.
+
+import (
+	"testing"
+
+	"vexsmt/internal/isa"
+	"vexsmt/internal/rng"
+)
+
+// randomProgram builds a branch-free, compiler-legal program with ALU, MUL,
+// MEM and (optionally) one send/recv pair per instruction, reading/writing
+// registers r2..r15 and memory at 0x20000+.
+func randomProgram(r *rng.Rand, g isa.Geometry, n int, commProb float64) []*isa.Instruction {
+	instrs := make([]*isa.Instruction, 0, n+1)
+	// Setup: every cluster's $r1 = memory base (cluster-dependent so stores
+	// don't collide across clusters).
+	setup := &isa.Instruction{}
+	for c := 0; c < g.Clusters; c++ {
+		setup.Bundles[c] = isa.Bundle{
+			{Op: isa.Mov, Dest: 1, Imm: int32(0x20000 + c*0x1000), UseImm: true},
+		}
+	}
+	instrs = append(instrs, setup)
+
+	reg := func() isa.Reg { return isa.Reg(2 + r.Intn(14)) }
+	for i := 0; i < n; i++ {
+		in := &isa.Instruction{}
+		// Destination registers must be unique per cluster within one
+		// instruction: a WAW hazard inside an instruction is illegal VLIW
+		// code (the compiler never schedules it), and its outcome would
+		// depend on issue order.
+		var destUsed [isa.MaxClusters][isa.NumGPR]bool
+		dest := func(c int) isa.Reg {
+			for {
+				d := isa.Reg(2 + r.Intn(14))
+				if !destUsed[c][d] {
+					destUsed[c][d] = true
+					return d
+				}
+			}
+		}
+		commSrc, commDst := -1, -1
+		if r.Bool(commProb) && g.Clusters > 1 {
+			commSrc = r.Intn(g.Clusters)
+			commDst = (commSrc + 1 + r.Intn(g.Clusters-1)) % g.Clusters
+		}
+		for c := 0; c < g.Clusters; c++ {
+			if r.Bool(0.3) && c != commSrc && c != commDst {
+				continue // idle cluster
+			}
+			nops := 1 + r.Intn(g.IssueWidth)
+			var b isa.Bundle
+			var mems, muls int
+			for len(b) < nops {
+				switch k := r.Intn(10); {
+				case k < 2 && mems < g.MemUnits:
+					mems++
+					if r.Bool(0.5) {
+						b = append(b, isa.Operation{Op: isa.Ldw, Dest: dest(c), Src1: 1,
+							Imm: int32(4 * r.Intn(64))})
+					} else {
+						b = append(b, isa.Operation{Op: isa.Stw, Src1: 1, Src2: reg(),
+							Imm: int32(4 * r.Intn(64))})
+					}
+				case k < 4 && muls < g.Muls:
+					muls++
+					b = append(b, isa.Operation{Op: isa.Mpy, Dest: dest(c), Src1: reg(), Src2: reg()})
+				default:
+					ops := []isa.Opcode{isa.Add, isa.Sub, isa.Shl, isa.Shr, isa.And,
+						isa.Or, isa.Xor, isa.Mov, isa.Max, isa.Min}
+					o := ops[r.Intn(len(ops))]
+					if r.Bool(0.3) {
+						b = append(b, isa.Operation{Op: o, Dest: dest(c), Src1: reg(),
+							Imm: int32(r.Intn(1000) - 500), UseImm: true})
+					} else {
+						b = append(b, isa.Operation{Op: o, Dest: dest(c), Src1: reg(), Src2: reg()})
+					}
+				}
+			}
+			in.Bundles[c] = b
+		}
+		if commSrc >= 0 {
+			// Append the pair, keeping within issue width by construction:
+			// comm clusters were not skipped and may exceed nops by one op,
+			// so trim first if full.
+			if len(in.Bundles[commSrc]) >= g.IssueWidth {
+				in.Bundles[commSrc] = in.Bundles[commSrc][:g.IssueWidth-1]
+			}
+			if len(in.Bundles[commDst]) >= g.IssueWidth {
+				in.Bundles[commDst] = in.Bundles[commDst][:g.IssueWidth-1]
+			}
+			in.Bundles[commSrc] = append(in.Bundles[commSrc],
+				isa.Operation{Op: isa.Send, Src1: reg(), Target: uint32(commDst)})
+			in.Bundles[commDst] = append(in.Bundles[commDst],
+				isa.Operation{Op: isa.Recv, Dest: dest(commDst), Target: uint32(commSrc)})
+		}
+		instrs = append(instrs, in)
+	}
+	return instrs
+}
+
+func seedRegs(r *rng.Rand, m *Machine) {
+	g := m.Geometry()
+	for c := 0; c < g.Clusters; c++ {
+		for reg := 2; reg < 16; reg++ {
+			m.SetReg(c, isa.Reg(reg), int32(r.Uint32()))
+		}
+	}
+}
+
+func TestSplitEqualsAtomicSequentialOrder(t *testing.T) {
+	r := rng.New(31337)
+	for trial := 0; trial < 10; trial++ {
+		instrs := randomProgram(r, isa.ST200x4, 40, 0.2)
+		p, err := NewProgram(isa.ST200x4, 0x1000, instrs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		seed := r.Uint64()
+
+		golden := MustNew(isa.ST200x4)
+		seedRegs(rng.New(seed), golden)
+		golden.SetPC(p.Base)
+		if _, err := golden.Run(p, 10000); err != nil {
+			t.Fatalf("atomic run: %v", err)
+		}
+
+		for name, order := range map[string]SplitOrder{
+			"sequential": SequentialClusters(isa.ST200x4),
+			"reverse":    ReverseClusters(isa.ST200x4),
+		} {
+			m := MustNew(isa.ST200x4)
+			seedRegs(rng.New(seed), m)
+			m.SetPC(p.Base)
+			if _, err := m.RunSplit(p, 10000, order); err != nil {
+				t.Fatalf("%s split run: %v", name, err)
+			}
+			if d := m.Diff(golden); d != "" {
+				t.Fatalf("trial %d, %s order: split != atomic: %s", trial, name, d)
+			}
+		}
+	}
+}
+
+func TestSplitEqualsAtomicRandomOrders(t *testing.T) {
+	r := rng.New(4242)
+	perm := make([]int, isa.ST200x4.Clusters)
+	randomOrder := func(*isa.Instruction) [][]int {
+		r.Perm(perm)
+		// Random grouping: each cluster lands in its own cycle or shares
+		// with the previous one.
+		var groups [][]int
+		for _, c := range perm {
+			if len(groups) > 0 && r.Bool(0.4) {
+				groups[len(groups)-1] = append(groups[len(groups)-1], c)
+			} else {
+				groups = append(groups, []int{c})
+			}
+		}
+		return groups
+	}
+	for trial := 0; trial < 15; trial++ {
+		instrs := randomProgram(r, isa.ST200x4, 30, 0.3)
+		p, err := NewProgram(isa.ST200x4, 0x1000, instrs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		seed := r.Uint64()
+		golden := MustNew(isa.ST200x4)
+		seedRegs(rng.New(seed), golden)
+		golden.SetPC(p.Base)
+		if _, err := golden.Run(p, 10000); err != nil {
+			t.Fatal(err)
+		}
+		m := MustNew(isa.ST200x4)
+		seedRegs(rng.New(seed), m)
+		m.SetPC(p.Base)
+		if _, err := m.RunSplit(p, 10000, randomOrder); err != nil {
+			t.Fatal(err)
+		}
+		if d := m.Diff(golden); d != "" {
+			t.Fatalf("trial %d: random split order != atomic: %s", trial, d)
+		}
+	}
+}
+
+// Operation-level splitting (OOSI) must also match atomic execution: issue
+// one operation at a time in random cluster order.
+func TestOperationSplitEqualsAtomic(t *testing.T) {
+	r := rng.New(999)
+	g := isa.ST200x4
+	for trial := 0; trial < 10; trial++ {
+		instrs := randomProgram(r, g, 25, 0.25)
+		p, err := NewProgram(g, 0x1000, instrs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		seed := r.Uint64()
+		golden := MustNew(g)
+		seedRegs(rng.New(seed), golden)
+		golden.SetPC(p.Base)
+		if _, err := golden.Run(p, 10000); err != nil {
+			t.Fatal(err)
+		}
+
+		m := MustNew(g)
+		seedRegs(rng.New(seed), m)
+		m.SetPC(p.Base)
+		for {
+			idx, ok := p.IndexOf(m.PC())
+			if !ok {
+				break
+			}
+			in := p.Instrs[idx]
+			s := m.Begin(in)
+			for !s.Done() {
+				c := r.Intn(g.Clusters)
+				if err := s.IssueOpCounts(c, isa.BundleDemand{Ops: 1, ALU: 1, Mul: 1, Mem: 1}); err != nil {
+					t.Fatalf("trial %d: %v", trial, err)
+				}
+			}
+			if err := s.Commit(); err != nil {
+				t.Fatalf("trial %d commit: %v", trial, err)
+			}
+		}
+		if d := m.Diff(golden); d != "" {
+			t.Fatalf("trial %d: op-split != atomic: %s", trial, d)
+		}
+	}
+}
+
+func TestMemoryEqualClone(t *testing.T) {
+	m := NewMemory()
+	m.Poke(0x10000, 7)
+	c := m.Clone()
+	if !m.Equal(c) {
+		t.Fatal("clone not equal")
+	}
+	c.Poke(0x10004, 9)
+	if m.Equal(c) {
+		t.Fatal("diverged memories compare equal")
+	}
+	// Zero-filled page equals unbacked page.
+	a, b := NewMemory(), NewMemory()
+	a.Poke(0x30000, 0)
+	if !a.Equal(b) || !b.Equal(a) {
+		t.Fatal("zero page != unbacked page")
+	}
+}

@@ -1,0 +1,133 @@
+package vexmach
+
+import (
+	"fmt"
+
+	"vexsmt/internal/isa"
+)
+
+// Machine is the architectural state of one thread of the clustered VLIW:
+// per-cluster general-purpose and branch register files, memory, and the
+// program counter. $r0 of every cluster is hardwired to zero (VEX/ST200
+// convention).
+type Machine struct {
+	geom isa.Geometry
+	gpr  [isa.MaxClusters][isa.NumGPR]int32
+	br   [isa.MaxClusters][isa.NumBR]bool
+	mem  *Memory
+	pc   uint64
+}
+
+// New creates a machine with zeroed state.
+func New(geom isa.Geometry) (*Machine, error) {
+	if err := geom.Validate(); err != nil {
+		return nil, err
+	}
+	return &Machine{geom: geom, mem: NewMemory()}, nil
+}
+
+// MustNew is New but panics on error.
+func MustNew(geom isa.Geometry) *Machine {
+	m, err := New(geom)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+// Geometry returns the machine geometry.
+func (m *Machine) Geometry() isa.Geometry { return m.geom }
+
+// Mem exposes the machine's memory.
+func (m *Machine) Mem() *Memory { return m.mem }
+
+// PC returns the program counter.
+func (m *Machine) PC() uint64 { return m.pc }
+
+// SetPC sets the program counter (program load).
+func (m *Machine) SetPC(pc uint64) { m.pc = pc }
+
+// Reg reads GPR r of cluster c; $r0 reads as zero.
+func (m *Machine) Reg(c int, r isa.Reg) int32 {
+	if r == 0 {
+		return 0
+	}
+	return m.gpr[c][r]
+}
+
+// SetReg writes GPR r of cluster c; writes to $r0 are discarded.
+func (m *Machine) SetReg(c int, r isa.Reg, v int32) {
+	if r == 0 {
+		return
+	}
+	m.gpr[c][r] = v
+}
+
+// BranchReg reads branch register b of cluster c.
+func (m *Machine) BranchReg(c int, b isa.BReg) bool { return m.br[c][b] }
+
+// SetBranchReg writes branch register b of cluster c.
+func (m *Machine) SetBranchReg(c int, b isa.BReg, v bool) { m.br[c][b] = v }
+
+// Equal compares the full architectural state of two machines.
+func (m *Machine) Equal(o *Machine) bool {
+	if m.geom != o.geom || m.pc != o.pc {
+		return false
+	}
+	for c := 0; c < m.geom.Clusters; c++ {
+		if m.gpr[c] != o.gpr[c] || m.br[c] != o.br[c] {
+			return false
+		}
+	}
+	return m.mem.Equal(o.mem)
+}
+
+// Diff describes the first difference found between two machines, for test
+// failure messages. It returns "" when states are equal.
+func (m *Machine) Diff(o *Machine) string {
+	if m.pc != o.pc {
+		return fmt.Sprintf("pc: 0x%x vs 0x%x", m.pc, o.pc)
+	}
+	for c := 0; c < m.geom.Clusters; c++ {
+		for r := 0; r < isa.NumGPR; r++ {
+			if m.gpr[c][r] != o.gpr[c][r] {
+				return fmt.Sprintf("c%d $r%d: %d vs %d", c, r, m.gpr[c][r], o.gpr[c][r])
+			}
+		}
+		for b := 0; b < isa.NumBR; b++ {
+			if m.br[c][b] != o.br[c][b] {
+				return fmt.Sprintf("c%d $b%d: %v vs %v", c, b, m.br[c][b], o.br[c][b])
+			}
+		}
+	}
+	if !m.mem.Equal(o.mem) {
+		return "memory contents differ"
+	}
+	return ""
+}
+
+// Clone deep-copies the machine (golden-state comparisons).
+func (m *Machine) Clone() *Machine {
+	c := &Machine{geom: m.geom, pc: m.pc, mem: m.mem.Clone()}
+	c.gpr = m.gpr
+	c.br = m.br
+	return c
+}
+
+// Exec executes one instruction atomically: all operations observe the
+// pre-instruction state, then all effects commit — the classic VLIW
+// semantics the compiler schedules against. It is implemented as a split
+// session that issues every bundle in one step, so atomic and split
+// execution share one code path.
+func (m *Machine) Exec(in *isa.Instruction) error {
+	s := m.Begin(in)
+	for c := 0; c < m.geom.Clusters; c++ {
+		if len(in.Bundles[c]) == 0 {
+			continue
+		}
+		if err := s.IssueCluster(c); err != nil {
+			return err
+		}
+	}
+	return s.Commit()
+}

@@ -1,0 +1,462 @@
+package vexmach
+
+import (
+	"errors"
+	"testing"
+
+	"vexsmt/internal/isa"
+)
+
+func op(o isa.Opcode, dest, src1, src2 isa.Reg) isa.Operation {
+	return isa.Operation{Op: o, Dest: dest, Src1: src1, Src2: src2}
+}
+
+func opi(o isa.Opcode, dest, src1 isa.Reg, imm int32) isa.Operation {
+	return isa.Operation{Op: o, Dest: dest, Src1: src1, Imm: imm, UseImm: true}
+}
+
+func ins(bundles map[int]isa.Bundle) *isa.Instruction {
+	in := &isa.Instruction{Size: InstrBytes}
+	for c, b := range bundles {
+		in.Bundles[c] = b
+	}
+	return in
+}
+
+func TestR0HardwiredZero(t *testing.T) {
+	m := MustNew(isa.ST200x4)
+	m.SetReg(0, 0, 42)
+	if m.Reg(0, 0) != 0 {
+		t.Fatal("$r0 is writable")
+	}
+	in := ins(map[int]isa.Bundle{0: {opi(isa.Mov, 0, isa.RegNone, 99)}})
+	if err := m.Exec(in); err != nil {
+		t.Fatal(err)
+	}
+	if m.Reg(0, 0) != 0 {
+		t.Fatal("$r0 written by mov")
+	}
+}
+
+func TestBasicALUOps(t *testing.T) {
+	m := MustNew(isa.ST200x4)
+	m.SetReg(0, 1, 10)
+	m.SetReg(0, 2, 3)
+	cases := []struct {
+		o    isa.Opcode
+		want int32
+	}{
+		{isa.Add, 13}, {isa.Sub, 7}, {isa.Shl, 80}, {isa.Shr, 1},
+		{isa.And, 2}, {isa.Or, 11}, {isa.Xor, 9}, {isa.Max, 10}, {isa.Min, 3},
+		{isa.Mpy, 30},
+	}
+	for _, c := range cases {
+		in := ins(map[int]isa.Bundle{0: {op(c.o, 5, 1, 2)}})
+		if err := m.Exec(in); err != nil {
+			t.Fatalf("%v: %v", c.o, err)
+		}
+		if got := m.Reg(0, 5); got != c.want {
+			t.Errorf("%v = %d, want %d", c.o, got, c.want)
+		}
+	}
+}
+
+func TestMpyHigh(t *testing.T) {
+	m := MustNew(isa.ST200x4)
+	m.SetReg(0, 1, 1<<30)
+	m.SetReg(0, 2, 8)
+	in := ins(map[int]isa.Bundle{0: {op(isa.MpyH, 3, 1, 2)}})
+	if err := m.Exec(in); err != nil {
+		t.Fatal(err)
+	}
+	// (2^30 * 8) >> 32 == 2
+	if got := m.Reg(0, 3); got != 2 {
+		t.Fatalf("mpyh = %d, want 2", got)
+	}
+}
+
+func TestLoadStoreRoundTrip(t *testing.T) {
+	m := MustNew(isa.ST200x4)
+	m.SetReg(1, 1, 0x10000)
+	m.SetReg(1, 2, -12345)
+	st := isa.Operation{Op: isa.Stw, Src1: 1, Src2: 2, Imm: 8}
+	ld := isa.Operation{Op: isa.Ldw, Dest: 3, Src1: 1, Imm: 8}
+	if err := m.Exec(ins(map[int]isa.Bundle{1: {st}})); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Exec(ins(map[int]isa.Bundle{1: {ld}})); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Reg(1, 3); got != -12345 {
+		t.Fatalf("loaded %d", got)
+	}
+}
+
+func TestCompareAndBranchRegs(t *testing.T) {
+	m := MustNew(isa.ST200x4)
+	m.SetReg(0, 1, 5)
+	cmp := isa.Operation{Op: isa.CmpLT, BDest: 2, Src1: 1, Imm: 10, UseImm: true}
+	if err := m.Exec(ins(map[int]isa.Bundle{0: {cmp}})); err != nil {
+		t.Fatal(err)
+	}
+	if !m.BranchReg(0, 2) {
+		t.Fatal("5 < 10 not set")
+	}
+	cmp2 := isa.Operation{Op: isa.CmpGE, BDest: 3, Src1: 1, Imm: 10, UseImm: true}
+	if err := m.Exec(ins(map[int]isa.Bundle{0: {cmp2}})); err != nil {
+		t.Fatal(err)
+	}
+	if m.BranchReg(0, 3) {
+		t.Fatal("5 >= 10 set")
+	}
+}
+
+// Figure 3: a single instruction swaps $r3 and $r5 without a temporary.
+// Atomic VLIW semantics make this legal: both operations read old values.
+func TestFigure3SwapAtomic(t *testing.T) {
+	m := MustNew(isa.ST200x4)
+	m.SetReg(0, 3, 111)
+	m.SetReg(0, 5, 222)
+	swap := ins(map[int]isa.Bundle{0: {op(isa.Mov, 3, 5, isa.RegNone), op(isa.Mov, 5, 3, isa.RegNone)}})
+	if err := m.Exec(swap); err != nil {
+		t.Fatal(err)
+	}
+	if m.Reg(0, 3) != 222 || m.Reg(0, 5) != 111 {
+		t.Fatalf("swap failed: r3=%d r5=%d", m.Reg(0, 3), m.Reg(0, 5))
+	}
+}
+
+// Figure 3(c) shows the incorrect dataflow if the second operation issues
+// later *without* delay buffers. With the paper's two-phase buffers the
+// split execution stays correct: phase I of each op reads the
+// pre-instruction state regardless of issue cycle.
+func TestFigure3SwapSplitWithBuffers(t *testing.T) {
+	m := MustNew(isa.ST200x4)
+	m.SetReg(0, 3, 111)
+	m.SetReg(0, 5, 222)
+	swap := ins(map[int]isa.Bundle{0: {op(isa.Mov, 3, 5, isa.RegNone), op(isa.Mov, 5, 3, isa.RegNone)}})
+	s := m.Begin(swap)
+	// Cycle 0: issue only the first mov (phase I -> delay buffer).
+	if err := s.IssueOpCounts(0, isa.BundleDemand{Ops: 1, ALU: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if m.Reg(0, 3) != 111 {
+		t.Fatal("delay buffer leaked into architectural state before commit")
+	}
+	// Cycle 1: issue the second mov; it must read the OLD $r3.
+	if err := s.IssueOpCounts(0, isa.BundleDemand{Ops: 1, ALU: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if m.Reg(0, 3) != 222 || m.Reg(0, 5) != 111 {
+		t.Fatalf("split swap broke dataflow: r3=%d r5=%d", m.Reg(0, 3), m.Reg(0, 5))
+	}
+}
+
+// Figure 2: the three operations of an instruction issue in three separate
+// cycles; the architectural result equals atomic execution.
+func TestFigure2OperationLevelSplit(t *testing.T) {
+	build := func() (*Machine, *isa.Instruction) {
+		m := MustNew(isa.ST200x4)
+		m.SetReg(0, 1, 7)
+		m.SetReg(0, 2, 9)
+		in := ins(map[int]isa.Bundle{0: {
+			op(isa.Add, 4, 1, 2),
+			op(isa.Sub, 5, 1, 2),
+			op(isa.Xor, 6, 1, 2),
+		}})
+		return m, in
+	}
+	golden, in := build()
+	if err := golden.Exec(in); err != nil {
+		t.Fatal(err)
+	}
+	m, in2 := build()
+	s := m.Begin(in2)
+	for i := 0; i < 3; i++ {
+		if err := s.IssueOpCounts(0, isa.BundleDemand{Ops: 1, ALU: 1}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !s.Done() {
+		t.Fatal("session not done after 3 single-op issues")
+	}
+	if err := s.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if d := m.Diff(golden); d != "" {
+		t.Fatalf("split execution differs from atomic: %s", d)
+	}
+}
+
+// Figure 12(b,c,d): the three send/recv orderings all produce the same
+// architectural result.
+func TestFigure12SendRecvOrderings(t *testing.T) {
+	commIns := func() *isa.Instruction {
+		return ins(map[int]isa.Bundle{
+			0: {isa.Operation{Op: isa.Send, Src1: 3, Target: 1}},
+			1: {isa.Operation{Op: isa.Recv, Dest: 5, Target: 0}},
+		})
+	}
+	setup := func() *Machine {
+		m := MustNew(isa.ST200x4)
+		m.SetReg(0, 3, 4242)
+		return m
+	}
+
+	// (b) same cycle.
+	m := setup()
+	if err := m.Exec(commIns()); err != nil {
+		t.Fatal(err)
+	}
+	if m.Reg(1, 5) != 4242 {
+		t.Fatalf("same-cycle transfer: got %d", m.Reg(1, 5))
+	}
+
+	// (c) send ahead of recv: buffered in the network.
+	m = setup()
+	s := m.Begin(commIns())
+	if err := s.IssueCluster(0); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.IssueCluster(1); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if m.Reg(1, 5) != 4242 {
+		t.Fatalf("send-early transfer: got %d", m.Reg(1, 5))
+	}
+
+	// (d) recv ahead of send: destination register buffered, data delivered
+	// when the send issues.
+	m = setup()
+	s = m.Begin(commIns())
+	if err := s.IssueCluster(1); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.IssueCluster(0); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if m.Reg(1, 5) != 4242 {
+		t.Fatalf("recv-early transfer: got %d", m.Reg(1, 5))
+	}
+}
+
+func TestRecvWithoutSendFailsAtCommit(t *testing.T) {
+	m := MustNew(isa.ST200x4)
+	in := ins(map[int]isa.Bundle{1: {isa.Operation{Op: isa.Recv, Dest: 5, Target: 0}}})
+	err := m.Exec(in)
+	if err == nil {
+		t.Fatal("recv without send committed")
+	}
+	var ex *Exception
+	if !errors.As(err, &ex) {
+		t.Fatalf("error type %T", err)
+	}
+}
+
+// Precise exceptions (Section V-B): a split-issued part must not update the
+// architectural state, so when a later part faults, the machine rolls back
+// to the instruction boundary.
+func TestPreciseExceptionRollback(t *testing.T) {
+	m := MustNew(isa.ST200x4)
+	m.SetReg(0, 1, 0x10000) // valid store base
+	m.SetReg(0, 2, 777)
+	m.SetReg(1, 1, 0x10002) // misaligned load base -> exception
+	golden := m.Clone()
+
+	in := ins(map[int]isa.Bundle{
+		0: {isa.Operation{Op: isa.Stw, Src1: 1, Src2: 2, Imm: 0},
+			op(isa.Add, 9, 2, 2)},
+		1: {isa.Operation{Op: isa.Ldw, Dest: 3, Src1: 1, Imm: 0}},
+	})
+	s := m.Begin(in)
+	// Part 1: cluster 0 (store goes to memory delay buffer, add to RF buffer).
+	if err := s.IssueCluster(0); err != nil {
+		t.Fatalf("cluster 0 faulted unexpectedly: %v", err)
+	}
+	if s.BufferedStores() != 1 {
+		t.Fatalf("buffered stores = %d, want 1", s.BufferedStores())
+	}
+	// Part 2: cluster 1 faults (misaligned load).
+	err := s.IssueCluster(1)
+	if err == nil {
+		t.Fatal("misaligned load did not fault")
+	}
+	var ex *Exception
+	if !errors.As(err, &ex) || ex.Reason != "misaligned word access" {
+		t.Fatalf("exception = %v", err)
+	}
+	if !s.Failed() {
+		t.Fatal("session not marked failed")
+	}
+	// The architectural state must be exactly the pre-instruction state:
+	// no store, no $r9 update.
+	if d := m.Diff(golden); d != "" {
+		t.Fatalf("state changed despite exception: %s", d)
+	}
+	if m.Mem().Peek(0x10000) != 0 {
+		t.Fatal("buffered store leaked to memory")
+	}
+	// Further issue and commit on the failed session are rejected.
+	if err := s.IssueCluster(0); err == nil {
+		t.Fatal("issue on failed session accepted")
+	}
+	if err := s.Commit(); err == nil {
+		t.Fatal("commit on failed session accepted")
+	}
+}
+
+func TestNullPageAndMisalignedExceptions(t *testing.T) {
+	m := MustNew(isa.ST200x4)
+	m.SetReg(0, 1, 0) // null
+	in := ins(map[int]isa.Bundle{0: {isa.Operation{Op: isa.Ldw, Dest: 3, Src1: 1, Imm: 0}}})
+	if err := m.Exec(in); err == nil {
+		t.Fatal("null load succeeded")
+	}
+	m.SetReg(0, 1, 0x10001)
+	if err := m.Exec(in); err == nil {
+		t.Fatal("misaligned load succeeded")
+	}
+	// Stores fault at issue (phase I), not commit.
+	m.SetReg(0, 1, 3)
+	st := ins(map[int]isa.Bundle{0: {isa.Operation{Op: isa.Stw, Src1: 1, Src2: 2, Imm: 0}}})
+	if err := m.Exec(st); err == nil {
+		t.Fatal("misaligned store succeeded")
+	}
+}
+
+func TestCommitValidation(t *testing.T) {
+	m := MustNew(isa.ST200x4)
+	in := ins(map[int]isa.Bundle{0: {op(isa.Add, 1, 2, 3)}, 1: {op(isa.Add, 1, 2, 3)}})
+	s := m.Begin(in)
+	if err := s.Commit(); err == nil {
+		t.Fatal("commit with unissued ops accepted")
+	}
+	_ = s.IssueCluster(0)
+	_ = s.IssueCluster(1)
+	if err := s.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Commit(); err == nil {
+		t.Fatal("double commit accepted")
+	}
+}
+
+func TestPCAdvanceAndBranches(t *testing.T) {
+	m := MustNew(isa.ST200x4)
+	// goto
+	g := ins(map[int]isa.Bundle{0: {isa.Operation{Op: isa.Goto, Target: 0x200}}})
+	g.Addr = 0x100
+	if err := m.Exec(g); err != nil {
+		t.Fatal(err)
+	}
+	if m.PC() != 0x200 {
+		t.Fatalf("goto pc = 0x%x", m.PC())
+	}
+	// br taken / not taken
+	m.SetBranchReg(0, 1, true)
+	br := ins(map[int]isa.Bundle{0: {isa.Operation{Op: isa.Br, BSrc: 1, Target: 0x400}}})
+	br.Addr = 0x200
+	if err := m.Exec(br); err != nil {
+		t.Fatal(err)
+	}
+	if m.PC() != 0x400 {
+		t.Fatalf("taken br pc = 0x%x", m.PC())
+	}
+	m.SetBranchReg(0, 1, false)
+	br2 := ins(map[int]isa.Bundle{0: {isa.Operation{Op: isa.Br, BSrc: 1, Target: 0x800}}})
+	br2.Addr = 0x400
+	if err := m.Exec(br2); err != nil {
+		t.Fatal(err)
+	}
+	if m.PC() != 0x400+InstrBytes {
+		t.Fatalf("fall-through pc = 0x%x", m.PC())
+	}
+	// brf inverts the condition.
+	brf := ins(map[int]isa.Bundle{0: {isa.Operation{Op: isa.Brf, BSrc: 1, Target: 0x900}}})
+	brf.Addr = m.PC()
+	if err := m.Exec(brf); err != nil {
+		t.Fatal(err)
+	}
+	if m.PC() != 0x900 {
+		t.Fatalf("brf pc = 0x%x", m.PC())
+	}
+}
+
+// A small loop program: sum = 1 + 2 + ... + 10, exercising Run with
+// compare/branch control flow.
+func TestRunLoopProgram(t *testing.T) {
+	g := isa.ST200x4
+	// r1 = counter, r2 = sum, r3 = limit
+	instrs := []*isa.Instruction{
+		ins(map[int]isa.Bundle{0: {opi(isa.Mov, 1, isa.RegNone, 0), opi(isa.Mov, 2, isa.RegNone, 0)}}),
+		ins(map[int]isa.Bundle{0: {opi(isa.Mov, 3, isa.RegNone, 10)}}),
+		// loop body @ index 2: r1++, r2 += r1
+		ins(map[int]isa.Bundle{0: {opi(isa.Add, 1, 1, 1)}}),
+		ins(map[int]isa.Bundle{0: {op(isa.Add, 2, 2, 1), isa.Operation{Op: isa.CmpLT, BDest: 0, Src1: 1, Src2: 3}}}),
+		ins(map[int]isa.Bundle{0: {isa.Operation{Op: isa.Br, BSrc: 0, Target: 0}}}), // patched below
+	}
+	p, err := NewProgram(g, 0x1000, instrs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Patch the branch target to the loop head (index 2).
+	instrs[4].Bundles[0][0].Target = uint32(p.AddrOf(2))
+	m := MustNew(g)
+	m.SetPC(p.Base)
+	steps, err := m.Run(p, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Reg(0, 2) != 55 {
+		t.Fatalf("sum = %d, want 55", m.Reg(0, 2))
+	}
+	if steps != 2+3*10 {
+		t.Fatalf("steps = %d, want 32", steps)
+	}
+}
+
+func TestRunStepLimit(t *testing.T) {
+	g := isa.ST200x4
+	instrs := []*isa.Instruction{
+		ins(map[int]isa.Bundle{0: {isa.Operation{Op: isa.Goto, Target: 0x1000}}}),
+	}
+	p, _ := NewProgram(g, 0x1000, instrs)
+	m := MustNew(g)
+	m.SetPC(0x1000)
+	if _, err := m.Run(p, 50); err == nil {
+		t.Fatal("infinite loop not caught by step limit")
+	}
+}
+
+func TestProgramIndexOf(t *testing.T) {
+	g := isa.ST200x4
+	instrs := []*isa.Instruction{
+		ins(map[int]isa.Bundle{0: {op(isa.Add, 1, 1, 1)}}),
+		ins(map[int]isa.Bundle{0: {op(isa.Add, 1, 1, 1)}}),
+	}
+	p, _ := NewProgram(g, 0x100, instrs)
+	if i, ok := p.IndexOf(0x100); !ok || i != 0 {
+		t.Fatal("base address")
+	}
+	if i, ok := p.IndexOf(0x100 + InstrBytes); !ok || i != 1 {
+		t.Fatal("second instruction")
+	}
+	if _, ok := p.IndexOf(0x100 + 2*InstrBytes); ok {
+		t.Fatal("past end")
+	}
+	if _, ok := p.IndexOf(0x104); ok {
+		t.Fatal("unaligned")
+	}
+	if _, ok := p.IndexOf(0x0); ok {
+		t.Fatal("before base")
+	}
+}

@@ -1,0 +1,142 @@
+// Package vexmach implements a functional clustered VLIW machine with VEX
+// semantics: per-cluster register files (64 GPRs with $r0 hardwired to
+// zero, 8 branch registers), a flat 32-bit memory, explicit inter-cluster
+// send/recv copies, and — the part the paper's correctness argument rests
+// on — split-issue execution sessions with register file and memory delay
+// buffers (Section V-B) that keep the architectural state consistent and
+// exceptions precise no matter in which order the parts of an instruction
+// issue.
+package vexmach
+
+import "fmt"
+
+const pageSize = 1 << 12
+
+// Exception is a precise architectural exception. When an exception is
+// raised during any part of an instruction, the machine state is rolled
+// back to the boundary before that instruction.
+type Exception struct {
+	PC     uint64
+	Addr   uint64
+	Reason string
+}
+
+func (e *Exception) Error() string {
+	return fmt.Sprintf("vexmach: exception at pc=0x%x addr=0x%x: %s", e.PC, e.Addr, e.Reason)
+}
+
+// Memory is a sparse paged 32-bit byte-addressable memory. Word accesses
+// must be 4-byte aligned and must not touch the null page (first 4 KB);
+// violations raise exceptions, which the tests use to exercise precise
+// exception rollback.
+type Memory struct {
+	pages map[uint64]*[pageSize]byte
+}
+
+// NewMemory returns an empty memory.
+func NewMemory() *Memory {
+	return &Memory{pages: make(map[uint64]*[pageSize]byte)}
+}
+
+func (m *Memory) page(addr uint64, alloc bool) *[pageSize]byte {
+	key := addr / pageSize
+	p := m.pages[key]
+	if p == nil && alloc {
+		p = new([pageSize]byte)
+		m.pages[key] = p
+	}
+	return p
+}
+
+func (m *Memory) check(addr uint64, pc uint64) error {
+	if addr < pageSize {
+		return &Exception{PC: pc, Addr: addr, Reason: "null page access"}
+	}
+	if addr%4 != 0 {
+		return &Exception{PC: pc, Addr: addr, Reason: "misaligned word access"}
+	}
+	if addr > 0xFFFF_FFFF {
+		return &Exception{PC: pc, Addr: addr, Reason: "address beyond 32-bit space"}
+	}
+	return nil
+}
+
+// Load32 reads a little-endian word, raising an exception on misalignment
+// or null page access.
+func (m *Memory) Load32(addr uint64, pc uint64) (int32, error) {
+	if err := m.check(addr, pc); err != nil {
+		return 0, err
+	}
+	p := m.page(addr, false)
+	if p == nil {
+		return 0, nil // unbacked memory reads as zero
+	}
+	off := addr % pageSize
+	v := uint32(p[off]) | uint32(p[off+1])<<8 | uint32(p[off+2])<<16 | uint32(p[off+3])<<24
+	return int32(v), nil
+}
+
+// Store32 writes a little-endian word with the same checks as Load32.
+func (m *Memory) Store32(addr uint64, val int32, pc uint64) error {
+	if err := m.check(addr, pc); err != nil {
+		return err
+	}
+	p := m.page(addr, true)
+	off := addr % pageSize
+	u := uint32(val)
+	p[off], p[off+1], p[off+2], p[off+3] = byte(u), byte(u>>8), byte(u>>16), byte(u>>24)
+	return nil
+}
+
+// Poke writes a word without exception checks (test/program setup).
+func (m *Memory) Poke(addr uint64, val int32) {
+	p := m.page(addr, true)
+	off := addr % pageSize
+	u := uint32(val)
+	p[off], p[off+1], p[off+2], p[off+3] = byte(u), byte(u>>8), byte(u>>16), byte(u>>24)
+}
+
+// Peek reads a word without exception checks or allocation.
+func (m *Memory) Peek(addr uint64) int32 {
+	p := m.page(addr, false)
+	if p == nil {
+		return 0
+	}
+	off := addr % pageSize
+	v := uint32(p[off]) | uint32(p[off+1])<<8 | uint32(p[off+2])<<16 | uint32(p[off+3])<<24
+	return int32(v)
+}
+
+// Equal reports whether two memories have identical contents (unbacked
+// pages compare equal to zero-filled pages).
+func (m *Memory) Equal(o *Memory) bool {
+	return m.subsetOf(o) && o.subsetOf(m)
+}
+
+func (m *Memory) subsetOf(o *Memory) bool {
+	for key, p := range m.pages {
+		q := o.pages[key]
+		if q == nil {
+			for _, b := range p {
+				if b != 0 {
+					return false
+				}
+			}
+			continue
+		}
+		if *p != *q {
+			return false
+		}
+	}
+	return true
+}
+
+// Clone returns a deep copy (used for golden-state comparisons in tests).
+func (m *Memory) Clone() *Memory {
+	c := NewMemory()
+	for key, p := range m.pages {
+		cp := *p
+		c.pages[key] = &cp
+	}
+	return c
+}

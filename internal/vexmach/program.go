@@ -1,0 +1,131 @@
+package vexmach
+
+import (
+	"fmt"
+
+	"vexsmt/internal/isa"
+)
+
+// InstrBytes is the fixed encoded size the functional model assigns to each
+// VLIW instruction. Branch targets are instruction addresses.
+const InstrBytes = 16
+
+// Program is a sequence of VLIW instructions laid out from Base. Execution
+// halts when the PC leaves the program.
+type Program struct {
+	Base   uint64
+	Instrs []*isa.Instruction
+}
+
+// NewProgram assigns addresses and sizes to the instructions and validates
+// them against the geometry.
+func NewProgram(geom isa.Geometry, base uint64, instrs []*isa.Instruction) (*Program, error) {
+	for i, in := range instrs {
+		if err := geom.ValidateInstruction(in); err != nil {
+			return nil, fmt.Errorf("instruction %d: %w", i, err)
+		}
+		in.Addr = base + uint64(i)*InstrBytes
+		in.Size = InstrBytes
+	}
+	return &Program{Base: base, Instrs: instrs}, nil
+}
+
+// AddrOf returns the address of instruction index i.
+func (p *Program) AddrOf(i int) uint64 { return p.Base + uint64(i)*InstrBytes }
+
+// IndexOf maps an address to an instruction index.
+func (p *Program) IndexOf(addr uint64) (int, bool) {
+	if addr < p.Base || (addr-p.Base)%InstrBytes != 0 {
+		return 0, false
+	}
+	i := int((addr - p.Base) / InstrBytes)
+	if i >= len(p.Instrs) {
+		return 0, false
+	}
+	return i, true
+}
+
+// Run executes the program atomically (one instruction per step) starting
+// at the machine's PC until the PC leaves the program, an exception occurs,
+// or maxSteps is exceeded. It returns the number of instructions executed.
+func (m *Machine) Run(p *Program, maxSteps int) (int, error) {
+	steps := 0
+	for {
+		idx, ok := p.IndexOf(m.pc)
+		if !ok {
+			return steps, nil // fell off the program: halt
+		}
+		if steps >= maxSteps {
+			return steps, fmt.Errorf("vexmach: exceeded %d steps (runaway program?)", maxSteps)
+		}
+		if err := m.Exec(p.Instrs[idx]); err != nil {
+			return steps, err
+		}
+		steps++
+	}
+}
+
+// SplitOrder decides, for one instruction, the order in which cluster
+// bundles issue across "cycles": each inner slice is one cycle's set of
+// clusters. RunSplit uses it to exercise arbitrary split-issue interleavings.
+type SplitOrder func(in *isa.Instruction) [][]int
+
+// RunSplit executes the program with every instruction issued in parts
+// according to order, exercising the delay-buffer machinery on every
+// instruction. Architectural results must match Run exactly — that is the
+// paper's correctness claim for cluster-level split-issue, and the property
+// tests verify it.
+func (m *Machine) RunSplit(p *Program, maxSteps int, order SplitOrder) (int, error) {
+	steps := 0
+	for {
+		idx, ok := p.IndexOf(m.pc)
+		if !ok {
+			return steps, nil
+		}
+		if steps >= maxSteps {
+			return steps, fmt.Errorf("vexmach: exceeded %d steps (runaway program?)", maxSteps)
+		}
+		in := p.Instrs[idx]
+		s := m.Begin(in)
+		for _, group := range order(in) {
+			for _, c := range group {
+				if len(in.Bundles[c]) == 0 || s.Done() {
+					continue
+				}
+				if err := s.IssueCluster(c); err != nil {
+					return steps, err
+				}
+			}
+		}
+		if !s.Done() {
+			return steps, fmt.Errorf("vexmach: split order left operations unissued at pc=0x%x", m.pc)
+		}
+		if err := s.Commit(); err != nil {
+			return steps, err
+		}
+		steps++
+	}
+}
+
+// SequentialClusters is a SplitOrder issuing one cluster per cycle in
+// increasing order — maximal cluster-level splitting.
+func SequentialClusters(geom isa.Geometry) SplitOrder {
+	return func(*isa.Instruction) [][]int {
+		groups := make([][]int, geom.Clusters)
+		for c := 0; c < geom.Clusters; c++ {
+			groups[c] = []int{c}
+		}
+		return groups
+	}
+}
+
+// ReverseClusters issues clusters highest-first, one per cycle.
+func ReverseClusters(geom isa.Geometry) SplitOrder {
+	return func(*isa.Instruction) [][]int {
+		groups := make([][]int, geom.Clusters)
+		for c := 0; c < geom.Clusters; c++ {
+			groups[c] = []int{geom.Clusters - 1 - c}
+		}
+		return groups
+	}
+}

@@ -1,0 +1,315 @@
+package vexmach
+
+import (
+	"fmt"
+
+	"vexsmt/internal/isa"
+	"vexsmt/internal/xbar"
+)
+
+// Session is a split-issue execution of one VLIW instruction. Parts of the
+// instruction (whole bundles under cluster-level split-issue, individual
+// operations under operation-level split-issue) are issued in any order
+// across any number of cycles; every result is written to delay buffers
+// (Figure 8/9 of the paper) and committed to the architectural state only
+// when the instruction completes. An exception raised by any part discards
+// the session, leaving the machine in the consistent state before the
+// instruction — the precise-exception property of Section V-B.
+type Session struct {
+	m        *Machine
+	in       *isa.Instruction
+	issued   [isa.MaxClusters][]bool
+	left     int // operations not yet issued
+	gprBuf   []gprWrite
+	brBuf    []brWrite
+	memBuf   []memWrite
+	net      *xbar.Network
+	taken    bool
+	target   uint64
+	sawBr    bool
+	finished bool
+	failed   bool
+}
+
+type gprWrite struct {
+	cluster int
+	reg     isa.Reg
+	val     int32
+}
+
+type brWrite struct {
+	cluster int
+	breg    isa.BReg
+	val     bool
+}
+
+type memWrite struct {
+	addr uint64
+	val  int32
+}
+
+// Begin opens a split session on the instruction.
+func (m *Machine) Begin(in *isa.Instruction) *Session {
+	s := &Session{m: m, in: in, net: xbar.New()}
+	for c := 0; c < m.geom.Clusters; c++ {
+		if n := len(in.Bundles[c]); n > 0 {
+			s.issued[c] = make([]bool, n)
+			s.left += n
+		}
+	}
+	return s
+}
+
+// Done reports whether every operation has been issued.
+func (s *Session) Done() bool { return s.left == 0 }
+
+// Failed reports whether the session aborted on an exception.
+func (s *Session) Failed() bool { return s.failed }
+
+// IssueCluster executes all not-yet-issued operations of the bundle at
+// cluster c (cluster-level split-issue: operations of a bundle are never
+// separated). Reads observe the pre-instruction architectural state; writes
+// go to the delay buffers.
+func (s *Session) IssueCluster(c int) error {
+	if s.failed {
+		return fmt.Errorf("vexmach: issue on failed session")
+	}
+	b := s.in.Bundles[c]
+	for i := range b {
+		if s.issued[c][i] {
+			continue
+		}
+		if err := s.issueOp(c, i); err != nil {
+			s.abort()
+			return err
+		}
+	}
+	return s.afterIssue()
+}
+
+// IssueOpCounts executes unissued operations of cluster c's bundle in
+// program order, limited by per-class counts (operation-level split-issue:
+// the issue engine decides how many ALU/MUL/MEM operations of the bundle
+// fit this cycle). Branch and comm operations draw from the ALU budget,
+// matching the demand accounting of isa.DemandOfBundle.
+func (s *Session) IssueOpCounts(c int, take isa.BundleDemand) error {
+	if s.failed {
+		return fmt.Errorf("vexmach: issue on failed session")
+	}
+	alu, mul, mem := int(take.ALU), int(take.Mul), int(take.Mem)
+	b := s.in.Bundles[c]
+	for i := range b {
+		if s.issued[c][i] {
+			continue
+		}
+		var budget *int
+		switch b[i].Class() {
+		case isa.ClassMul:
+			budget = &mul
+		case isa.ClassMem:
+			budget = &mem
+		default:
+			budget = &alu
+		}
+		if *budget == 0 {
+			continue
+		}
+		*budget--
+		if err := s.issueOp(c, i); err != nil {
+			s.abort()
+			return err
+		}
+	}
+	return s.afterIssue()
+}
+
+// afterIssue drains network deliveries (sends that matched earlier pending
+// recvs) into the register delay buffer. The caller decides when to Commit
+// (the issue engine signals the last part).
+func (s *Session) afterIssue() error {
+	for _, d := range s.net.DrainDeliveries() {
+		s.gprBuf = append(s.gprBuf, gprWrite{cluster: d.Ch.Dst, reg: isa.Reg(d.Reg), val: d.Value})
+	}
+	return nil
+}
+
+func (s *Session) abort() {
+	s.failed = true
+	s.gprBuf, s.brBuf, s.memBuf = nil, nil, nil
+	s.net.Reset()
+}
+
+// Commit applies the delay buffers to the architectural state and advances
+// the PC. It fails if operations remain unissued, the session aborted, or a
+// recv never got its data (send/recv pairing violated).
+func (s *Session) Commit() error {
+	switch {
+	case s.failed:
+		return fmt.Errorf("vexmach: commit on failed session")
+	case s.finished:
+		return fmt.Errorf("vexmach: double commit")
+	case !s.Done():
+		return fmt.Errorf("vexmach: commit with %d operations unissued", s.left)
+	case !s.net.Quiesced():
+		return &Exception{PC: s.in.Addr, Reason: "recv without matching send in instruction"}
+	}
+	s.finished = true
+	m := s.m
+	for _, w := range s.gprBuf {
+		m.SetReg(w.cluster, w.reg, w.val)
+	}
+	for _, w := range s.brBuf {
+		m.SetBranchReg(w.cluster, w.breg, w.val)
+	}
+	for _, w := range s.memBuf {
+		// Alignment/null checks ran at issue time (phase I); commit cannot
+		// fault, so Store32 errors here indicate a model bug.
+		if err := m.mem.Store32(w.addr, w.val, s.in.Addr); err != nil {
+			panic(fmt.Sprintf("vexmach: buffered store faulted at commit: %v", err))
+		}
+	}
+	if s.taken {
+		m.pc = s.target
+	} else {
+		m.pc = s.in.Addr + uint64(s.in.Size)
+	}
+	return nil
+}
+
+// BufferedStores returns how many memory writes are waiting in the memory
+// delay buffer (timing hooks and tests).
+func (s *Session) BufferedStores() int { return len(s.memBuf) }
+
+// issueOp executes phase I of one operation: read sources from the
+// pre-instruction state, compute, write the result into the delay buffers.
+func (s *Session) issueOp(c, i int) error {
+	op := &s.in.Bundles[c][i]
+	s.issued[c][i] = true
+	s.left--
+	m := s.m
+
+	src2 := func() int32 {
+		if op.UseImm {
+			return op.Imm
+		}
+		return m.Reg(c, op.Src2)
+	}
+
+	switch op.Op {
+	case isa.Nop:
+	case isa.Add:
+		s.writeGPR(c, op.Dest, m.Reg(c, op.Src1)+src2())
+	case isa.Sub:
+		s.writeGPR(c, op.Dest, m.Reg(c, op.Src1)-src2())
+	case isa.Shl:
+		s.writeGPR(c, op.Dest, m.Reg(c, op.Src1)<<(uint32(src2())&31))
+	case isa.Shr:
+		s.writeGPR(c, op.Dest, m.Reg(c, op.Src1)>>(uint32(src2())&31))
+	case isa.And:
+		s.writeGPR(c, op.Dest, m.Reg(c, op.Src1)&src2())
+	case isa.Or:
+		s.writeGPR(c, op.Dest, m.Reg(c, op.Src1)|src2())
+	case isa.Xor:
+		s.writeGPR(c, op.Dest, m.Reg(c, op.Src1)^src2())
+	case isa.Mov:
+		if op.UseImm {
+			s.writeGPR(c, op.Dest, op.Imm)
+		} else {
+			s.writeGPR(c, op.Dest, m.Reg(c, op.Src1))
+		}
+	case isa.Max:
+		a, b := m.Reg(c, op.Src1), src2()
+		if b > a {
+			a = b
+		}
+		s.writeGPR(c, op.Dest, a)
+	case isa.Min:
+		a, b := m.Reg(c, op.Src1), src2()
+		if b < a {
+			a = b
+		}
+		s.writeGPR(c, op.Dest, a)
+	case isa.CmpEQ:
+		s.writeBR(c, op.BDest, m.Reg(c, op.Src1) == src2())
+	case isa.CmpNE:
+		s.writeBR(c, op.BDest, m.Reg(c, op.Src1) != src2())
+	case isa.CmpLT:
+		s.writeBR(c, op.BDest, m.Reg(c, op.Src1) < src2())
+	case isa.CmpGE:
+		s.writeBR(c, op.BDest, m.Reg(c, op.Src1) >= src2())
+	case isa.Mpy:
+		s.writeGPR(c, op.Dest, m.Reg(c, op.Src1)*src2())
+	case isa.MpyH:
+		s.writeGPR(c, op.Dest, int32((int64(m.Reg(c, op.Src1))*int64(src2()))>>32))
+	case isa.MpySh:
+		s.writeGPR(c, op.Dest, int32((int64(m.Reg(c, op.Src1))*int64(src2()))>>16))
+	case isa.Ldw:
+		addr := uint64(uint32(m.Reg(c, op.Src1) + op.Imm))
+		v, err := m.mem.Load32(addr, s.in.Addr)
+		if err != nil {
+			return err
+		}
+		s.writeGPR(c, op.Dest, v)
+	case isa.Stw:
+		addr := uint64(uint32(m.Reg(c, op.Src1) + op.Imm))
+		// Phase I performs the checks; the write itself goes to the memory
+		// delay buffer (Figure 9b).
+		if err := m.mem.check(addr, s.in.Addr); err != nil {
+			return err
+		}
+		s.memBuf = append(s.memBuf, memWrite{addr: addr, val: m.Reg(c, op.Src2)})
+	case isa.Br:
+		if m.BranchReg(c, op.BSrc) {
+			s.takeBranch(uint64(op.Target))
+		}
+		s.sawBr = true
+	case isa.Brf:
+		if !m.BranchReg(c, op.BSrc) {
+			s.takeBranch(uint64(op.Target))
+		}
+		s.sawBr = true
+	case isa.Goto:
+		s.takeBranch(uint64(op.Target))
+	case isa.Send:
+		ch := xbar.Channel{Src: c, Dst: int(op.Target)}
+		if err := s.net.Send(ch, m.Reg(c, op.Src1)); err != nil {
+			return &Exception{PC: s.in.Addr, Reason: err.Error()}
+		}
+	case isa.Recv:
+		ch := xbar.Channel{Src: int(op.Target), Dst: c}
+		v, ok, err := s.net.Recv(ch, uint8(op.Dest))
+		if err != nil {
+			return &Exception{PC: s.in.Addr, Reason: err.Error()}
+		}
+		if ok {
+			s.writeGPR(c, op.Dest, v)
+		}
+		// else: pending; the matching send will produce a delivery.
+	default:
+		return &Exception{PC: s.in.Addr, Reason: fmt.Sprintf("illegal opcode %d", op.Op)}
+	}
+	return nil
+}
+
+func (s *Session) writeGPR(c int, r isa.Reg, v int32) {
+	if r == 0 || r == isa.RegNone {
+		return
+	}
+	s.gprBuf = append(s.gprBuf, gprWrite{cluster: c, reg: r, val: v})
+}
+
+func (s *Session) writeBR(c int, b isa.BReg, v bool) {
+	if b == isa.BRegNone {
+		return
+	}
+	s.brBuf = append(s.brBuf, brWrite{cluster: c, breg: b, val: v})
+}
+
+func (s *Session) takeBranch(target uint64) {
+	s.taken = true
+	s.target = target
+}
+
+// Taken reports whether a committed session took a branch (timing model
+// hook for the 1-cycle taken-branch penalty).
+func (s *Session) Taken() bool { return s.taken }

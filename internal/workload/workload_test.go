@@ -1,0 +1,83 @@
+package workload
+
+import (
+	"testing"
+
+	"vexsmt/internal/synth"
+)
+
+func TestPaperTableComplete(t *testing.T) {
+	rows := PaperFigure13a()
+	if len(rows) != 12 {
+		t.Fatalf("%d rows, want 12", len(rows))
+	}
+	for _, r := range rows {
+		if _, ok := synth.ByName(r.Name); !ok {
+			t.Errorf("paper row %s has no synthetic profile", r.Name)
+		}
+		if r.IPCp < r.IPCr {
+			t.Errorf("%s: IPCp %.2f < IPCr %.2f", r.Name, r.IPCp, r.IPCr)
+		}
+	}
+}
+
+func TestNineMixes(t *testing.T) {
+	mixes := Figure13b()
+	if len(mixes) != 9 {
+		t.Fatalf("%d mixes, want 9", len(mixes))
+	}
+	order := []string{"llll", "lmmh", "mmmm", "llmm", "llmh", "llhh", "lmhh", "mmhh", "hhhh"}
+	for i, m := range mixes {
+		if m.Label != order[i] {
+			t.Errorf("position %d: %s, want %s", i, m.Label, order[i])
+		}
+	}
+}
+
+func TestValidateLabelsMatchClasses(t *testing.T) {
+	if err := Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMixByLabel(t *testing.T) {
+	m, err := MixByLabel("mmhh")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Benchmarks != [4]string{"djpeg", "g721decode", "idct", "colorspace"} {
+		t.Fatalf("mmhh = %v", m.Benchmarks)
+	}
+	if _, err := MixByLabel("zzzz"); err == nil {
+		t.Fatal("unknown label accepted")
+	}
+}
+
+func TestProfilesResolve(t *testing.T) {
+	for _, m := range Figure13b() {
+		profs, err := m.Profiles()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(profs) != 4 {
+			t.Fatalf("%s: %d profiles", m.Label, len(profs))
+		}
+	}
+}
+
+func TestPaperValuesMatchText(t *testing.T) {
+	// Spot checks against Figure 13a.
+	byName := map[string]PaperRow{}
+	for _, r := range PaperFigure13a() {
+		byName[r.Name] = r
+	}
+	if byName["colorspace"].IPCp != 8.88 || byName["colorspace"].IPCr != 5.47 {
+		t.Error("colorspace paper values wrong")
+	}
+	if byName["mcf"].IPCr != 0.96 {
+		t.Error("mcf paper IPCr wrong")
+	}
+	if byName["gsmencode"].IPCr != byName["gsmencode"].IPCp {
+		t.Error("gsmencode should have equal IPCr/IPCp")
+	}
+}

@@ -1,0 +1,117 @@
+// Package xbar models the fully-connected inter-cluster communication
+// network of the base architecture (Section IV) together with the two
+// buffering mechanisms Section V-E introduces so that split-issue cannot
+// break VEX's requirement that send and recv issue simultaneously:
+//
+//   - if send executes ahead of recv, the transferred value is buffered in
+//     the network until the recv executes (Figure 12c);
+//   - if recv executes ahead of send, the recv records its destination
+//     register in a pending-recv buffer; when the data arrives it is
+//     written directly to the register file, which is guaranteed a free
+//     write port by the partitioned organization (Figure 12d).
+package xbar
+
+import "fmt"
+
+// Channel identifies one directed cluster-to-cluster link of one thread.
+type Channel struct {
+	Thread int
+	Src    int // sending cluster
+	Dst    int // receiving cluster
+}
+
+// Pending describes a recv that executed before its data arrived.
+type Pending struct {
+	DestReg uint8 // destination register number saved by the early recv
+}
+
+// Network is the inter-cluster interconnect. Each (thread, src, dst)
+// channel holds at most one in-flight value, which matches VEX semantics:
+// send/recv pairs belong to the same VLIW instruction, and a thread has at
+// most one instruction in flight.
+type Network struct {
+	data    map[Channel]int32
+	pending map[Channel]Pending
+	// Deliveries collects (channel, reg, value) triples fulfilled by Send
+	// for an earlier pending recv; the caller drains them into the
+	// register file.
+	deliveries []Delivery
+}
+
+// Delivery is a register write the network performs on behalf of an early
+// recv once the matching send arrives.
+type Delivery struct {
+	Ch    Channel
+	Reg   uint8
+	Value int32
+}
+
+// New returns an empty network.
+func New() *Network {
+	return &Network{
+		data:    make(map[Channel]int32),
+		pending: make(map[Channel]Pending),
+	}
+}
+
+// Send places a value on the channel. If a recv already executed and left a
+// pending destination register, the value is converted into a Delivery for
+// the caller to apply; otherwise it is buffered until the recv executes.
+// A second send on a busy channel is a program error.
+func (n *Network) Send(ch Channel, val int32) error {
+	if p, ok := n.pending[ch]; ok {
+		delete(n.pending, ch)
+		n.deliveries = append(n.deliveries, Delivery{Ch: ch, Reg: p.DestReg, Value: val})
+		return nil
+	}
+	if _, busy := n.data[ch]; busy {
+		return fmt.Errorf("xbar: channel %+v already holds an in-flight value", ch)
+	}
+	n.data[ch] = val
+	return nil
+}
+
+// Recv attempts to read the value on the channel. If the send already
+// executed, the buffered value is returned with ok=true (Figure 12c).
+// Otherwise the recv is registered as pending with its destination register
+// (Figure 12d) and ok=false; the caller must apply the eventual Delivery.
+func (n *Network) Recv(ch Channel, destReg uint8) (val int32, ok bool, err error) {
+	if v, present := n.data[ch]; present {
+		delete(n.data, ch)
+		return v, true, nil
+	}
+	if _, dup := n.pending[ch]; dup {
+		return 0, false, fmt.Errorf("xbar: duplicate pending recv on channel %+v", ch)
+	}
+	n.pending[ch] = Pending{DestReg: destReg}
+	return 0, false, nil
+}
+
+// DrainDeliveries returns and clears the register writes produced by sends
+// that matched pending recvs.
+func (n *Network) DrainDeliveries() []Delivery {
+	d := n.deliveries
+	n.deliveries = nil
+	return d
+}
+
+// Quiesced reports whether the network holds no in-flight values, pending
+// recvs or undelivered register writes. At every VLIW instruction boundary
+// of a thread the network must be quiesced, because VEX pairs send and recv
+// within one instruction.
+func (n *Network) Quiesced() bool {
+	return len(n.data) == 0 && len(n.pending) == 0 && len(n.deliveries) == 0
+}
+
+// InFlight returns the number of buffered (sent, not yet received) values.
+func (n *Network) InFlight() int { return len(n.data) }
+
+// PendingRecvs returns the number of recvs waiting for data.
+func (n *Network) PendingRecvs() int { return len(n.pending) }
+
+// Reset discards all state (context switch / exception rollback).
+func (n *Network) Reset() {
+	n.data = make(map[Channel]int32)
+	n.pending = make(map[Channel]Pending)
+	n.deliveries = nil
+}

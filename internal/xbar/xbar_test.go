@@ -1,0 +1,117 @@
+package xbar
+
+import "testing"
+
+func ch() Channel { return Channel{Thread: 0, Src: 0, Dst: 1} }
+
+// Figure 12(b): send and recv issue in the same cycle — modelled as send
+// then recv back-to-back with no intervening state.
+func TestSendThenRecvSameCycle(t *testing.T) {
+	n := New()
+	if err := n.Send(ch(), 1234); err != nil {
+		t.Fatal(err)
+	}
+	v, ok, err := n.Recv(ch(), 5)
+	if err != nil || !ok || v != 1234 {
+		t.Fatalf("recv = %d, %v, %v", v, ok, err)
+	}
+	if !n.Quiesced() {
+		t.Fatal("network not quiesced")
+	}
+}
+
+// Figure 12(c): send issued ahead of recv — data buffered in the network.
+func TestEarlySendBuffered(t *testing.T) {
+	n := New()
+	if err := n.Send(ch(), 77); err != nil {
+		t.Fatal(err)
+	}
+	if n.InFlight() != 1 {
+		t.Fatalf("in flight = %d", n.InFlight())
+	}
+	v, ok, err := n.Recv(ch(), 5)
+	if err != nil || !ok || v != 77 {
+		t.Fatalf("recv = %d, %v, %v", v, ok, err)
+	}
+	if !n.Quiesced() {
+		t.Fatal("not quiesced after transfer")
+	}
+}
+
+// Figure 12(d): recv issued ahead of send — destination register saved,
+// data delivered when the send arrives.
+func TestEarlyRecvPendingDelivery(t *testing.T) {
+	n := New()
+	v, ok, err := n.Recv(ch(), 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Fatalf("recv returned data %d before send", v)
+	}
+	if n.PendingRecvs() != 1 {
+		t.Fatalf("pending = %d", n.PendingRecvs())
+	}
+	if err := n.Send(ch(), 555); err != nil {
+		t.Fatal(err)
+	}
+	ds := n.DrainDeliveries()
+	if len(ds) != 1 || ds[0].Reg != 9 || ds[0].Value != 555 {
+		t.Fatalf("deliveries = %+v", ds)
+	}
+	if !n.Quiesced() {
+		t.Fatal("not quiesced after delivery drained")
+	}
+}
+
+func TestDoubleSendRejected(t *testing.T) {
+	n := New()
+	_ = n.Send(ch(), 1)
+	if err := n.Send(ch(), 2); err == nil {
+		t.Fatal("double send accepted")
+	}
+}
+
+func TestDuplicatePendingRecvRejected(t *testing.T) {
+	n := New()
+	_, _, _ = n.Recv(ch(), 1)
+	if _, _, err := n.Recv(ch(), 2); err == nil {
+		t.Fatal("duplicate pending recv accepted")
+	}
+}
+
+func TestChannelsIndependent(t *testing.T) {
+	n := New()
+	a := Channel{Thread: 0, Src: 0, Dst: 1}
+	b := Channel{Thread: 0, Src: 1, Dst: 0}
+	c := Channel{Thread: 1, Src: 0, Dst: 1}
+	_ = n.Send(a, 1)
+	_ = n.Send(b, 2)
+	_ = n.Send(c, 3)
+	if v, ok, _ := n.Recv(c, 0); !ok || v != 3 {
+		t.Fatal("thread channels interfere")
+	}
+	if v, ok, _ := n.Recv(b, 0); !ok || v != 2 {
+		t.Fatal("direction channels interfere")
+	}
+	if v, ok, _ := n.Recv(a, 0); !ok || v != 1 {
+		t.Fatal("channel a lost")
+	}
+}
+
+func TestReset(t *testing.T) {
+	n := New()
+	_ = n.Send(ch(), 1)
+	_, _, _ = n.Recv(Channel{Thread: 2, Src: 1, Dst: 3}, 4)
+	n.Reset()
+	if !n.Quiesced() {
+		t.Fatal("reset did not quiesce")
+	}
+}
+
+func TestDrainEmpty(t *testing.T) {
+	n := New()
+	if ds := n.DrainDeliveries(); len(ds) != 0 {
+		t.Fatalf("deliveries on fresh network: %+v", ds)
+	}
+}
