@@ -15,6 +15,7 @@
 package vexsmt_test
 
 import (
+	"runtime"
 	"testing"
 
 	"vexsmt/internal/cache"
@@ -141,6 +142,35 @@ func BenchmarkFigure16(b *testing.B) {
 		}
 	}
 }
+
+// matrixBenchScale keeps one full-grid matrix iteration tractable.
+const matrixBenchScale = 8000
+
+// benchmarkMatrix runs the full deduplicated Figure 14+15+16 grid (144
+// cells) through the plan-then-execute engine at the given parallelism.
+func benchmarkMatrix(b *testing.B, parallel int) {
+	plan, err := experiments.PlanFigures("14", "15", "16")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m := experiments.NewMatrix(matrixBenchScale, 1)
+		m.SetParallelism(parallel)
+		if err := m.Prefetch(plan); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(plan.Len()*b.N)/b.Elapsed().Seconds(), "cells/s")
+}
+
+// BenchmarkMatrixSerial is the single-worker baseline for the grid.
+func BenchmarkMatrixSerial(b *testing.B) { benchmarkMatrix(b, 1) }
+
+// BenchmarkMatrixParallel fans the grid out over GOMAXPROCS workers; the
+// cells/s ratio against BenchmarkMatrixSerial is the engine's speedup and
+// tracks the perf trajectory on multi-core hardware.
+func BenchmarkMatrixParallel(b *testing.B) { benchmarkMatrix(b, runtime.GOMAXPROCS(0)) }
 
 // BenchmarkAblationRenaming quantifies cluster renaming (used by all paper
 // experiments; proposed in the authors' CSMT paper).

@@ -7,18 +7,26 @@
 //	Figure 15    — COSI and OOSI speedups over SMT (2T/4T, NS/AS)
 //	Figure 16    — absolute IPC of all eight techniques
 //
+// The simulation grid is planned once, deduplicated across figures, and
+// executed over a bounded worker pool; -parallel 1 runs serially and is
+// bit-identical to any other parallelism.
+//
 // Usage:
 //
 //	paperbench                 # all figures at the default 1/100 scale
 //	paperbench -quick          # 1/1000 scale smoke run
 //	paperbench -fig 14         # a single figure
 //	paperbench -scale 1        # full paper scale (slow: 200M instrs/run)
+//	paperbench -parallel 8     # bound the worker pool explicitly
+//	paperbench -cpuprofile p   # write a pprof CPU profile
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"vexsmt/internal/experiments"
@@ -26,88 +34,132 @@ import (
 )
 
 func main() {
+	// All work happens in run so its deferred cleanup (CPU profile flush,
+	// file close) executes even on error paths; os.Exit lives only here.
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "paperbench:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
 	var (
-		fig   = flag.String("fig", "all", "figure to regenerate: 13a, 13b, 14, 15, 16, all")
-		scale = flag.Int64("scale", 100, "scale divisor of paper scale (1 = paper scale)")
-		quick = flag.Bool("quick", false, "shorthand for -scale 1000")
-		seed  = flag.Uint64("seed", 1, "simulation seed")
+		fig        = flag.String("fig", "all", "figure to regenerate: 13a, 13b, 14, 15, 16, all")
+		scale      = flag.Int64("scale", 100, "scale divisor of paper scale (1 = paper scale)")
+		quick      = flag.Bool("quick", false, "shorthand for -scale 1000")
+		seed       = flag.Uint64("seed", 1, "simulation seed")
+		parallel   = flag.Int("parallel", runtime.GOMAXPROCS(0), "max concurrent simulations")
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 	)
 	flag.Parse()
 	if *quick {
 		*scale = 1000
 	}
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return err
+		}
+		defer pprof.StopCPUProfile()
+	}
+
+	figures := []string{"13a", "13b", "14", "15", "16"}
+	if *fig != "all" {
+		figures = []string{*fig}
+	}
 
 	m := experiments.NewMatrix(*scale, *seed)
+	m.SetParallelism(*parallel)
 	start := time.Now()
 
-	if *fig == "all" || *fig == "13a" {
-		rows, err := experiments.Figure13a(max64(*scale, 150))
+	// Plan the whole grid up front: cells shared between figures simulate
+	// once, concurrently, before any figure renders.
+	plan, err := experiments.PlanFigures(figures...)
+	if err != nil {
+		return err
+	}
+	prefetchStart := time.Now()
+	if err := m.Prefetch(plan); err != nil {
+		return err
+	}
+	if plan.Len() > 0 {
+		fmt.Printf("(planned %d unique cells, simulated in %.1fs over %d workers)\n\n",
+			plan.Len(), time.Since(prefetchStart).Seconds(), m.Parallelism())
+	}
+
+	for _, f := range figures {
+		figStart := time.Now()
+		if err := renderFigure(m, f, *scale); err != nil {
+			return err
+		}
+		fmt.Printf("(figure %s in %.2fs)\n\n", f, time.Since(figStart).Seconds())
+	}
+	fmt.Printf("(%d simulations, %.1fs total, 1/%d paper scale, seed %d, parallelism %d)\n",
+		m.Cells(), time.Since(start).Seconds(), *scale, *seed, m.Parallelism())
+	return nil
+}
+
+// renderFigure prints one figure; grid cells are already memoized, so only
+// Figure 13(a)'s single-thread runs simulate here.
+func renderFigure(m *experiments.Matrix, fig string, scale int64) error {
+	switch fig {
+	case "13a":
+		rows, err := experiments.Figure13a(max64(scale, 150))
 		if err != nil {
-			fatal(err)
+			return err
 		}
 		fmt.Print(report.Figure13aTable(rows))
-		fmt.Println()
-	}
-	if *fig == "all" || *fig == "13b" {
+	case "13b":
 		fmt.Print(report.Figure13bTable())
-		fmt.Println()
-	}
-	if *fig == "all" || *fig == "14" {
+	case "14":
 		series, err := m.Figure14()
 		if err != nil {
-			fatal(err)
+			return err
 		}
 		fmt.Print(report.SpeedupChart("Figure 14: Cluster-level split-issue (CCSI) speedups over CSMT", series))
 		fmt.Println()
-		paper := report.PaperFigure14Averages()
-		var rows []report.Headline
-		for i, s := range series {
-			rows = append(rows, report.Headline{Label: s.Label, Measured: s.Avg, Paper: paper[i]})
-		}
-		fmt.Print(report.HeadlineTable(rows))
-		fmt.Println()
-	}
-	if *fig == "all" || *fig == "15" {
+		fmt.Print(report.HeadlineTable(headlines(series)))
+	case "15":
 		series, err := m.Figure15()
 		if err != nil {
-			fatal(err)
+			return err
 		}
 		fmt.Print(report.SpeedupChart("Figure 15: COSI and OOSI speedups over SMT", series))
 		fmt.Println()
-		paper := report.PaperFigure15Averages()
-		var rows []report.Headline
-		for i, s := range series {
-			rows = append(rows, report.Headline{Label: s.Label, Measured: s.Avg, Paper: paper[permute15(i)]})
-		}
-		fmt.Print(report.HeadlineTable(rows))
-		fmt.Println()
-	}
-	if *fig == "all" || *fig == "16" {
+		fmt.Print(report.HeadlineTable(headlines(series)))
+	case "16":
 		points, err := m.Figure16()
 		if err != nil {
-			fatal(err)
+			return err
 		}
 		fmt.Print(report.IPCChart(points))
-		fmt.Println()
+	default:
+		return fmt.Errorf("unknown figure %q", fig)
 	}
-	fmt.Printf("(%d simulations, %.1fs, 1/%d paper scale, seed %d)\n",
-		m.Cells(), time.Since(start).Seconds(), *scale, *seed)
+	return nil
 }
 
-// permute15 maps Figure15() series order (2T: COSI NS, COSI AS, OOSI NS,
-// OOSI AS; then 4T same) onto PaperFigure15Averages order (COSI NS, COSI
-// AS, OOSI NS, OOSI AS at 2T, then 4T) — identical, so identity; kept as a
-// named function to document the correspondence.
-func permute15(i int) int { return i }
+// headlines pairs each measured series with the paper's reported average,
+// matched by the series' comparison key rather than by position.
+func headlines(series []experiments.SpeedupSeries) []report.Headline {
+	var rows []report.Headline
+	for _, s := range series {
+		paper, ok := report.PaperAverageFor(s)
+		if !ok {
+			continue // the paper reports no average for this series
+		}
+		rows = append(rows, report.Headline{Label: s.Label, Measured: s.Avg, Paper: paper})
+	}
+	return rows
+}
 
 func max64(a, b int64) int64 {
 	if a > b {
 		return a
 	}
 	return b
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "paperbench:", err)
-	os.Exit(1)
 }

@@ -1,0 +1,3 @@
+module vexsmt
+
+go 1.21

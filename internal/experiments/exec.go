@@ -1,0 +1,213 @@
+package experiments
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+
+	"vexsmt/internal/core"
+	"vexsmt/internal/rng"
+	"vexsmt/internal/sim"
+	"vexsmt/internal/stats"
+	"vexsmt/internal/workload"
+)
+
+// Matrix runs and memoizes (mix, technique, thread-count) cells. It is
+// safe for concurrent use: concurrent requests for the same cell simulate
+// it exactly once (singleflight), and every cell draws its random stream
+// from a seed derived purely from the cell's workload identity, so
+// results are bit-identical no matter how many workers run the grid or
+// in what order.
+type Matrix struct {
+	Scale int64 // divisor of paper scale (1 = paper scale)
+	Seed  uint64
+
+	parallel int
+
+	mu    sync.Mutex
+	cells map[Cell]*cellCall
+}
+
+// cellCall is one memoized simulation: done closes when run/err are final.
+type cellCall struct {
+	done chan struct{}
+	run  *stats.Run
+	err  error
+}
+
+// NewMatrix builds an empty result matrix at the given scale. Parallelism
+// defaults to GOMAXPROCS.
+func NewMatrix(scale int64, seed uint64) *Matrix {
+	return &Matrix{
+		Scale:    scale,
+		Seed:     seed,
+		parallel: runtime.GOMAXPROCS(0),
+		cells:    make(map[Cell]*cellCall),
+	}
+}
+
+// SetParallelism bounds the worker pool used by Prefetch and the figure
+// methods; n < 1 resets to GOMAXPROCS. It must not be called concurrently
+// with running figures.
+func (m *Matrix) SetParallelism(n int) {
+	if n < 1 {
+		n = runtime.GOMAXPROCS(0)
+	}
+	m.parallel = n
+}
+
+// Parallelism returns the current worker-pool bound.
+func (m *Matrix) Parallelism() int { return m.parallel }
+
+// CellSeed derives the deterministic seed for one cell, splitmix-style
+// from {Seed, mix, threads}. The technique is deliberately excluded:
+// cfg.Seed drives the synthetic instruction streams and the context-
+// switch schedule, and the paper's speedup figures divide a technique's
+// IPC by its baseline's on the *same* workload — a common-random-numbers
+// pairing that small-scale runs need for stability. Every technique of a
+// (mix, threads) pair therefore shares one seed, while parallel and
+// serial execution stay bit-identical because each cell's simulator owns
+// its entire random stream. Exposed so tests and tools can reproduce a
+// single cell in isolation.
+func (m *Matrix) CellSeed(c Cell) uint64 {
+	return rng.DeriveSeed(m.Seed,
+		rng.StringToken(c.Mix.Label),
+		uint64(c.Threads))
+}
+
+// Run returns the memoized run for one cell, simulating on first use.
+// Concurrent callers of the same cell share one simulation.
+func (m *Matrix) Run(mix workload.Mix, tech core.Technique, threads int) (*stats.Run, error) {
+	return m.RunCell(Cell{Mix: mix, Tech: tech, Threads: threads})
+}
+
+// RunCell is Run keyed by Cell.
+func (m *Matrix) RunCell(c Cell) (*stats.Run, error) {
+	m.mu.Lock()
+	if call, ok := m.cells[c]; ok {
+		m.mu.Unlock()
+		<-call.done
+		return call.run, call.err
+	}
+	call := &cellCall{done: make(chan struct{})}
+	m.cells[c] = call
+	m.mu.Unlock()
+
+	call.run, call.err = m.simulate(c)
+	close(call.done)
+	return call.run, call.err
+}
+
+// simulate runs one cell from scratch. It touches no Matrix state beyond
+// the immutable Scale/Seed, so any number of cells may simulate at once.
+func (m *Matrix) simulate(c Cell) (*stats.Run, error) {
+	cfg := sim.DefaultConfig(c.Tech, c.Threads).WithScale(m.Scale)
+	cfg.Seed = m.CellSeed(c)
+	profs, err := c.Mix.Profiles()
+	if err != nil {
+		return nil, err
+	}
+	s, err := sim.NewWorkload(cfg, profs)
+	if err != nil {
+		return nil, err
+	}
+	r, err := s.Run()
+	if err != nil {
+		return nil, fmt.Errorf("experiments: %s: %w", c, err)
+	}
+	return r, nil
+}
+
+// Prefetch simulates every cell of a plan over a bounded worker pool and
+// returns the first error. After a successful Prefetch, figure assembly
+// only reads memoized results.
+func (m *Matrix) Prefetch(p *Plan) error {
+	cells := p.Cells()
+	return forEachLimit(m.parallel, len(cells), func(i int) error {
+		_, err := m.RunCell(cells[i])
+		return err
+	})
+}
+
+// Results returns a snapshot of every successfully simulated cell.
+func (m *Matrix) Results() map[Cell]stats.Run {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make(map[Cell]stats.Run, len(m.cells))
+	for c, call := range m.cells {
+		select {
+		case <-call.done:
+			if call.err == nil {
+				out[c] = *call.run
+			}
+		default: // still simulating; skip
+		}
+	}
+	return out
+}
+
+// Cells returns the memoized cell count (test instrumentation).
+func (m *Matrix) Cells() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.cells)
+}
+
+// SortedCellKeys aids deterministic debugging output.
+func (m *Matrix) SortedCellKeys() []string {
+	m.mu.Lock()
+	keys := make([]string, 0, len(m.cells))
+	for c := range m.cells {
+		keys = append(keys, c.String())
+	}
+	m.mu.Unlock()
+	sort.Strings(keys)
+	return keys
+}
+
+// forEachLimit runs fn(0..n-1) over at most limit concurrent workers and
+// returns the first error. All items run even after an error is recorded;
+// simulation cells are independent, so finishing them keeps the memo warm
+// for whoever retries.
+func forEachLimit(limit, n int, fn func(i int) error) error {
+	if limit > n {
+		limit = n
+	}
+	if limit <= 1 {
+		var first error
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil && first == nil {
+				first = err
+			}
+		}
+		return first
+	}
+	var (
+		wg    sync.WaitGroup
+		mu    sync.Mutex
+		first error
+		next  = make(chan int)
+	)
+	wg.Add(limit)
+	for w := 0; w < limit; w++ {
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				if err := fn(i); err != nil {
+					mu.Lock()
+					if first == nil {
+						first = err
+					}
+					mu.Unlock()
+				}
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+	return first
+}

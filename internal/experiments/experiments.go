@@ -1,13 +1,20 @@
 // Package experiments orchestrates the paper's evaluation (Section VI):
 // the single-thread benchmark characterization of Figure 13(a) and the
 // 2-thread/4-thread multithreading sweeps behind Figures 14, 15 and 16.
-// A Matrix memoizes runs so the three figures share the same simulations,
-// exactly as in the paper.
+//
+// The evaluation is a grid of independent (mix, technique, thread-count)
+// simulations, organized plan-then-execute: a Plan enumerates and dedups
+// the cells a set of figures needs, and a Matrix executes them over a
+// bounded worker pool with singleflight memoization, so the three figures
+// share the same simulations — exactly as in the paper — while saturating
+// the machine. Per-cell seeds derive from the cell's workload identity
+// (internal/rng), so parallel and serial runs are bit-identical and
+// technique-vs-baseline comparisons stay paired.
 package experiments
 
 import (
 	"fmt"
-	"sort"
+	"runtime"
 
 	"vexsmt/internal/core"
 	"vexsmt/internal/sim"
@@ -15,48 +22,6 @@ import (
 	"vexsmt/internal/synth"
 	"vexsmt/internal/workload"
 )
-
-// Matrix lazily runs and memoizes (mix, technique, thread-count) cells.
-type Matrix struct {
-	Scale int64 // divisor of paper scale (1 = paper scale)
-	Seed  uint64
-	cells map[cellKey]*stats.Run
-}
-
-type cellKey struct {
-	mix     string
-	tech    core.Technique
-	threads int
-}
-
-// NewMatrix builds an empty result matrix at the given scale.
-func NewMatrix(scale int64, seed uint64) *Matrix {
-	return &Matrix{Scale: scale, Seed: seed, cells: make(map[cellKey]*stats.Run)}
-}
-
-// Run returns the memoized run for one cell, simulating on first use.
-func (m *Matrix) Run(mix workload.Mix, tech core.Technique, threads int) (*stats.Run, error) {
-	key := cellKey{mix.Label, tech, threads}
-	if r, ok := m.cells[key]; ok {
-		return r, nil
-	}
-	cfg := sim.DefaultConfig(tech, threads).WithScale(m.Scale)
-	cfg.Seed = m.Seed
-	profs, err := mix.Profiles()
-	if err != nil {
-		return nil, err
-	}
-	s, err := sim.NewWorkload(cfg, profs)
-	if err != nil {
-		return nil, err
-	}
-	r, err := s.Run()
-	if err != nil {
-		return nil, fmt.Errorf("experiments: %s/%s/%dT: %w", mix.Label, tech.Name(), threads, err)
-	}
-	m.cells[key] = r
-	return r, nil
-}
 
 // ---------------------------------------------------------------------------
 // Figure 13(a)
@@ -70,23 +35,30 @@ type Fig13Row struct {
 }
 
 // Figure13a measures every benchmark single-threaded with real and perfect
-// memory.
+// memory. Benchmarks are independent, so they run concurrently; the row
+// order is the paper's table order regardless of completion order.
 func Figure13a(scale int64) ([]Fig13Row, error) {
-	var rows []Fig13Row
-	for _, pr := range workload.PaperFigure13a() {
+	paper := workload.PaperFigure13a()
+	rows := make([]Fig13Row, len(paper))
+	err := forEachLimit(runtime.GOMAXPROCS(0), len(paper), func(i int) error {
+		pr := paper[i]
 		prof, ok := synth.ByName(pr.Name)
 		if !ok {
-			return nil, fmt.Errorf("experiments: no profile for %s", pr.Name)
+			return fmt.Errorf("experiments: no profile for %s", pr.Name)
 		}
 		ipcr, ipcp, err := sim.MeasuredIPC(prof, scale)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		rows = append(rows, Fig13Row{
+		rows[i] = Fig13Row{
 			Name: pr.Name, Class: pr.Class,
 			PaperIPCr: pr.IPCr, PaperIPCp: pr.IPCp,
 			IPCr: ipcr, IPCp: ipcp,
-		})
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return rows, nil
 }
@@ -106,11 +78,19 @@ type SpeedupSeries struct {
 	Avg       float64
 }
 
-// Speedups computes one series across all nine mixes.
+// Speedups computes one series across all nine mixes: both techniques'
+// cells are prefetched in parallel, then the series assembles from the
+// memoized results.
 func (m *Matrix) Speedups(tech, baseline core.Technique, threads int) (SpeedupSeries, error) {
 	s := SpeedupSeries{
 		Label: fmt.Sprintf("%s over %s, %d-Thread", tech.Name(), baseline.Name(), threads),
 		Tech:  tech, Baseline: baseline, Threads: threads,
+	}
+	p := NewPlan()
+	p.AddMixSweep(tech, threads)
+	p.AddMixSweep(baseline, threads)
+	if err := m.Prefetch(p); err != nil {
+		return s, err
 	}
 	var sum float64
 	for _, mix := range workload.Figure13b() {
@@ -132,10 +112,16 @@ func (m *Matrix) Speedups(tech, baseline core.Technique, threads int) (SpeedupSe
 }
 
 // Figure14 returns the four series of the paper's Figure 14: CCSI NS and
-// CCSI AS over CSMT, for 2-thread and 4-thread machines.
+// CCSI AS over CSMT, for 2-thread and 4-thread machines. The whole grid is
+// prefetched concurrently before the series assemble.
 func (m *Matrix) Figure14() ([]SpeedupSeries, error) {
+	p := NewPlan()
+	p.AddFigure14()
+	if err := m.Prefetch(p); err != nil {
+		return nil, err
+	}
 	var out []SpeedupSeries
-	for _, threads := range []int{2, 4} {
+	for _, threads := range figureThreadCounts() {
 		for _, comm := range []core.CommPolicy{core.CommNoSplit, core.CommAlwaysSplit} {
 			s, err := m.Speedups(core.CCSI(comm), core.CSMT(), threads)
 			if err != nil {
@@ -150,8 +136,13 @@ func (m *Matrix) Figure14() ([]SpeedupSeries, error) {
 // Figure15 returns the eight series of the paper's Figure 15: COSI NS/AS
 // and OOSI NS/AS over SMT, for 2-thread and 4-thread machines.
 func (m *Matrix) Figure15() ([]SpeedupSeries, error) {
+	p := NewPlan()
+	p.AddFigure15()
+	if err := m.Prefetch(p); err != nil {
+		return nil, err
+	}
 	var out []SpeedupSeries
-	for _, threads := range []int{2, 4} {
+	for _, threads := range figureThreadCounts() {
 		for _, tech := range []core.Technique{
 			core.COSI(core.CommNoSplit), core.COSI(core.CommAlwaysSplit),
 			core.OOSI(core.CommNoSplit), core.OOSI(core.CommAlwaysSplit),
@@ -179,8 +170,13 @@ type IPCPoint struct {
 // Figure16 returns average IPC for the eight techniques at 2 and 4 threads,
 // in the paper's presentation order.
 func (m *Matrix) Figure16() ([]IPCPoint, error) {
+	p := NewPlan()
+	p.AddFigure16()
+	if err := m.Prefetch(p); err != nil {
+		return nil, err
+	}
 	var out []IPCPoint
-	for _, threads := range []int{2, 4} {
+	for _, threads := range figureThreadCounts() {
 		for _, tech := range core.AllTechniques() {
 			var sum float64
 			for _, mix := range workload.Figure13b() {
@@ -207,37 +203,33 @@ type ScalePoint struct {
 }
 
 // ThreadScaling measures one mix under one technique across thread counts.
+// Points run concurrently; all share the caller's seed so every point sees
+// identical workload streams and the curve isolates the thread-count
+// effect (each point's simulator owns its random stream, so sharing the
+// seed is parallel-safe).
 func ThreadScaling(mix workload.Mix, tech core.Technique, threadCounts []int, scale int64, seed uint64) ([]ScalePoint, error) {
-	var out []ScalePoint
-	for _, th := range threadCounts {
+	out := make([]ScalePoint, len(threadCounts))
+	err := forEachLimit(runtime.GOMAXPROCS(0), len(threadCounts), func(i int) error {
+		th := threadCounts[i]
 		cfg := sim.DefaultConfig(tech, th).WithScale(scale)
 		cfg.Seed = seed
 		profs, err := mix.Profiles()
 		if err != nil {
-			return nil, err
+			return err
 		}
 		s, err := sim.NewWorkload(cfg, profs)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		r, err := s.Run()
 		if err != nil {
-			return nil, err
+			return err
 		}
-		out = append(out, ScalePoint{Threads: th, IPC: r.IPC()})
+		out[i] = ScalePoint{Threads: th, IPC: r.IPC()}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
-}
-
-// Cells returns the memoized cell count (test instrumentation).
-func (m *Matrix) Cells() int { return len(m.cells) }
-
-// SortedCellKeys aids deterministic debugging output.
-func (m *Matrix) SortedCellKeys() []string {
-	keys := make([]string, 0, len(m.cells))
-	for k := range m.cells {
-		keys = append(keys, fmt.Sprintf("%s/%s/%dT", k.mix, k.tech.Name(), k.threads))
-	}
-	sort.Strings(keys)
-	return keys
 }

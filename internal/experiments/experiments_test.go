@@ -107,6 +107,143 @@ func TestThreadScaling(t *testing.T) {
 	}
 }
 
+func TestPlanDedupsAcrossFigures(t *testing.T) {
+	p := NewPlan()
+	p.AddFigure14()
+	if p.Len() != 54 { // (CSMT + CCSI NS + CCSI AS) x 2 thread counts x 9 mixes
+		t.Fatalf("figure 14 plans %d cells, want 54", p.Len())
+	}
+	p.AddFigure15()
+	if p.Len() != 54+90 { // figure 15 adds (SMT + COSI/OOSI NS/AS) x 2 x 9
+		t.Fatalf("figures 14+15 plan %d cells, want 144", p.Len())
+	}
+	// Figure 16 measures all eight techniques: every cell already planned.
+	p.AddFigure16()
+	if p.Len() != 144 {
+		t.Fatalf("figures 14+15+16 plan %d cells, want 144 (full dedup)", p.Len())
+	}
+	// Adding a figure twice must not grow the plan.
+	p.AddFigure14()
+	if p.Len() != 144 {
+		t.Fatalf("re-adding figure 14 grew the plan to %d", p.Len())
+	}
+}
+
+func TestPlanFiguresRejectsUnknown(t *testing.T) {
+	if _, err := PlanFigures("14", "nonsense"); err == nil {
+		t.Fatal("unknown figure accepted")
+	}
+	p, err := PlanFigures("13a", "13b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Len() != 0 {
+		t.Fatalf("figures 13a/13b planned %d matrix cells, want 0", p.Len())
+	}
+}
+
+func TestCellSeedsPairedAndStable(t *testing.T) {
+	m := NewMatrix(quickScale, 1)
+	p := NewPlan()
+	p.AddFigure16()
+	// Seeds depend on the workload identity (mix, threads) only: distinct
+	// across workload identities, shared across techniques so that
+	// technique-vs-baseline comparisons are paired (common random numbers).
+	type workloadKey struct {
+		mix     string
+		threads int
+	}
+	byWorkload := map[workloadKey]uint64{}
+	bySeed := map[uint64]workloadKey{}
+	for _, c := range p.Cells() {
+		s := m.CellSeed(c)
+		if s != m.CellSeed(c) {
+			t.Fatalf("%s: seed not stable", c)
+		}
+		k := workloadKey{c.Mix.Label, c.Threads}
+		if prev, ok := byWorkload[k]; ok {
+			if s != prev {
+				t.Fatalf("%s: seed %x differs from its workload pair %x — comparison unpaired", c, s, prev)
+			}
+			continue
+		}
+		if prevK, dup := bySeed[s]; dup {
+			t.Fatalf("seed collision between workloads %v and %v", k, prevK)
+		}
+		byWorkload[k] = s
+		bySeed[s] = k
+	}
+	if len(byWorkload) != 18 { // 9 mixes x 2 thread counts
+		t.Fatalf("%d distinct workload seeds, want 18", len(byWorkload))
+	}
+	// A different base seed must move every cell's seed.
+	m2 := NewMatrix(quickScale, 2)
+	for _, c := range p.Cells() {
+		if _, clash := bySeed[m2.CellSeed(c)]; clash {
+			t.Fatalf("%s: base seed 2 collides with base seed 1 grid", c)
+		}
+	}
+}
+
+// detScale keeps the full-grid determinism comparison fast: the assertion
+// is bit-identity, not statistics, so tiny runs suffice.
+const detScale = 20000
+
+func TestParallelMatchesSerial(t *testing.T) {
+	plan, err := PlanFigures("14", "15", "16")
+	if err != nil {
+		t.Fatal(err)
+	}
+	serial := NewMatrix(detScale, 1)
+	serial.SetParallelism(1)
+	if err := serial.Prefetch(plan); err != nil {
+		t.Fatal(err)
+	}
+	parallel := NewMatrix(detScale, 1)
+	parallel.SetParallelism(8)
+	if err := parallel.Prefetch(plan); err != nil {
+		t.Fatal(err)
+	}
+	sr, pr := serial.Results(), parallel.Results()
+	if len(sr) != plan.Len() || len(pr) != plan.Len() {
+		t.Fatalf("results: serial %d, parallel %d, want %d", len(sr), len(pr), plan.Len())
+	}
+	for c, want := range sr {
+		got, ok := pr[c]
+		if !ok {
+			t.Fatalf("%s: missing from parallel results", c)
+		}
+		if got != want {
+			t.Errorf("%s: parallel run differs from serial:\nserial:   %+v\nparallel: %+v", c, want, got)
+		}
+	}
+}
+
+func TestConcurrentRunsSingleflight(t *testing.T) {
+	// Hammer one cell from many goroutines: every caller must get the same
+	// memoized *stats.Run and the matrix must hold exactly one cell.
+	m := NewMatrix(detScale, 1)
+	mix, _ := workload.MixByLabel("mmmm")
+	const callers = 16
+	runs := make([]interface{ IPC() float64 }, callers)
+	err := forEachLimit(callers, callers, func(i int) error {
+		r, err := m.Run(mix, core.SMT(), 2)
+		runs[i] = r
+		return err
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < callers; i++ {
+		if runs[i] != runs[0] {
+			t.Fatal("concurrent callers received different result pointers")
+		}
+	}
+	if m.Cells() != 1 {
+		t.Fatalf("cells = %d, want 1", m.Cells())
+	}
+}
+
 func TestFigure16OrderAndShape(t *testing.T) {
 	m := NewMatrix(quickScale, 1)
 	points, err := m.Figure16()

@@ -1,0 +1,135 @@
+package experiments
+
+import (
+	"fmt"
+
+	"vexsmt/internal/core"
+	"vexsmt/internal/workload"
+)
+
+// Cell identifies one simulation of the evaluation grid: one workload mix
+// run under one technique at one thread count. Cells are comparable and
+// carry everything needed to derive the cell's deterministic seed, so a
+// cell simulates to the same result no matter which figure requested it or
+// which worker ran it.
+type Cell struct {
+	Mix     workload.Mix
+	Tech    core.Technique
+	Threads int
+}
+
+func (c Cell) String() string {
+	return fmt.Sprintf("%s/%s/%dT", c.Mix.Label, c.Tech.Name(), c.Threads)
+}
+
+// Plan is an ordered, deduplicated set of cells to simulate. Figures
+// 14, 15 and 16 overlap heavily (every speedup series needs its baseline,
+// and Figure 16 re-measures every technique the other figures use); the
+// planner enumerates each figure's demands and collapses the overlap so a
+// shared cell simulates exactly once.
+type Plan struct {
+	cells []Cell
+	seen  map[Cell]bool
+}
+
+// NewPlan returns an empty plan.
+func NewPlan() *Plan {
+	return &Plan{seen: make(map[Cell]bool)}
+}
+
+// Add appends cells not already planned, preserving first-seen order.
+func (p *Plan) Add(cells ...Cell) {
+	for _, c := range cells {
+		if p.seen[c] {
+			continue
+		}
+		p.seen[c] = true
+		p.cells = append(p.cells, c)
+	}
+}
+
+// AddMixSweep plans one technique at one thread count across all nine
+// workload mixes of Figure 13(b).
+func (p *Plan) AddMixSweep(tech core.Technique, threads int) {
+	for _, mix := range workload.Figure13b() {
+		p.Add(Cell{Mix: mix, Tech: tech, Threads: threads})
+	}
+}
+
+// figure14Techniques are the techniques Figure 14 compares: the CSMT
+// baseline and cluster-level split-issue under both comm policies.
+func figure14Techniques() []core.Technique {
+	return []core.Technique{
+		core.CSMT(),
+		core.CCSI(core.CommNoSplit),
+		core.CCSI(core.CommAlwaysSplit),
+	}
+}
+
+// figure15Techniques are the techniques Figure 15 compares: the SMT
+// baseline and the COSI/OOSI split-issue variants.
+func figure15Techniques() []core.Technique {
+	return []core.Technique{
+		core.SMT(),
+		core.COSI(core.CommNoSplit), core.COSI(core.CommAlwaysSplit),
+		core.OOSI(core.CommNoSplit), core.OOSI(core.CommAlwaysSplit),
+	}
+}
+
+// figureThreadCounts are the machine sizes every figure evaluates.
+func figureThreadCounts() []int { return []int{2, 4} }
+
+// AddFigure14 plans every cell Figure 14 needs.
+func (p *Plan) AddFigure14() {
+	for _, threads := range figureThreadCounts() {
+		for _, tech := range figure14Techniques() {
+			p.AddMixSweep(tech, threads)
+		}
+	}
+}
+
+// AddFigure15 plans every cell Figure 15 needs.
+func (p *Plan) AddFigure15() {
+	for _, threads := range figureThreadCounts() {
+		for _, tech := range figure15Techniques() {
+			p.AddMixSweep(tech, threads)
+		}
+	}
+}
+
+// AddFigure16 plans every cell Figure 16 needs (all eight techniques).
+func (p *Plan) AddFigure16() {
+	for _, threads := range figureThreadCounts() {
+		for _, tech := range core.AllTechniques() {
+			p.AddMixSweep(tech, threads)
+		}
+	}
+}
+
+// PlanFigures builds the combined deduplicated plan for the named figures
+// ("14", "15", "16"). Unknown names are an error; figures 13a/13b do not
+// use the matrix and plan no cells.
+func PlanFigures(figures ...string) (*Plan, error) {
+	p := NewPlan()
+	for _, f := range figures {
+		switch f {
+		case "13a", "13b":
+			// No matrix cells: 13a is single-threaded, 13b is a table.
+		case "14":
+			p.AddFigure14()
+		case "15":
+			p.AddFigure15()
+		case "16":
+			p.AddFigure16()
+		default:
+			return nil, fmt.Errorf("experiments: unknown figure %q", f)
+		}
+	}
+	return p, nil
+}
+
+// Cells returns the planned cells in plan order.
+func (p *Plan) Cells() []Cell { return p.cells }
+
+// Len returns the number of planned cells.
+func (p *Plan) Len() int { return len(p.cells) }

@@ -8,6 +8,7 @@ import (
 	"fmt"
 	"strings"
 
+	"vexsmt/internal/core"
 	"vexsmt/internal/experiments"
 	"vexsmt/internal/workload"
 )
@@ -115,13 +116,74 @@ func HeadlineTable(rows []Headline) string {
 	return b.String()
 }
 
+// seriesKey identifies one speedup series of Figures 14/15 by what it
+// compares, not by its position in any particular iteration order.
+type seriesKey struct {
+	Tech     core.Technique
+	Baseline core.Technique
+	Threads  int
+}
+
+// paperAverages holds the paper's reported average speedups for every
+// series of Figures 14 and 15, keyed by comparison.
+var paperAverages = map[seriesKey]float64{
+	// Figure 14: CCSI over CSMT.
+	{core.CCSI(core.CommNoSplit), core.CSMT(), 2}:     6.1,
+	{core.CCSI(core.CommAlwaysSplit), core.CSMT(), 2}: 8.7,
+	{core.CCSI(core.CommNoSplit), core.CSMT(), 4}:     3.5,
+	{core.CCSI(core.CommAlwaysSplit), core.CSMT(), 4}: 7.5,
+	// Figure 15: COSI and OOSI over SMT.
+	{core.COSI(core.CommNoSplit), core.SMT(), 2}:     7.5,
+	{core.COSI(core.CommAlwaysSplit), core.SMT(), 2}: 9.8,
+	{core.OOSI(core.CommNoSplit), core.SMT(), 2}:     8.2,
+	{core.OOSI(core.CommAlwaysSplit), core.SMT(), 2}: 13.0,
+	{core.COSI(core.CommNoSplit), core.SMT(), 4}:     6.4,
+	{core.COSI(core.CommAlwaysSplit), core.SMT(), 4}: 9.4,
+	{core.OOSI(core.CommNoSplit), core.SMT(), 4}:     7.9,
+	{core.OOSI(core.CommAlwaysSplit), core.SMT(), 4}: 15.7,
+}
+
+// PaperAverage returns the paper's reported average speedup for the series
+// comparing tech against baseline at the given thread count, and whether
+// the paper reports that series at all.
+func PaperAverage(tech, baseline core.Technique, threads int) (float64, bool) {
+	v, ok := paperAverages[seriesKey{tech, baseline, threads}]
+	return v, ok
+}
+
+// PaperAverageFor looks up the paper's reported average for a measured
+// series. Matching is by the series' own comparison key, so callers never
+// depend on positional correspondence between measured and paper order.
+func PaperAverageFor(s experiments.SpeedupSeries) (float64, bool) {
+	return PaperAverage(s.Tech, s.Baseline, s.Threads)
+}
+
 // PaperFigure14Averages returns the paper's reported average speedups for
 // Figure 14 in series order (2T NS, 2T AS, 4T NS, 4T AS).
-func PaperFigure14Averages() []float64 { return []float64{6.1, 8.7, 3.5, 7.5} }
+func PaperFigure14Averages() []float64 {
+	var out []float64
+	for _, threads := range []int{2, 4} {
+		for _, comm := range []core.CommPolicy{core.CommNoSplit, core.CommAlwaysSplit} {
+			v, _ := PaperAverage(core.CCSI(comm), core.CSMT(), threads)
+			out = append(out, v)
+		}
+	}
+	return out
+}
 
 // PaperFigure15Averages returns the paper's reported average speedups for
 // Figure 15 in series order (2T: COSI NS, COSI AS, OOSI NS, OOSI AS; then
 // the same four at 4T).
 func PaperFigure15Averages() []float64 {
-	return []float64{7.5, 9.8, 8.2, 13.0, 6.4, 9.4, 7.9, 15.7}
+	var out []float64
+	for _, threads := range []int{2, 4} {
+		for _, tech := range []core.Technique{
+			core.COSI(core.CommNoSplit), core.COSI(core.CommAlwaysSplit),
+			core.OOSI(core.CommNoSplit), core.OOSI(core.CommAlwaysSplit),
+		} {
+			v, _ := PaperAverage(tech, core.SMT(), threads)
+			out = append(out, v)
+		}
+	}
+	return out
 }

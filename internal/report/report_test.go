@@ -81,6 +81,62 @@ func TestPaperAverages(t *testing.T) {
 	}
 }
 
+func TestPaperAverageKeyedLookup(t *testing.T) {
+	// The paper's reported Figure 14/15 values, keyed by comparison.
+	cases := []struct {
+		tech, baseline core.Technique
+		threads        int
+		want           float64
+	}{
+		{core.CCSI(core.CommNoSplit), core.CSMT(), 2, 6.1},
+		{core.CCSI(core.CommAlwaysSplit), core.CSMT(), 2, 8.7},
+		{core.CCSI(core.CommNoSplit), core.CSMT(), 4, 3.5},
+		{core.CCSI(core.CommAlwaysSplit), core.CSMT(), 4, 7.5},
+		{core.COSI(core.CommNoSplit), core.SMT(), 2, 7.5},
+		{core.COSI(core.CommAlwaysSplit), core.SMT(), 2, 9.8},
+		{core.OOSI(core.CommNoSplit), core.SMT(), 2, 8.2},
+		{core.OOSI(core.CommAlwaysSplit), core.SMT(), 2, 13.0},
+		{core.COSI(core.CommNoSplit), core.SMT(), 4, 6.4},
+		{core.COSI(core.CommAlwaysSplit), core.SMT(), 4, 9.4},
+		{core.OOSI(core.CommNoSplit), core.SMT(), 4, 7.9},
+		{core.OOSI(core.CommAlwaysSplit), core.SMT(), 4, 15.7},
+	}
+	for _, c := range cases {
+		got, ok := PaperAverage(c.tech, c.baseline, c.threads)
+		if !ok || got != c.want {
+			t.Errorf("PaperAverage(%s, %s, %d) = %v, %v; want %v",
+				c.tech.Name(), c.baseline.Name(), c.threads, got, ok, c.want)
+		}
+	}
+	// Series the paper does not report must not silently match.
+	if _, ok := PaperAverage(core.SMT(), core.CSMT(), 4); ok {
+		t.Error("unreported series returned a paper average")
+	}
+}
+
+func TestPaperAverageMatchesSeriesOrder(t *testing.T) {
+	// Keyed lookup must agree with the documented positional order of
+	// Figure15() series (2T: COSI NS, COSI AS, OOSI NS, OOSI AS; then 4T),
+	// the correspondence the old identity permute15 hard-coded.
+	positional := PaperFigure15Averages()
+	i := 0
+	for _, threads := range []int{2, 4} {
+		for _, tech := range []core.Technique{
+			core.COSI(core.CommNoSplit), core.COSI(core.CommAlwaysSplit),
+			core.OOSI(core.CommNoSplit), core.OOSI(core.CommAlwaysSplit),
+		} {
+			keyed, ok := PaperAverageFor(experiments.SpeedupSeries{
+				Tech: tech, Baseline: core.SMT(), Threads: threads,
+			})
+			if !ok || keyed != positional[i] {
+				t.Errorf("series %d (%s %dT): keyed %v (ok=%v), positional %v",
+					i, tech.Name(), threads, keyed, ok, positional[i])
+			}
+			i++
+		}
+	}
+}
+
 func TestBarClamp(t *testing.T) {
 	if len(bar(1e9, 1)) > 61 {
 		t.Fatal("bar not clamped")

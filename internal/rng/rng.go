@@ -26,10 +26,7 @@ func (r *Rand) Seed(seed uint64) { r.state = seed }
 // Uint64 returns the next 64-bit pseudo-random value.
 func (r *Rand) Uint64() uint64 {
 	r.state += 0x9e3779b97f4a7c15
-	z := r.state
-	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
-	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
-	return z ^ (z >> 31)
+	return mix64(r.state)
 }
 
 // Uint32 returns the next 32-bit pseudo-random value.
@@ -41,6 +38,15 @@ func (r *Rand) Intn(n int) int {
 		panic("rng: Intn with non-positive n")
 	}
 	return int(r.Uint64() % uint64(n))
+}
+
+// Draw returns the first bounded draw of a fresh generator seeded with
+// seed, equivalent to New(seed).Intn(n) but allocation-free. It is the
+// stateless form used for common-random-number schedules, where a draw
+// must depend only on (seed, index), never on how many draws preceded it.
+func Draw(seed uint64, n int) int {
+	r := Rand{state: seed}
+	return r.Intn(n)
 }
 
 // Uint64n returns a pseudo-random uint64 in [0, n). It panics if n == 0.

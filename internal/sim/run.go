@@ -1,0 +1,321 @@
+package sim
+
+import (
+	"fmt"
+
+	"vexsmt/internal/core"
+	"vexsmt/internal/rng"
+	"vexsmt/internal/stats"
+	"vexsmt/internal/synth"
+)
+
+// The run loop is organized as three pipeline phases per cycle — fetch,
+// issue, commit — plus the scheduling bookkeeping (warmup, timeslices,
+// memory-port stalls) around them. All per-cycle scratch lives in runState
+// so a cycle allocates nothing; simulators share zero mutable state, so
+// any number of them may run on concurrent goroutines.
+
+// runState holds one run's bookkeeping and reusable per-cycle buffers.
+type runState struct {
+	ready     [core.MaxThreads]bool // issue mask, rebuilt every cycle
+	maxCycles int64
+	sliceEnd  int64
+	warming   bool
+	done      bool
+}
+
+// Run executes the experiment and returns the counters.
+func (s *Simulator) Run() (*stats.Run, error) {
+	s.beginRun()
+	for cycle := int64(0); ; cycle++ {
+		// End of warmup: discard counters, keep caches and pipeline state.
+		if s.st.warming && s.run.Instrs >= s.cfg.WarmupInstrs {
+			s.endWarmup()
+		}
+		if cycle >= s.st.maxCycles {
+			s.finish(cycle)
+			return &s.run, fmt.Errorf("sim: exceeded %d cycles without reaching the instruction limit", s.st.maxCycles)
+		}
+		s.expireTimeslice(cycle)
+
+		s.fetchPhase(cycle)
+		res := s.issuePhase(cycle)
+		s.commitPhase(cycle, &res)
+
+		// Delayed-store memory port contention stalls the whole pipeline
+		// (Section V-D, Figure 11).
+		cycle += s.portStallCycles(&res)
+
+		if s.st.done {
+			s.finish(cycle + 1)
+			return &s.run, nil
+		}
+	}
+}
+
+// beginRun resets the run bookkeeping; counters and pipeline state carry
+// over so the scheduling semantics match the single-pass loop exactly.
+func (s *Simulator) beginRun() {
+	cfg := &s.cfg
+	s.st.maxCycles = cfg.MaxCycles
+	if s.st.maxCycles == 0 {
+		s.st.maxCycles = cfg.LimitInstrs*64 + 10_000_000
+	}
+	s.st.sliceEnd = cfg.TimesliceCycles
+	s.st.warming = cfg.WarmupInstrs > 0
+	s.st.done = false
+}
+
+// endWarmup discards the warmup counters, keeping caches and pipeline
+// state warm.
+func (s *Simulator) endWarmup() {
+	s.st.warming = false
+	s.run = stats.Run{}
+	for _, j := range s.jobs {
+		j.Executed = 0
+	}
+}
+
+// expireTimeslice marks every context for replacement when its timeslice
+// ends; switches happen at each context's next instruction boundary.
+func (s *Simulator) expireTimeslice(cycle int64) {
+	if s.cfg.TimesliceCycles > 0 && cycle >= s.st.sliceEnd {
+		for t := range s.ctxs {
+			s.ctxs[t].wantSwitch = true
+		}
+		s.st.sliceEnd += s.cfg.TimesliceCycles
+	}
+}
+
+// fetchPhase advances every context's front end.
+func (s *Simulator) fetchPhase(cycle int64) {
+	for t := range s.ctxs {
+		s.fetch(t, cycle)
+	}
+}
+
+// issuePhase rebuilds the ready mask, applies the IMT/BMT mode
+// restriction, and runs the merge/split engine for one cycle.
+func (s *Simulator) issuePhase(cycle int64) core.CycleResult {
+	for t := range s.ctxs {
+		s.st.ready[t] = s.ctxs[t].loaded && cycle >= s.ctxs[t].ready
+	}
+	s.applyMode(cycle, &s.st.ready)
+	return s.eng.Cycle(&s.st.ready)
+}
+
+// commitPhase accounts the cycle's results: global counters, per-thread
+// split tracking, load stalls, and instruction retirement.
+func (s *Simulator) commitPhase(cycle int64, res *core.CycleResult) {
+	s.run.Cycles++
+	if res.Ops == 0 {
+		s.run.EmptyCycles++
+	} else {
+		s.run.Ops += int64(res.Ops)
+	}
+	if res.Threads >= 2 {
+		s.run.MergedCycles++
+	}
+	for t := range s.ctxs {
+		tr := &res.Thread[t]
+		if tr.Ops == 0 {
+			continue
+		}
+		c := &s.ctxs[t]
+		if tr.Split {
+			c.wasSplit = true
+		}
+		s.accountLoads(c, tr, cycle)
+		if tr.LastPart {
+			s.retire(c, cycle)
+		}
+	}
+}
+
+// accountLoads charges DCache accesses for loads, which access at issue
+// time and stall the thread on a miss (VEX less-than-or-equal semantics).
+func (s *Simulator) accountLoads(c *ctx, tr *core.ThreadResult, cycle int64) {
+	if tr.LoadsAt == 0 || s.cfg.PerfectMemory {
+		return
+	}
+	for cl := 0; cl < s.cfg.Geom.Clusters; cl++ {
+		if tr.LoadsAt&(1<<uint(cl)) == 0 {
+			continue
+		}
+		s.run.DCacheAccesses++
+		if !s.dc.Access(c.ti.MemAddr[cl]) {
+			s.run.DCacheMisses++
+			pen := int64(s.cfg.DCache.MissPenalty)
+			if nr := cycle + 1 + pen; nr > c.ready {
+				s.run.MemStallCycles += pen
+				c.ready = nr
+			}
+		}
+	}
+}
+
+// retire completes a VLIW instruction on its last issued part: split
+// accounting, store commit, counters, branch penalty, and the run's
+// termination condition.
+func (s *Simulator) retire(c *ctx, cycle int64) {
+	if c.wasSplit {
+		s.run.SplitInstrs++
+		c.wasSplit = false
+	}
+	s.commitStores(c)
+	s.run.Instrs++
+	c.job.Executed++
+	c.job.remaining--
+	c.haveInstr = false
+	c.loaded = false
+	if c.ti.Taken {
+		pen := int64(s.cfg.TakenBranchPenalty)
+		if nr := cycle + 1 + pen; nr > c.ready {
+			s.run.BranchStallCycles += pen
+			c.ready = nr
+		}
+	}
+	if c.job.Executed >= s.cfg.LimitInstrs {
+		s.st.done = true
+	}
+}
+
+// commitStores accounts the instruction's stores, which commit at the last
+// part (directly or from the delay buffers).
+func (s *Simulator) commitStores(c *ctx) {
+	if s.cfg.PerfectMemory {
+		return
+	}
+	for cl := 0; cl < s.cfg.Geom.Clusters; cl++ {
+		if c.ti.Demand.B[cl].Stor {
+			s.run.DCacheAccesses++
+			if !s.dc.Access(c.ti.MemAddr[cl]) {
+				s.run.DCacheMisses++ // write-allocate, no stall
+			}
+		}
+	}
+}
+
+// portStallCycles converts delayed-store port overflow into whole-pipeline
+// stall cycles and returns how far the clock must advance.
+func (s *Simulator) portStallCycles(res *core.CycleResult) int64 {
+	over := int64(res.MemPortOverflow(s.cfg.Geom))
+	if over > 0 {
+		s.run.Cycles += over
+		s.run.EmptyCycles += over
+		s.run.MemPortStallCycles += over
+	}
+	return over
+}
+
+// fetch advances one context's front end: context switches at instruction
+// boundaries, respawn, ICache access, and engine load.
+func (s *Simulator) fetch(t int, cycle int64) {
+	cfg := &s.cfg
+	c := &s.ctxs[t]
+	if c.haveInstr && !c.loaded && cycle >= c.ready {
+		s.eng.Load(t, c.ti.Demand)
+		c.loaded = true
+		return
+	}
+	if c.haveInstr {
+		return
+	}
+	if cycle < c.ready {
+		return
+	}
+	if c.wantSwitch {
+		s.contextSwitch(t)
+		c.wantSwitch = false
+	}
+	if c.job == nil {
+		return
+	}
+	// Respawn a completed benchmark (Section VI-A).
+	if c.job.remaining <= 0 {
+		c.job.variant++
+		c.job.Stream.Reset(c.job.variant)
+		c.job.remaining = c.job.Stream.Length(cfg.ScaleDiv)
+		s.run.Respawns++
+	}
+	var raw synth.TInst
+	c.job.Stream.Next(&raw)
+	c.ti = rotate(&raw, c.rotation, cfg.Geom.Clusters)
+	c.haveInstr = true
+	if !cfg.PerfectMemory {
+		s.run.ICacheAccesses++
+		if pen := s.ic.AccessPenalty(raw.PC); pen > 0 {
+			s.run.ICacheMisses++
+			s.run.FetchStallCycles += int64(pen)
+			c.ready = cycle + int64(pen)
+			return
+		}
+	}
+	s.eng.Load(t, c.ti.Demand)
+	c.loaded = true
+}
+
+// contextSwitch replaces the context's job with a randomly chosen waiting
+// job ("replacement threads are picked at random from the workload"). The
+// waiting list is a reusable buffer: switches allocate nothing.
+func (s *Simulator) contextSwitch(t int) {
+	waiting := s.waiting[:0]
+	for _, j := range s.jobs {
+		running := false
+		for i := range s.ctxs {
+			if s.ctxs[i].job == j {
+				running = true
+				break
+			}
+		}
+		if !running {
+			waiting = append(waiting, j)
+		}
+	}
+	if len(waiting) == 0 {
+		return // pool fits the contexts; keep running the same job
+	}
+	// Common random numbers: the pick depends only on (seed, switch index),
+	// so different techniques see the same replacement schedule and their
+	// IPC comparison is paired, which the small-scale runs need for
+	// stability. (Paper-scale runs are long enough not to care.)
+	s.switchCount++
+	pick := rng.Draw(s.cfg.Seed*0x5851f42d+s.switchCount, len(waiting))
+	s.ctxs[t].job = waiting[pick]
+	s.run.ContextSwitches++
+}
+
+// applyMode restricts the ready mask for the IMT/BMT ablation modes.
+func (s *Simulator) applyMode(cycle int64, ready *[core.MaxThreads]bool) {
+	switch s.cfg.Mode {
+	case ModeInterleaved:
+		pick := int(cycle % int64(s.cfg.Threads))
+		for t := range s.ctxs {
+			if t != pick {
+				ready[t] = false
+			}
+		}
+	case ModeBlocked:
+		// Stay on the current thread while it is ready; otherwise rotate to
+		// the next ready one.
+		if !ready[s.bmtCur] {
+			for i := 1; i <= s.cfg.Threads; i++ {
+				cand := (s.bmtCur + i) % s.cfg.Threads
+				if ready[cand] {
+					s.bmtCur = cand
+					break
+				}
+			}
+		}
+		for t := range s.ctxs {
+			if t != s.bmtCur {
+				ready[t] = false
+			}
+		}
+	}
+}
+
+func (s *Simulator) finish(cycles int64) {
+	s.run.IssueSlots = s.run.Cycles * int64(s.cfg.Geom.TotalIssueWidth())
+	_ = cycles
+}

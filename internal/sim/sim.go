@@ -37,7 +37,11 @@ type ctx struct {
 	rotation   int
 }
 
-// Simulator runs one configuration over one workload.
+// Simulator runs one configuration over one workload. A Simulator owns all
+// of its mutable state — engine, caches, contexts, scratch buffers — so
+// independent simulators can run on concurrent goroutines without
+// synchronization. The run loop itself lives in run.go, split into
+// fetch/issue/commit phases.
 type Simulator struct {
 	cfg  Config
 	eng  *core.Engine
@@ -47,6 +51,9 @@ type Simulator struct {
 	ctxs []ctx
 	r    *rng.Rand
 	run  stats.Run
+
+	st      runState // per-run bookkeeping and per-cycle scratch
+	waiting []*Job   // reusable context-switch candidate buffer
 
 	bmtCur      int
 	switchCount uint64
@@ -69,7 +76,13 @@ func New(cfg Config, jobs []*Job) (*Simulator, error) {
 	if err != nil {
 		return nil, err
 	}
-	s := &Simulator{cfg: cfg, eng: eng, jobs: jobs, r: rng.New(cfg.Seed)}
+	s := &Simulator{
+		cfg:     cfg,
+		eng:     eng,
+		jobs:    jobs,
+		r:       rng.New(cfg.Seed),
+		waiting: make([]*Job, 0, len(jobs)),
+	}
 	if !cfg.PerfectMemory {
 		if s.ic, err = cache.New(cfg.ICache); err != nil {
 			return nil, err
@@ -103,255 +116,6 @@ func NewWorkload(cfg Config, profiles []synth.Profile) (*Simulator, error) {
 		jobs[i] = NewJob(gen, cfg.ScaleDiv)
 	}
 	return New(cfg, jobs)
-}
-
-// Run executes the experiment and returns the counters.
-func (s *Simulator) Run() (*stats.Run, error) {
-	cfg := &s.cfg
-	maxCycles := cfg.MaxCycles
-	if maxCycles == 0 {
-		maxCycles = cfg.LimitInstrs*64 + 10_000_000
-	}
-	sliceEnd := cfg.TimesliceCycles
-	var ready [core.MaxThreads]bool
-	warming := cfg.WarmupInstrs > 0
-
-	for cycle := int64(0); ; cycle++ {
-		// End of warmup: discard counters, keep caches and pipeline state.
-		if warming && s.run.Instrs >= cfg.WarmupInstrs {
-			warming = false
-			s.run = stats.Run{}
-			for _, j := range s.jobs {
-				j.Executed = 0
-			}
-		}
-		if cycle >= maxCycles {
-			s.finish(cycle)
-			return &s.run, fmt.Errorf("sim: exceeded %d cycles without reaching the instruction limit", maxCycles)
-		}
-		// Timeslice expiry: mark every context for replacement; switches
-		// happen at each context's next instruction boundary.
-		if cfg.TimesliceCycles > 0 && cycle >= sliceEnd {
-			for t := range s.ctxs {
-				s.ctxs[t].wantSwitch = true
-			}
-			sliceEnd += cfg.TimesliceCycles
-		}
-
-		// Fetch stage.
-		for t := range s.ctxs {
-			s.fetch(t, cycle)
-		}
-
-		// Issue stage.
-		anyActive := false
-		for t := range s.ctxs {
-			ready[t] = s.ctxs[t].loaded && cycle >= s.ctxs[t].ready
-			if ready[t] {
-				anyActive = true
-			}
-		}
-		s.applyMode(cycle, &ready)
-		res := s.eng.Cycle(&ready)
-
-		// Statistics and per-thread consequences.
-		s.run.Cycles++
-		if res.Ops == 0 {
-			s.run.EmptyCycles++
-		} else {
-			s.run.Ops += int64(res.Ops)
-		}
-		if res.Threads >= 2 {
-			s.run.MergedCycles++
-		}
-		done := false
-		for t := range s.ctxs {
-			tr := res.Thread[t]
-			if tr.Ops == 0 {
-				continue
-			}
-			c := &s.ctxs[t]
-			if tr.Split {
-				c.wasSplit = true
-			}
-			// DCache: loads access at issue time and stall the thread on a
-			// miss (VEX less-than-or-equal semantics).
-			if tr.LoadsAt != 0 && !cfg.PerfectMemory {
-				for cl := 0; cl < cfg.Geom.Clusters; cl++ {
-					if tr.LoadsAt&(1<<uint(cl)) == 0 {
-						continue
-					}
-					s.run.DCacheAccesses++
-					if !s.dc.Access(c.ti.MemAddr[cl]) {
-						s.run.DCacheMisses++
-						pen := int64(cfg.DCache.MissPenalty)
-						if nr := cycle + 1 + pen; nr > c.ready {
-							s.run.MemStallCycles += pen
-							c.ready = nr
-						}
-					}
-				}
-			}
-			if tr.LastPart {
-				if c.wasSplit {
-					s.run.SplitInstrs++
-					c.wasSplit = false
-				}
-				// Stores commit at the last part (directly or from the
-				// delay buffers); account their cache accesses here.
-				if !cfg.PerfectMemory {
-					for cl := 0; cl < cfg.Geom.Clusters; cl++ {
-						if c.ti.Demand.B[cl].Stor {
-							s.run.DCacheAccesses++
-							if !s.dc.Access(c.ti.MemAddr[cl]) {
-								s.run.DCacheMisses++ // write-allocate, no stall
-							}
-						}
-					}
-				}
-				s.run.Instrs++
-				c.job.Executed++
-				c.job.remaining--
-				c.haveInstr = false
-				c.loaded = false
-				if c.ti.Taken {
-					pen := int64(cfg.TakenBranchPenalty)
-					if nr := cycle + 1 + pen; nr > c.ready {
-						s.run.BranchStallCycles += pen
-						c.ready = nr
-					}
-				}
-				if c.job.Executed >= cfg.LimitInstrs {
-					done = true
-				}
-			}
-		}
-
-		// Delayed-store memory port contention stalls the whole pipeline
-		// (Section V-D, Figure 11).
-		if over := res.MemPortOverflow(cfg.Geom); over > 0 {
-			s.run.Cycles += int64(over)
-			s.run.EmptyCycles += int64(over)
-			s.run.MemPortStallCycles += int64(over)
-			cycle += int64(over)
-		}
-
-		if done {
-			s.finish(cycle + 1)
-			return &s.run, nil
-		}
-		_ = anyActive
-	}
-}
-
-// fetch advances one context's front end: context switches at instruction
-// boundaries, respawn, ICache access, and engine load.
-func (s *Simulator) fetch(t int, cycle int64) {
-	cfg := &s.cfg
-	c := &s.ctxs[t]
-	if c.haveInstr && !c.loaded && cycle >= c.ready {
-		s.eng.Load(t, c.ti.Demand)
-		c.loaded = true
-		return
-	}
-	if c.haveInstr {
-		return
-	}
-	if cycle < c.ready {
-		return
-	}
-	if c.wantSwitch {
-		s.contextSwitch(t)
-		c.wantSwitch = false
-	}
-	if c.job == nil {
-		return
-	}
-	// Respawn a completed benchmark (Section VI-A).
-	if c.job.remaining <= 0 {
-		c.job.variant++
-		c.job.Stream.Reset(c.job.variant)
-		c.job.remaining = c.job.Stream.Length(cfg.ScaleDiv)
-		s.run.Respawns++
-	}
-	var raw synth.TInst
-	c.job.Stream.Next(&raw)
-	c.ti = rotate(&raw, c.rotation, cfg.Geom.Clusters)
-	c.haveInstr = true
-	if !cfg.PerfectMemory {
-		s.run.ICacheAccesses++
-		if pen := s.ic.AccessPenalty(raw.PC); pen > 0 {
-			s.run.ICacheMisses++
-			s.run.FetchStallCycles += int64(pen)
-			c.ready = cycle + int64(pen)
-			return
-		}
-	}
-	s.eng.Load(t, c.ti.Demand)
-	c.loaded = true
-}
-
-// contextSwitch replaces the context's job with a randomly chosen waiting
-// job ("replacement threads are picked at random from the workload").
-func (s *Simulator) contextSwitch(t int) {
-	waiting := make([]*Job, 0, len(s.jobs))
-	runningSet := make(map[*Job]bool, len(s.ctxs))
-	for i := range s.ctxs {
-		if s.ctxs[i].job != nil {
-			runningSet[s.ctxs[i].job] = true
-		}
-	}
-	for _, j := range s.jobs {
-		if !runningSet[j] {
-			waiting = append(waiting, j)
-		}
-	}
-	if len(waiting) == 0 {
-		return // pool fits the contexts; keep running the same job
-	}
-	// Common random numbers: the pick depends only on (seed, switch index),
-	// so different techniques see the same replacement schedule and their
-	// IPC comparison is paired, which the small-scale runs need for
-	// stability. (Paper-scale runs are long enough not to care.)
-	s.switchCount++
-	pick := rng.New(s.cfg.Seed*0x5851f42d + s.switchCount).Intn(len(waiting))
-	s.ctxs[t].job = waiting[pick]
-	s.run.ContextSwitches++
-}
-
-// applyMode restricts the ready mask for the IMT/BMT ablation modes.
-func (s *Simulator) applyMode(cycle int64, ready *[core.MaxThreads]bool) {
-	switch s.cfg.Mode {
-	case ModeInterleaved:
-		pick := int(cycle % int64(s.cfg.Threads))
-		for t := range s.ctxs {
-			if t != pick {
-				ready[t] = false
-			}
-		}
-	case ModeBlocked:
-		// Stay on the current thread while it is ready; otherwise rotate to
-		// the next ready one.
-		if !ready[s.bmtCur] {
-			for i := 1; i <= s.cfg.Threads; i++ {
-				cand := (s.bmtCur + i) % s.cfg.Threads
-				if ready[cand] {
-					s.bmtCur = cand
-					break
-				}
-			}
-		}
-		for t := range s.ctxs {
-			if t != s.bmtCur {
-				ready[t] = false
-			}
-		}
-	}
-}
-
-func (s *Simulator) finish(cycles int64) {
-	s.run.IssueSlots = s.run.Cycles * int64(s.cfg.Geom.TotalIssueWidth())
-	_ = cycles
 }
 
 // rotate applies cluster renaming to a fetched instruction: demand and
