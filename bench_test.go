@@ -15,6 +15,7 @@
 package vexsmt_test
 
 import (
+	"context"
 	"runtime"
 	"testing"
 
@@ -69,7 +70,7 @@ func BenchmarkFigure14(b *testing.B) {
 				var avg float64
 				for i := 0; i < b.N; i++ {
 					m := experiments.NewMatrix(benchScale, 1)
-					s, err := m.Speedups(core.CCSI(comm), core.CSMT(), threads)
+					s, err := m.Speedups(context.Background(), core.CCSI(comm), core.CSMT(), threads)
 					if err != nil {
 						b.Fatal(err)
 					}
@@ -105,7 +106,7 @@ func BenchmarkFigure15(b *testing.B) {
 			var avg float64
 			for i := 0; i < b.N; i++ {
 				m := experiments.NewMatrix(benchScale, 1)
-				sp, err := m.Speedups(s.tech, core.SMT(), s.th)
+				sp, err := m.Speedups(context.Background(), s.tech, core.SMT(), s.th)
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -129,7 +130,7 @@ func BenchmarkFigure16(b *testing.B) {
 					m := experiments.NewMatrix(benchScale, 1)
 					var sum float64
 					for _, mix := range workload.Figure13b() {
-						r, err := m.Run(mix, tech, threads)
+						r, err := m.Run(context.Background(), mix, tech, threads)
 						if err != nil {
 							b.Fatal(err)
 						}
@@ -155,9 +156,8 @@ func benchmarkMatrix(b *testing.B, parallel int) {
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		m := experiments.NewMatrix(matrixBenchScale, 1)
-		m.SetParallelism(parallel)
-		if err := m.Prefetch(plan); err != nil {
+		m := experiments.NewMatrix(matrixBenchScale, 1, experiments.WithParallelism(parallel))
+		if err := m.Prefetch(context.Background(), plan); err != nil {
 			b.Fatal(err)
 		}
 	}

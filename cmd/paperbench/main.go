@@ -7,30 +7,35 @@
 //	Figure 15    — COSI and OOSI speedups over SMT (2T/4T, NS/AS)
 //	Figure 16    — absolute IPC of all eight techniques
 //
-// The simulation grid is planned once, deduplicated across figures, and
-// executed over a bounded worker pool; -parallel 1 runs serially and is
-// bit-identical to any other parallelism.
+// It is a thin client of the public pkg/vexsmt API: the simulation grid is
+// planned once, deduplicated across figures, and streamed over a bounded
+// worker pool; -parallel 1 runs serially and is bit-identical to any other
+// parallelism. Interrupting the run (SIGINT) cancels the grid within one
+// simulated timeslice.
 //
 // Usage:
 //
 //	paperbench                 # all figures at the default 1/100 scale
 //	paperbench -quick          # 1/1000 scale smoke run
 //	paperbench -fig 14         # a single figure
+//	paperbench -fig 14,15      # a comma-separated list of figures
 //	paperbench -scale 1        # full paper scale (slow: 200M instrs/run)
 //	paperbench -parallel 8     # bound the worker pool explicitly
+//	paperbench -json results   # also write the grid as schema-versioned JSON
 //	paperbench -cpuprofile p   # write a pprof CPU profile
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"runtime"
 	"runtime/pprof"
 	"time"
 
-	"vexsmt/internal/experiments"
-	"vexsmt/internal/report"
+	"vexsmt/pkg/vexsmt"
 )
 
 func main() {
@@ -44,11 +49,12 @@ func main() {
 
 func run() error {
 	var (
-		fig        = flag.String("fig", "all", "figure to regenerate: 13a, 13b, 14, 15, 16, all")
+		fig        = flag.String("fig", "all", "figures to regenerate: comma-separated list of 13a, 13b, 14, 15, 16, or all")
 		scale      = flag.Int64("scale", 100, "scale divisor of paper scale (1 = paper scale)")
 		quick      = flag.Bool("quick", false, "shorthand for -scale 1000")
 		seed       = flag.Uint64("seed", 1, "simulation seed")
 		parallel   = flag.Int("parallel", runtime.GOMAXPROCS(0), "max concurrent simulations")
+		jsonOut    = flag.String("json", "", "write the simulated grid as schema-versioned JSON to this file")
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 	)
 	flag.Parse()
@@ -67,99 +73,71 @@ func run() error {
 		defer pprof.StopCPUProfile()
 	}
 
-	figures := []string{"13a", "13b", "14", "15", "16"}
-	if *fig != "all" {
-		figures = []string{*fig}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	figures, err := vexsmt.ParseFigures(*fig)
+	if err != nil {
+		return err
 	}
 
-	m := experiments.NewMatrix(*scale, *seed)
-	m.SetParallelism(*parallel)
+	svc, err := vexsmt.New(
+		vexsmt.WithScale(*scale),
+		vexsmt.WithSeed(*seed),
+		vexsmt.WithParallelism(*parallel),
+	)
+	if err != nil {
+		return err
+	}
 	start := time.Now()
 
 	// Plan the whole grid up front: cells shared between figures simulate
 	// once, concurrently, before any figure renders.
-	plan, err := experiments.PlanFigures(figures...)
+	prefetchStart := time.Now()
+	n, err := svc.Prefetch(ctx, vexsmt.Plan{Figures: figures})
 	if err != nil {
 		return err
 	}
-	prefetchStart := time.Now()
-	if err := m.Prefetch(plan); err != nil {
-		return err
-	}
-	if plan.Len() > 0 {
+	if n > 0 {
 		fmt.Printf("(planned %d unique cells, simulated in %.1fs over %d workers)\n\n",
-			plan.Len(), time.Since(prefetchStart).Seconds(), m.Parallelism())
+			n, time.Since(prefetchStart).Seconds(), svc.Parallelism())
 	}
 
 	for _, f := range figures {
 		figStart := time.Now()
-		if err := renderFigure(m, f, *scale); err != nil {
+		text, err := svc.RenderFigure(ctx, f)
+		if err != nil {
 			return err
 		}
+		fmt.Print(text)
 		fmt.Printf("(figure %s in %.2fs)\n\n", f, time.Since(figStart).Seconds())
 	}
+
+	if *jsonOut != "" {
+		if err := writeJSON(ctx, svc, figures, *jsonOut); err != nil {
+			return err
+		}
+	}
 	fmt.Printf("(%d simulations, %.1fs total, 1/%d paper scale, seed %d, parallelism %d)\n",
-		m.Cells(), time.Since(start).Seconds(), *scale, *seed, m.Parallelism())
+		svc.CellsSimulated(), time.Since(start).Seconds(), svc.Scale(), svc.Seed(), svc.Parallelism())
 	return nil
 }
 
-// renderFigure prints one figure; grid cells are already memoized, so only
-// Figure 13(a)'s single-thread runs simulate here.
-func renderFigure(m *experiments.Matrix, fig string, scale int64) error {
-	switch fig {
-	case "13a":
-		rows, err := experiments.Figure13a(max64(scale, 150))
-		if err != nil {
-			return err
-		}
-		fmt.Print(report.Figure13aTable(rows))
-	case "13b":
-		fmt.Print(report.Figure13bTable())
-	case "14":
-		series, err := m.Figure14()
-		if err != nil {
-			return err
-		}
-		fmt.Print(report.SpeedupChart("Figure 14: Cluster-level split-issue (CCSI) speedups over CSMT", series))
-		fmt.Println()
-		fmt.Print(report.HeadlineTable(headlines(series)))
-	case "15":
-		series, err := m.Figure15()
-		if err != nil {
-			return err
-		}
-		fmt.Print(report.SpeedupChart("Figure 15: COSI and OOSI speedups over SMT", series))
-		fmt.Println()
-		fmt.Print(report.HeadlineTable(headlines(series)))
-	case "16":
-		points, err := m.Figure16()
-		if err != nil {
-			return err
-		}
-		fmt.Print(report.IPCChart(points))
-	default:
-		return fmt.Errorf("unknown figure %q", fig)
+// writeJSON exports the (already memoized) grid as a schema-versioned
+// results document.
+func writeJSON(ctx context.Context, svc *vexsmt.Service, figures []string, path string) error {
+	rs, err := svc.Collect(ctx, vexsmt.Plan{Figures: figures})
+	if err != nil {
+		return err
 	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := vexsmt.EncodeResults(f, rs); err != nil {
+		return err
+	}
+	fmt.Printf("(wrote %d cells to %s, schema v%d)\n\n", len(rs.Cells), path, vexsmt.SchemaVersion)
 	return nil
-}
-
-// headlines pairs each measured series with the paper's reported average,
-// matched by the series' comparison key rather than by position.
-func headlines(series []experiments.SpeedupSeries) []report.Headline {
-	var rows []report.Headline
-	for _, s := range series {
-		paper, ok := report.PaperAverageFor(s)
-		if !ok {
-			continue // the paper reports no average for this series
-		}
-		rows = append(rows, report.Headline{Label: s.Label, Measured: s.Avg, Paper: paper})
-	}
-	return rows
-}
-
-func max64(a, b int64) int64 {
-	if a > b {
-		return a
-	}
-	return b
 }

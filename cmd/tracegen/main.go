@@ -12,6 +12,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -88,7 +89,7 @@ func main() {
 		}
 
 	case *table:
-		rows, err := experiments.Figure13a(*scale)
+		rows, err := experiments.Figure13a(context.Background(), *scale, 0)
 		if err != nil {
 			fatal(err)
 		}

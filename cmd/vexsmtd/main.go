@@ -1,0 +1,41 @@
+// Command vexsmtd serves the split-issue simulator over HTTP/JSON, built
+// entirely on the public pkg/vexsmt API. Plans are submitted, observed
+// (snapshot or NDJSON stream) and cancelled through a small /v1 surface:
+//
+//	vexsmtd -addr :8080 -scale 1000
+//
+//	curl -s localhost:8080/v1/plans -d '{"figures":["14"]}'
+//	curl -s 'localhost:8080/v1/results?id=plan-1'
+//	curl -sN 'localhost:8080/v1/results?id=plan-1&stream=1'
+//	curl -s -X DELETE 'localhost:8080/v1/plans?id=plan-1'
+//
+// Results follow the versioned JSON schema of pkg/vexsmt (SchemaVersion);
+// see the package documentation for the determinism and cancellation
+// contract.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"runtime"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", ":8080", "listen address")
+		scale    = flag.Int64("scale", 100, "default scale divisor of paper scale")
+		seed     = flag.Uint64("seed", 1, "default simulation seed")
+		parallel = flag.Int("parallel", runtime.GOMAXPROCS(0), "default max concurrent simulations per plan")
+	)
+	flag.Parse()
+
+	srv := NewServer(*scale, *seed, *parallel)
+	fmt.Printf("vexsmtd listening on %s (defaults: 1/%d scale, seed %d, parallelism %d)\n",
+		*addr, *scale, *seed, *parallel)
+	if err := http.ListenAndServe(*addr, srv.Handler()); err != nil {
+		fmt.Fprintln(os.Stderr, "vexsmtd:", err)
+		os.Exit(1)
+	}
+}

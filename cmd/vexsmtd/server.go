@@ -1,0 +1,408 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sort"
+	"strconv"
+	"sync"
+	"time"
+
+	"vexsmt/pkg/vexsmt"
+)
+
+// Server exposes the public vexsmt API over HTTP/JSON. It is deliberately
+// a thin shell: every simulation capability it offers comes from
+// pkg/vexsmt — the server never reaches into internal packages.
+//
+//	POST   /v1/plans            submit a plan; returns {"id": ...}
+//	GET    /v1/plans            list submitted plans
+//	GET    /v1/results?id=ID    snapshot: meta, status, progress, cells
+//	GET    /v1/results?id=ID&stream=1
+//	                            NDJSON: one CellResult per line as cells
+//	                            complete, then a final status line
+//	DELETE /v1/plans?id=ID      cancel a running plan
+type Server struct {
+	defaults serverDefaults // server-level default scale/seed/parallelism
+
+	mu   sync.Mutex
+	jobs map[string]*job
+	next int
+}
+
+// planRequest is the POST /v1/plans body: the plan itself plus per-plan
+// overrides of the server's simulation defaults. Overrides are pointers
+// so that explicit zero values (notably seed 0) are distinguishable from
+// absent fields instead of silently falling back to the defaults.
+type planRequest struct {
+	vexsmt.Plan
+	Scale       *int64  `json:"scale,omitempty"`
+	Seed        *uint64 `json:"seed,omitempty"`
+	Parallelism *int    `json:"parallelism,omitempty"`
+}
+
+// job is one submitted plan: a service, the cells streamed so far, and the
+// terminal state. Mutable state is guarded by mu; done closes when the
+// stream drains.
+type job struct {
+	id      string
+	num     int // submission order, drives oldest-first eviction
+	meta    vexsmt.RunMeta
+	total   int
+	created time.Time
+	cancel  context.CancelFunc
+	done    chan struct{}
+
+	mu     sync.Mutex
+	cells  []vexsmt.CellResult
+	failed string // first cell error, if any
+	status string // "running", "done", "failed", "cancelled"
+}
+
+// serverDefaults are the simulation parameters a plan gets when its
+// request leaves them unset.
+type serverDefaults struct {
+	scale       int64
+	seed        uint64
+	parallelism int
+}
+
+// NewServer builds a server whose jobs default to the given scale, seed
+// and parallelism.
+func NewServer(scale int64, seed uint64, parallelism int) *Server {
+	return &Server{
+		defaults: serverDefaults{scale: scale, seed: seed, parallelism: parallelism},
+		jobs:     make(map[string]*job),
+	}
+}
+
+// Handler returns the server's route table.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/plans", s.handlePlans)
+	mux.HandleFunc("/v1/results", s.handleResults)
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]any{"ok": true, "schema_version": vexsmt.SchemaVersion})
+	})
+	return mux
+}
+
+func (s *Server) handlePlans(w http.ResponseWriter, r *http.Request) {
+	switch r.Method {
+	case http.MethodPost:
+		s.submitPlan(w, r)
+	case http.MethodGet:
+		s.listPlans(w)
+	case http.MethodDelete:
+		s.cancelPlan(w, r)
+	default:
+		httpError(w, http.StatusMethodNotAllowed, "use POST, GET or DELETE")
+	}
+}
+
+// submitPlan validates the request, resolves the plan eagerly (so bad
+// plans fail with 400, not asynchronously), and starts streaming.
+func (s *Server) submitPlan(w http.ResponseWriter, r *http.Request) {
+	var req planRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20)).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, "bad plan: %v", err)
+		return
+	}
+	// Present overrides — including explicit zeros — go through the option
+	// validators, so an invalid value (zero or negative scale, zero
+	// parallelism) is a 400, never a silent fallback to the defaults.
+	scale, seed, parallelism := s.defaults.scale, s.defaults.seed, s.defaults.parallelism
+	if req.Scale != nil {
+		scale = *req.Scale
+	}
+	if req.Seed != nil {
+		seed = *req.Seed
+	}
+	if req.Parallelism != nil {
+		parallelism = *req.Parallelism
+	}
+	opts := []vexsmt.Option{
+		vexsmt.WithScale(scale),
+		vexsmt.WithSeed(seed),
+		vexsmt.WithParallelism(parallelism),
+	}
+	svc, err := vexsmt.New(opts...)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	total, err := svc.PlanSize(req.Plan)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	ch, err := svc.Stream(ctx, req.Plan)
+	if err != nil {
+		cancel()
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+
+	s.mu.Lock()
+	if s.runningLocked() >= maxRunningJobs {
+		s.mu.Unlock()
+		cancel()
+		httpError(w, http.StatusServiceUnavailable, "%d plans already running; retry later", maxRunningJobs)
+		return
+	}
+	s.next++
+	j := &job{
+		id:      "plan-" + strconv.Itoa(s.next),
+		num:     s.next,
+		meta:    svc.Meta(),
+		total:   total,
+		created: time.Now(),
+		cancel:  cancel,
+		done:    make(chan struct{}),
+		status:  "running",
+	}
+	s.jobs[j.id] = j
+	s.evictTerminalLocked()
+	s.mu.Unlock()
+
+	go j.consume(ctx, ch)
+
+	writeJSON(w, http.StatusAccepted, map[string]any{
+		"id":    j.id,
+		"cells": total,
+		"meta":  j.meta,
+	})
+}
+
+// consume drains the stream into the job, recording the terminal state.
+func (j *job) consume(ctx context.Context, ch <-chan vexsmt.CellResult) {
+	defer close(j.done)
+	defer j.cancel()
+	for cell := range ch {
+		if cell.Err != "" && ctx.Err() != nil {
+			// Cancellation abort, not a simulation failure: the cell never
+			// completed (and is un-memoized), so it must not inflate the
+			// completed count or masquerade as the job's error.
+			continue
+		}
+		j.mu.Lock()
+		j.cells = append(j.cells, cell)
+		if cell.Err != "" && j.failed == "" {
+			j.failed = fmt.Sprintf("%s/%s/%dT: %s", cell.Mix, cell.Technique, cell.Threads, cell.Err)
+		}
+		j.mu.Unlock()
+	}
+	j.mu.Lock()
+	switch {
+	case ctx.Err() != nil:
+		j.status = "cancelled"
+	case j.failed != "":
+		j.status = "failed"
+	default:
+		j.status = "done"
+	}
+	j.mu.Unlock()
+}
+
+// snapshot returns the job's current progress and a copy of the cells
+// accumulated so far (from offset on).
+func (j *job) snapshot(offset int) (status, failed string, total int, cells []vexsmt.CellResult) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if offset < len(j.cells) {
+		cells = append(cells, j.cells[offset:]...)
+	}
+	return j.status, j.failed, j.total, cells
+}
+
+// progress reports status and counts without copying the cell slice —
+// the cheap accessor for listings and polling.
+func (j *job) progress() (status string, completed, total int) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.status, len(j.cells), j.total
+}
+
+func (s *Server) listPlans(w http.ResponseWriter) {
+	s.mu.Lock()
+	out := make([]map[string]any, 0, len(s.jobs))
+	for _, j := range s.jobs {
+		status, completed, total := j.progress()
+		out = append(out, map[string]any{
+			"id": j.id, "status": status,
+			"completed": completed, "cells": total,
+			"created": j.created.UTC().Format(time.RFC3339),
+		})
+	}
+	s.mu.Unlock()
+	sort.Slice(out, func(i, k int) bool { return out[i]["id"].(string) < out[k]["id"].(string) })
+	writeJSON(w, http.StatusOK, map[string]any{"plans": out})
+}
+
+// cancelPlan cancels the job, waits for its stream to drain, and evicts
+// it — DELETE is both cancel and cleanup, so completed jobs' results do
+// not accumulate in the server forever.
+func (s *Server) cancelPlan(w http.ResponseWriter, r *http.Request) {
+	id := r.URL.Query().Get("id")
+	j, ok := s.job(id)
+	if !ok {
+		httpError(w, http.StatusNotFound, "unknown plan")
+		return
+	}
+	j.cancel()
+	<-j.done
+	s.mu.Lock()
+	delete(s.jobs, id)
+	s.mu.Unlock()
+	status, completed, _ := j.progress()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"id": j.id, "status": status, "completed": completed,
+	})
+}
+
+// maxRetainedJobs bounds server memory: beyond this many jobs, the oldest
+// terminal (done/failed/cancelled) ones are evicted with their results.
+// Running jobs are never evicted — they bound themselves by finishing.
+const maxRetainedJobs = 64
+
+// maxRunningJobs bounds concurrent simulation: each plan runs its own
+// worker pool, so unbounded admission would oversubscribe the CPU and pin
+// every partial result in memory. Excess submissions get 503.
+const maxRunningJobs = 4
+
+// runningLocked counts jobs still simulating. Caller holds s.mu.
+func (s *Server) runningLocked() int {
+	n := 0
+	for _, j := range s.jobs {
+		if status, _, _ := j.progress(); status == "running" {
+			n++
+		}
+	}
+	return n
+}
+
+// evictTerminalLocked ages out the oldest terminal jobs while the registry
+// exceeds maxRetainedJobs. Caller holds s.mu.
+func (s *Server) evictTerminalLocked() {
+	for len(s.jobs) > maxRetainedJobs {
+		var oldest *job
+		for _, j := range s.jobs {
+			if status, _, _ := j.progress(); status == "running" {
+				continue
+			}
+			if oldest == nil || j.num < oldest.num {
+				oldest = j
+			}
+		}
+		if oldest == nil {
+			return // everything still running; nothing evictable
+		}
+		delete(s.jobs, oldest.id)
+	}
+}
+
+func (s *Server) job(id string) (*job, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	return j, ok
+}
+
+func (s *Server) handleResults(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		httpError(w, http.StatusMethodNotAllowed, "use GET")
+		return
+	}
+	j, ok := s.job(r.URL.Query().Get("id"))
+	if !ok {
+		httpError(w, http.StatusNotFound, "unknown plan")
+		return
+	}
+	if r.URL.Query().Get("stream") != "" {
+		s.streamResults(w, r, j)
+		return
+	}
+	status, failed, total, cells := j.snapshot(0)
+	// The embedded ResultSet keeps the schema contract a downstream merger
+	// relies on: successful cells only (failures are reported via status +
+	// error, exactly as Collect fails instead of returning a partial set),
+	// in the canonical sorted order so equal plans return byte-identical
+	// results documents.
+	rs := vexsmt.ResultSet{Meta: j.meta}
+	for _, c := range cells {
+		if c.Err == "" {
+			rs.Cells = append(rs.Cells, c)
+		}
+	}
+	rs.Sort()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"id":        j.id,
+		"status":    status,
+		"error":     failed,
+		"completed": len(cells),
+		"cells":     total,
+		"results":   rs,
+	})
+}
+
+// streamResults writes NDJSON: every completed cell (including those that
+// finished before the watcher connected), live cells as they complete, and
+// one terminal status object. Polling the job avoids subscription
+// plumbing; 100ms granularity is invisible next to cell runtimes.
+func (s *Server) streamResults(w http.ResponseWriter, r *http.Request, j *job) {
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+	if flusher != nil {
+		// Push the status line and headers now: cells can take minutes, and
+		// a watcher must be able to tell "running" from "dead" immediately.
+		flusher.Flush()
+	}
+	enc := json.NewEncoder(w)
+
+	offset := 0
+	tick := time.NewTicker(100 * time.Millisecond)
+	defer tick.Stop()
+	for {
+		status, failed, total, cells := j.snapshot(offset)
+		for _, cell := range cells {
+			if err := enc.Encode(cell); err != nil {
+				return // watcher went away
+			}
+		}
+		offset += len(cells)
+		if flusher != nil && len(cells) > 0 {
+			flusher.Flush()
+		}
+		if status != "running" {
+			_ = enc.Encode(map[string]any{
+				"status": status, "error": failed,
+				"completed": offset, "cells": total,
+			})
+			return
+		}
+		select {
+		case <-r.Context().Done():
+			return
+		case <-j.done:
+			// Loop once more to drain the tail and emit the status line.
+		case <-tick.C:
+		}
+	}
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func httpError(w http.ResponseWriter, code int, format string, args ...any) {
+	writeJSON(w, code, map[string]string{"error": fmt.Sprintf(format, args...)})
+}

@@ -1,51 +1,45 @@
 // Quickstart: simulate the paper's base machine (4 clusters x 4-issue,
 // ST200-like) running a 4-thread workload under CSMT, then enable
 // cluster-level split-issue (CCSI) and measure the speedup — the paper's
-// headline experiment in ~40 lines.
+// headline experiment, driven entirely through the public pkg/vexsmt API.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
-	"vexsmt/internal/core"
-	"vexsmt/internal/sim"
-	"vexsmt/internal/stats"
-	"vexsmt/internal/workload"
+	"vexsmt/pkg/vexsmt"
 )
 
 func main() {
-	// The "mmhh" mix: two medium-ILP and two high-ILP benchmarks
-	// (djpeg, g721decode, idct, colorspace) — the mix where the paper
-	// reports up to 20.3% gains from split-issue.
-	mix, err := workload.MixByLabel("mmhh")
-	if err != nil {
-		log.Fatal(err)
-	}
-	profiles, err := mix.Profiles()
+	ctx := context.Background()
+	svc, err := vexsmt.New(vexsmt.WithScale(500)) // 1/500 of paper scale
 	if err != nil {
 		log.Fatal(err)
 	}
 
-	run := func(tech core.Technique) *stats.Run {
-		cfg := sim.DefaultConfig(tech, 4).WithScale(500) // 1/500 of paper scale
-		s, err := sim.NewWorkload(cfg, profiles)
-		if err != nil {
-			log.Fatal(err)
-		}
-		r, err := s.Run()
+	// The "mmhh" mix: two medium-ILP and two high-ILP benchmarks
+	// (djpeg, g721decode, idct, colorspace) — the mix where the paper
+	// reports up to 20.3% gains from split-issue. Both cells share one
+	// seed (common random numbers), so the comparison is paired.
+	run := func(technique string) vexsmt.CellResult {
+		r, err := svc.RunCell(ctx, vexsmt.CellSpec{
+			Mix: "mmhh", Technique: technique, Threads: 4,
+		})
 		if err != nil {
 			log.Fatal(err)
 		}
 		return r
 	}
 
-	base := run(core.CSMT())
-	ccsi := run(core.CCSI(core.CommAlwaysSplit))
+	base := run("CSMT")
+	ccsi := run("CCSI AS")
 
-	fmt.Printf("workload %s on the 16-issue 4-cluster machine, 4 threads\n\n", mix.Label)
-	fmt.Printf("  CSMT    (cluster merging, no split):   IPC %.3f\n", base.IPC())
-	fmt.Printf("  CCSI AS (cluster merging + split):     IPC %.3f\n", ccsi.IPC())
+	fmt.Println("workload mmhh on the 16-issue 4-cluster machine, 4 threads")
+	fmt.Println()
+	fmt.Printf("  CSMT    (cluster merging, no split):   IPC %.3f\n", base.IPC)
+	fmt.Printf("  CCSI AS (cluster merging + split):     IPC %.3f\n", ccsi.IPC)
 	fmt.Printf("\n  split-issue speedup: %+.1f%%  (%d instructions issued in parts)\n",
-		stats.SpeedupPct(ccsi, base), ccsi.SplitInstrs)
+		vexsmt.SpeedupPct(ccsi, base), ccsi.Counters.SplitInstrs)
 }

@@ -1,39 +1,40 @@
 // Scaling studies how throughput grows with hardware thread contexts
 // (1 → 2 → 4 → 8) for cluster-level merging with and without split-issue —
 // the axis along which the paper chooses its 2-thread and 4-thread
-// evaluation points.
+// evaluation points. Runs entirely on the public pkg/vexsmt API.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"strings"
 
-	"vexsmt/internal/core"
-	"vexsmt/internal/experiments"
-	"vexsmt/internal/workload"
+	"vexsmt/pkg/vexsmt"
 )
 
 func main() {
-	mix, err := workload.MixByLabel("llmh")
+	ctx := context.Background()
+	svc, err := vexsmt.New(vexsmt.WithScale(500), vexsmt.WithSeed(1))
 	if err != nil {
 		log.Fatal(err)
 	}
 	threads := []int{1, 2, 4, 8}
 
-	fmt.Printf("thread scaling on workload %s (%v)\n\n", mix.Label, mix.Benchmarks)
+	fmt.Println("thread scaling on workload llmh (mcf blowfish cjpeg x264)")
+	fmt.Println()
 	fmt.Printf("%-8s", "threads")
 	for _, th := range threads {
 		fmt.Printf("%8dT", th)
 	}
 	fmt.Println()
 
-	for _, tech := range []core.Technique{core.CSMT(), core.CCSI(core.CommAlwaysSplit), core.SMT()} {
-		points, err := experiments.ThreadScaling(mix, tech, threads, 500, 1)
+	for _, tech := range []string{"CSMT", "CCSI AS", "SMT"} {
+		points, err := svc.ThreadScaling(ctx, "llmh", tech, threads)
 		if err != nil {
 			log.Fatal(err)
 		}
-		fmt.Printf("%-8s", tech.Name())
+		fmt.Printf("%-8s", tech)
 		for _, p := range points {
 			fmt.Printf("%9.3f", p.IPC)
 		}

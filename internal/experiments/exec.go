@@ -1,6 +1,8 @@
 package experiments
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"runtime"
 	"sort"
@@ -18,12 +20,14 @@ import (
 // it exactly once (singleflight), and every cell draws its random stream
 // from a seed derived purely from the cell's workload identity, so
 // results are bit-identical no matter how many workers run the grid or
-// in what order.
+// in what order. Cancelling the context passed to RunCell/Prefetch/Stream
+// aborts in-flight simulations within one timeslice; cancelled cells are
+// not memoized, so a later call with a live context re-simulates them.
 type Matrix struct {
 	Scale int64 // divisor of paper scale (1 = paper scale)
 	Seed  uint64
 
-	parallel int
+	parallel int // fixed at construction; no mid-run mutation
 
 	mu    sync.Mutex
 	cells map[Cell]*cellCall
@@ -36,28 +40,37 @@ type cellCall struct {
 	err  error
 }
 
+// MatrixOption configures a Matrix at construction time.
+type MatrixOption func(*Matrix)
+
+// WithParallelism bounds the worker pool used by Prefetch, Stream and the
+// figure methods; n < 1 selects GOMAXPROCS. Parallelism is fixed for the
+// matrix's lifetime — the old SetParallelism mutator was a data race
+// waiting to happen once figures ran concurrently.
+func WithParallelism(n int) MatrixOption {
+	return func(m *Matrix) {
+		if n >= 1 {
+			m.parallel = n
+		}
+	}
+}
+
 // NewMatrix builds an empty result matrix at the given scale. Parallelism
-// defaults to GOMAXPROCS.
-func NewMatrix(scale int64, seed uint64) *Matrix {
-	return &Matrix{
+// defaults to GOMAXPROCS and is fixed at construction.
+func NewMatrix(scale int64, seed uint64, opts ...MatrixOption) *Matrix {
+	m := &Matrix{
 		Scale:    scale,
 		Seed:     seed,
 		parallel: runtime.GOMAXPROCS(0),
 		cells:    make(map[Cell]*cellCall),
 	}
-}
-
-// SetParallelism bounds the worker pool used by Prefetch and the figure
-// methods; n < 1 resets to GOMAXPROCS. It must not be called concurrently
-// with running figures.
-func (m *Matrix) SetParallelism(n int) {
-	if n < 1 {
-		n = runtime.GOMAXPROCS(0)
+	for _, o := range opts {
+		o(m)
 	}
-	m.parallel = n
+	return m
 }
 
-// Parallelism returns the current worker-pool bound.
+// Parallelism returns the worker-pool bound.
 func (m *Matrix) Parallelism() int { return m.parallel }
 
 // CellSeed derives the deterministic seed for one cell, splitmix-style
@@ -78,30 +91,57 @@ func (m *Matrix) CellSeed(c Cell) uint64 {
 
 // Run returns the memoized run for one cell, simulating on first use.
 // Concurrent callers of the same cell share one simulation.
-func (m *Matrix) Run(mix workload.Mix, tech core.Technique, threads int) (*stats.Run, error) {
-	return m.RunCell(Cell{Mix: mix, Tech: tech, Threads: threads})
+func (m *Matrix) Run(ctx context.Context, mix workload.Mix, tech core.Technique, threads int) (*stats.Run, error) {
+	return m.RunCell(ctx, Cell{Mix: mix, Tech: tech, Threads: threads})
 }
 
-// RunCell is Run keyed by Cell.
-func (m *Matrix) RunCell(c Cell) (*stats.Run, error) {
-	m.mu.Lock()
-	if call, ok := m.cells[c]; ok {
+// RunCell is Run keyed by Cell. A cell that aborts on context cancellation
+// is forgotten rather than memoized, so retrying with a live context
+// simulates it afresh. A waiter piggy-backing on a leader that was
+// cancelled does not inherit the foreign context error: if its own
+// context is still live it becomes (or joins) the next leader and the
+// cell simulates again — one plan's cancellation never poisons another
+// plan sharing cells on the same matrix.
+func (m *Matrix) RunCell(ctx context.Context, c Cell) (*stats.Run, error) {
+	for {
+		m.mu.Lock()
+		if call, ok := m.cells[c]; ok {
+			m.mu.Unlock()
+			select {
+			case <-call.done:
+				if call.err != nil && isCtxErr(call.err) && ctx.Err() == nil {
+					continue // leader cancelled, we are live: retry
+				}
+				return call.run, call.err
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			}
+		}
+		call := &cellCall{done: make(chan struct{})}
+		m.cells[c] = call
 		m.mu.Unlock()
-		<-call.done
+
+		call.run, call.err = m.simulate(ctx, c)
+		if call.err != nil && ctx.Err() != nil {
+			// Cancelled, not failed: drop the memo so a retry re-simulates.
+			m.mu.Lock()
+			delete(m.cells, c)
+			m.mu.Unlock()
+		}
+		close(call.done)
 		return call.run, call.err
 	}
-	call := &cellCall{done: make(chan struct{})}
-	m.cells[c] = call
-	m.mu.Unlock()
+}
 
-	call.run, call.err = m.simulate(c)
-	close(call.done)
-	return call.run, call.err
+// isCtxErr reports whether err stems from context cancellation or
+// deadline expiry (possibly wrapped by simulate).
+func isCtxErr(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
 }
 
 // simulate runs one cell from scratch. It touches no Matrix state beyond
 // the immutable Scale/Seed, so any number of cells may simulate at once.
-func (m *Matrix) simulate(c Cell) (*stats.Run, error) {
+func (m *Matrix) simulate(ctx context.Context, c Cell) (*stats.Run, error) {
 	cfg := sim.DefaultConfig(c.Tech, c.Threads).WithScale(m.Scale)
 	cfg.Seed = m.CellSeed(c)
 	profs, err := c.Mix.Profiles()
@@ -112,7 +152,7 @@ func (m *Matrix) simulate(c Cell) (*stats.Run, error) {
 	if err != nil {
 		return nil, err
 	}
-	r, err := s.Run()
+	r, err := s.RunContext(ctx)
 	if err != nil {
 		return nil, fmt.Errorf("experiments: %s: %w", c, err)
 	}
@@ -121,13 +161,46 @@ func (m *Matrix) simulate(c Cell) (*stats.Run, error) {
 
 // Prefetch simulates every cell of a plan over a bounded worker pool and
 // returns the first error. After a successful Prefetch, figure assembly
-// only reads memoized results.
-func (m *Matrix) Prefetch(p *Plan) error {
+// only reads memoized results. Cancelling ctx stops dispatching new cells
+// and aborts in-flight ones within a timeslice.
+func (m *Matrix) Prefetch(ctx context.Context, p *Plan) error {
 	cells := p.Cells()
-	return forEachLimit(m.parallel, len(cells), func(i int) error {
-		_, err := m.RunCell(cells[i])
+	return forEachLimit(ctx, m.parallel, len(cells), func(i int) error {
+		_, err := m.RunCell(ctx, cells[i])
 		return err
 	})
+}
+
+// CellOutcome is one streamed cell completion: the cell, its memoized run
+// on success, or the error that stopped it.
+type CellOutcome struct {
+	Cell Cell
+	Run  *stats.Run
+	Err  error
+}
+
+// Stream simulates every cell of a plan over the worker pool and delivers
+// each outcome as it completes, instead of blocking behind Prefetch's
+// barrier. The channel closes once all cells have been delivered or, after
+// cancellation, once the in-flight cells have drained (within one
+// timeslice — workers never leak). Completion order is nondeterministic
+// but every delivered result is bit-identical to a serial run: cells
+// derive their seeds from workload identity alone.
+func (m *Matrix) Stream(ctx context.Context, p *Plan) <-chan CellOutcome {
+	cells := p.Cells()
+	out := make(chan CellOutcome)
+	go func() {
+		defer close(out)
+		_ = forEachLimit(ctx, m.parallel, len(cells), func(i int) error {
+			r, err := m.RunCell(ctx, cells[i])
+			select {
+			case out <- CellOutcome{Cell: cells[i], Run: r, Err: err}:
+			case <-ctx.Done():
+			}
+			return err
+		})
+	}()
+	return out
 }
 
 // Results returns a snapshot of every successfully simulated cell.
@@ -167,16 +240,23 @@ func (m *Matrix) SortedCellKeys() []string {
 }
 
 // forEachLimit runs fn(0..n-1) over at most limit concurrent workers and
-// returns the first error. All items run even after an error is recorded;
-// simulation cells are independent, so finishing them keeps the memo warm
-// for whoever retries.
-func forEachLimit(limit, n int, fn func(i int) error) error {
+// returns the first error. Plain errors do not stop the sweep — simulation
+// cells are independent, so finishing them keeps the memo warm for whoever
+// retries — but a cancelled context stops dispatching immediately and the
+// pool drains.
+func forEachLimit(ctx context.Context, limit, n int, fn func(i int) error) error {
 	if limit > n {
 		limit = n
 	}
 	if limit <= 1 {
 		var first error
 		for i := 0; i < n; i++ {
+			if err := ctx.Err(); err != nil {
+				if first == nil {
+					first = err
+				}
+				break
+			}
 			if err := fn(i); err != nil && first == nil {
 				first = err
 			}
@@ -189,23 +269,32 @@ func forEachLimit(limit, n int, fn func(i int) error) error {
 		first error
 		next  = make(chan int)
 	)
+	record := func(err error) {
+		mu.Lock()
+		if first == nil {
+			first = err
+		}
+		mu.Unlock()
+	}
 	wg.Add(limit)
 	for w := 0; w < limit; w++ {
 		go func() {
 			defer wg.Done()
 			for i := range next {
 				if err := fn(i); err != nil {
-					mu.Lock()
-					if first == nil {
-						first = err
-					}
-					mu.Unlock()
+					record(err)
 				}
 			}
 		}()
 	}
+dispatch:
 	for i := 0; i < n; i++ {
-		next <- i
+		select {
+		case next <- i:
+		case <-ctx.Done():
+			record(ctx.Err())
+			break dispatch
+		}
 	}
 	close(next)
 	wg.Wait()

@@ -13,6 +13,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 
@@ -35,12 +36,16 @@ type Fig13Row struct {
 }
 
 // Figure13a measures every benchmark single-threaded with real and perfect
-// memory. Benchmarks are independent, so they run concurrently; the row
-// order is the paper's table order regardless of completion order.
-func Figure13a(scale int64) ([]Fig13Row, error) {
+// memory. Benchmarks are independent, so they run concurrently over at
+// most parallel workers (< 1 selects GOMAXPROCS); the row order is the
+// paper's table order regardless of completion order.
+func Figure13a(ctx context.Context, scale int64, parallel int) ([]Fig13Row, error) {
+	if parallel < 1 {
+		parallel = runtime.GOMAXPROCS(0)
+	}
 	paper := workload.PaperFigure13a()
 	rows := make([]Fig13Row, len(paper))
-	err := forEachLimit(runtime.GOMAXPROCS(0), len(paper), func(i int) error {
+	err := forEachLimit(ctx, parallel, len(paper), func(i int) error {
 		pr := paper[i]
 		prof, ok := synth.ByName(pr.Name)
 		if !ok {
@@ -81,7 +86,7 @@ type SpeedupSeries struct {
 // Speedups computes one series across all nine mixes: both techniques'
 // cells are prefetched in parallel, then the series assembles from the
 // memoized results.
-func (m *Matrix) Speedups(tech, baseline core.Technique, threads int) (SpeedupSeries, error) {
+func (m *Matrix) Speedups(ctx context.Context, tech, baseline core.Technique, threads int) (SpeedupSeries, error) {
 	s := SpeedupSeries{
 		Label: fmt.Sprintf("%s over %s, %d-Thread", tech.Name(), baseline.Name(), threads),
 		Tech:  tech, Baseline: baseline, Threads: threads,
@@ -89,16 +94,16 @@ func (m *Matrix) Speedups(tech, baseline core.Technique, threads int) (SpeedupSe
 	p := NewPlan()
 	p.AddMixSweep(tech, threads)
 	p.AddMixSweep(baseline, threads)
-	if err := m.Prefetch(p); err != nil {
+	if err := m.Prefetch(ctx, p); err != nil {
 		return s, err
 	}
 	var sum float64
 	for _, mix := range workload.Figure13b() {
-		rt, err := m.Run(mix, tech, threads)
+		rt, err := m.Run(ctx, mix, tech, threads)
 		if err != nil {
 			return s, err
 		}
-		rb, err := m.Run(mix, baseline, threads)
+		rb, err := m.Run(ctx, mix, baseline, threads)
 		if err != nil {
 			return s, err
 		}
@@ -114,16 +119,16 @@ func (m *Matrix) Speedups(tech, baseline core.Technique, threads int) (SpeedupSe
 // Figure14 returns the four series of the paper's Figure 14: CCSI NS and
 // CCSI AS over CSMT, for 2-thread and 4-thread machines. The whole grid is
 // prefetched concurrently before the series assemble.
-func (m *Matrix) Figure14() ([]SpeedupSeries, error) {
+func (m *Matrix) Figure14(ctx context.Context) ([]SpeedupSeries, error) {
 	p := NewPlan()
 	p.AddFigure14()
-	if err := m.Prefetch(p); err != nil {
+	if err := m.Prefetch(ctx, p); err != nil {
 		return nil, err
 	}
 	var out []SpeedupSeries
 	for _, threads := range figureThreadCounts() {
 		for _, comm := range []core.CommPolicy{core.CommNoSplit, core.CommAlwaysSplit} {
-			s, err := m.Speedups(core.CCSI(comm), core.CSMT(), threads)
+			s, err := m.Speedups(ctx, core.CCSI(comm), core.CSMT(), threads)
 			if err != nil {
 				return nil, err
 			}
@@ -135,10 +140,10 @@ func (m *Matrix) Figure14() ([]SpeedupSeries, error) {
 
 // Figure15 returns the eight series of the paper's Figure 15: COSI NS/AS
 // and OOSI NS/AS over SMT, for 2-thread and 4-thread machines.
-func (m *Matrix) Figure15() ([]SpeedupSeries, error) {
+func (m *Matrix) Figure15(ctx context.Context) ([]SpeedupSeries, error) {
 	p := NewPlan()
 	p.AddFigure15()
-	if err := m.Prefetch(p); err != nil {
+	if err := m.Prefetch(ctx, p); err != nil {
 		return nil, err
 	}
 	var out []SpeedupSeries
@@ -147,7 +152,7 @@ func (m *Matrix) Figure15() ([]SpeedupSeries, error) {
 			core.COSI(core.CommNoSplit), core.COSI(core.CommAlwaysSplit),
 			core.OOSI(core.CommNoSplit), core.OOSI(core.CommAlwaysSplit),
 		} {
-			s, err := m.Speedups(tech, core.SMT(), threads)
+			s, err := m.Speedups(ctx, tech, core.SMT(), threads)
 			if err != nil {
 				return nil, err
 			}
@@ -169,10 +174,10 @@ type IPCPoint struct {
 
 // Figure16 returns average IPC for the eight techniques at 2 and 4 threads,
 // in the paper's presentation order.
-func (m *Matrix) Figure16() ([]IPCPoint, error) {
+func (m *Matrix) Figure16(ctx context.Context) ([]IPCPoint, error) {
 	p := NewPlan()
 	p.AddFigure16()
-	if err := m.Prefetch(p); err != nil {
+	if err := m.Prefetch(ctx, p); err != nil {
 		return nil, err
 	}
 	var out []IPCPoint
@@ -180,7 +185,7 @@ func (m *Matrix) Figure16() ([]IPCPoint, error) {
 		for _, tech := range core.AllTechniques() {
 			var sum float64
 			for _, mix := range workload.Figure13b() {
-				r, err := m.Run(mix, tech, threads)
+				r, err := m.Run(ctx, mix, tech, threads)
 				if err != nil {
 					return nil, err
 				}
@@ -202,14 +207,18 @@ type ScalePoint struct {
 	IPC     float64
 }
 
-// ThreadScaling measures one mix under one technique across thread counts.
+// ThreadScaling measures one mix under one technique across thread counts
+// over at most parallel workers (< 1 selects GOMAXPROCS).
 // Points run concurrently; all share the caller's seed so every point sees
 // identical workload streams and the curve isolates the thread-count
 // effect (each point's simulator owns its random stream, so sharing the
 // seed is parallel-safe).
-func ThreadScaling(mix workload.Mix, tech core.Technique, threadCounts []int, scale int64, seed uint64) ([]ScalePoint, error) {
+func ThreadScaling(ctx context.Context, mix workload.Mix, tech core.Technique, threadCounts []int, scale int64, seed uint64, parallel int) ([]ScalePoint, error) {
+	if parallel < 1 {
+		parallel = runtime.GOMAXPROCS(0)
+	}
 	out := make([]ScalePoint, len(threadCounts))
-	err := forEachLimit(runtime.GOMAXPROCS(0), len(threadCounts), func(i int) error {
+	err := forEachLimit(ctx, parallel, len(threadCounts), func(i int) error {
 		th := threadCounts[i]
 		cfg := sim.DefaultConfig(tech, th).WithScale(scale)
 		cfg.Seed = seed
@@ -221,7 +230,7 @@ func ThreadScaling(mix workload.Mix, tech core.Technique, threadCounts []int, sc
 		if err != nil {
 			return err
 		}
-		r, err := s.Run()
+		r, err := s.RunContext(ctx)
 		if err != nil {
 			return err
 		}

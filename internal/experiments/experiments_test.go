@@ -1,23 +1,30 @@
 package experiments
 
 import (
+	"context"
+	"runtime"
 	"testing"
+	"time"
 
 	"vexsmt/internal/core"
+	"vexsmt/internal/stats"
 	"vexsmt/internal/workload"
 )
 
 // quickScale keeps experiment tests fast; statistical assertions are coarse.
 const quickScale = 4000
 
+// ctx is shared by tests that don't exercise cancellation.
+var ctx = context.Background()
+
 func TestMatrixMemoizes(t *testing.T) {
 	m := NewMatrix(quickScale, 1)
 	mix, _ := workload.MixByLabel("mmmm")
-	a, err := m.Run(mix, core.SMT(), 2)
+	a, err := m.Run(ctx, mix, core.SMT(), 2)
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := m.Run(mix, core.SMT(), 2)
+	b, err := m.Run(ctx, mix, core.SMT(), 2)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -33,7 +40,7 @@ func TestMatrixMemoizes(t *testing.T) {
 }
 
 func TestFigure13aRows(t *testing.T) {
-	rows, err := Figure13a(quickScale)
+	rows, err := Figure13a(ctx, quickScale, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -62,7 +69,7 @@ func TestFigure13aRows(t *testing.T) {
 
 func TestSpeedupSeriesShape(t *testing.T) {
 	m := NewMatrix(quickScale, 1)
-	s, err := m.Speedups(core.CCSI(core.CommAlwaysSplit), core.CSMT(), 4)
+	s, err := m.Speedups(ctx, core.CCSI(core.CommAlwaysSplit), core.CSMT(), 4)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -80,7 +87,7 @@ func TestSpeedupSeriesShape(t *testing.T) {
 
 func TestFigure14SeriesCount(t *testing.T) {
 	m := NewMatrix(quickScale, 1)
-	series, err := m.Figure14()
+	series, err := m.Figure14(ctx)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -95,7 +102,7 @@ func TestFigure14SeriesCount(t *testing.T) {
 
 func TestThreadScaling(t *testing.T) {
 	mix, _ := workload.MixByLabel("llmh")
-	points, err := ThreadScaling(mix, core.SMT(), []int{1, 2, 4}, quickScale, 1)
+	points, err := ThreadScaling(ctx, mix, core.SMT(), []int{1, 2, 4}, quickScale, 1, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -194,14 +201,12 @@ func TestParallelMatchesSerial(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	serial := NewMatrix(detScale, 1)
-	serial.SetParallelism(1)
-	if err := serial.Prefetch(plan); err != nil {
+	serial := NewMatrix(detScale, 1, WithParallelism(1))
+	if err := serial.Prefetch(ctx, plan); err != nil {
 		t.Fatal(err)
 	}
-	parallel := NewMatrix(detScale, 1)
-	parallel.SetParallelism(8)
-	if err := parallel.Prefetch(plan); err != nil {
+	parallel := NewMatrix(detScale, 1, WithParallelism(8))
+	if err := parallel.Prefetch(ctx, plan); err != nil {
 		t.Fatal(err)
 	}
 	sr, pr := serial.Results(), parallel.Results()
@@ -226,8 +231,8 @@ func TestConcurrentRunsSingleflight(t *testing.T) {
 	mix, _ := workload.MixByLabel("mmmm")
 	const callers = 16
 	runs := make([]interface{ IPC() float64 }, callers)
-	err := forEachLimit(callers, callers, func(i int) error {
-		r, err := m.Run(mix, core.SMT(), 2)
+	err := forEachLimit(ctx, callers, callers, func(i int) error {
+		r, err := m.Run(ctx, mix, core.SMT(), 2)
 		runs[i] = r
 		return err
 	})
@@ -246,7 +251,7 @@ func TestConcurrentRunsSingleflight(t *testing.T) {
 
 func TestFigure16OrderAndShape(t *testing.T) {
 	m := NewMatrix(quickScale, 1)
-	points, err := m.Figure16()
+	points, err := m.Figure16(ctx)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -286,5 +291,121 @@ func TestFigure16OrderAndShape(t *testing.T) {
 	gapSplit := get("SMT", 4) / get("CCSI AS", 4)
 	if !(gapSplit < gapNoSplit) {
 		t.Errorf("CCSI AS did not narrow the CSMT/SMT gap: %.3f vs %.3f", gapSplit, gapNoSplit)
+	}
+}
+
+func TestStreamMatchesSerial(t *testing.T) {
+	// The determinism guarantee extends to the streaming path: every cell
+	// delivered by Stream is bit-identical to the serial Prefetch result,
+	// regardless of completion order.
+	plan, err := PlanFigures("14", "15", "16")
+	if err != nil {
+		t.Fatal(err)
+	}
+	serial := NewMatrix(detScale, 1, WithParallelism(1))
+	if err := serial.Prefetch(ctx, plan); err != nil {
+		t.Fatal(err)
+	}
+	want := serial.Results()
+
+	streamed := NewMatrix(detScale, 1, WithParallelism(8))
+	got := make(map[Cell]stats.Run)
+	for o := range streamed.Stream(ctx, plan) {
+		if o.Err != nil {
+			t.Fatalf("%s: %v", o.Cell, o.Err)
+		}
+		if _, dup := got[o.Cell]; dup {
+			t.Fatalf("%s: delivered twice", o.Cell)
+		}
+		got[o.Cell] = *o.Run
+	}
+	if len(got) != plan.Len() {
+		t.Fatalf("streamed %d cells, want %d", len(got), plan.Len())
+	}
+	for c, w := range want {
+		if g, ok := got[c]; !ok {
+			t.Fatalf("%s: missing from stream", c)
+		} else if g != w {
+			t.Errorf("%s: streamed run differs from serial:\nserial:   %+v\nstreamed: %+v", c, w, g)
+		}
+	}
+}
+
+func TestStreamCancellation(t *testing.T) {
+	// Cancelling mid-grid must close the stream promptly and leave no
+	// workers behind. Scale 50 makes every cell slow enough (~4M instrs)
+	// that the grid cannot finish before the cancel lands.
+	before := runtime.NumGoroutine()
+	plan, err := PlanFigures("14")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cctx, cancel := context.WithCancel(context.Background())
+	m := NewMatrix(50, 1, WithParallelism(4))
+	ch := m.Stream(cctx, plan)
+	<-time.After(10 * time.Millisecond)
+	cancel()
+	deadline := time.After(5 * time.Second)
+	for open := true; open; {
+		select {
+		case _, open = <-ch:
+		case <-deadline:
+			t.Fatal("stream did not close within 5s of cancellation")
+		}
+	}
+	// Workers unwind asynchronously after the channel closes; poll briefly.
+	for i := 0; i < 100; i++ {
+		if runtime.NumGoroutine() <= before {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Errorf("goroutines leaked: %d before stream, %d after drain", before, runtime.NumGoroutine())
+}
+
+func TestCancelledCellNotMemoized(t *testing.T) {
+	m := NewMatrix(detScale, 1)
+	mix, _ := workload.MixByLabel("mmmm")
+	c := Cell{Mix: mix, Tech: core.SMT(), Threads: 2}
+	cancelled, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := m.RunCell(cancelled, c); err == nil {
+		t.Fatal("cancelled RunCell returned no error")
+	}
+	if m.Cells() != 0 {
+		t.Fatalf("cancelled cell stayed memoized: %d cells", m.Cells())
+	}
+	r, err := m.RunCell(ctx, c)
+	if err != nil {
+		t.Fatalf("retry after cancellation: %v", err)
+	}
+	if r.IPC() <= 0 {
+		t.Fatal("retried cell produced no work")
+	}
+}
+
+func TestWaiterSurvivesCancelledLeader(t *testing.T) {
+	// One plan's cancellation must not poison another plan sharing cells:
+	// a waiter with a live context that piggy-backed on a cancelled leader
+	// retries and gets a real result, never the foreign context error.
+	mix, _ := workload.MixByLabel("mmmm")
+	c := Cell{Mix: mix, Tech: core.SMT(), Threads: 2}
+	for round := 0; round < 8; round++ {
+		m := NewMatrix(detScale, 1)
+		cancelled, cancel := context.WithCancel(context.Background())
+		cancel()
+		leaderDone := make(chan struct{})
+		go func() {
+			defer close(leaderDone)
+			_, _ = m.RunCell(cancelled, c) // may or may not win the leadership race
+		}()
+		r, err := m.RunCell(ctx, c)
+		<-leaderDone
+		if err != nil {
+			t.Fatalf("round %d: live waiter got %v", round, err)
+		}
+		if r.IPC() <= 0 {
+			t.Fatalf("round %d: live waiter got an empty run", round)
+		}
 	}
 }

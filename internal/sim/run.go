@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 
 	"vexsmt/internal/core"
@@ -17,15 +18,31 @@ import (
 
 // runState holds one run's bookkeeping and reusable per-cycle buffers.
 type runState struct {
-	ready     [core.MaxThreads]bool // issue mask, rebuilt every cycle
-	maxCycles int64
-	sliceEnd  int64
-	warming   bool
-	done      bool
+	ready      [core.MaxThreads]bool // issue mask, rebuilt every cycle
+	maxCycles  int64
+	sliceEnd   int64
+	ctxCheckAt int64 // next cycle at which ctx.Err() is polled
+	ctxEvery   int64 // cancellation poll interval in cycles
+	warming    bool
+	done       bool
 }
+
+// cancelCheckCycles bounds the cancellation poll interval when timeslicing
+// is disabled: one check every 64K cycles keeps the hot loop at a single
+// integer compare per cycle while still honoring cancellation promptly.
+const cancelCheckCycles = 1 << 16
 
 // Run executes the experiment and returns the counters.
 func (s *Simulator) Run() (*stats.Run, error) {
+	return s.RunContext(context.Background())
+}
+
+// RunContext is Run with cooperative cancellation: ctx.Err() is polled once
+// per timeslice (or every 64K cycles when timeslicing is off), so a cancelled
+// run returns within one timeslice with the counters accumulated so far and
+// the context's error. Cancellation never perturbs determinism — a run that
+// completes did exactly the same work it would have done under Run.
+func (s *Simulator) RunContext(ctx context.Context) (*stats.Run, error) {
 	s.beginRun()
 	for cycle := int64(0); ; cycle++ {
 		// End of warmup: discard counters, keep caches and pipeline state.
@@ -35,6 +52,13 @@ func (s *Simulator) Run() (*stats.Run, error) {
 		if cycle >= s.st.maxCycles {
 			s.finish(cycle)
 			return &s.run, fmt.Errorf("sim: exceeded %d cycles without reaching the instruction limit", s.st.maxCycles)
+		}
+		if cycle >= s.st.ctxCheckAt {
+			if err := ctx.Err(); err != nil {
+				s.finish(cycle)
+				return &s.run, err
+			}
+			s.st.ctxCheckAt = cycle + s.st.ctxEvery
 		}
 		s.expireTimeslice(cycle)
 
@@ -62,6 +86,11 @@ func (s *Simulator) beginRun() {
 		s.st.maxCycles = cfg.LimitInstrs*64 + 10_000_000
 	}
 	s.st.sliceEnd = cfg.TimesliceCycles
+	s.st.ctxEvery = cfg.TimesliceCycles
+	if s.st.ctxEvery <= 0 || s.st.ctxEvery > cancelCheckCycles {
+		s.st.ctxEvery = cancelCheckCycles
+	}
+	s.st.ctxCheckAt = s.st.ctxEvery
 	s.st.warming = cfg.WarmupInstrs > 0
 	s.st.done = false
 }

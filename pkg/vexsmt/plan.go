@@ -1,0 +1,139 @@
+package vexsmt
+
+import (
+	"fmt"
+	"strings"
+
+	"vexsmt/internal/core"
+	"vexsmt/internal/experiments"
+	"vexsmt/internal/workload"
+)
+
+// CellSpec names one grid cell by its public identity. Technique names are
+// the paper's ("SMT", "CCSI AS", ...); mixes are Figure 13(b) labels.
+type CellSpec struct {
+	Mix       string `json:"mix"`
+	Technique string `json:"technique"`
+	Threads   int    `json:"threads"`
+}
+
+// Plan describes the work of one run. The three fields compose: the
+// resolved plan is the deduplicated union of the named figures' grids, the
+// explicit cells, and — when Sweep is set — the service's technique set
+// swept over all nine mixes at the paper's 2- and 4-thread machines.
+//
+// Figure names are "13a", "13b", "14", "15", "16" or "all"; figures 13a
+// and 13b plan no grid cells (13a is single-threaded, 13b is a table), but
+// naming them keeps one Plan vocabulary across the streaming API and the
+// figure renderer.
+type Plan struct {
+	Figures []string   `json:"figures,omitempty"`
+	Cells   []CellSpec `json:"cells,omitempty"`
+	Sweep   bool       `json:"sweep,omitempty"`
+}
+
+// AllFigures lists every figure name a Plan accepts, in paper order.
+func AllFigures() []string { return []string{"13a", "13b", "14", "15", "16"} }
+
+// ParseFigures expands a comma-separated figure list ("14,15", "all") into
+// figure names, validating each against AllFigures.
+func ParseFigures(list string) ([]string, error) {
+	if strings.TrimSpace(list) == "" || list == "all" {
+		return AllFigures(), nil
+	}
+	known := make(map[string]bool)
+	for _, f := range AllFigures() {
+		known[f] = true
+	}
+	// Validate every token before honoring "all": "-fig all,bogus" must be
+	// an error, not a silent full-grid run with a swallowed typo.
+	var out []string
+	sawAll := false
+	seen := make(map[string]bool)
+	for _, f := range strings.Split(list, ",") {
+		f = strings.TrimSpace(f)
+		if f == "" {
+			continue
+		}
+		if f == "all" {
+			sawAll = true
+			continue
+		}
+		if !known[f] {
+			return nil, fmt.Errorf("vexsmt: unknown figure %q (have %s, all)",
+				f, strings.Join(AllFigures(), ", "))
+		}
+		if !seen[f] {
+			seen[f] = true
+			out = append(out, f)
+		}
+	}
+	if sawAll {
+		return AllFigures(), nil
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("vexsmt: empty figure list %q", list)
+	}
+	return out, nil
+}
+
+// mixTable returns the paper's nine mixes (internal type; used by
+// resolution and the Mixes accessor).
+func mixTable() []workload.Mix { return workload.Figure13b() }
+
+// resolve turns a public Plan into the internal deduplicated cell plan,
+// enforcing the service's technique set.
+func (s *Service) resolve(p Plan) (*experiments.Plan, error) {
+	ip, err := experiments.PlanFigures(p.Figures...)
+	if err != nil {
+		return nil, fmt.Errorf("vexsmt: %w", err)
+	}
+	if p.Sweep {
+		for _, threads := range []int{2, 4} {
+			for _, t := range s.techniques {
+				ip.AddMixSweep(t, threads)
+			}
+		}
+	}
+	for _, spec := range p.Cells {
+		c, err := s.cell(spec)
+		if err != nil {
+			return nil, err
+		}
+		ip.Add(c)
+	}
+	for _, c := range ip.Cells() {
+		if !s.allowed(c.Tech) {
+			return nil, fmt.Errorf("vexsmt: technique %s not enabled on this service (WithTechniques)",
+				c.Tech.Name())
+		}
+	}
+	return ip, nil
+}
+
+// cell validates one CellSpec against the public vocabulary and the
+// machine's limits.
+func (s *Service) cell(spec CellSpec) (experiments.Cell, error) {
+	mix, err := workload.MixByLabel(spec.Mix)
+	if err != nil {
+		return experiments.Cell{}, fmt.Errorf("vexsmt: %w", err)
+	}
+	tech, err := core.ParseTechnique(spec.Technique)
+	if err != nil {
+		return experiments.Cell{}, fmt.Errorf("vexsmt: %w", err)
+	}
+	if spec.Threads < 1 || spec.Threads > core.MaxThreads {
+		return experiments.Cell{}, fmt.Errorf("vexsmt: thread count %d out of range [1,%d]",
+			spec.Threads, core.MaxThreads)
+	}
+	return experiments.Cell{Mix: mix, Tech: tech, Threads: spec.Threads}, nil
+}
+
+func (s *Service) allowed(t core.Technique) bool {
+	for _, have := range s.techniques {
+		if have == t {
+			return true
+		}
+	}
+	return false
+}

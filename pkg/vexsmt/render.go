@@ -1,0 +1,68 @@
+package vexsmt
+
+import (
+	"context"
+	"fmt"
+
+	"vexsmt/internal/experiments"
+	"vexsmt/internal/report"
+)
+
+// RenderFigure computes one figure and returns its text rendering — the
+// same tables and charts paperbench prints. Grid figures (14, 15, 16)
+// read memoized cells where available, so a Prefetch or Stream of the
+// same plan makes rendering instantaneous.
+func (s *Service) RenderFigure(ctx context.Context, fig string) (string, error) {
+	// Grid figures go through the same technique-set enforcement as the
+	// structured figure methods.
+	if fig == "14" || fig == "15" || fig == "16" {
+		if _, err := s.resolve(Plan{Figures: []string{fig}}); err != nil {
+			return "", err
+		}
+	}
+	switch fig {
+	case "13a":
+		rows, err := s.fig13aRows(ctx)
+		if err != nil {
+			return "", err
+		}
+		return report.Figure13aTable(rows), nil
+	case "13b":
+		return report.Figure13bTable(), nil
+	case "14":
+		series, err := s.m.Figure14(ctx)
+		if err != nil {
+			return "", err
+		}
+		return report.SpeedupChart("Figure 14: Cluster-level split-issue (CCSI) speedups over CSMT", series) +
+			"\n" + report.HeadlineTable(headlines(series)), nil
+	case "15":
+		series, err := s.m.Figure15(ctx)
+		if err != nil {
+			return "", err
+		}
+		return report.SpeedupChart("Figure 15: COSI and OOSI speedups over SMT", series) +
+			"\n" + report.HeadlineTable(headlines(series)), nil
+	case "16":
+		points, err := s.m.Figure16(ctx)
+		if err != nil {
+			return "", err
+		}
+		return report.IPCChart(points), nil
+	}
+	return "", fmt.Errorf("vexsmt: unknown figure %q", fig)
+}
+
+// headlines pairs each measured series with the paper's reported average,
+// matched by the series' comparison key rather than by position.
+func headlines(series []experiments.SpeedupSeries) []report.Headline {
+	var rows []report.Headline
+	for _, s := range series {
+		paper, ok := report.PaperAverageFor(s)
+		if !ok {
+			continue // the paper reports no average for this series
+		}
+		rows = append(rows, report.Headline{Label: s.Label, Measured: s.Avg, Paper: paper})
+	}
+	return rows
+}
