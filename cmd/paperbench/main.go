@@ -123,19 +123,16 @@ func run() error {
 	return nil
 }
 
-// writeJSON exports the (already memoized) grid as a schema-versioned
-// results document.
+// writeJSON exports the (already memoized) grid as a canonical
+// schema-versioned results document, via the same EncodeToFile helper
+// vexsmtctl uses — so a paperbench export diffs clean against a
+// distributed run of the same plan, seed and scale.
 func writeJSON(ctx context.Context, svc *vexsmt.Service, figures []string, path string) error {
 	rs, err := svc.Collect(ctx, vexsmt.Plan{Figures: figures})
 	if err != nil {
 		return err
 	}
-	f, err := os.Create(path)
-	if err != nil {
-		return err
-	}
-	defer f.Close()
-	if err := vexsmt.EncodeResults(f, rs); err != nil {
+	if err := vexsmt.EncodeToFile(path, rs); err != nil {
 		return err
 	}
 	fmt.Printf("(wrote %d cells to %s, schema v%d)\n\n", len(rs.Cells), path, vexsmt.SchemaVersion)

@@ -1,0 +1,231 @@
+// Command vexsmtctl runs an experiment grid across one or more vexsmtd
+// shards and merges the results into a single canonical document.
+//
+// It is the client half of distributed mode: the grid of the named
+// figures is resolved once, partitioned into K deterministic shards
+// (pkg/vexsmt/shard), fanned out over the backends with health-based
+// placement, retry and failover, and merged under the strict checks of
+// ResultSet.Merge. Because per-cell seeds derive from workload identity,
+// the merged output is byte-identical to what a single process would
+// produce — `vexsmtctl -json out` files diff clean no matter how many
+// machines ran the sweep. Interrupting a run (SIGINT) propagates a DELETE
+// to every shard within one timeslice-bounded poll.
+//
+// Usage:
+//
+//	vexsmtctl -fig 14                                   # in-process run
+//	vexsmtctl -shards http://a:8080,http://b:8080       # two-shard sweep
+//	vexsmtctl -shards http://a:8080 -k 4                # 4 shards, 1 daemon
+//	vexsmtctl -fig 14,15 -scale 1000 -json results.json # JSON export
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"runtime"
+	"sort"
+	"strings"
+	"syscall"
+	"time"
+
+	"vexsmt/pkg/vexsmt"
+	"vexsmt/pkg/vexsmt/shard"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "vexsmtctl:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		shards   = flag.String("shards", "", "comma-separated vexsmtd base URLs (e.g. http://a:8080,http://b:8080); empty runs in-process")
+		fig      = flag.String("fig", "all", "figures whose grid to run: comma-separated list of 13a, 13b, 14, 15, 16, or all")
+		sweep    = flag.Bool("sweep", false, "also sweep every technique over all nine mixes at 2 and 4 threads")
+		scale    = flag.Int64("scale", 100, "scale divisor of paper scale (1 = paper scale)")
+		quick    = flag.Bool("quick", false, "shorthand for -scale 1000")
+		seed     = flag.Uint64("seed", 1, "simulation seed")
+		k        = flag.Int("k", 0, "number of shards to split the grid into (default: one per backend)")
+		conc     = flag.Int("concurrency", 0, "max shards in flight (default: auto-sized from the backends' /healthz capacity)")
+		retries  = flag.Int("retries", 2, "extra attempts per shard after a backend failure (0 disables)")
+		parallel = flag.Int("parallel", runtime.GOMAXPROCS(0), "worker-pool bound for in-process execution")
+		jsonOut  = flag.String("json", "", "write the merged grid as schema-versioned JSON to this file")
+		verbose  = flag.Bool("v", false, "log placement, retries and backend failures")
+	)
+	flag.Parse()
+	if *quick {
+		*scale = 1000
+	}
+
+	// SIGTERM too: CI cancellation and `timeout` send it, and dying without
+	// cancelling the run context would orphan running shards on the daemons.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	figures, err := vexsmt.ParseFigures(*fig)
+	if err != nil {
+		return err
+	}
+	plan := vexsmt.Plan{Figures: figures, Sweep: *sweep}
+
+	var urls []string
+	for _, u := range strings.Split(*shards, ",") {
+		if u = strings.TrimSpace(u); u != "" {
+			urls = append(urls, u)
+		}
+	}
+
+	start := time.Now()
+	var rs *vexsmt.ResultSet
+	nBackends := len(urls)
+	// Both in-process paths (plain Collect and local sharding) use one
+	// service built from the same flags — constructed once so the two can
+	// never drift apart.
+	var svc *vexsmt.Service
+	if len(urls) == 0 {
+		nBackends = 1
+		svc, err = vexsmt.New(
+			vexsmt.WithScale(*scale),
+			vexsmt.WithSeed(*seed),
+			vexsmt.WithParallelism(*parallel),
+		)
+		if err != nil {
+			return err
+		}
+	}
+	if svc != nil && *k <= 1 {
+		// Single-process reference path: a plain Service.Collect. Its
+		// canonical encoding is exactly what distributed runs are diffed
+		// against.
+		rs, err = svc.Collect(ctx, plan)
+		if err != nil {
+			return err
+		}
+		rs.Canonicalize()
+	} else {
+		var backends []shard.Backend
+		if svc != nil {
+			// Sharded, but in-process: one local backend, K shards.
+			backends = append(backends, shard.NewLocal("local", svc))
+		} else {
+			for _, u := range urls {
+				b, err := shard.NewHTTP(u)
+				if err != nil {
+					return err
+				}
+				backends = append(backends, b)
+			}
+		}
+		cfg := shard.Config{
+			Scale:       *scale,
+			Seed:        *seed,
+			Shards:      *k,
+			Concurrency: *conc,
+			Retries:     *retries,
+		}
+		if *retries <= 0 {
+			cfg.Retries = -1 // Config treats 0 as "default"; the flag means "disable"
+		}
+		if *verbose {
+			cfg.Logf = func(format string, args ...any) {
+				fmt.Fprintf(os.Stderr, "vexsmtctl: "+format+"\n", args...)
+			}
+		}
+		progressDone := liveProgress(&cfg)
+		coord, err := shard.New(cfg, backends...)
+		if err != nil {
+			return err
+		}
+		rs, err = coord.Collect(ctx, plan)
+		progressDone()
+		if err != nil {
+			if errors.Is(err, context.Canceled) && ctx.Err() != nil {
+				return fmt.Errorf("cancelled; DELETE propagated to all shards")
+			}
+			return err
+		}
+	}
+
+	fmt.Printf("%d cells (1/%d scale, seed %d) in %.1fs across %d backend(s)\n",
+		len(rs.Cells), *scale, *seed, time.Since(start).Seconds(), nBackends)
+	if *jsonOut != "" {
+		if err := vexsmt.EncodeToFile(*jsonOut, rs); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %d cells to %s (schema v%d)\n", len(rs.Cells), *jsonOut, vexsmt.SchemaVersion)
+		return nil
+	}
+	printIPCSummary(rs)
+	return nil
+}
+
+// liveProgress wires a single-line progress meter into cfg and returns a
+// function that finishes the line.
+func liveProgress(cfg *shard.Config) func() {
+	wrote := false
+	cfg.OnProgress = func(p shard.Progress) {
+		wrote = true
+		fmt.Fprintf(os.Stderr, "\rcells %d/%d  shards %d/%d  retries %d ",
+			p.CellsDone, p.CellsTotal, p.ShardsDone, p.ShardsTotal, p.Retries)
+	}
+	return func() {
+		if wrote {
+			fmt.Fprintln(os.Stderr)
+		}
+	}
+}
+
+// printIPCSummary renders the merged grid as a technique × thread-count
+// mean-IPC table (a Figure 16 view computed purely from merged cells —
+// no local simulation state exists to render the full figures from).
+func printIPCSummary(rs *vexsmt.ResultSet) {
+	if len(rs.Cells) == 0 {
+		return
+	}
+	type key struct {
+		tech    string
+		threads int
+	}
+	sum := make(map[key]float64)
+	n := make(map[key]int)
+	threadSet := make(map[int]bool)
+	for _, c := range rs.Cells {
+		k := key{c.Technique, c.Threads}
+		sum[k] += c.IPC
+		n[k]++
+		threadSet[c.Threads] = true
+	}
+	var threads []int
+	for t := range threadSet {
+		threads = append(threads, t)
+	}
+	sort.Ints(threads)
+
+	fmt.Printf("\nmean IPC over %d cells:\n%-10s", len(rs.Cells), "technique")
+	for _, t := range threads {
+		fmt.Printf("  %4dT", t)
+	}
+	fmt.Println()
+	for _, tech := range vexsmt.Techniques() {
+		any := false
+		row := fmt.Sprintf("%-10s", tech)
+		for _, t := range threads {
+			k := key{tech, t}
+			if n[k] == 0 {
+				row += "     -"
+				continue
+			}
+			any = true
+			row += fmt.Sprintf("  %5.2f", sum[k]/float64(n[k]))
+		}
+		if any {
+			fmt.Println(row)
+		}
+	}
+}

@@ -1,6 +1,7 @@
 // Command vexsmtd serves the split-issue simulator over HTTP/JSON, built
-// entirely on the public pkg/vexsmt API. Plans are submitted, observed
-// (snapshot or NDJSON stream) and cancelled through a small /v1 surface:
+// entirely on the public pkg/vexsmt API (see pkg/vexsmt/server for the
+// implementation). Plans are submitted, observed (snapshot or NDJSON
+// stream) and cancelled through a small /v1 surface:
 //
 //	vexsmtd -addr :8080 -scale 1000
 //
@@ -8,34 +9,94 @@
 //	curl -s 'localhost:8080/v1/results?id=plan-1'
 //	curl -sN 'localhost:8080/v1/results?id=plan-1&stream=1'
 //	curl -s -X DELETE 'localhost:8080/v1/plans?id=plan-1'
+//	curl -s localhost:8080/healthz
 //
 // Results follow the versioned JSON schema of pkg/vexsmt (SchemaVersion);
 // see the package documentation for the determinism and cancellation
-// contract.
+// contract. On SIGINT/SIGTERM the daemon cancels every running plan (so
+// attached NDJSON streams receive a terminal "cancelled" status line),
+// drains in-flight requests for up to -drain, and exits.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
+	"net"
 	"net/http"
 	"os"
+	"os/signal"
 	"runtime"
+	"syscall"
+	"time"
+
+	"vexsmt/pkg/vexsmt/server"
 )
 
 func main() {
-	var (
-		addr     = flag.String("addr", ":8080", "listen address")
-		scale    = flag.Int64("scale", 100, "default scale divisor of paper scale")
-		seed     = flag.Uint64("seed", 1, "default simulation seed")
-		parallel = flag.Int("parallel", runtime.GOMAXPROCS(0), "default max concurrent simulations per plan")
-	)
-	flag.Parse()
-
-	srv := NewServer(*scale, *seed, *parallel)
-	fmt.Printf("vexsmtd listening on %s (defaults: 1/%d scale, seed %d, parallelism %d)\n",
-		*addr, *scale, *seed, *parallel)
-	if err := http.ListenAndServe(*addr, srv.Handler()); err != nil {
+	if err := run(); err != nil {
 		fmt.Fprintln(os.Stderr, "vexsmtd:", err)
 		os.Exit(1)
 	}
+}
+
+func run() error {
+	var (
+		addr     = flag.String("addr", ":8080", "listen address (port 0 picks an ephemeral port)")
+		scale    = flag.Int64("scale", 100, "default scale divisor of paper scale")
+		seed     = flag.Uint64("seed", 1, "default simulation seed")
+		parallel = flag.Int("parallel", runtime.GOMAXPROCS(0), "default max concurrent simulations per plan")
+		drain    = flag.Duration("drain", 10*time.Second, "graceful shutdown deadline for in-flight requests")
+	)
+	flag.Parse()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	srv := server.New(*scale, *seed, *parallel)
+	// Listen explicitly (rather than ListenAndServe) so the bound address is
+	// printable: with -addr :0 the kernel picks the port, and shard
+	// coordinators or test harnesses scrape it from this line.
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	hs := &http.Server{Handler: srv.Handler()}
+	errc := make(chan error, 1)
+	go func() { errc <- hs.Serve(ln) }()
+	fmt.Printf("vexsmtd listening on %s (defaults: 1/%d scale, seed %d, parallelism %d)\n",
+		ln.Addr(), *scale, *seed, *parallel)
+
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+	stop() // restore default handling: a second signal kills instead of waiting
+	fmt.Println("vexsmtd: signal received; cancelling running plans and draining")
+	shctx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	// Shutdown stops intake and waits for in-flight requests — but NDJSON
+	// result streams only end once their jobs reach a terminal state, so
+	// jobs must be cancelled while Shutdown drains. A plan can also slip in
+	// between a CancelJobs snapshot and intake actually closing, so keep
+	// cancelling until the drain completes, then sweep once more for any
+	// job registered by a request that finished during the last gap.
+	done := make(chan error, 1)
+	go func() { done <- hs.Shutdown(shctx) }()
+	var drainErr error
+	for draining := true; draining; {
+		srv.CancelJobs()
+		select {
+		case drainErr = <-done:
+			draining = false
+		case <-time.After(200 * time.Millisecond):
+		}
+	}
+	srv.CancelJobs()
+	if drainErr != nil {
+		hs.Close()
+		return fmt.Errorf("drain: %w", drainErr)
+	}
+	return nil
 }

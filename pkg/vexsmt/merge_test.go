@@ -1,0 +1,141 @@
+package vexsmt
+
+import (
+	"bytes"
+	"context"
+	"strings"
+	"testing"
+)
+
+// encodeCanonical returns rs's canonical encoding without mutating it.
+func encodeCanonical(t *testing.T, rs *ResultSet) string {
+	t.Helper()
+	cp := &ResultSet{Meta: rs.Meta, Cells: append([]CellResult(nil), rs.Cells...)}
+	cp.Canonicalize()
+	var buf bytes.Buffer
+	if err := EncodeResults(&buf, cp); err != nil {
+		t.Fatal(err)
+	}
+	return buf.String()
+}
+
+func TestMergeOfDisjointShardsMatchesCollect(t *testing.T) {
+	svc := testService(t)
+	plan := Plan{Figures: []string{"14"}}
+	whole, err := svc.Collect(context.Background(), plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cells, err := svc.PlanCells(plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cells) != len(whole.Cells) {
+		t.Fatalf("PlanCells %d vs Collect %d", len(cells), len(whole.Cells))
+	}
+
+	// Split the grid three ways (unbalanced on purpose) and Collect each
+	// part separately; the merge must reproduce the whole, bit for bit.
+	parts := [][]CellSpec{cells[:5], cells[5:7], cells[7:]}
+	sets := make([]*ResultSet, len(parts))
+	for i, part := range parts {
+		sets[i], err = svc.Collect(context.Background(), Plan{Cells: part})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	merged, err := sets[0].Merge(sets[1:]...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := encodeCanonical(t, merged), encodeCanonical(t, whole); got != want {
+		t.Fatal("merge of disjoint shards differs from single Collect")
+	}
+	if merged.Meta.Parallelism != 0 {
+		t.Fatalf("merged parallelism %d, want 0 (informational only)", merged.Meta.Parallelism)
+	}
+}
+
+func TestMergeDeduplicatesIdenticalCells(t *testing.T) {
+	svc := testService(t)
+	plan := Plan{Cells: []CellSpec{
+		{Mix: "llll", Technique: "SMT", Threads: 2},
+		{Mix: "mmmm", Technique: "SMT", Threads: 2},
+	}}
+	a, err := svc.Collect(context.Background(), plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := svc.Collect(context.Background(), plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	merged, err := a.Merge(b)
+	if err != nil {
+		t.Fatalf("identical duplicates rejected: %v", err)
+	}
+	if len(merged.Cells) != 2 {
+		t.Fatalf("merged %d cells, want 2 after dedup", len(merged.Cells))
+	}
+}
+
+func TestMergeRejectsConflictsAndForeignMeta(t *testing.T) {
+	svc := testService(t)
+	rs, err := svc.Collect(context.Background(), Plan{Cells: []CellSpec{
+		{Mix: "llll", Technique: "SMT", Threads: 2},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	conflicting := &ResultSet{Meta: rs.Meta, Cells: append([]CellResult(nil), rs.Cells...)}
+	conflicting.Cells[0].IPC++
+	if _, err := rs.Merge(conflicting); err == nil || !strings.Contains(err.Error(), "conflicting") {
+		t.Fatalf("conflicting duplicate cell not rejected: %v", err)
+	}
+
+	for name, mutate := range map[string]func(*RunMeta){
+		"seed":       func(m *RunMeta) { m.Seed++ },
+		"scale":      func(m *RunMeta) { m.Scale++ },
+		"schema":     func(m *RunMeta) { m.SchemaVersion++ },
+		"techniques": func(m *RunMeta) { m.Techniques = "SMT" },
+	} {
+		foreign := &ResultSet{Meta: rs.Meta}
+		mutate(&foreign.Meta)
+		if _, err := rs.Merge(foreign); err == nil {
+			t.Errorf("merge across mismatched %s accepted", name)
+		}
+	}
+}
+
+func TestPlanCellsMatchesPlanSizeAndOrder(t *testing.T) {
+	svc := testService(t)
+	plan := Plan{Figures: []string{"14", "15", "16"}}
+	cells, err := svc.PlanCells(plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := svc.PlanSize(plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cells) != n {
+		t.Fatalf("PlanCells %d vs PlanSize %d", len(cells), n)
+	}
+	seen := make(map[CellSpec]bool, len(cells))
+	for _, c := range cells {
+		if seen[c] {
+			t.Fatalf("duplicate cell %+v in PlanCells", c)
+		}
+		seen[c] = true
+	}
+	again, err := svc.PlanCells(plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range cells {
+		if cells[i] != again[i] {
+			t.Fatal("PlanCells order is not deterministic")
+		}
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"os"
 	"sort"
 
 	"vexsmt/internal/stats"
@@ -91,11 +92,16 @@ func SpeedupPct(tech, base CellResult) float64 {
 // RunMeta records what produced a ResultSet: schema version and the
 // reproduction triple (seed, scale, parallelism). Seed and scale pin the
 // exact bits; parallelism is informational only — it never changes results.
+// Techniques is the comma-joined technique set of the producing service
+// (Figure 16 order), so a merger can refuse to combine results from
+// services that disagree about what the grid even is. It is kept a single
+// string so RunMeta stays comparable.
 type RunMeta struct {
 	SchemaVersion int    `json:"schema_version"`
 	Seed          uint64 `json:"seed"`
 	Scale         int64  `json:"scale"`
 	Parallelism   int    `json:"parallelism"`
+	Techniques    string `json:"techniques,omitempty"`
 }
 
 // ResultSet is the batch results document: metadata plus cells sorted by
@@ -122,6 +128,75 @@ func (rs *ResultSet) Sort() {
 	})
 }
 
+// Canonicalize rewrites rs into its canonical form: cells in (mix,
+// technique, threads) order, the schema version stamped, and the
+// informational parallelism zeroed. Two runs of the same plan, seed and
+// scale encode byte-identically after Canonicalize no matter how many
+// processes or worker pools produced them — this is the form distributed
+// results are diffed in.
+func (rs *ResultSet) Canonicalize() {
+	rs.Meta.SchemaVersion = SchemaVersion
+	rs.Meta.Parallelism = 0
+	rs.Sort()
+}
+
+// Merge combines rs and others into a new canonical ResultSet without
+// mutating its inputs. Sets must agree on schema version, seed, scale and
+// technique set — a merge across any of those is a merge across different
+// experiments, and is rejected. A cell appearing in more than one set is
+// deduplicated when the copies are bit-identical and is a conflict error
+// otherwise: per-cell seeds make equal cells inevitable, so a mismatch
+// means one producer is broken. The merged set is Canonicalized, so
+// merging disjoint shards of a plan yields exactly the bytes a
+// single-process Collect of that plan canonicalizes to.
+func (rs *ResultSet) Merge(others ...*ResultSet) (*ResultSet, error) {
+	merged := &ResultSet{Meta: rs.Meta}
+	type cellKey struct {
+		mix, technique string
+		threads        int
+	}
+	seen := make(map[cellKey]CellResult, len(rs.Cells))
+	add := func(set *ResultSet) error {
+		if set.Meta.SchemaVersion != rs.Meta.SchemaVersion {
+			return fmt.Errorf("vexsmt: merge: schema version %d vs %d",
+				set.Meta.SchemaVersion, rs.Meta.SchemaVersion)
+		}
+		if set.Meta.Seed != rs.Meta.Seed {
+			return fmt.Errorf("vexsmt: merge: seed %d vs %d", set.Meta.Seed, rs.Meta.Seed)
+		}
+		if set.Meta.Scale != rs.Meta.Scale {
+			return fmt.Errorf("vexsmt: merge: scale 1/%d vs 1/%d", set.Meta.Scale, rs.Meta.Scale)
+		}
+		if set.Meta.Techniques != rs.Meta.Techniques {
+			return fmt.Errorf("vexsmt: merge: technique set %q vs %q",
+				set.Meta.Techniques, rs.Meta.Techniques)
+		}
+		for _, c := range set.Cells {
+			k := cellKey{c.Mix, c.Technique, c.Threads}
+			if prev, ok := seen[k]; ok {
+				if prev != c {
+					return fmt.Errorf("vexsmt: merge: conflicting duplicates of cell %s/%s/%dT",
+						c.Mix, c.Technique, c.Threads)
+				}
+				continue
+			}
+			seen[k] = c
+			merged.Cells = append(merged.Cells, c)
+		}
+		return nil
+	}
+	if err := add(rs); err != nil {
+		return nil, err
+	}
+	for _, set := range others {
+		if err := add(set); err != nil {
+			return nil, err
+		}
+	}
+	merged.Canonicalize()
+	return merged, nil
+}
+
 // EncodeResults writes rs as schema-versioned JSON. The stored schema
 // version is forced to SchemaVersion regardless of what rs carries.
 func EncodeResults(w io.Writer, rs *ResultSet) error {
@@ -129,6 +204,23 @@ func EncodeResults(w io.Writer, rs *ResultSet) error {
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	return enc.Encode(rs)
+}
+
+// EncodeToFile canonicalizes rs (see Canonicalize) and writes it to path
+// as schema-versioned JSON, the shared export path of paperbench and
+// vexsmtctl: any two exports of the same experiment diff clean no matter
+// which tool or how many shards produced them.
+func EncodeToFile(path string, rs *ResultSet) error {
+	rs.Canonicalize()
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := EncodeResults(f, rs); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 // DecodeResults parses a schema-versioned JSON results document, rejecting

@@ -1,4 +1,9 @@
-package main
+// Package server implements the vexsmtd HTTP control plane as an
+// importable library, so cmd/vexsmtd stays a thin shell and the shard
+// coordinator's HTTP backend can be tested against the real /v1 protocol
+// with net/http/httptest. It is deliberately built only on pkg/vexsmt —
+// the server never reaches into internal packages.
+package server
 
 import (
 	"context"
@@ -24,6 +29,7 @@ import (
 //	                            NDJSON: one CellResult per line as cells
 //	                            complete, then a final status line
 //	DELETE /v1/plans?id=ID      cancel a running plan
+//	GET    /healthz             capacity/running/defaults, for placement
 type Server struct {
 	defaults serverDefaults // server-level default scale/seed/parallelism
 
@@ -69,9 +75,9 @@ type serverDefaults struct {
 	parallelism int
 }
 
-// NewServer builds a server whose jobs default to the given scale, seed
-// and parallelism.
-func NewServer(scale int64, seed uint64, parallelism int) *Server {
+// New builds a server whose jobs default to the given scale, seed and
+// parallelism.
+func New(scale int64, seed uint64, parallelism int) *Server {
 	return &Server{
 		defaults: serverDefaults{scale: scale, seed: seed, parallelism: parallelism},
 		jobs:     make(map[string]*job),
@@ -83,10 +89,46 @@ func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/v1/plans", s.handlePlans)
 	mux.HandleFunc("/v1/results", s.handleResults)
-	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
-		writeJSON(w, http.StatusOK, map[string]any{"ok": true, "schema_version": vexsmt.SchemaVersion})
-	})
+	mux.HandleFunc("/healthz", s.handleHealthz)
 	return mux
+}
+
+// handleHealthz reports liveness plus the numbers a shard coordinator
+// needs for placement and failover: how many more plans this server will
+// admit (capacity vs running) and the simulation defaults it applies to
+// requests that don't override them.
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	running := s.runningLocked()
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"ok":             true,
+		"capacity":       maxRunningJobs,
+		"running":        running,
+		"scale":          s.defaults.scale,
+		"seed":           s.defaults.seed,
+		"schema_version": vexsmt.SchemaVersion,
+	})
+}
+
+// CancelJobs cancels every job and waits for their streams to drain — the
+// server half of graceful shutdown. Jobs stay registered (terminal, e.g.
+// "cancelled") so watchers attached to an NDJSON stream receive a final
+// status line instead of a dropped connection; evicting them is left to
+// the normal retention policy.
+func (s *Server) CancelJobs() {
+	s.mu.Lock()
+	jobs := make([]*job, 0, len(s.jobs))
+	for _, j := range s.jobs {
+		jobs = append(jobs, j)
+	}
+	s.mu.Unlock()
+	for _, j := range jobs {
+		j.cancel()
+	}
+	for _, j := range jobs {
+		<-j.done
+	}
 }
 
 func (s *Server) handlePlans(w http.ResponseWriter, r *http.Request) {
@@ -171,6 +213,10 @@ func (s *Server) submitPlan(w http.ResponseWriter, r *http.Request) {
 
 	go j.consume(ctx, ch)
 
+	// The id also travels as a header so a client whose body read fails
+	// (connection trouble mid-response) can still DELETE the plan instead
+	// of orphaning a running job.
+	w.Header().Set("X-Vexsmt-Plan-Id", j.id)
 	writeJSON(w, http.StatusAccepted, map[string]any{
 		"id":    j.id,
 		"cells": total,

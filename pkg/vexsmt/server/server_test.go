@@ -1,4 +1,4 @@
-package main
+package server
 
 import (
 	"bufio"
@@ -15,7 +15,7 @@ import (
 
 // testServer runs at a tiny scale so plans finish in milliseconds.
 func testServer() *httptest.Server {
-	return httptest.NewServer(NewServer(20000, 1, 2).Handler())
+	return httptest.NewServer(New(20000, 1, 2).Handler())
 }
 
 func postPlan(t *testing.T, ts *httptest.Server, body string) string {
@@ -142,7 +142,7 @@ func TestStreamingResults(t *testing.T) {
 }
 
 func TestCancelPlan(t *testing.T) {
-	ts := httptest.NewServer(NewServer(50, 1, 2).Handler()) // slow cells
+	ts := httptest.NewServer(New(50, 1, 2).Handler()) // slow cells
 	defer ts.Close()
 
 	id := postPlan(t, ts, `{"figures":["14","15","16"]}`)
@@ -295,7 +295,7 @@ func TestTerminalJobEviction(t *testing.T) {
 }
 
 func TestRunningJobsCap(t *testing.T) {
-	ts := httptest.NewServer(NewServer(50, 1, 1).Handler()) // slow cells
+	ts := httptest.NewServer(New(50, 1, 1).Handler()) // slow cells
 	defer ts.Close()
 
 	// Fill the admission cap with long-running plans, then expect 503.
@@ -324,6 +324,84 @@ func TestRunningJobsCap(t *testing.T) {
 		req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/v1/plans?id="+id, nil)
 		if resp, err := http.DefaultClient.Do(req); err == nil {
 			resp.Body.Close()
+		}
+	}
+}
+
+func TestHealthzReportsPlacementSignals(t *testing.T) {
+	ts := httptest.NewServer(New(50, 7, 1).Handler()) // slow cells
+	defer ts.Close()
+
+	health := func() (h struct {
+		OK            bool   `json:"ok"`
+		Capacity      int    `json:"capacity"`
+		Running       int    `json:"running"`
+		Scale         int64  `json:"scale"`
+		Seed          uint64 `json:"seed"`
+		SchemaVersion int    `json:"schema_version"`
+	}) {
+		t.Helper()
+		resp, err := http.Get(ts.URL + "/healthz")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("healthz: status %d", resp.StatusCode)
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&h); err != nil {
+			t.Fatal(err)
+		}
+		return h
+	}
+
+	h := health()
+	if !h.OK || h.Capacity != maxRunningJobs || h.Running != 0 {
+		t.Fatalf("idle healthz: %+v", h)
+	}
+	if h.Scale != 50 || h.Seed != 7 || h.SchemaVersion != vexsmt.SchemaVersion {
+		t.Fatalf("healthz defaults: %+v", h)
+	}
+
+	id := postPlan(t, ts, `{"figures":["14"]}`)
+	if h := health(); h.Running != 1 {
+		t.Fatalf("healthz while running: %+v", h)
+	}
+	req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/v1/plans?id="+id, nil)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if h := health(); h.Running != 0 {
+		t.Fatalf("healthz after cancel: %+v", h)
+	}
+}
+
+func TestCancelJobsDrainsRunningPlans(t *testing.T) {
+	srv := New(50, 1, 1) // slow cells
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	ids := []string{
+		postPlan(t, ts, `{"figures":["14"]}`),
+		postPlan(t, ts, `{"figures":["15"]}`),
+	}
+	done := make(chan struct{})
+	go func() {
+		srv.CancelJobs()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(20 * time.Second):
+		t.Fatal("CancelJobs did not drain within 20s")
+	}
+	// Jobs stay registered with a terminal status so late watchers see an
+	// answer, not a 404.
+	for _, id := range ids {
+		if res := getResults(t, ts, id); res.Status != "cancelled" && res.Status != "done" {
+			t.Fatalf("job %s status %q after CancelJobs", id, res.Status)
 		}
 	}
 }

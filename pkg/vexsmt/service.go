@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"runtime"
+	"strings"
 
 	"vexsmt/internal/core"
 	"vexsmt/internal/experiments"
@@ -69,6 +70,7 @@ func (s *Service) Meta() RunMeta {
 		Seed:          s.seed,
 		Scale:         s.scale,
 		Parallelism:   s.parallel,
+		Techniques:    strings.Join(s.TechniqueNames(), ","),
 	}
 }
 
@@ -121,6 +123,22 @@ func (s *Service) PlanSize(p Plan) (int, error) {
 		return 0, err
 	}
 	return ip.Len(), nil
+}
+
+// PlanCells resolves a plan and returns its unique grid cells as public
+// CellSpecs, in plan order, without running anything. This is the shard
+// unit of distributed execution: a coordinator partitions exactly this
+// list, and the union of the parts is exactly what Collect would simulate.
+func (s *Service) PlanCells(p Plan) ([]CellSpec, error) {
+	ip, err := s.resolve(p)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]CellSpec, 0, ip.Len())
+	for _, c := range ip.Cells() {
+		out = append(out, CellSpec{Mix: c.Mix.Label, Technique: c.Tech.Name(), Threads: c.Threads})
+	}
+	return out, nil
 }
 
 // Prefetch simulates every cell of a plan behind a barrier and returns the

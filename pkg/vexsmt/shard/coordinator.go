@@ -1,0 +1,420 @@
+package shard
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"vexsmt/pkg/vexsmt"
+)
+
+// Progress is a live snapshot of a coordinated run.
+type Progress struct {
+	CellsDone   int // cells completed across all live shard attempts
+	CellsTotal  int // unique cells in the resolved plan
+	ShardsDone  int // shards whose results are final
+	ShardsTotal int
+	Retries     int // shard attempts beyond the first, across the run
+}
+
+// Config parameterizes a Coordinator. The zero value of every field has a
+// sensible default except Seed, which is taken literally (seed 0 is a
+// valid experiment).
+type Config struct {
+	// Scale is the scale divisor every shard runs at; 0 means 100, the
+	// Service default.
+	Scale int64
+	// Seed is the base seed every shard runs under, used as-is.
+	Seed uint64
+	// Shards is K, the number of parts the grid splits into; 0 means one
+	// per backend. More shards than backends is useful: shards queue on
+	// Concurrency and fill backends as they free up.
+	Shards int
+	// Concurrency bounds how many shards run at once; 0 sizes the window
+	// from the backends' advertised capacity at Collect time (sum of
+	// healthy /healthz capacities, at least one per backend, at most one
+	// per shard).
+	Concurrency int
+	// Retries is the number of extra attempts a shard gets after a backend
+	// failure, each preferring a backend that has not yet failed this
+	// shard. 0 means 2; negative disables retry.
+	Retries int
+	// OnProgress, when non-nil, observes run progress. Calls are
+	// serialized.
+	OnProgress func(Progress)
+	// Logf, when non-nil, receives placement, retry and failure events.
+	Logf func(format string, args ...any)
+}
+
+// Coordinator fans a plan's cells out over backends and merges the shard
+// results. It holds no per-run state: one Coordinator may serve any number
+// of concurrent Collects.
+type Coordinator struct {
+	cfg      Config
+	backends []Backend
+}
+
+// New builds a Coordinator over one or more backends.
+func New(cfg Config, backends ...Backend) (*Coordinator, error) {
+	if len(backends) == 0 {
+		return nil, fmt.Errorf("shard: coordinator needs at least one backend")
+	}
+	if cfg.Scale == 0 {
+		cfg.Scale = 100
+	}
+	if cfg.Scale < 1 {
+		return nil, fmt.Errorf("shard: scale divisor %d < 1", cfg.Scale)
+	}
+	if cfg.Shards == 0 {
+		cfg.Shards = len(backends)
+	}
+	if cfg.Shards < 1 {
+		return nil, fmt.Errorf("shard: shard count %d < 1", cfg.Shards)
+	}
+	if cfg.Concurrency < 0 {
+		return nil, fmt.Errorf("shard: concurrency %d < 0", cfg.Concurrency)
+	}
+	switch {
+	case cfg.Retries == 0:
+		cfg.Retries = 2
+	case cfg.Retries < 0:
+		cfg.Retries = 0
+	}
+	return &Coordinator{cfg: cfg, backends: backends}, nil
+}
+
+func (c *Coordinator) logf(format string, args ...any) {
+	if c.cfg.Logf != nil {
+		c.cfg.Logf(format, args...)
+	}
+}
+
+// Collect resolves plan at the coordinator's seed and scale, partitions it
+// into shards, runs them over the backends with bounded concurrency,
+// retry and failover, and returns the merged canonical ResultSet —
+// byte-identical (after canonical encoding) to a single-process
+// Service.Collect of the same plan. Cancelling ctx aborts every live
+// shard; remote shards are cancelled with a DELETE.
+func (c *Coordinator) Collect(ctx context.Context, plan vexsmt.Plan) (*vexsmt.ResultSet, error) {
+	// Resolve through a scratch service: same vocabulary, same validation,
+	// same dedup and ordering a single-process run would use.
+	scratch, err := vexsmt.New(vexsmt.WithScale(c.cfg.Scale), vexsmt.WithSeed(c.cfg.Seed))
+	if err != nil {
+		return nil, err
+	}
+	cells, err := scratch.PlanCells(plan)
+	if err != nil {
+		return nil, err
+	}
+	if len(cells) == 0 {
+		rs := &vexsmt.ResultSet{Meta: scratch.Meta()}
+		rs.Canonicalize()
+		return rs, nil
+	}
+	shards, err := Partitioner{Shards: c.cfg.Shards}.Partition(cells)
+	if err != nil {
+		return nil, err
+	}
+
+	runCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	st := &runState{
+		coord:    c,
+		perShard: make([]atomic.Int64, len(shards)),
+		inflight: make([]atomic.Int64, len(c.backends)),
+		total:    len(cells),
+		shards:   len(shards),
+	}
+	results := make([]*vexsmt.ResultSet, len(shards))
+	errs := make([]error, len(shards))
+	conc := c.cfg.Concurrency
+	if conc == 0 {
+		conc = c.autoConcurrency(runCtx, len(shards))
+		c.logf("auto concurrency: %d shard(s) in flight over %d backend(s)", conc, len(c.backends))
+	}
+	sem := make(chan struct{}, conc)
+	var wg sync.WaitGroup
+	for i := range shards {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			select {
+			case sem <- struct{}{}:
+				defer func() { <-sem }()
+			case <-runCtx.Done():
+				errs[i] = runCtx.Err()
+				return
+			}
+			results[i], errs[i] = c.runShard(runCtx, i, shards[i], scratch.Meta().Techniques, st)
+			if errs[i] != nil {
+				cancel() // first shard failure aborts the rest
+				return
+			}
+			st.shardDone()
+		}(i)
+	}
+	wg.Wait()
+
+	// Report the root cause, not the collateral cancellations it caused —
+	// unless the caller's own context ended, which always wins.
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	var firstErr error
+	for _, err := range errs {
+		if err == nil {
+			continue
+		}
+		if firstErr == nil {
+			firstErr = err
+		}
+		if !errors.Is(err, context.Canceled) && !errors.Is(err, context.DeadlineExceeded) {
+			firstErr = err
+			break
+		}
+	}
+	if firstErr != nil {
+		return nil, firstErr
+	}
+
+	merged, err := results[0].Merge(results[1:]...)
+	if err != nil {
+		return nil, err
+	}
+	if len(merged.Cells) != len(cells) {
+		return nil, fmt.Errorf("shard: merged %d cells but the plan has %d — a backend returned an incomplete shard",
+			len(merged.Cells), len(cells))
+	}
+	return merged, nil
+}
+
+// runShard runs one shard with retry and failover: every attempt asks
+// placement for the healthiest backend that has not yet failed this shard,
+// and a retry discards the failed attempt's progress so the aggregate
+// count never double-counts a cell.
+func (c *Coordinator) runShard(ctx context.Context, idx int, cells []vexsmt.CellSpec, techniques string, st *runState) (*vexsmt.ResultSet, error) {
+	failed := make(map[int]bool)
+	var lastErr error
+	for attempt := 0; attempt <= c.cfg.Retries; attempt++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		if attempt > 0 {
+			st.retry(idx)
+			// Back off briefly before failing over: a backend that 503'd on
+			// admission frees a slot in well under a second, and immediate
+			// re-submission would just burn the remaining attempts.
+			select {
+			case <-time.After(retryBackoff(attempt)):
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			}
+		}
+		bi, err := c.pick(ctx, st, failed)
+		if err != nil {
+			if lastErr == nil {
+				lastErr = err
+			}
+			break
+		}
+		b := c.backends[bi]
+		c.logf("shard %d/%d: %d cells on %s (attempt %d)", idx+1, st.shards, len(cells), b.Name(), attempt+1)
+		rs, err := b.Run(ctx, Job{
+			Cells:      cells,
+			Scale:      c.cfg.Scale,
+			Seed:       c.cfg.Seed,
+			Techniques: techniques,
+			Progress: func(vexsmt.CellResult) {
+				st.cellDone(idx)
+			},
+		})
+		st.inflight[bi].Add(-1)
+		if err == nil {
+			return rs, nil
+		}
+		if ctx.Err() != nil {
+			// The caller (or a sibling shard's failure) cancelled the run;
+			// that is not this backend's fault and retrying is pointless.
+			return nil, ctx.Err()
+		}
+		var perm *permanentError
+		if errors.As(err, &perm) {
+			// Deterministic simulation failure: every backend would
+			// reproduce it, so don't blame this one or re-simulate.
+			return nil, err
+		}
+		c.logf("shard %d/%d: backend %s failed: %v", idx+1, st.shards, b.Name(), err)
+		failed[bi] = true
+		lastErr = err
+	}
+	return nil, fmt.Errorf("shard: shard %d/%d gave up after %d attempt(s): %w",
+		idx+1, st.shards, c.cfg.Retries+1, lastErr)
+}
+
+// retryBackoff is the wait before failover attempt n (1-based): 250ms
+// doubling per attempt, capped at 2s.
+func retryBackoff(attempt int) time.Duration {
+	d := 250 * time.Millisecond << (attempt - 1)
+	if d > 2*time.Second {
+		d = 2 * time.Second
+	}
+	return d
+}
+
+// autoConcurrency sizes the shard window when Config.Concurrency is
+// unset: the sum of the backends' advertised capacities (counting 1 for a
+// backend whose probe fails), clamped to at least one per backend and at
+// most one per shard. Extra shards on one big backend thus actually run
+// concurrently — `-k 4` against a single four-slot daemon overlaps all
+// four shards instead of serializing them.
+func (c *Coordinator) autoConcurrency(ctx context.Context, shards int) int {
+	total := 0
+	for _, r := range c.probeAll(ctx) {
+		free := r.h.Capacity - r.h.Running
+		if r.err != nil || free < 1 {
+			free = 1 // unknown or saturated: still count one queued shard
+		}
+		total += free
+	}
+	if total < len(c.backends) {
+		total = len(c.backends)
+	}
+	if total > shards {
+		total = shards
+	}
+	if total < 1 {
+		total = 1
+	}
+	return total
+}
+
+// probeResult is one backend's health probe outcome.
+type probeResult struct {
+	h   Health
+	err error
+}
+
+// probeAll health-checks every backend concurrently (3s timeout each), so
+// one unreachable backend costs a single probe round-trip, not a
+// serialized one per backend.
+func (c *Coordinator) probeAll(ctx context.Context) []probeResult {
+	out := make([]probeResult, len(c.backends))
+	var wg sync.WaitGroup
+	for i, b := range c.backends {
+		wg.Add(1)
+		go func(i int, b Backend) {
+			defer wg.Done()
+			hctx, cancel := context.WithTimeout(ctx, 3*time.Second)
+			out[i].h, out[i].err = b.Health(hctx)
+			cancel()
+		}(i, b)
+	}
+	wg.Wait()
+	return out
+}
+
+// pick chooses the backend with the most free capacity and reserves a
+// slot on it (st.inflight), preferring backends that have not failed the
+// current shard. Free capacity is the health probe's capacity minus
+// running, further discounted by shards this coordinator has placed there
+// but that the probe may not reflect yet (a plan just submitted hasn't
+// registered remotely). Probe-and-reserve runs under st.placeMu so
+// concurrent shards cannot all observe the same free backend and pile
+// onto it while the others idle; the caller releases the slot when the
+// backend's Run returns. Backends whose probe errors or that speak a
+// foreign schema version are skipped. When every healthy backend is
+// excluded, the exclusions are forgiven — a backend that failed once may
+// have recovered, and trying it again beats giving up. Ties resolve to
+// the lowest index, keeping placement deterministic for equal health.
+func (c *Coordinator) pick(ctx context.Context, st *runState, exclude map[int]bool) (int, error) {
+	st.placeMu.Lock()
+	defer st.placeMu.Unlock()
+	probes := c.probeAll(ctx)
+	choose := func(skipExcluded bool) int {
+		best, bestFree := -1, 0
+		for i, r := range probes {
+			if skipExcluded && exclude[i] {
+				continue
+			}
+			if r.err != nil {
+				c.logf("placement: %s unhealthy: %v", c.backends[i].Name(), r.err)
+				continue
+			}
+			if r.h.SchemaVersion != 0 && r.h.SchemaVersion != vexsmt.SchemaVersion {
+				c.logf("placement: %s speaks schema v%d, want v%d",
+					c.backends[i].Name(), r.h.SchemaVersion, vexsmt.SchemaVersion)
+				continue
+			}
+			free := r.h.Capacity - r.h.Running - int(st.inflight[i].Load())
+			if best < 0 || free > bestFree {
+				best, bestFree = i, free
+			}
+		}
+		return best
+	}
+	best := choose(true)
+	if best < 0 && len(exclude) > 0 {
+		best = choose(false)
+	}
+	if best < 0 {
+		return 0, fmt.Errorf("shard: no healthy backend among %d", len(c.backends))
+	}
+	st.inflight[best].Add(1)
+	return best, nil
+}
+
+// runState aggregates live progress across shard goroutines. Per-shard
+// cell counts are kept separately so a retried shard's discarded attempt
+// can be subtracted back out of the aggregate.
+type runState struct {
+	coord    *Coordinator
+	perShard []atomic.Int64
+	inflight []atomic.Int64 // shards currently placed on each backend
+	placeMu  sync.Mutex     // serializes probe-and-reserve in pick
+	total    int
+	shards   int
+
+	shardsDone atomic.Int64
+	retries    atomic.Int64
+
+	mu sync.Mutex // serializes OnProgress
+}
+
+func (st *runState) notify() {
+	if st.coord.cfg.OnProgress == nil {
+		return
+	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	done := 0
+	for i := range st.perShard {
+		done += int(st.perShard[i].Load())
+	}
+	st.coord.cfg.OnProgress(Progress{
+		CellsDone:   done,
+		CellsTotal:  st.total,
+		ShardsDone:  int(st.shardsDone.Load()),
+		ShardsTotal: st.shards,
+		Retries:     int(st.retries.Load()),
+	})
+}
+
+func (st *runState) cellDone(shard int) {
+	st.perShard[shard].Add(1)
+	st.notify()
+}
+
+func (st *runState) retry(shard int) {
+	st.perShard[shard].Store(0)
+	st.retries.Add(1)
+	st.notify()
+}
+
+func (st *runState) shardDone() {
+	st.shardsDone.Add(1)
+	st.notify()
+}

@@ -1,0 +1,236 @@
+package shard
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strings"
+	"time"
+
+	"vexsmt/pkg/vexsmt"
+)
+
+// HTTP is the remote backend: it runs shards on a vexsmtd daemon over its
+// /v1 control plane — POST the shard as a plan, follow the NDJSON results
+// stream, and DELETE the plan on the way out (cancelling it if still
+// running, evicting it if terminal). Context cancellation therefore
+// reaches the remote simulation within one timeslice-bounded poll.
+type HTTP struct {
+	base   string
+	client *http.Client
+}
+
+// HTTPOption configures an HTTP backend.
+type HTTPOption func(*HTTP)
+
+// WithClient substitutes the http.Client used for every request (for
+// custom transports or timeouts). Clients must not set an overall request
+// timeout shorter than a shard's runtime: the results stream stays open
+// for the whole simulation.
+func WithClient(c *http.Client) HTTPOption {
+	return func(h *HTTP) { h.client = c }
+}
+
+// NewHTTP builds a backend for the vexsmtd at baseURL (e.g.
+// "http://host:8080").
+func NewHTTP(baseURL string, opts ...HTTPOption) (*HTTP, error) {
+	u, err := url.Parse(baseURL)
+	if err != nil {
+		return nil, fmt.Errorf("shard: backend url %q: %w", baseURL, err)
+	}
+	if u.Scheme == "" || u.Host == "" {
+		return nil, fmt.Errorf("shard: backend url %q: need scheme and host", baseURL)
+	}
+	h := &HTTP{base: strings.TrimRight(baseURL, "/"), client: http.DefaultClient}
+	for _, o := range opts {
+		o(h)
+	}
+	return h, nil
+}
+
+// Name implements Backend: the base URL identifies the daemon.
+func (h *HTTP) Name() string { return h.base }
+
+// Health implements Backend via GET /healthz.
+func (h *HTTP) Health(ctx context.Context) (Health, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, h.base+"/healthz", nil)
+	if err != nil {
+		return Health{}, err
+	}
+	resp, err := h.client.Do(req)
+	if err != nil {
+		return Health{}, fmt.Errorf("shard: %s: healthz: %w", h.base, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return Health{}, fmt.Errorf("shard: %s: healthz: status %d", h.base, resp.StatusCode)
+	}
+	var out struct {
+		Capacity      int    `json:"capacity"`
+		Running       int    `json:"running"`
+		Scale         int64  `json:"scale"`
+		Seed          uint64 `json:"seed"`
+		SchemaVersion int    `json:"schema_version"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return Health{}, fmt.Errorf("shard: %s: healthz: %w", h.base, err)
+	}
+	return Health{
+		Capacity:      out.Capacity,
+		Running:       out.Running,
+		Scale:         out.Scale,
+		Seed:          out.Seed,
+		SchemaVersion: out.SchemaVersion,
+	}, nil
+}
+
+// ndLine decodes one NDJSON line of a /v1/results stream, which is either
+// a cell (mix/technique/... fields) or the terminal status object. The
+// outer Status/ErrMsg fields shadow the embedded CellResult's "error" tag
+// (shallower depth wins in encoding/json), so one decode handles both
+// shapes; Run copies ErrMsg back into the cell for cell lines.
+type ndLine struct {
+	vexsmt.CellResult
+	Status string `json:"status"`
+	ErrMsg string `json:"error"`
+}
+
+// Run implements Backend: submit the shard as a plan pinned to the job's
+// seed and scale, stream its results, and always DELETE the plan on
+// return — which cancels the remote simulation when Run is abandoned
+// mid-stream and frees the daemon's memory when it completed.
+func (h *HTTP) Run(ctx context.Context, job Job) (*vexsmt.ResultSet, error) {
+	body, err := json.Marshal(struct {
+		Cells []vexsmt.CellSpec `json:"cells"`
+		Scale int64             `json:"scale"`
+		Seed  uint64            `json:"seed"`
+	}{job.Cells, job.Scale, job.Seed})
+	if err != nil {
+		return nil, err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, h.base+"/v1/plans", bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := h.client.Do(req)
+	if err != nil {
+		return nil, fmt.Errorf("shard: %s: submit: %w", h.base, err)
+	}
+	if resp.StatusCode != http.StatusAccepted {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 4<<10))
+		resp.Body.Close()
+		return nil, fmt.Errorf("shard: %s: submit: status %d: %s",
+			h.base, resp.StatusCode, strings.TrimSpace(string(msg)))
+	}
+	var sub struct {
+		ID    string         `json:"id"`
+		Cells int            `json:"cells"`
+		Meta  vexsmt.RunMeta `json:"meta"`
+	}
+	err = json.NewDecoder(resp.Body).Decode(&sub)
+	resp.Body.Close()
+	if err != nil {
+		// The plan was accepted and is running; cancel it via the header
+		// copy of the id rather than orphaning it on the daemon.
+		h.deletePlan(resp.Header.Get("X-Vexsmt-Plan-Id"))
+		return nil, fmt.Errorf("shard: %s: submit response: %w", h.base, err)
+	}
+	// Guard against a daemon that ignored the overrides or disagrees about
+	// the grid: running a shard at a foreign seed, scale or technique set
+	// would only be caught by the merge after minutes of wasted simulation.
+	if sub.Meta.SchemaVersion != vexsmt.SchemaVersion ||
+		sub.Meta.Seed != job.Seed || sub.Meta.Scale != job.Scale ||
+		(job.Techniques != "" && sub.Meta.Techniques != job.Techniques) {
+		h.deletePlan(sub.ID)
+		return nil, fmt.Errorf("shard: %s: daemon accepted plan with meta %+v; job wants schema v%d seed %d scale 1/%d techniques %q",
+			h.base, sub.Meta, vexsmt.SchemaVersion, job.Seed, job.Scale, job.Techniques)
+	}
+	defer h.deletePlan(sub.ID)
+
+	sreq, err := http.NewRequestWithContext(ctx, http.MethodGet,
+		h.base+"/v1/results?stream=1&id="+url.QueryEscape(sub.ID), nil)
+	if err != nil {
+		return nil, err
+	}
+	sresp, err := h.client.Do(sreq)
+	if err != nil {
+		return nil, fmt.Errorf("shard: %s: stream: %w", h.base, err)
+	}
+	defer sresp.Body.Close()
+	if sresp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("shard: %s: stream: status %d", h.base, sresp.StatusCode)
+	}
+
+	rs := &vexsmt.ResultSet{Meta: sub.Meta}
+	sc := bufio.NewScanner(sresp.Body)
+	sc.Buffer(make([]byte, 0, 64<<10), 1<<20)
+	status, jobErr := "", ""
+	for sc.Scan() {
+		line := bytes.TrimSpace(sc.Bytes())
+		if len(line) == 0 {
+			continue
+		}
+		var l ndLine
+		if err := json.Unmarshal(line, &l); err != nil {
+			return nil, fmt.Errorf("shard: %s: bad stream line %q: %w", h.base, line, err)
+		}
+		if l.Status != "" {
+			status, jobErr = l.Status, l.ErrMsg
+			break
+		}
+		cell := l.CellResult
+		cell.Err = l.ErrMsg
+		if cell.Err != "" {
+			continue // the terminal status line will carry the failure
+		}
+		rs.Cells = append(rs.Cells, cell)
+		if job.Progress != nil {
+			job.Progress(cell)
+		}
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err // deferred DELETE cancels the remote plan
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("shard: %s: stream: %w", h.base, err)
+	}
+	switch status {
+	case "done":
+	case "":
+		return nil, fmt.Errorf("shard: %s: stream ended without terminal status (daemon died?)", h.base)
+	case "failed":
+		// A failed plan is a deterministic simulation failure (cell seeds
+		// travel with the cells); rerunning it elsewhere reproduces it.
+		return nil, &permanentError{fmt.Errorf("shard: %s: plan failed: %s", h.base, jobErr)}
+	default:
+		return nil, fmt.Errorf("shard: %s: plan %s: %s", h.base, status, jobErr)
+	}
+	rs.Sort()
+	return rs, nil
+}
+
+// deletePlan cancels/evicts a plan with a fresh context, so cleanup still
+// reaches the daemon after the run context was cancelled — that is exactly
+// the path that propagates a coordinator's cancellation as a DELETE.
+func (h *HTTP) deletePlan(id string) {
+	if id == "" {
+		return
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodDelete,
+		h.base+"/v1/plans?id="+url.QueryEscape(id), nil)
+	if err != nil {
+		return
+	}
+	if resp, err := h.client.Do(req); err == nil {
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}
+}

@@ -1,0 +1,420 @@
+package shard_test
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"vexsmt/pkg/vexsmt"
+	"vexsmt/pkg/vexsmt/server"
+	"vexsmt/pkg/vexsmt/shard"
+)
+
+// testScale keeps simulation-backed tests fast; every assertion is
+// structural or bit-identity, never statistical.
+const testScale = 20000
+
+// fullGrid is the complete figure grid: every technique, mix and machine
+// size the paper's Figures 14–16 evaluate.
+var fullGrid = vexsmt.Plan{Figures: []string{"14", "15", "16"}}
+
+func testService(t *testing.T) *vexsmt.Service { return testServiceAt(t, testScale) }
+
+func testServiceAt(t *testing.T, scale int64) *vexsmt.Service {
+	t.Helper()
+	svc, err := vexsmt.New(vexsmt.WithScale(scale))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return svc
+}
+
+// encodeCanonical returns rs's canonical encoding without mutating it.
+func encodeCanonical(t *testing.T, rs *vexsmt.ResultSet) string {
+	t.Helper()
+	cp := &vexsmt.ResultSet{Meta: rs.Meta, Cells: append([]vexsmt.CellResult(nil), rs.Cells...)}
+	cp.Canonicalize()
+	var buf bytes.Buffer
+	if err := vexsmt.EncodeResults(&buf, cp); err != nil {
+		t.Fatal(err)
+	}
+	return buf.String()
+}
+
+func collectBaseline(t *testing.T, svc *vexsmt.Service, plan vexsmt.Plan) string {
+	t.Helper()
+	rs, err := svc.Collect(context.Background(), plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return encodeCanonical(t, rs)
+}
+
+func TestPartitionBalancedDeterministic(t *testing.T) {
+	svc := testService(t)
+	cells, err := svc.PlanCells(fullGrid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range []int{1, 2, 3, 5, 7, len(cells), len(cells) + 10} {
+		parts, err := shard.Partitioner{Shards: k}.Partition(cells)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantParts := k
+		if k > len(cells) {
+			wantParts = len(cells)
+		}
+		if len(parts) != wantParts {
+			t.Fatalf("k=%d: %d parts, want %d", k, len(parts), wantParts)
+		}
+		seen := make(map[vexsmt.CellSpec]bool, len(cells))
+		min, max := len(cells), 0
+		for _, part := range parts {
+			if len(part) == 0 {
+				t.Fatalf("k=%d: empty shard", k)
+			}
+			if len(part) < min {
+				min = len(part)
+			}
+			if len(part) > max {
+				max = len(part)
+			}
+			for _, c := range part {
+				if seen[c] {
+					t.Fatalf("k=%d: cell %+v in two shards", k, c)
+				}
+				seen[c] = true
+			}
+		}
+		if len(seen) != len(cells) {
+			t.Fatalf("k=%d: %d cells partitioned, want %d", k, len(seen), len(cells))
+		}
+		if max-min > 1 {
+			t.Fatalf("k=%d: unbalanced shards (sizes %d..%d)", k, min, max)
+		}
+		again, err := shard.Partitioner{Shards: k}.Partition(cells)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range parts {
+			for j := range parts[i] {
+				if parts[i][j] != again[i][j] {
+					t.Fatalf("k=%d: partition is not deterministic", k)
+				}
+			}
+		}
+	}
+	if _, err := (shard.Partitioner{Shards: 0}).Partition(cells); err == nil {
+		t.Fatal("shard count 0 accepted")
+	}
+}
+
+// TestCoordinatorMatchesCollectLocal is the in-process half of the
+// sharding determinism property: for several shard counts, a coordinated
+// run over in-process backends is bit-identical to a single Service.Collect
+// of the full figure grid. Both backends wrap the baseline service, so the
+// whole test simulates the grid exactly once.
+func TestCoordinatorMatchesCollectLocal(t *testing.T) {
+	svc := testService(t)
+	want := collectBaseline(t, svc, fullGrid)
+	backends := []shard.Backend{
+		shard.NewLocal("local-a", svc),
+		shard.NewLocal("local-b", svc),
+	}
+	for _, k := range []int{1, 2, 3, 5} {
+		var last shard.Progress
+		coord, err := shard.New(shard.Config{
+			Scale:      testScale,
+			Seed:       svc.Seed(),
+			Shards:     k,
+			OnProgress: func(p shard.Progress) { last = p },
+		}, backends...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rs, err := coord.Collect(context.Background(), fullGrid)
+		if err != nil {
+			t.Fatalf("k=%d: %v", k, err)
+		}
+		if got := encodeCanonical(t, rs); got != want {
+			t.Fatalf("k=%d: coordinated result differs from Service.Collect", k)
+		}
+		if last.CellsDone != last.CellsTotal || last.ShardsDone != k || last.Retries != 0 {
+			t.Fatalf("k=%d: final progress %+v", k, last)
+		}
+	}
+}
+
+// TestCoordinatorMatchesCollectHTTP is the remote half of the property:
+// the same grid coordinated across two real vexsmtd servers (httptest)
+// over the /v1 plan/results protocol stays bit-identical to the
+// single-process run for every shard count.
+func TestCoordinatorMatchesCollectHTTP(t *testing.T) {
+	// Every shard count re-simulates the whole grid daemon-side (one
+	// service per plan, no cross-plan memoization), so this test runs at a
+	// finer scale than the in-process one to stay cheap.
+	const httpScale = 50000
+	want := collectBaseline(t, testServiceAt(t, httpScale), fullGrid)
+	a := httptest.NewServer(server.New(httpScale, 1, 4).Handler())
+	defer a.Close()
+	b := httptest.NewServer(server.New(httpScale, 1, 4).Handler())
+	defer b.Close()
+	backends := httpBackends(t, a.URL, b.URL)
+	for _, k := range []int{1, 2, 3, 5} {
+		coord, err := shard.New(shard.Config{
+			Scale:  httpScale,
+			Seed:   1,
+			Shards: k,
+		}, backends...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rs, err := coord.Collect(context.Background(), fullGrid)
+		if err != nil {
+			t.Fatalf("k=%d: %v", k, err)
+		}
+		if got := encodeCanonical(t, rs); got != want {
+			t.Fatalf("k=%d: coordinated HTTP result differs from Service.Collect", k)
+		}
+	}
+}
+
+func httpBackends(t *testing.T, urls ...string) []shard.Backend {
+	t.Helper()
+	out := make([]shard.Backend, len(urls))
+	for i, u := range urls {
+		b, err := shard.NewHTTP(u)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out[i] = b
+	}
+	return out
+}
+
+// failOnce wraps a backend and kills its first Run: immediately when
+// after == 0, or mid-run after that many cells have streamed (simulating a
+// shard dying partway). Later Runs pass through untouched.
+type failOnce struct {
+	shard.Backend
+	after   int
+	tripped atomic.Bool
+}
+
+func (f *failOnce) Run(ctx context.Context, job shard.Job) (*vexsmt.ResultSet, error) {
+	if !f.tripped.CompareAndSwap(false, true) {
+		return f.Backend.Run(ctx, job)
+	}
+	if f.after == 0 {
+		return nil, errors.New("injected backend death")
+	}
+	dctx, die := context.WithCancel(ctx)
+	defer die()
+	inner := job.Progress
+	var n atomic.Int64
+	job.Progress = func(c vexsmt.CellResult) {
+		if inner != nil {
+			inner(c)
+		}
+		if n.Add(1) >= int64(f.after) {
+			die()
+		}
+	}
+	rs, err := f.Backend.Run(dctx, job)
+	if err == nil {
+		return nil, fmt.Errorf("injected death raced completion; treat as failed (got %d cells)", len(rs.Cells))
+	}
+	return nil, fmt.Errorf("injected mid-run death: %w", err)
+}
+
+// TestCoordinatorFailoverLocal: a shard whose backend dies immediately is
+// retried on the surviving backend and the merged output is still
+// bit-identical; the retry is visible in the progress feed.
+func TestCoordinatorFailoverLocal(t *testing.T) {
+	svc := testService(t)
+	want := collectBaseline(t, svc, fullGrid)
+	flaky := &failOnce{Backend: shard.NewLocal("flaky", svc)}
+	var last shard.Progress
+	coord, err := shard.New(shard.Config{
+		Scale:      testScale,
+		Seed:       svc.Seed(),
+		Shards:     3,
+		OnProgress: func(p shard.Progress) { last = p },
+	}, flaky, shard.NewLocal("steady", svc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs, err := coord.Collect(context.Background(), fullGrid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := encodeCanonical(t, rs); got != want {
+		t.Fatal("failover result differs from Service.Collect")
+	}
+	if !flaky.tripped.Load() {
+		t.Fatal("flaky backend was never placed — failover untested")
+	}
+	if last.Retries < 1 {
+		t.Fatalf("no retry recorded: %+v", last)
+	}
+	if last.CellsDone != last.CellsTotal {
+		t.Fatalf("progress double-counted or lost cells across the retry: %+v", last)
+	}
+}
+
+// TestCoordinatorFailoverHTTP kills one HTTP shard mid-stream (after two
+// cells) and expects the coordinator to rerun those cells on the surviving
+// daemon with no effect on the merged bits — the paper-grid equivalent of
+// losing a machine mid-sweep.
+func TestCoordinatorFailoverHTTP(t *testing.T) {
+	plan := vexsmt.Plan{Figures: []string{"14"}}
+	want := collectBaseline(t, testService(t), plan)
+	a := httptest.NewServer(server.New(testScale, 1, 2).Handler())
+	defer a.Close()
+	b := httptest.NewServer(server.New(testScale, 1, 2).Handler())
+	defer b.Close()
+	backends := httpBackends(t, a.URL, b.URL)
+	flaky := &failOnce{Backend: backends[0], after: 2}
+	coord, err := shard.New(shard.Config{
+		Scale:  testScale,
+		Seed:   1,
+		Shards: 2,
+	}, flaky, backends[1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs, err := coord.Collect(context.Background(), plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := encodeCanonical(t, rs); got != want {
+		t.Fatal("mid-run failover result differs from Service.Collect")
+	}
+	if !flaky.tripped.Load() {
+		t.Fatal("flaky backend was never placed — failover untested")
+	}
+}
+
+// runningPlans reports how many plans a vexsmtd lists as running.
+func runningPlans(t *testing.T, baseURL string) int {
+	t.Helper()
+	resp, err := http.Get(baseURL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out struct {
+		Running int `json:"running"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	return out.Running
+}
+
+// TestCoordinatorCancelPropagatesDelete: cancelling a coordinated run must
+// reach the daemons as DELETEs — their running-plan counts drain to zero
+// promptly instead of simulating to completion.
+func TestCoordinatorCancelPropagatesDelete(t *testing.T) {
+	const slowScale = 50 // 4M instrs per cell: the grid cannot finish before the cancel lands
+	a := httptest.NewServer(server.New(slowScale, 1, 2).Handler())
+	defer a.Close()
+	b := httptest.NewServer(server.New(slowScale, 1, 2).Handler())
+	defer b.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	coord, err := shard.New(shard.Config{
+		Scale:  slowScale,
+		Seed:   1,
+		Shards: 2,
+	}, httpBackends(t, a.URL, b.URL)...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() {
+		_, err := coord.Collect(ctx, fullGrid)
+		done <- err
+	}()
+	// Cancel as soon as the daemons report the shards running — no cell
+	// needs to complete first.
+	deadlineUp := time.Now().Add(30 * time.Second)
+	for runningPlans(t, a.URL)+runningPlans(t, b.URL) < 2 {
+		if time.Now().After(deadlineUp) {
+			t.Fatal("shards not running on the daemons within 30s")
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("Collect after cancel: %v, want context.Canceled", err)
+		}
+	case <-time.After(20 * time.Second):
+		t.Fatal("Collect did not return within 20s of cancellation")
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for runningPlans(t, a.URL)+runningPlans(t, b.URL) > 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("daemons still report running plans 10s after cancel (a=%d b=%d)",
+				runningPlans(t, a.URL), runningPlans(t, b.URL))
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+}
+
+// TestPlacementSkipsUnhealthyBackend: a daemon whose /healthz fails never
+// receives a shard; the healthy one absorbs the whole grid.
+func TestPlacementSkipsUnhealthyBackend(t *testing.T) {
+	plan := vexsmt.Plan{Figures: []string{"14"}}
+	want := collectBaseline(t, testService(t), plan)
+	sick := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "sick", http.StatusServiceUnavailable)
+	}))
+	defer sick.Close()
+	healthy := httptest.NewServer(server.New(testScale, 1, 2).Handler())
+	defer healthy.Close()
+	coord, err := shard.New(shard.Config{
+		Scale:  testScale,
+		Seed:   1,
+		Shards: 2,
+	}, httpBackends(t, sick.URL, healthy.URL)...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs, err := coord.Collect(context.Background(), plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := encodeCanonical(t, rs); got != want {
+		t.Fatal("result with an unhealthy backend differs from Service.Collect")
+	}
+}
+
+// TestLocalBackendRejectsForeignJob: a Local backend must refuse to run a
+// job at a seed/scale its immutable service was not built for.
+func TestLocalBackendRejectsForeignJob(t *testing.T) {
+	svc := testService(t)
+	l := shard.NewLocal("local", svc)
+	cells, err := svc.PlanCells(vexsmt.Plan{Cells: []vexsmt.CellSpec{
+		{Mix: "llll", Technique: "SMT", Threads: 2},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.Run(context.Background(), shard.Job{Cells: cells, Scale: testScale, Seed: 99}); err == nil {
+		t.Fatal("foreign seed accepted")
+	}
+	if _, err := l.Run(context.Background(), shard.Job{Cells: cells, Scale: 1, Seed: svc.Seed()}); err == nil {
+		t.Fatal("foreign scale accepted")
+	}
+}
