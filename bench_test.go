@@ -27,6 +27,8 @@ import (
 	"vexsmt/internal/sim"
 	"vexsmt/internal/synth"
 	"vexsmt/internal/workload"
+	"vexsmt/pkg/vexsmt"
+	rescache "vexsmt/pkg/vexsmt/cache"
 )
 
 // benchScale divides the paper's 200M-instruction runs for benchmarking.
@@ -171,6 +173,52 @@ func BenchmarkMatrixSerial(b *testing.B) { benchmarkMatrix(b, 1) }
 // cells/s ratio against BenchmarkMatrixSerial is the engine's speedup and
 // tracks the perf trajectory on multi-core hardware.
 func BenchmarkMatrixParallel(b *testing.B) { benchmarkMatrix(b, runtime.GOMAXPROCS(0)) }
+
+// benchmarkCachedGrid runs the full figure grid through the public
+// Service with a disk result cache rooted at dir.
+func benchmarkCachedGrid(b *testing.B, dir string) *vexsmt.Service {
+	d, err := rescache.NewDisk(dir)
+	if err != nil {
+		b.Fatal(err)
+	}
+	svc, err := vexsmt.New(vexsmt.WithScale(matrixBenchScale), vexsmt.WithCache(d))
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := svc.Collect(context.Background(), vexsmt.Plan{Figures: []string{"14", "15", "16"}}); err != nil {
+		b.Fatal(err)
+	}
+	return svc
+}
+
+// BenchmarkCacheColdVsWarm measures what the content-addressed result
+// cache buys a repeated sweep: "cold" simulates the 144-cell grid into a
+// fresh cache, "warm" replays it entirely from disk. The cells/s ratio is
+// the headline number of the caching layer (warm runs are typically
+// orders of magnitude faster and perform zero simulator runs).
+func BenchmarkCacheColdVsWarm(b *testing.B) {
+	b.Run("cold", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			svc := benchmarkCachedGrid(b, b.TempDir())
+			if svc.SimulationsRun() == 0 {
+				b.Fatal("cold run simulated nothing")
+			}
+		}
+		b.ReportMetric(float64(144*b.N)/b.Elapsed().Seconds(), "cells/s")
+	})
+	b.Run("warm", func(b *testing.B) {
+		dir := b.TempDir()
+		benchmarkCachedGrid(b, dir) // populate once, outside the timer
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			svc := benchmarkCachedGrid(b, dir)
+			if svc.SimulationsRun() != 0 {
+				b.Fatalf("warm run simulated %d cells", svc.SimulationsRun())
+			}
+		}
+		b.ReportMetric(float64(144*b.N)/b.Elapsed().Seconds(), "cells/s")
+	})
+}
 
 // BenchmarkAblationRenaming quantifies cluster renaming (used by all paper
 // experiments; proposed in the authors' CSMT paper).

@@ -23,6 +23,8 @@
 //	paperbench -parallel 8     # bound the worker pool explicitly
 //	paperbench -json results   # also write the grid as schema-versioned JSON
 //	paperbench -cpuprofile p   # write a pprof CPU profile
+//	paperbench -cache off      # re-simulate everything, bypass the cache
+//	paperbench -cache-dir d    # result cache location (default ~/.cache/vexsmt)
 package main
 
 import (
@@ -36,31 +38,46 @@ import (
 	"time"
 
 	"vexsmt/pkg/vexsmt"
+	"vexsmt/pkg/vexsmt/cache"
 )
 
 func main() {
 	// All work happens in run so its deferred cleanup (CPU profile flush,
 	// file close) executes even on error paths; os.Exit lives only here.
-	if err := run(); err != nil {
+	if err := run(os.Args[1:]); err != nil {
 		fmt.Fprintln(os.Stderr, "paperbench:", err)
 		os.Exit(1)
 	}
 }
 
-func run() error {
+func run(args []string) error {
+	fs := flag.NewFlagSet("paperbench", flag.ContinueOnError)
 	var (
-		fig        = flag.String("fig", "all", "figures to regenerate: comma-separated list of 13a, 13b, 14, 15, 16, or all")
-		scale      = flag.Int64("scale", 100, "scale divisor of paper scale (1 = paper scale)")
-		quick      = flag.Bool("quick", false, "shorthand for -scale 1000")
-		seed       = flag.Uint64("seed", 1, "simulation seed")
-		parallel   = flag.Int("parallel", runtime.GOMAXPROCS(0), "max concurrent simulations")
-		jsonOut    = flag.String("json", "", "write the simulated grid as schema-versioned JSON to this file")
-		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		fig        = fs.String("fig", "all", "figures to regenerate: comma-separated list of 13a, 13b, 14, 15, 16, or all")
+		scale      = fs.Int64("scale", 100, "scale divisor of paper scale (1 = paper scale)")
+		quick      = fs.Bool("quick", false, "shorthand for -scale 1000")
+		seed       = fs.Uint64("seed", 1, "simulation seed")
+		parallel   = fs.Int("parallel", runtime.GOMAXPROCS(0), "max concurrent simulations")
+		jsonOut    = fs.String("json", "", "write the simulated grid as schema-versioned JSON to this file")
+		cpuprofile = fs.String("cpuprofile", "", "write a CPU profile to this file")
+		cacheOn    = fs.String("cache", "on", "result cache: on (grid cells recall prior runs from the disk cache) or off")
+		cacheDir   = fs.String("cache-dir", "", "result cache directory (default: the user cache dir, e.g. ~/.cache/vexsmt)")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 	if *quick {
 		*scale = 1000
 	}
+
+	// Validate the figure list before any side effects (profiles, signal
+	// handlers): a typo must die here with the list of valid names, not
+	// after machinery has spun up.
+	figures, err := vexsmt.ParseFigures(*fig)
+	if err != nil {
+		return err
+	}
+
 	if *cpuprofile != "" {
 		f, err := os.Create(*cpuprofile)
 		if err != nil {
@@ -76,16 +93,17 @@ func run() error {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
 
-	figures, err := vexsmt.ParseFigures(*fig)
-	if err != nil {
-		return err
-	}
-
-	svc, err := vexsmt.New(
+	opts := []vexsmt.Option{
 		vexsmt.WithScale(*scale),
 		vexsmt.WithSeed(*seed),
 		vexsmt.WithParallelism(*parallel),
-	)
+	}
+	if d, err := cache.FromFlag(*cacheOn, *cacheDir); err != nil {
+		return err
+	} else if d != nil {
+		opts = append(opts, vexsmt.WithCache(d))
+	}
+	svc, err := vexsmt.New(opts...)
 	if err != nil {
 		return err
 	}
@@ -118,8 +136,11 @@ func run() error {
 			return err
 		}
 	}
-	fmt.Printf("(%d simulations, %.1fs total, 1/%d paper scale, seed %d, parallelism %d)\n",
-		svc.CellsSimulated(), time.Since(start).Seconds(), svc.Scale(), svc.Seed(), svc.Parallelism())
+	fmt.Printf("(%d cells, %d simulator runs, %.1fs total, 1/%d paper scale, seed %d, parallelism %d)\n",
+		svc.CellsSimulated(), svc.SimulationsRun(), time.Since(start).Seconds(), svc.Scale(), svc.Seed(), svc.Parallelism())
+	if st := svc.CacheStats(); st.Hits+st.Misses > 0 {
+		fmt.Printf("(cache: %d hit(s), %d miss(es), %d put(s))\n", st.Hits, st.Misses, st.Puts)
+	}
 	return nil
 }
 

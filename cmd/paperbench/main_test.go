@@ -1,0 +1,28 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestUnknownFigureRejectedUpFront: a typo'd -fig must fail immediately
+// with the list of valid names, before any simulation machinery starts.
+func TestUnknownFigureRejectedUpFront(t *testing.T) {
+	for _, bad := range []string{"bogus", "14,bogus", "all,bogus", ","} {
+		err := run([]string{"-fig", bad})
+		if err == nil {
+			t.Fatalf("-fig %q accepted", bad)
+		}
+		if bad != "," && !strings.Contains(err.Error(), "13a, 13b, 14, 15, 16") {
+			t.Errorf("-fig %q: error does not list the valid figures: %v", bad, err)
+		}
+	}
+}
+
+// TestBadCacheFlagRejected: -cache accepts only on/off.
+func TestBadCacheFlagRejected(t *testing.T) {
+	err := run([]string{"-fig", "13b", "-cache", "sideways"})
+	if err == nil || !strings.Contains(err.Error(), "want on or off") {
+		t.Fatalf("-cache sideways: %v", err)
+	}
+}

@@ -1,22 +1,24 @@
 // Command vexsmtctl runs an experiment grid across one or more vexsmtd
-// shards and merges the results into a single canonical document.
+// backends and assembles the results into a single canonical document.
 //
 // It is the client half of distributed mode: the grid of the named
-// figures is resolved once, partitioned into K deterministic shards
-// (pkg/vexsmt/shard), fanned out over the backends with health-based
-// placement, retry and failover, and merged under the strict checks of
-// ResultSet.Merge. Because per-cell seeds derive from workload identity,
-// the merged output is byte-identical to what a single process would
+// figures is resolved once into cells, and the cells — not shards — are
+// scheduled over the backends (pkg/vexsmt/sched via pkg/vexsmt/shard)
+// with health-based slot sizing, work stealing for stragglers, and
+// per-cell retry and failover. Because per-cell seeds derive from
+// workload identity and cached results are byte-identical to simulated
+// ones, the output is byte-identical to what a single process would
 // produce — `vexsmtctl -json out` files diff clean no matter how many
-// machines ran the sweep. Interrupting a run (SIGINT) propagates a DELETE
-// to every shard within one timeslice-bounded poll.
+// machines ran the sweep or how warm their caches were. Interrupting a
+// run (SIGINT) propagates a DELETE to every in-flight cell within one
+// timeslice-bounded poll.
 //
 // Usage:
 //
 //	vexsmtctl -fig 14                                   # in-process run
-//	vexsmtctl -shards http://a:8080,http://b:8080       # two-shard sweep
-//	vexsmtctl -shards http://a:8080 -k 4                # 4 shards, 1 daemon
+//	vexsmtctl -shards http://a:8080,http://b:8080       # two-backend sweep
 //	vexsmtctl -fig 14,15 -scale 1000 -json results.json # JSON export
+//	vexsmtctl -cache off                                # bypass result caches
 package main
 
 import (
@@ -33,46 +35,64 @@ import (
 	"time"
 
 	"vexsmt/pkg/vexsmt"
+	"vexsmt/pkg/vexsmt/cache"
 	"vexsmt/pkg/vexsmt/shard"
 )
 
 func main() {
-	if err := run(); err != nil {
+	if err := run(os.Args[1:]); err != nil {
 		fmt.Fprintln(os.Stderr, "vexsmtctl:", err)
 		os.Exit(1)
 	}
 }
 
-func run() error {
+// gridPlan resolves the -fig/-sweep flags into the grid plan, rejecting
+// unknown figure names up front (with the list of valid ones) and plans
+// that name no grid cells at all — "-fig 13a" would otherwise "run"
+// an empty sweep and print a zero-cell summary as if it had worked.
+func gridPlan(figList string, sweep bool) (vexsmt.Plan, error) {
+	figures, err := vexsmt.ParseFigures(figList)
+	if err != nil {
+		return vexsmt.Plan{}, err
+	}
+	plan := vexsmt.Plan{Figures: figures, Sweep: sweep}
+	scratch, err := vexsmt.New()
+	if err != nil {
+		return vexsmt.Plan{}, err
+	}
+	n, err := scratch.PlanSize(plan)
+	if err != nil {
+		return vexsmt.Plan{}, err
+	}
+	if n == 0 {
+		return vexsmt.Plan{}, fmt.Errorf("figures %q plan no grid cells (13a is single-threaded, 13b is a table; render them with paperbench); grid figures are 14, 15, 16",
+			figList)
+	}
+	return plan, nil
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("vexsmtctl", flag.ContinueOnError)
 	var (
-		shards   = flag.String("shards", "", "comma-separated vexsmtd base URLs (e.g. http://a:8080,http://b:8080); empty runs in-process")
-		fig      = flag.String("fig", "all", "figures whose grid to run: comma-separated list of 13a, 13b, 14, 15, 16, or all")
-		sweep    = flag.Bool("sweep", false, "also sweep every technique over all nine mixes at 2 and 4 threads")
-		scale    = flag.Int64("scale", 100, "scale divisor of paper scale (1 = paper scale)")
-		quick    = flag.Bool("quick", false, "shorthand for -scale 1000")
-		seed     = flag.Uint64("seed", 1, "simulation seed")
-		k        = flag.Int("k", 0, "number of shards to split the grid into (default: one per backend)")
-		conc     = flag.Int("concurrency", 0, "max shards in flight (default: auto-sized from the backends' /healthz capacity)")
-		retries  = flag.Int("retries", 2, "extra attempts per shard after a backend failure (0 disables)")
-		parallel = flag.Int("parallel", runtime.GOMAXPROCS(0), "worker-pool bound for in-process execution")
-		jsonOut  = flag.String("json", "", "write the merged grid as schema-versioned JSON to this file")
-		verbose  = flag.Bool("v", false, "log placement, retries and backend failures")
+		shards   = fs.String("shards", "", "comma-separated vexsmtd base URLs (e.g. http://a:8080,http://b:8080); empty runs in-process")
+		fig      = fs.String("fig", "all", "figures whose grid to run: comma-separated list of 13a, 13b, 14, 15, 16, or all")
+		sweep    = fs.Bool("sweep", false, "also sweep every technique over all nine mixes at 2 and 4 threads")
+		scale    = fs.Int64("scale", 100, "scale divisor of paper scale (1 = paper scale)")
+		quick    = fs.Bool("quick", false, "shorthand for -scale 1000")
+		seed     = fs.Uint64("seed", 1, "simulation seed")
+		retries  = fs.Int("retries", 2, "extra attempts per cell after a backend failure (0 disables)")
+		parallel = fs.Int("parallel", runtime.GOMAXPROCS(0), "worker-pool bound for in-process execution")
+		jsonOut  = fs.String("json", "", "write the grid as schema-versioned JSON to this file")
+		cacheOn  = fs.String("cache", "on", "result cache: on (in-process runs use the disk cache; remote backends use theirs) or off (bypass everywhere)")
+		cacheDir = fs.String("cache-dir", "", "in-process result cache directory (default: the user cache dir, e.g. ~/.cache/vexsmt)")
+		verbose  = fs.Bool("v", false, "log placement, steals, retries and backend failures")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 	if *quick {
 		*scale = 1000
 	}
-
-	// SIGTERM too: CI cancellation and `timeout` send it, and dying without
-	// cancelling the run context would orphan running shards on the daemons.
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
-	defer stop()
-
-	figures, err := vexsmt.ParseFigures(*fig)
-	if err != nil {
-		return err
-	}
-	plan := vexsmt.Plan{Figures: figures, Sweep: *sweep}
 
 	var urls []string
 	for _, u := range strings.Split(*shards, ",") {
@@ -81,28 +101,56 @@ func run() error {
 		}
 	}
 
+	// Only the in-process path opens the disk cache — a remote run
+	// forwards the on/off decision to the daemons, which own their caches,
+	// and must not create an unused directory on the client. The mode is
+	// still validated up front either way, so a bad -cache value dies
+	// before any daemon is contacted.
+	var diskCache *cache.Disk
+	if len(urls) == 0 {
+		var err error
+		if diskCache, err = cache.FromFlag(*cacheOn, *cacheDir); err != nil {
+			return err
+		}
+	} else if err := cache.ValidateMode(*cacheOn); err != nil {
+		return err
+	}
+
+	// SIGTERM too: CI cancellation and `timeout` send it, and dying without
+	// cancelling the run context would orphan running cells on the daemons.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	plan, err := gridPlan(*fig, *sweep)
+	if err != nil {
+		return err
+	}
+
 	start := time.Now()
 	var rs *vexsmt.ResultSet
 	nBackends := len(urls)
-	// Both in-process paths (plain Collect and local sharding) use one
-	// service built from the same flags — constructed once so the two can
-	// never drift apart.
-	var svc *vexsmt.Service
+	var cacheStats func() vexsmt.CacheStats
 	if len(urls) == 0 {
+		// Single-process reference path: a plain Service.Collect routed
+		// through the same cell scheduler as everything else. Its canonical
+		// encoding is exactly what distributed runs are diffed against.
 		nBackends = 1
-		svc, err = vexsmt.New(
+		opts := []vexsmt.Option{
 			vexsmt.WithScale(*scale),
 			vexsmt.WithSeed(*seed),
 			vexsmt.WithParallelism(*parallel),
-		)
+		}
+		if diskCache != nil {
+			opts = append(opts, vexsmt.WithCache(diskCache))
+			if *verbose {
+				fmt.Fprintf(os.Stderr, "vexsmtctl: result cache at %s\n", diskCache.Dir())
+			}
+		}
+		svc, err := vexsmt.New(opts...)
 		if err != nil {
 			return err
 		}
-	}
-	if svc != nil && *k <= 1 {
-		// Single-process reference path: a plain Service.Collect. Its
-		// canonical encoding is exactly what distributed runs are diffed
-		// against.
+		cacheStats = svc.CacheStats
 		rs, err = svc.Collect(ctx, plan)
 		if err != nil {
 			return err
@@ -110,24 +158,18 @@ func run() error {
 		rs.Canonicalize()
 	} else {
 		var backends []shard.Backend
-		if svc != nil {
-			// Sharded, but in-process: one local backend, K shards.
-			backends = append(backends, shard.NewLocal("local", svc))
-		} else {
-			for _, u := range urls {
-				b, err := shard.NewHTTP(u)
-				if err != nil {
-					return err
-				}
-				backends = append(backends, b)
+		for _, u := range urls {
+			b, err := shard.NewHTTP(u)
+			if err != nil {
+				return err
 			}
+			backends = append(backends, b)
 		}
 		cfg := shard.Config{
-			Scale:       *scale,
-			Seed:        *seed,
-			Shards:      *k,
-			Concurrency: *conc,
-			Retries:     *retries,
+			Scale:    *scale,
+			Seed:     *seed,
+			Retries:  *retries,
+			CacheOff: *cacheOn == "off",
 		}
 		if *retries <= 0 {
 			cfg.Retries = -1 // Config treats 0 as "default"; the flag means "disable"
@@ -146,7 +188,7 @@ func run() error {
 		progressDone()
 		if err != nil {
 			if errors.Is(err, context.Canceled) && ctx.Err() != nil {
-				return fmt.Errorf("cancelled; DELETE propagated to all shards")
+				return fmt.Errorf("cancelled; DELETE propagated to all in-flight cells")
 			}
 			return err
 		}
@@ -154,6 +196,11 @@ func run() error {
 
 	fmt.Printf("%d cells (1/%d scale, seed %d) in %.1fs across %d backend(s)\n",
 		len(rs.Cells), *scale, *seed, time.Since(start).Seconds(), nBackends)
+	if cacheStats != nil {
+		if st := cacheStats(); st.Hits+st.Misses > 0 {
+			fmt.Printf("cache: %d hit(s), %d miss(es), %d put(s)\n", st.Hits, st.Misses, st.Puts)
+		}
+	}
 	if *jsonOut != "" {
 		if err := vexsmt.EncodeToFile(*jsonOut, rs); err != nil {
 			return err
@@ -171,8 +218,8 @@ func liveProgress(cfg *shard.Config) func() {
 	wrote := false
 	cfg.OnProgress = func(p shard.Progress) {
 		wrote = true
-		fmt.Fprintf(os.Stderr, "\rcells %d/%d  shards %d/%d  retries %d ",
-			p.CellsDone, p.CellsTotal, p.ShardsDone, p.ShardsTotal, p.Retries)
+		fmt.Fprintf(os.Stderr, "\rcells %d/%d  stolen %d  retries %d  cache %d/%d ",
+			p.CellsDone, p.CellsTotal, p.Stolen, p.Retries, p.CacheHits, p.CacheHits+p.CacheMisses)
 	}
 	return func() {
 		if wrote {
@@ -181,8 +228,8 @@ func liveProgress(cfg *shard.Config) func() {
 	}
 }
 
-// printIPCSummary renders the merged grid as a technique × thread-count
-// mean-IPC table (a Figure 16 view computed purely from merged cells —
+// printIPCSummary renders the grid as a technique × thread-count
+// mean-IPC table (a Figure 16 view computed purely from collected cells —
 // no local simulation state exists to render the full figures from).
 func printIPCSummary(rs *vexsmt.ResultSet) {
 	if len(rs.Cells) == 0 {

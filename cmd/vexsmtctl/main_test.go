@@ -1,0 +1,53 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestUnknownFigureRejectedUpFront: a typo'd -fig must fail immediately
+// with the list of valid names instead of silently running an empty (or
+// wrong) plan.
+func TestUnknownFigureRejectedUpFront(t *testing.T) {
+	for _, bad := range []string{"bogus", "14,bogus", "all,bogus"} {
+		err := run([]string{"-fig", bad})
+		if err == nil {
+			t.Fatalf("-fig %q accepted", bad)
+		}
+		if !strings.Contains(err.Error(), "13a, 13b, 14, 15, 16") {
+			t.Errorf("-fig %q: error does not list the valid figures: %v", bad, err)
+		}
+	}
+}
+
+// TestEmptyGridPlanRejected: figures that plan no grid cells (13a/13b)
+// used to "run" a zero-cell sweep and print an empty summary as if it
+// had worked; now they fail up front and point at paperbench.
+func TestEmptyGridPlanRejected(t *testing.T) {
+	for _, figs := range []string{"13a", "13b", "13a,13b"} {
+		err := run([]string{"-fig", figs})
+		if err == nil {
+			t.Fatalf("-fig %q ran an empty grid plan", figs)
+		}
+		if !strings.Contains(err.Error(), "no grid cells") {
+			t.Errorf("-fig %q: unhelpful error: %v", figs, err)
+		}
+	}
+	// The same figures alongside a grid figure are fine — the grid is
+	// non-empty.
+	if _, err := gridPlan("13a,14", false); err != nil {
+		t.Fatalf("13a,14: %v", err)
+	}
+	// A sweep makes any figure list non-empty.
+	if _, err := gridPlan("13a", true); err != nil {
+		t.Fatalf("13a with -sweep: %v", err)
+	}
+}
+
+// TestBadCacheFlagRejected: -cache accepts only on/off.
+func TestBadCacheFlagRejected(t *testing.T) {
+	err := run([]string{"-fig", "14", "-cache", "sideways"})
+	if err == nil || !strings.Contains(err.Error(), "want on or off") {
+		t.Fatalf("-cache sideways: %v", err)
+	}
+}

@@ -30,6 +30,7 @@ import (
 	"syscall"
 	"time"
 
+	"vexsmt/pkg/vexsmt/cache"
 	"vexsmt/pkg/vexsmt/server"
 )
 
@@ -47,13 +48,24 @@ func run() error {
 		seed     = flag.Uint64("seed", 1, "default simulation seed")
 		parallel = flag.Int("parallel", runtime.GOMAXPROCS(0), "default max concurrent simulations per plan")
 		drain    = flag.Duration("drain", 10*time.Second, "graceful shutdown deadline for in-flight requests")
+		cacheOn  = flag.String("cache", "on", "result cache: on (content-addressed disk cache, shared across runs) or off")
+		cacheDir = flag.String("cache-dir", "", "result cache directory (default: the user cache dir, e.g. ~/.cache/vexsmt)")
 	)
 	flag.Parse()
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
-	srv := server.New(*scale, *seed, *parallel)
+	var srvOpts []server.Option
+	d, err := cache.FromFlag(*cacheOn, *cacheDir)
+	if err != nil {
+		return err
+	}
+	if d != nil {
+		srvOpts = append(srvOpts, server.WithCache(d))
+		fmt.Printf("vexsmtd result cache at %s\n", d.Dir())
+	}
+	srv := server.New(*scale, *seed, *parallel, srvOpts...)
 	// Listen explicitly (rather than ListenAndServe) so the bound address is
 	// printable: with -addr :0 the kernel picks the port, and shard
 	// coordinators or test harnesses scrape it from this line.

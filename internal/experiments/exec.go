@@ -2,42 +2,69 @@ package experiments
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"runtime"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"vexsmt/internal/core"
 	"vexsmt/internal/rng"
 	"vexsmt/internal/sim"
 	"vexsmt/internal/stats"
 	"vexsmt/internal/workload"
+	"vexsmt/pkg/vexsmt/sched"
 )
 
 // Matrix runs and memoizes (mix, technique, thread-count) cells. It is
-// safe for concurrent use: concurrent requests for the same cell simulate
+// safe for concurrent use: concurrent requests for the same cell resolve
 // it exactly once (singleflight), and every cell draws its random stream
 // from a seed derived purely from the cell's workload identity, so
 // results are bit-identical no matter how many workers run the grid or
 // in what order. Cancelling the context passed to RunCell/Prefetch/Stream
 // aborts in-flight simulations within one timeslice; cancelled cells are
 // not memoized, so a later call with a live context re-simulates them.
+//
+// The worker pool behind Prefetch/Stream is pkg/vexsmt/sched — the same
+// cell-level scheduler the distributed coordinator uses — with the matrix
+// as its single backend. An optional ResultCache short-circuits
+// simulation entirely: a cell found in the cache is decoded instead of
+// simulated, and a simulated cell is stored for the next run.
 type Matrix struct {
 	Scale int64 // divisor of paper scale (1 = paper scale)
 	Seed  uint64
 
 	parallel int // fixed at construction; no mid-run mutation
 
+	cache    ResultCache
+	cacheKey func(Cell) string
+
+	sims atomic.Int64 // simulator runs actually performed (cache hits excluded)
+
 	mu    sync.Mutex
 	cells map[Cell]*cellCall
 }
 
-// cellCall is one memoized simulation: done closes when run/err are final.
+// ResultCache is the content-addressed store a Matrix consults before
+// simulating and populates after. Payloads are the JSON encoding of
+// stats.Run — all-integer counters, so the round trip is exact and a
+// cached cell is bit-identical to a simulated one. Both methods must be
+// concurrency-safe and best-effort (a miss costs a re-simulation, never
+// correctness). pkg/vexsmt supplies the key function; this package stays
+// ignorant of how keys are derived.
+type ResultCache interface {
+	Get(key string) ([]byte, bool)
+	Put(key string, value []byte)
+}
+
+// cellCall is one memoized resolution: done closes when run/err are final.
 type cellCall struct {
-	done chan struct{}
-	run  *stats.Run
-	err  error
+	done   chan struct{}
+	run    *stats.Run
+	cached bool // recalled from the ResultCache rather than simulated
+	err    error
 }
 
 // MatrixOption configures a Matrix at construction time.
@@ -51,6 +78,18 @@ func WithParallelism(n int) MatrixOption {
 	return func(m *Matrix) {
 		if n >= 1 {
 			m.parallel = n
+		}
+	}
+}
+
+// WithResultCache attaches a result cache and the function deriving each
+// cell's content address. Both must be non-nil for the option to take
+// effect.
+func WithResultCache(c ResultCache, key func(Cell) string) MatrixOption {
+	return func(m *Matrix) {
+		if c != nil && key != nil {
+			m.cache = c
+			m.cacheKey = key
 		}
 	}
 }
@@ -72,6 +111,10 @@ func NewMatrix(scale int64, seed uint64, opts ...MatrixOption) *Matrix {
 
 // Parallelism returns the worker-pool bound.
 func (m *Matrix) Parallelism() int { return m.parallel }
+
+// Simulations returns how many simulator runs the matrix has performed.
+// Cache hits do not count: a fully warm sweep reports 0.
+func (m *Matrix) Simulations() int64 { return m.sims.Load() }
 
 // CellSeed derives the deterministic seed for one cell, splitmix-style
 // from {Seed, mix, threads}. The technique is deliberately excluded:
@@ -95,14 +138,23 @@ func (m *Matrix) Run(ctx context.Context, mix workload.Mix, tech core.Technique,
 	return m.RunCell(ctx, Cell{Mix: mix, Tech: tech, Threads: threads})
 }
 
-// RunCell is Run keyed by Cell. A cell that aborts on context cancellation
-// is forgotten rather than memoized, so retrying with a live context
-// simulates it afresh. A waiter piggy-backing on a leader that was
-// cancelled does not inherit the foreign context error: if its own
-// context is still live it becomes (or joins) the next leader and the
-// cell simulates again — one plan's cancellation never poisons another
-// plan sharing cells on the same matrix.
+// RunCell is Run keyed by Cell.
 func (m *Matrix) RunCell(ctx context.Context, c Cell) (*stats.Run, error) {
+	r, _, err := m.RunCellInfo(ctx, c)
+	return r, err
+}
+
+// RunCellInfo resolves one cell and additionally reports whether the
+// result came from the ResultCache rather than a simulation (a cell
+// memoized by an earlier call reports however it was first resolved).
+// A cell that aborts on context cancellation is forgotten rather than
+// memoized, so retrying with a live context resolves it afresh. A waiter
+// piggy-backing on a leader that was cancelled does not inherit the
+// foreign context error: if its own context is still live it becomes (or
+// joins) the next leader and the cell resolves again — one plan's
+// cancellation never poisons another plan sharing cells on the same
+// matrix.
+func (m *Matrix) RunCellInfo(ctx context.Context, c Cell) (*stats.Run, bool, error) {
 	for {
 		m.mu.Lock()
 		if call, ok := m.cells[c]; ok {
@@ -112,16 +164,16 @@ func (m *Matrix) RunCell(ctx context.Context, c Cell) (*stats.Run, error) {
 				if call.err != nil && isCtxErr(call.err) && ctx.Err() == nil {
 					continue // leader cancelled, we are live: retry
 				}
-				return call.run, call.err
+				return call.run, call.cached, call.err
 			case <-ctx.Done():
-				return nil, ctx.Err()
+				return nil, false, ctx.Err()
 			}
 		}
 		call := &cellCall{done: make(chan struct{})}
 		m.cells[c] = call
 		m.mu.Unlock()
 
-		call.run, call.err = m.simulate(ctx, c)
+		call.run, call.cached, call.err = m.fetchOrSimulate(ctx, c)
 		if call.err != nil && ctx.Err() != nil {
 			// Cancelled, not failed: drop the memo so a retry re-simulates.
 			m.mu.Lock()
@@ -129,7 +181,7 @@ func (m *Matrix) RunCell(ctx context.Context, c Cell) (*stats.Run, error) {
 			m.mu.Unlock()
 		}
 		close(call.done)
-		return call.run, call.err
+		return call.run, call.cached, call.err
 	}
 }
 
@@ -139,8 +191,33 @@ func isCtxErr(err error) bool {
 	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
 }
 
+// fetchOrSimulate resolves one cell: cache first, simulator on a miss,
+// populating the cache on the way out. A cache entry that fails to decode
+// (foreign payload behind a valid checksum) degrades to a miss.
+func (m *Matrix) fetchOrSimulate(ctx context.Context, c Cell) (*stats.Run, bool, error) {
+	if m.cache != nil {
+		if b, ok := m.cache.Get(m.cacheKey(c)); ok {
+			var r stats.Run
+			if err := json.Unmarshal(b, &r); err == nil {
+				return &r, true, nil
+			}
+		}
+	}
+	r, err := m.simulate(ctx, c)
+	if err != nil {
+		return nil, false, err
+	}
+	if m.cache != nil {
+		if b, err := json.Marshal(r); err == nil {
+			m.cache.Put(m.cacheKey(c), b)
+		}
+	}
+	return r, false, nil
+}
+
 // simulate runs one cell from scratch. It touches no Matrix state beyond
-// the immutable Scale/Seed, so any number of cells may simulate at once.
+// the immutable Scale/Seed and the simulation counter, so any number of
+// cells may simulate at once.
 func (m *Matrix) simulate(ctx context.Context, c Cell) (*stats.Run, error) {
 	cfg := sim.DefaultConfig(c.Tech, c.Threads).WithScale(m.Scale)
 	cfg.Seed = m.CellSeed(c)
@@ -156,54 +233,86 @@ func (m *Matrix) simulate(ctx context.Context, c Cell) (*stats.Run, error) {
 	if err != nil {
 		return nil, fmt.Errorf("experiments: %s: %w", c, err)
 	}
+	// Counted on completion only, so a cancelled attempt that re-simulates
+	// later doesn't double-count and Simulations() means what it says.
+	m.sims.Add(1)
 	return r, nil
 }
 
-// Prefetch simulates every cell of a plan over a bounded worker pool and
-// returns the first error. After a successful Prefetch, figure assembly
-// only reads memoized results. Cancelling ctx stops dispatching new cells
-// and aborts in-flight ones within a timeslice.
+// Prefetch resolves every cell of a plan over the scheduler and returns
+// the first error. After a successful Prefetch, figure assembly only
+// reads memoized results. Plain cell errors do not stop the sweep —
+// cells are independent, and finishing keeps the memo warm for whoever
+// retries — but cancelling ctx stops dispatching and drains the workers.
 func (m *Matrix) Prefetch(ctx context.Context, p *Plan) error {
-	cells := p.Cells()
-	return forEachLimit(ctx, m.parallel, len(cells), func(i int) error {
-		_, err := m.RunCell(ctx, cells[i])
-		return err
-	})
+	var first error
+	for o := range m.Stream(ctx, p) {
+		if o.Err != nil && first == nil {
+			first = o.Err
+		}
+	}
+	if err := ctx.Err(); err != nil && first == nil {
+		first = err
+	}
+	return first
 }
 
 // CellOutcome is one streamed cell completion: the cell, its memoized run
-// on success, or the error that stopped it.
+// on success (with Cached reporting whether it was recalled from the
+// ResultCache), or the error that stopped it.
 type CellOutcome struct {
-	Cell Cell
-	Run  *stats.Run
-	Err  error
+	Cell   Cell
+	Run    *stats.Run
+	Cached bool
+	Err    error
 }
 
-// Stream simulates every cell of a plan over the worker pool and delivers
-// each outcome as it completes, instead of blocking behind Prefetch's
-// barrier. The channel closes once all cells have been delivered or, after
-// cancellation, once the in-flight cells have drained (within one
-// timeslice — workers never leak). Completion order is nondeterministic
-// but every delivered result is bit-identical to a serial run: cells
-// derive their seeds from workload identity alone.
+// cellRes pairs a run with its cache provenance through the scheduler.
+type cellRes struct {
+	run    *stats.Run
+	cached bool
+}
+
+// Stream resolves every cell of a plan over the cell scheduler
+// (pkg/vexsmt/sched, with this matrix as the single backend at the
+// configured parallelism) and delivers each outcome as it completes,
+// instead of blocking behind Prefetch's barrier. The channel closes once
+// all cells have been delivered or, after cancellation, once the
+// in-flight cells have drained (within one timeslice — workers never
+// leak). Completion order is nondeterministic but every delivered result
+// is bit-identical to a serial run: cells derive their seeds from
+// workload identity alone.
 func (m *Matrix) Stream(ctx context.Context, p *Plan) <-chan CellOutcome {
 	cells := p.Cells()
 	out := make(chan CellOutcome)
+	backend := sched.NewFunc("matrix", m.parallel, func(ctx context.Context, c Cell) (cellRes, error) {
+		r, cached, err := m.RunCellInfo(ctx, c)
+		if err != nil {
+			// Cell failures are deterministic (the seed travels with the
+			// cell); retrying locally would reproduce them.
+			return cellRes{}, sched.Permanent(err)
+		}
+		return cellRes{run: r, cached: cached}, nil
+	})
+	ch, err := sched.Run(ctx, cells, []sched.Backend[Cell, cellRes]{backend}, sched.Options{})
+	if err != nil { // unreachable: Run only rejects an empty backend list
+		close(out)
+		return out
+	}
 	go func() {
 		defer close(out)
-		_ = forEachLimit(ctx, m.parallel, len(cells), func(i int) error {
-			r, err := m.RunCell(ctx, cells[i])
+		for r := range ch {
 			select {
-			case out <- CellOutcome{Cell: cells[i], Run: r, Err: err}:
+			case out <- CellOutcome{Cell: r.Item, Run: r.Value.run, Cached: r.Value.cached, Err: r.Err}:
 			case <-ctx.Done():
+				// Keep draining so the scheduler's workers unwind.
 			}
-			return err
-		})
+		}
 	}()
 	return out
 }
 
-// Results returns a snapshot of every successfully simulated cell.
+// Results returns a snapshot of every successfully resolved cell.
 func (m *Matrix) Results() map[Cell]stats.Run {
 	m.mu.Lock()
 	defer m.mu.Unlock()
@@ -237,66 +346,4 @@ func (m *Matrix) SortedCellKeys() []string {
 	m.mu.Unlock()
 	sort.Strings(keys)
 	return keys
-}
-
-// forEachLimit runs fn(0..n-1) over at most limit concurrent workers and
-// returns the first error. Plain errors do not stop the sweep — simulation
-// cells are independent, so finishing them keeps the memo warm for whoever
-// retries — but a cancelled context stops dispatching immediately and the
-// pool drains.
-func forEachLimit(ctx context.Context, limit, n int, fn func(i int) error) error {
-	if limit > n {
-		limit = n
-	}
-	if limit <= 1 {
-		var first error
-		for i := 0; i < n; i++ {
-			if err := ctx.Err(); err != nil {
-				if first == nil {
-					first = err
-				}
-				break
-			}
-			if err := fn(i); err != nil && first == nil {
-				first = err
-			}
-		}
-		return first
-	}
-	var (
-		wg    sync.WaitGroup
-		mu    sync.Mutex
-		first error
-		next  = make(chan int)
-	)
-	record := func(err error) {
-		mu.Lock()
-		if first == nil {
-			first = err
-		}
-		mu.Unlock()
-	}
-	wg.Add(limit)
-	for w := 0; w < limit; w++ {
-		go func() {
-			defer wg.Done()
-			for i := range next {
-				if err := fn(i); err != nil {
-					record(err)
-				}
-			}
-		}()
-	}
-dispatch:
-	for i := 0; i < n; i++ {
-		select {
-		case next <- i:
-		case <-ctx.Done():
-			record(ctx.Err())
-			break dispatch
-		}
-	}
-	close(next)
-	wg.Wait()
-	return first
 }

@@ -15,13 +15,13 @@ package experiments
 import (
 	"context"
 	"fmt"
-	"runtime"
 
 	"vexsmt/internal/core"
 	"vexsmt/internal/sim"
 	"vexsmt/internal/stats"
 	"vexsmt/internal/synth"
 	"vexsmt/internal/workload"
+	"vexsmt/pkg/vexsmt/sched"
 )
 
 // ---------------------------------------------------------------------------
@@ -40,12 +40,9 @@ type Fig13Row struct {
 // most parallel workers (< 1 selects GOMAXPROCS); the row order is the
 // paper's table order regardless of completion order.
 func Figure13a(ctx context.Context, scale int64, parallel int) ([]Fig13Row, error) {
-	if parallel < 1 {
-		parallel = runtime.GOMAXPROCS(0)
-	}
 	paper := workload.PaperFigure13a()
 	rows := make([]Fig13Row, len(paper))
-	err := forEachLimit(ctx, parallel, len(paper), func(i int) error {
+	err := sched.ForEach(ctx, parallel, len(paper), func(i int) error {
 		pr := paper[i]
 		prof, ok := synth.ByName(pr.Name)
 		if !ok {
@@ -214,11 +211,8 @@ type ScalePoint struct {
 // effect (each point's simulator owns its random stream, so sharing the
 // seed is parallel-safe).
 func ThreadScaling(ctx context.Context, mix workload.Mix, tech core.Technique, threadCounts []int, scale int64, seed uint64, parallel int) ([]ScalePoint, error) {
-	if parallel < 1 {
-		parallel = runtime.GOMAXPROCS(0)
-	}
 	out := make([]ScalePoint, len(threadCounts))
-	err := forEachLimit(ctx, parallel, len(threadCounts), func(i int) error {
+	err := sched.ForEach(ctx, parallel, len(threadCounts), func(i int) error {
 		th := threadCounts[i]
 		cfg := sim.DefaultConfig(tech, th).WithScale(scale)
 		cfg.Seed = seed

@@ -9,6 +9,7 @@ import (
 	"vexsmt/internal/core"
 	"vexsmt/internal/stats"
 	"vexsmt/internal/workload"
+	"vexsmt/pkg/vexsmt/sched"
 )
 
 // quickScale keeps experiment tests fast; statistical assertions are coarse.
@@ -231,7 +232,7 @@ func TestConcurrentRunsSingleflight(t *testing.T) {
 	mix, _ := workload.MixByLabel("mmmm")
 	const callers = 16
 	runs := make([]interface{ IPC() float64 }, callers)
-	err := forEachLimit(ctx, callers, callers, func(i int) error {
+	err := sched.ForEach(ctx, callers, callers, func(i int) error {
 		r, err := m.Run(ctx, mix, core.SMT(), 2)
 		runs[i] = r
 		return err

@@ -1,0 +1,181 @@
+package cache
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"vexsmt/pkg/vexsmt"
+)
+
+func TestKeyCanonicalAndSensitive(t *testing.T) {
+	meta := vexsmt.RunMeta{SchemaVersion: vexsmt.SchemaVersion, Seed: 1, Scale: 100, Parallelism: 8, Techniques: "SMT,CSMT"}
+	spec := vexsmt.CellSpec{Mix: "mmhh", Technique: "CCSI AS", Threads: 4}
+	base := Key(meta, spec)
+	if base != Key(meta, spec) {
+		t.Fatal("Key is not deterministic")
+	}
+	if len(base) != 64 {
+		t.Fatalf("key %q is not a sha256 hex digest", base)
+	}
+	// Result-determining inputs must each move the key.
+	for name, k := range map[string]string{
+		"seed":      Key(vexsmt.RunMeta{SchemaVersion: meta.SchemaVersion, Seed: 2, Scale: 100}, spec),
+		"scale":     Key(vexsmt.RunMeta{SchemaVersion: meta.SchemaVersion, Seed: 1, Scale: 200}, spec),
+		"schema":    Key(vexsmt.RunMeta{SchemaVersion: meta.SchemaVersion + 1, Seed: 1, Scale: 100}, spec),
+		"mix":       Key(meta, vexsmt.CellSpec{Mix: "llll", Technique: spec.Technique, Threads: 4}),
+		"technique": Key(meta, vexsmt.CellSpec{Mix: spec.Mix, Technique: "SMT", Threads: 4}),
+		"threads":   Key(meta, vexsmt.CellSpec{Mix: spec.Mix, Technique: spec.Technique, Threads: 2}),
+	} {
+		if k == base {
+			t.Errorf("changing %s did not change the key", name)
+		}
+	}
+	// Fields that cannot change results must not participate.
+	insensitive := meta
+	insensitive.Parallelism = 1
+	insensitive.Techniques = "SMT"
+	if Key(insensitive, spec) != base {
+		t.Error("parallelism/technique-set moved the key; cross-run sharing broken")
+	}
+}
+
+func TestMemoryLRU(t *testing.T) {
+	m := NewMemory(2)
+	m.Put("a", []byte("1"))
+	m.Put("b", []byte("2"))
+	if _, ok := m.Get("a"); !ok {
+		t.Fatal("a missing")
+	}
+	m.Put("c", []byte("3")) // evicts b (a was refreshed by the Get)
+	if _, ok := m.Get("b"); ok {
+		t.Fatal("b survived eviction")
+	}
+	for _, k := range []string{"a", "c"} {
+		if _, ok := m.Get(k); !ok {
+			t.Fatalf("%s evicted out of LRU order", k)
+		}
+	}
+	if m.Len() != 2 {
+		t.Fatalf("len %d, want 2", m.Len())
+	}
+	st := m.Stats()
+	if st.Hits != 3 || st.Misses != 1 || st.Puts != 3 {
+		t.Fatalf("stats %+v", st)
+	}
+	// Stored payloads are isolated from caller mutation.
+	val := []byte("mutable")
+	m.Put("d", val)
+	val[0] = 'X'
+	got, _ := m.Get("d")
+	if string(got) != "mutable" {
+		t.Fatalf("stored payload aliased caller slice: %q", got)
+	}
+	got[0] = 'Y'
+	again, _ := m.Get("d")
+	if string(again) != "mutable" {
+		t.Fatalf("returned payload aliased stored slice: %q", again)
+	}
+}
+
+func TestDiskRoundTripAndSharing(t *testing.T) {
+	dir := t.TempDir()
+	d, err := NewDisk(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := Key(vexsmt.RunMeta{SchemaVersion: 1, Seed: 1, Scale: 100},
+		vexsmt.CellSpec{Mix: "mmhh", Technique: "SMT", Threads: 2})
+	payload := []byte(`{"Cycles":12345}`)
+	d.Put(key, payload)
+	got, ok := d.Get(key)
+	if !ok || !bytes.Equal(got, payload) {
+		t.Fatalf("round trip: ok=%v got=%q", ok, got)
+	}
+	// A second instance over the same directory (another process, in
+	// practice) sees the entry.
+	d2, err := NewDisk(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, ok := d2.Get(key); !ok || !bytes.Equal(got, payload) {
+		t.Fatal("entry invisible to a second instance")
+	}
+	if _, ok := d.Get("0000deadbeef"); ok {
+		t.Fatal("absent key hit")
+	}
+}
+
+// TestDiskCorruptEntryIsMissNotError is the satellite contract: a
+// corrupted cache file degrades to a miss (so the cell re-simulates and
+// the entry is rewritten), never an error or a wrong payload.
+func TestDiskCorruptEntryIsMissNotError(t *testing.T) {
+	corruptions := map[string]func([]byte) []byte{
+		"flipped-payload-byte": func(b []byte) []byte { b[len(b)-1] ^= 0x40; return b },
+		"truncated":            func(b []byte) []byte { return b[:len(b)/2] },
+		"no-checksum-header":   func(b []byte) []byte { return []byte("no newline here") },
+		"empty":                func(b []byte) []byte { return nil },
+	}
+	for name, corrupt := range corruptions {
+		t.Run(name, func(t *testing.T) {
+			d, err := NewDisk(t.TempDir())
+			if err != nil {
+				t.Fatal(err)
+			}
+			const key = "abcdef0123456789"
+			d.Put(key, []byte(`{"Cycles":777,"Ops":999}`))
+			p := filepath.Join(d.Dir(), key[:2], key[2:])
+			raw, err := os.ReadFile(p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := os.WriteFile(p, corrupt(raw), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			if got, ok := d.Get(key); ok {
+				t.Fatalf("corrupt entry served as a hit: %q", got)
+			}
+			st := d.Stats()
+			if st.Errors == 0 && name != "empty" {
+				// "empty" may legally read as a missing checksum or vanish
+				// depending on the corruption; every other case must count.
+				t.Fatalf("corruption not counted: %+v", st)
+			}
+			// The bad file is gone: a fresh Put restores service.
+			d.Put(key, []byte("recovered"))
+			if got, ok := d.Get(key); !ok || string(got) != "recovered" {
+				t.Fatalf("cache did not recover after corruption: ok=%v got=%q", ok, got)
+			}
+		})
+	}
+}
+
+func TestDiskConcurrentWritersAgree(t *testing.T) {
+	d, err := NewDisk(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan struct{})
+	for w := 0; w < 8; w++ {
+		go func(w int) {
+			defer func() { done <- struct{}{} }()
+			for i := 0; i < 50; i++ {
+				key := fmt.Sprintf("%02x-shared-key", i%4)
+				d.Put(key, []byte(fmt.Sprintf("payload-%d", i%4)))
+				if got, ok := d.Get(key); ok {
+					// Atomic rename: any observed value is a complete,
+					// checksum-valid payload for that key.
+					if string(got) != fmt.Sprintf("payload-%d", i%4) {
+						t.Errorf("torn read: %q", got)
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	for w := 0; w < 8; w++ {
+		<-done
+	}
+}

@@ -1,0 +1,88 @@
+package cache
+
+import (
+	"container/list"
+	"sync"
+
+	"vexsmt/pkg/vexsmt"
+)
+
+// defaultMemoryEntries comfortably holds many full figure grids (144
+// cells each, a few hundred bytes per entry) while bounding a long-lived
+// server's memory.
+const defaultMemoryEntries = 4096
+
+// Memory is an in-process LRU cache: Get refreshes an entry's recency and
+// Put evicts the least-recently-used entries beyond the capacity. It is
+// safe for concurrent use and returns defensive copies, so callers can
+// never corrupt a stored payload.
+type Memory struct {
+	mu  sync.Mutex
+	max int
+	ll  *list.List // front = most recent; values are *memEntry
+	idx map[string]*list.Element
+	counters
+}
+
+type memEntry struct {
+	key string
+	val []byte
+}
+
+// NewMemory builds an LRU cache holding at most maxEntries entries;
+// maxEntries < 1 selects a default of 4096.
+func NewMemory(maxEntries int) *Memory {
+	if maxEntries < 1 {
+		maxEntries = defaultMemoryEntries
+	}
+	return &Memory{
+		max: maxEntries,
+		ll:  list.New(),
+		idx: make(map[string]*list.Element),
+	}
+}
+
+// Get implements vexsmt.CellCache.
+func (m *Memory) Get(key string) ([]byte, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	el, ok := m.idx[key]
+	if !ok {
+		m.misses.Add(1)
+		return nil, false
+	}
+	m.ll.MoveToFront(el)
+	m.hits.Add(1)
+	val := el.Value.(*memEntry).val
+	return append([]byte(nil), val...), true
+}
+
+// Put implements vexsmt.CellCache.
+func (m *Memory) Put(key string, value []byte) {
+	cp := append([]byte(nil), value...)
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if el, ok := m.idx[key]; ok {
+		el.Value.(*memEntry).val = cp
+		m.ll.MoveToFront(el)
+		m.puts.Add(1)
+		return
+	}
+	m.idx[key] = m.ll.PushFront(&memEntry{key: key, val: cp})
+	for m.ll.Len() > m.max {
+		oldest := m.ll.Back()
+		m.ll.Remove(oldest)
+		delete(m.idx, oldest.Value.(*memEntry).key)
+	}
+	m.puts.Add(1)
+}
+
+// Stats implements vexsmt.CellCache.
+func (m *Memory) Stats() vexsmt.CacheStats { return m.stats() }
+
+// Len returns the number of live entries (test instrumentation).
+func (m *Memory) Len() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.ll.Len()
+}

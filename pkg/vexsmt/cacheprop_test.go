@@ -1,0 +1,177 @@
+package vexsmt_test
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"vexsmt/pkg/vexsmt"
+	"vexsmt/pkg/vexsmt/cache"
+)
+
+// This file holds the single-process half of the cache correctness
+// property (the distributed K-backend half lives in pkg/vexsmt/shard):
+// caching must be invisible in the bits. It is an external test package
+// because pkg/vexsmt cannot import its own cache implementations.
+
+const propScale = 20000
+
+var propGrid = vexsmt.Plan{Figures: []string{"14", "15", "16"}}
+
+func encodeCanonicalProp(t *testing.T, rs *vexsmt.ResultSet) string {
+	t.Helper()
+	cp := &vexsmt.ResultSet{Meta: rs.Meta, Cells: append([]vexsmt.CellResult(nil), rs.Cells...)}
+	cp.Canonicalize()
+	var buf bytes.Buffer
+	if err := vexsmt.EncodeResults(&buf, cp); err != nil {
+		t.Fatal(err)
+	}
+	return buf.String()
+}
+
+func cachedService(t *testing.T, dir string, parallel int) *vexsmt.Service {
+	t.Helper()
+	d, err := cache.NewDisk(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc, err := vexsmt.New(
+		vexsmt.WithScale(propScale),
+		vexsmt.WithParallelism(parallel),
+		vexsmt.WithCache(d),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return svc
+}
+
+// TestWarmCacheCollectByteIdentical is the acceptance property: for
+// parallelism ∈ {1, 4}, a warm-cache Collect of the full figure grid is
+// byte-identical to the cold run and to an uncached baseline, performs
+// zero simulator runs, and its hit counter equals the cell count.
+func TestWarmCacheCollectByteIdentical(t *testing.T) {
+	ctx := context.Background()
+	baselineSvc, err := vexsmt.New(vexsmt.WithScale(propScale))
+	if err != nil {
+		t.Fatal(err)
+	}
+	baselineRS, err := baselineSvc.Collect(ctx, propGrid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	baseline := encodeCanonicalProp(t, baselineRS)
+
+	for _, parallel := range []int{1, 4} {
+		parallel := parallel
+		t.Run(fmt.Sprintf("parallel=%d", parallel), func(t *testing.T) {
+			dir := t.TempDir()
+
+			coldSvc := cachedService(t, dir, parallel)
+			coldRS, err := coldSvc.Collect(ctx, propGrid)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cold := encodeCanonicalProp(t, coldRS)
+			if cold != baseline {
+				t.Fatal("cold cached run differs from uncached baseline")
+			}
+			nCells := len(coldRS.Cells)
+			if st := coldSvc.CacheStats(); st.Hits != 0 || st.Puts != int64(nCells) {
+				t.Fatalf("cold cache stats %+v, want 0 hits / %d puts", st, nCells)
+			}
+			if coldSvc.SimulationsRun() != int64(nCells) {
+				t.Fatalf("cold run simulated %d of %d cells", coldSvc.SimulationsRun(), nCells)
+			}
+
+			warmSvc := cachedService(t, dir, parallel)
+			warmRS, err := warmSvc.Collect(ctx, propGrid)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if warm := encodeCanonicalProp(t, warmRS); warm != cold {
+				t.Fatal("warm-cache Collect is not byte-identical to the cold run")
+			}
+			if n := warmSvc.SimulationsRun(); n != 0 {
+				t.Fatalf("warm run performed %d simulator runs, want 0", n)
+			}
+			if st := warmSvc.CacheStats(); st.Hits != int64(nCells) || st.Misses != 0 {
+				t.Fatalf("warm cache stats %+v, want %d hits / 0 misses", st, nCells)
+			}
+			for _, c := range warmRS.Cells {
+				if !c.Cached {
+					t.Fatalf("warm cell not flagged cached: %s/%s/%dT", c.Mix, c.Technique, c.Threads)
+				}
+			}
+		})
+	}
+}
+
+// TestCorruptedCacheFilesDegradeToMisses: corrupting every cached file
+// must turn the warm run back into a full simulation — same bytes, no
+// errors surfaced to the caller, corruption counted in the stats.
+func TestCorruptedCacheFilesDegradeToMisses(t *testing.T) {
+	ctx := context.Background()
+	plan := vexsmt.Plan{Cells: []vexsmt.CellSpec{
+		{Mix: "mmhh", Technique: "CSMT", Threads: 4},
+		{Mix: "llll", Technique: "SMT", Threads: 2},
+	}}
+	dir := t.TempDir()
+
+	coldSvc := cachedService(t, dir, 2)
+	coldRS, err := coldSvc.Collect(ctx, plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cold := encodeCanonicalProp(t, coldRS)
+
+	// Flip a payload byte in every cache entry.
+	corrupted := 0
+	err = filepath.WalkDir(dir, func(path string, d fs.DirEntry, err error) error {
+		if err != nil || d.IsDir() || strings.HasPrefix(d.Name(), ".tmp-") {
+			return err
+		}
+		b, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		b[len(b)-1] ^= 0x20
+		corrupted++
+		return os.WriteFile(path, b, 0o644)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if corrupted != 2 {
+		t.Fatalf("corrupted %d cache files, want 2", corrupted)
+	}
+
+	warmSvc := cachedService(t, dir, 2)
+	warmRS, err := warmSvc.Collect(ctx, plan)
+	if err != nil {
+		t.Fatalf("corrupted cache surfaced as an error: %v", err)
+	}
+	if warm := encodeCanonicalProp(t, warmRS); warm != cold {
+		t.Fatal("recovery run differs from the original bits")
+	}
+	if n := warmSvc.SimulationsRun(); n != 2 {
+		t.Fatalf("recovery run simulated %d cells, want 2 (corrupt entries must be misses)", n)
+	}
+	st := warmSvc.CacheStats()
+	if st.Errors != 2 || st.Hits != 0 {
+		t.Fatalf("recovery cache stats %+v, want 2 errors / 0 hits", st)
+	}
+	// The corrupt entries were rewritten: a third run is fully warm again.
+	thirdSvc := cachedService(t, dir, 2)
+	if _, err := thirdSvc.Collect(ctx, plan); err != nil {
+		t.Fatal(err)
+	}
+	if n := thirdSvc.SimulationsRun(); n != 0 {
+		t.Fatalf("cache did not recover: third run simulated %d cells", n)
+	}
+}

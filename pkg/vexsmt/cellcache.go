@@ -1,0 +1,64 @@
+package vexsmt
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+)
+
+// CellCache is the content-addressed result cache a Service consults
+// before simulating a cell and populates after. Implementations live in
+// pkg/vexsmt/cache (in-memory LRU, on-disk); the interface is defined
+// here so the facade can depend on the contract without importing the
+// implementations (which import this package for the key vocabulary).
+//
+// Both methods must be safe for concurrent use, and both are best-effort:
+// a Get miss or a dropped Put costs a re-simulation, never correctness.
+// Whatever Put stored under a key, Get must return byte-identically or
+// report a miss — the determinism contract (cached == simulated, bit for
+// bit) rides on it, and the disk implementation enforces it with a
+// self-checksum so a corrupted file degrades to a miss instead of
+// corrupting results.
+type CellCache interface {
+	// Get returns the payload stored under key, or ok=false on a miss.
+	Get(key string) ([]byte, bool)
+	// Put stores a payload under key, overwriting any previous value.
+	Put(key string, value []byte)
+	// Stats returns the cache's counters since construction.
+	Stats() CacheStats
+}
+
+// CacheStats counts cache traffic. Errors counts entries that existed but
+// failed verification (corrupt files, short reads); every such entry also
+// counts as a miss.
+type CacheStats struct {
+	Hits   int64 `json:"hits"`
+	Misses int64 `json:"misses"`
+	Puts   int64 `json:"puts"`
+	Errors int64 `json:"errors"`
+}
+
+// CacheEpoch versions the simulator's *behavior* for cache addressing.
+// SchemaVersion guards the JSON wire format; CacheEpoch guards the
+// simulation semantics behind it: bump it whenever a change to
+// internal/sim, internal/core, internal/synth, the workload tables or
+// seed derivation alters any cell's counters without touching the
+// schema. Either bump changes every CacheKey at once, so stale entries
+// from the previous code can never be served as current results.
+const CacheEpoch = 1
+
+// CacheKey is the content address of one cell's result: a canonical
+// digest over everything that determines the cell's bits — the results
+// schema version, the simulator behavior epoch (CacheEpoch), the base
+// seed, the scale divisor, and the cell identity (mix, technique,
+// threads) — and nothing that does not (parallelism, the service's
+// enabled-technique set, shard placement). Two runs agreeing on those
+// inputs may share each other's cache entries no matter which process,
+// machine or thread count produced them; bumping SchemaVersion or
+// CacheEpoch invalidates every prior entry at once, which is the cache's
+// only invalidation mechanism.
+func CacheKey(meta RunMeta, spec CellSpec) string {
+	sum := sha256.Sum256([]byte(fmt.Sprintf("vexsmt/cell/v%d/e%d|seed=%d|scale=%d|mix=%s|tech=%s|threads=%d",
+		meta.SchemaVersion, CacheEpoch, meta.Seed, meta.Scale, spec.Mix, spec.Technique, spec.Threads)))
+	return hex.EncodeToString(sum[:])
+}

@@ -46,6 +46,19 @@ func WithParallelism(n int) Option {
 	}
 }
 
+// WithCache attaches a content-addressed result cache (see CellCache and
+// pkg/vexsmt/cache): every cell consults it before simulating and
+// populates it after, keyed by CacheKey. Caching never changes results —
+// a hit returns exactly the bytes a simulation would produce — it only
+// makes repeated sweeps of the same (seed, scale, cell) grid near-
+// instant. A nil cache is ignored.
+func WithCache(c CellCache) Option {
+	return func(s *Service) error {
+		s.cache = c
+		return nil
+	}
+}
+
 // WithTechniques restricts the service to the named techniques ("SMT",
 // "CSMT", "CCSI NS", "CCSI AS", "COSI NS", "COSI AS", "OOSI NS",
 // "OOSI AS"). Sweep plans expand over exactly this set, and resolving a

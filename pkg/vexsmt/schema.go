@@ -69,6 +69,12 @@ func countersFromRun(r *stats.Run) Counters {
 // CellResult is one completed grid cell: the workload/technique/thread
 // identity, the deterministic seed the cell ran under, and its counters.
 // Err is set instead of Counters when the cell failed.
+//
+// Cached is a transport-level hint — the result was recalled from a
+// content-addressed cache rather than simulated — and is not part of the
+// result's identity: cached and simulated results are bit-identical by
+// contract, so Canonicalize and Merge clear the flag before results are
+// compared, deduplicated or exported.
 type CellResult struct {
 	Mix       string   `json:"mix"`
 	Technique string   `json:"technique"`
@@ -76,6 +82,7 @@ type CellResult struct {
 	Seed      uint64   `json:"seed"`
 	IPC       float64  `json:"ipc"`
 	Counters  Counters `json:"counters"`
+	Cached    bool     `json:"cached,omitempty"`
 	Err       string   `json:"error,omitempty"`
 }
 
@@ -130,13 +137,18 @@ func (rs *ResultSet) Sort() {
 
 // Canonicalize rewrites rs into its canonical form: cells in (mix,
 // technique, threads) order, the schema version stamped, and the
-// informational parallelism zeroed. Two runs of the same plan, seed and
-// scale encode byte-identically after Canonicalize no matter how many
-// processes or worker pools produced them — this is the form distributed
-// results are diffed in.
+// informational fields — parallelism and the per-cell Cached hints —
+// zeroed. Two runs of the same plan, seed and scale encode byte-
+// identically after Canonicalize no matter how many processes, worker
+// pools or cache hits produced them — this is the form distributed
+// results are diffed in, and it is what makes a warm-cache export
+// byte-identical to a cold one.
 func (rs *ResultSet) Canonicalize() {
 	rs.Meta.SchemaVersion = SchemaVersion
 	rs.Meta.Parallelism = 0
+	for i := range rs.Cells {
+		rs.Cells[i].Cached = false
+	}
 	rs.Sort()
 }
 
@@ -172,6 +184,10 @@ func (rs *ResultSet) Merge(others ...*ResultSet) (*ResultSet, error) {
 				set.Meta.Techniques, rs.Meta.Techniques)
 		}
 		for _, c := range set.Cells {
+			// The Cached hint is transport metadata, not result identity: a
+			// cell recalled from cache on one backend and simulated on
+			// another must deduplicate, not conflict.
+			c.Cached = false
 			k := cellKey{c.Mix, c.Technique, c.Threads}
 			if prev, ok := seen[k]; ok {
 				if prev != c {

@@ -29,9 +29,10 @@ import (
 //	                            NDJSON: one CellResult per line as cells
 //	                            complete, then a final status line
 //	DELETE /v1/plans?id=ID      cancel a running plan
-//	GET    /healthz             capacity/running/defaults, for placement
+//	GET    /healthz             capacity/running/defaults/cache stats
 type Server struct {
 	defaults serverDefaults // server-level default scale/seed/parallelism
+	cache    vexsmt.CellCache
 
 	mu   sync.Mutex
 	jobs map[string]*job
@@ -41,12 +42,15 @@ type Server struct {
 // planRequest is the POST /v1/plans body: the plan itself plus per-plan
 // overrides of the server's simulation defaults. Overrides are pointers
 // so that explicit zero values (notably seed 0) are distinguishable from
-// absent fields instead of silently falling back to the defaults.
+// absent fields instead of silently falling back to the defaults. Cache
+// is "", "on" (use the server's result cache, if configured) or "off"
+// (bypass it for this plan) — anything else is a 400.
 type planRequest struct {
 	vexsmt.Plan
 	Scale       *int64  `json:"scale,omitempty"`
 	Seed        *uint64 `json:"seed,omitempty"`
 	Parallelism *int    `json:"parallelism,omitempty"`
+	Cache       string  `json:"cache,omitempty"`
 }
 
 // job is one submitted plan: a service, the cells streamed so far, and the
@@ -57,6 +61,7 @@ type job struct {
 	num     int // submission order, drives oldest-first eviction
 	meta    vexsmt.RunMeta
 	total   int
+	weight  int // simulation workers the plan can occupy (admission unit)
 	created time.Time
 	cancel  context.CancelFunc
 	done    chan struct{}
@@ -75,13 +80,27 @@ type serverDefaults struct {
 	parallelism int
 }
 
+// Option configures a Server at construction.
+type Option func(*Server)
+
+// WithCache attaches a content-addressed result cache shared by every
+// plan the server runs (unless a submission opts out with cache=off).
+// Cache statistics surface on /healthz.
+func WithCache(c vexsmt.CellCache) Option {
+	return func(s *Server) { s.cache = c }
+}
+
 // New builds a server whose jobs default to the given scale, seed and
 // parallelism.
-func New(scale int64, seed uint64, parallelism int) *Server {
-	return &Server{
+func New(scale int64, seed uint64, parallelism int, opts ...Option) *Server {
+	s := &Server{
 		defaults: serverDefaults{scale: scale, seed: seed, parallelism: parallelism},
 		jobs:     make(map[string]*job),
 	}
+	for _, o := range opts {
+		o(s)
+	}
+	return s
 }
 
 // Handler returns the server's route table.
@@ -97,18 +116,31 @@ func (s *Server) Handler() http.Handler {
 // needs for placement and failover: how many more plans this server will
 // admit (capacity vs running) and the simulation defaults it applies to
 // requests that don't override them.
+// handleHealthz's "running" is the committed simulation-worker weight,
+// so a coordinator's capacity-running arithmetic yields free worker
+// slots (for one-cell plans, weight and plan count coincide).
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	s.mu.Lock()
-	running := s.runningLocked()
+	running := s.runningWeightLocked()
 	s.mu.Unlock()
-	writeJSON(w, http.StatusOK, map[string]any{
+	body := map[string]any{
 		"ok":             true,
-		"capacity":       maxRunningJobs,
+		"capacity":       s.capacity(),
 		"running":        running,
 		"scale":          s.defaults.scale,
 		"seed":           s.defaults.seed,
 		"schema_version": vexsmt.SchemaVersion,
-	})
+	}
+	cacheInfo := map[string]any{"enabled": s.cache != nil}
+	if s.cache != nil {
+		st := s.cache.Stats()
+		cacheInfo["hits"] = st.Hits
+		cacheInfo["misses"] = st.Misses
+		cacheInfo["puts"] = st.Puts
+		cacheInfo["errors"] = st.Errors
+	}
+	body["cache"] = cacheInfo
+	writeJSON(w, http.StatusOK, body)
 }
 
 // CancelJobs cancels every job and waits for their streams to drain — the
@@ -170,6 +202,17 @@ func (s *Server) submitPlan(w http.ResponseWriter, r *http.Request) {
 		vexsmt.WithSeed(seed),
 		vexsmt.WithParallelism(parallelism),
 	}
+	switch req.Cache {
+	case "", "on":
+		if s.cache != nil {
+			opts = append(opts, vexsmt.WithCache(s.cache))
+		}
+	case "off":
+		// The plan simulates everything afresh and stores nothing.
+	default:
+		httpError(w, http.StatusBadRequest, "bad cache %q: want on or off", req.Cache)
+		return
+	}
 	svc, err := vexsmt.New(opts...)
 	if err != nil {
 		httpError(w, http.StatusBadRequest, "%v", err)
@@ -189,11 +232,30 @@ func (s *Server) submitPlan(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
+	// Admission is weighted by worker demand, not plan count: a one-cell
+	// plan (the cell-scheduling coordinator's submission pattern) occupies
+	// one simulation worker, so a big daemon can run capacity() of them at
+	// once, while a full-grid plan's own worker pool is charged in full —
+	// the old flat four-plan cap let four grid plans oversubscribe every
+	// core 4x. A single plan wider than the whole capacity is clamped so
+	// it can still run alone.
+	weight := svc.Parallelism()
+	if total < weight {
+		weight = total
+	}
+	if weight < 1 {
+		weight = 1
+	}
 	s.mu.Lock()
-	if s.runningLocked() >= maxRunningJobs {
+	cap := s.capacity()
+	if weight > cap {
+		weight = cap
+	}
+	if used := s.runningWeightLocked(); used+weight > cap {
 		s.mu.Unlock()
 		cancel()
-		httpError(w, http.StatusServiceUnavailable, "%d plans already running; retry later", maxRunningJobs)
+		httpError(w, http.StatusServiceUnavailable, "at capacity (%d/%d simulation workers committed); retry later",
+			used, cap)
 		return
 	}
 	s.next++
@@ -202,6 +264,7 @@ func (s *Server) submitPlan(w http.ResponseWriter, r *http.Request) {
 		num:     s.next,
 		meta:    svc.Meta(),
 		total:   total,
+		weight:  weight,
 		created: time.Now(),
 		cancel:  cancel,
 		done:    make(chan struct{}),
@@ -315,17 +378,31 @@ func (s *Server) cancelPlan(w http.ResponseWriter, r *http.Request) {
 // Running jobs are never evicted — they bound themselves by finishing.
 const maxRetainedJobs = 64
 
-// maxRunningJobs bounds concurrent simulation: each plan runs its own
-// worker pool, so unbounded admission would oversubscribe the CPU and pin
-// every partial result in memory. Excess submissions get 503.
+// maxRunningJobs is the floor on the admission budget, so small daemons
+// (parallelism below 4) still overlap a few plans.
 const maxRunningJobs = 4
 
-// runningLocked counts jobs still simulating. Caller holds s.mu.
-func (s *Server) runningLocked() int {
+// capacity is the server's simulation-worker budget, advertised on
+// /healthz and charged per plan at admission (see submitPlan): at least
+// maxRunningJobs, and at least the default simulation parallelism — the
+// cell-scheduling coordinator submits one-cell plans (weight 1), and a
+// four-plan budget would idle all but four cores of a big daemon, while
+// unbounded admission would oversubscribe the CPU and pin every partial
+// result in memory.
+func (s *Server) capacity() int {
+	if s.defaults.parallelism > maxRunningJobs {
+		return s.defaults.parallelism
+	}
+	return maxRunningJobs
+}
+
+// runningWeightLocked sums the admission weight of jobs still
+// simulating. Caller holds s.mu.
+func (s *Server) runningWeightLocked() int {
 	n := 0
 	for _, j := range s.jobs {
 		if status, _, _ := j.progress(); status == "running" {
-			n++
+			n += j.weight
 		}
 	}
 	return n

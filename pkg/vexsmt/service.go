@@ -21,12 +21,13 @@ type Service struct {
 	seed       uint64
 	parallel   int
 	techniques []core.Technique
+	cache      CellCache
 
 	m *experiments.Matrix
 }
 
 // New builds a Service. Defaults: 1/100 paper scale, seed 1, GOMAXPROCS
-// parallelism, all eight techniques.
+// parallelism, all eight techniques, no result cache.
 func New(opts ...Option) (*Service, error) {
 	s := &Service{
 		scale:      100,
@@ -39,7 +40,17 @@ func New(opts ...Option) (*Service, error) {
 			return nil, err
 		}
 	}
-	s.m = experiments.NewMatrix(s.scale, s.seed, experiments.WithParallelism(s.parallel))
+	mopts := []experiments.MatrixOption{experiments.WithParallelism(s.parallel)}
+	if s.cache != nil {
+		// The key closes over the service's meta: every cell of this
+		// service shares the (schema, seed, scale) prefix, and CacheKey
+		// ignores the meta fields that cannot change results.
+		meta := s.Meta()
+		mopts = append(mopts, experiments.WithResultCache(s.cache, func(c experiments.Cell) string {
+			return CacheKey(meta, CellSpec{Mix: c.Mix.Label, Technique: c.Tech.Name(), Threads: c.Threads})
+		}))
+	}
+	s.m = experiments.NewMatrix(s.scale, s.seed, mopts...)
 	return s, nil
 }
 
@@ -74,12 +85,25 @@ func (s *Service) Meta() RunMeta {
 	}
 }
 
-// CellsSimulated returns how many distinct cells the service has simulated
-// (or is simulating) so far.
+// CellsSimulated returns how many distinct cells the service has resolved
+// (simulated or recalled from cache, including in-flight) so far.
 func (s *Service) CellsSimulated() int { return s.m.Cells() }
 
+// SimulationsRun returns how many simulator runs the service has actually
+// performed — cache hits are excluded, so a fully warm sweep reports 0.
+func (s *Service) SimulationsRun() int64 { return s.m.Simulations() }
+
+// CacheStats returns the attached result cache's counters, or zeros when
+// the service has no cache (WithCache was not used).
+func (s *Service) CacheStats() CacheStats {
+	if s.cache == nil {
+		return CacheStats{}
+	}
+	return s.cache.Stats()
+}
+
 // cellResult converts one internal outcome to the schema type.
-func (s *Service) cellResult(c experiments.Cell, r *stats.Run, err error) CellResult {
+func (s *Service) cellResult(c experiments.Cell, r *stats.Run, cached bool, err error) CellResult {
 	out := CellResult{
 		Mix:       c.Mix.Label,
 		Technique: c.Tech.Name(),
@@ -92,6 +116,7 @@ func (s *Service) cellResult(c experiments.Cell, r *stats.Run, err error) CellRe
 	}
 	out.IPC = r.IPC()
 	out.Counters = countersFromRun(r)
+	out.Cached = cached
 	return out
 }
 
@@ -108,11 +133,11 @@ func (s *Service) RunCell(ctx context.Context, spec CellSpec) (CellResult, error
 		return CellResult{}, fmt.Errorf("vexsmt: technique %s not enabled on this service (WithTechniques)",
 			c.Tech.Name())
 	}
-	r, err := s.m.RunCell(ctx, c)
+	r, cached, err := s.m.RunCellInfo(ctx, c)
 	if err != nil {
-		return s.cellResult(c, nil, err), err
+		return s.cellResult(c, nil, false, err), err
 	}
-	return s.cellResult(c, r, nil), nil
+	return s.cellResult(c, r, cached, nil), nil
 }
 
 // PlanSize resolves a plan and returns how many unique grid cells it
@@ -178,7 +203,7 @@ func (s *Service) Stream(ctx context.Context, p Plan) (<-chan CellResult, error)
 		defer close(out)
 		for o := range s.m.Stream(ctx, ip) {
 			select {
-			case out <- s.cellResult(o.Cell, o.Run, o.Err):
+			case out <- s.cellResult(o.Cell, o.Run, o.Cached, o.Err):
 			case <-ctx.Done():
 				// Keep draining so the inner stream's workers unwind.
 			}

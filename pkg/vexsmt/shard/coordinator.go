@@ -2,56 +2,58 @@ package shard
 
 import (
 	"context"
-	"errors"
 	"fmt"
 	"sync"
-	"sync/atomic"
 	"time"
 
 	"vexsmt/pkg/vexsmt"
+	"vexsmt/pkg/vexsmt/sched"
 )
 
-// Progress is a live snapshot of a coordinated run.
+// Progress is a live snapshot of a coordinated run, emitted once per
+// delivered cell. CacheHits/CacheMisses count delivered cells by whether
+// a backend recalled them from its content-addressed result cache; on a
+// fully warm cache CacheHits ends equal to CellsTotal and no simulator
+// ran anywhere.
 type Progress struct {
-	CellsDone   int // cells completed across all live shard attempts
+	CellsDone   int // cells with a final outcome
 	CellsTotal  int // unique cells in the resolved plan
-	ShardsDone  int // shards whose results are final
-	ShardsTotal int
-	Retries     int // shard attempts beyond the first, across the run
+	Retries     int // cell attempts beyond the first, across the run
+	Stolen      int // cells executed by a backend other than their initial assignment
+	CacheHits   int // delivered cells recalled from a result cache
+	CacheMisses int // delivered cells that were simulated
 }
 
 // Config parameterizes a Coordinator. The zero value of every field has a
 // sensible default except Seed, which is taken literally (seed 0 is a
 // valid experiment).
 type Config struct {
-	// Scale is the scale divisor every shard runs at; 0 means 100, the
+	// Scale is the scale divisor every backend runs at; 0 means 100, the
 	// Service default.
 	Scale int64
-	// Seed is the base seed every shard runs under, used as-is.
+	// Seed is the base seed every backend runs under, used as-is.
 	Seed uint64
-	// Shards is K, the number of parts the grid splits into; 0 means one
-	// per backend. More shards than backends is useful: shards queue on
-	// Concurrency and fill backends as they free up.
-	Shards int
-	// Concurrency bounds how many shards run at once; 0 sizes the window
-	// from the backends' advertised capacity at Collect time (sum of
-	// healthy /healthz capacities, at least one per backend, at most one
-	// per shard).
-	Concurrency int
-	// Retries is the number of extra attempts a shard gets after a backend
-	// failure, each preferring a backend that has not yet failed this
-	// shard. 0 means 2; negative disables retry.
+	// Retries is the number of extra attempts a cell gets after a backend
+	// failure, each on a backend that has not yet failed it. 0 means 2;
+	// negative disables retry.
 	Retries int
+	// CacheOff asks every backend to bypass its result cache for this
+	// run's cells (forwarded as cache=off on remote submissions).
+	CacheOff bool
 	// OnProgress, when non-nil, observes run progress. Calls are
 	// serialized.
 	OnProgress func(Progress)
-	// Logf, when non-nil, receives placement, retry and failure events.
+	// Logf, when non-nil, receives placement, steal, retry and failure
+	// events.
 	Logf func(format string, args ...any)
 }
 
-// Coordinator fans a plan's cells out over backends and merges the shard
-// results. It holds no per-run state: one Coordinator may serve any number
-// of concurrent Collects.
+// Coordinator schedules a plan's cells over backends and assembles the
+// results. It holds no per-run state: one Coordinator may serve any
+// number of concurrent Collects. Scheduling is cell-level (see
+// pkg/vexsmt/sched): there is no shard partitioning step, so a slow or
+// dead backend sheds individual queued cells to idle backends instead of
+// stalling a whole pre-assigned shard.
 type Coordinator struct {
 	cfg      Config
 	backends []Backend
@@ -68,15 +70,6 @@ func New(cfg Config, backends ...Backend) (*Coordinator, error) {
 	if cfg.Scale < 1 {
 		return nil, fmt.Errorf("shard: scale divisor %d < 1", cfg.Scale)
 	}
-	if cfg.Shards == 0 {
-		cfg.Shards = len(backends)
-	}
-	if cfg.Shards < 1 {
-		return nil, fmt.Errorf("shard: shard count %d < 1", cfg.Shards)
-	}
-	if cfg.Concurrency < 0 {
-		return nil, fmt.Errorf("shard: concurrency %d < 0", cfg.Concurrency)
-	}
 	switch {
 	case cfg.Retries == 0:
 		cfg.Retries = 2
@@ -92,12 +85,48 @@ func (c *Coordinator) logf(format string, args ...any) {
 	}
 }
 
-// Collect resolves plan at the coordinator's seed and scale, partitions it
-// into shards, runs them over the backends with bounded concurrency,
-// retry and failover, and returns the merged canonical ResultSet —
-// byte-identical (after canonical encoding) to a single-process
-// Service.Collect of the same plan. Cancelling ctx aborts every live
-// shard; remote shards are cancelled with a DELETE.
+// cellBackend adapts a shard.Backend to the cell scheduler: every item is
+// one grid cell, submitted as a one-cell job.
+type cellBackend struct {
+	b     Backend
+	slots int
+	job   Job // template: Cells is filled per item
+}
+
+func (cb *cellBackend) Name() string { return cb.b.Name() }
+func (cb *cellBackend) Slots() int   { return cb.slots }
+
+func (cb *cellBackend) Run(ctx context.Context, spec vexsmt.CellSpec) (vexsmt.CellResult, error) {
+	job := cb.job
+	job.Cells = []vexsmt.CellSpec{spec}
+	rs, err := cb.b.Run(ctx, job)
+	if err != nil {
+		return vexsmt.CellResult{}, err // Permanent markers pass through untouched
+	}
+	// Count and identity are both protocol checks (this is what the old
+	// merge's duplicate-conflict detection guarded): a backend answering a
+	// one-cell job with the wrong cell must not slip into the result set
+	// as a silent duplicate-plus-gap. Protocol violations are the
+	// backend's fault, so they stay retryable elsewhere.
+	if len(rs.Cells) != 1 {
+		return vexsmt.CellResult{}, fmt.Errorf("shard: %s returned %d cells for a one-cell job",
+			cb.b.Name(), len(rs.Cells))
+	}
+	got := rs.Cells[0]
+	if got.Mix != spec.Mix || got.Technique != spec.Technique || got.Threads != spec.Threads {
+		return vexsmt.CellResult{}, fmt.Errorf("shard: %s returned cell %s/%s/%dT for job %s/%s/%dT",
+			cb.b.Name(), got.Mix, got.Technique, got.Threads, spec.Mix, spec.Technique, spec.Threads)
+	}
+	return got, nil
+}
+
+// Collect resolves plan at the coordinator's seed and scale and schedules
+// its cells over the healthy backends — bounded per-backend concurrency
+// from /healthz capacity, work stealing for stragglers, per-cell retry
+// and failover — returning the canonical ResultSet: byte-identical (after
+// canonical encoding) to a single-process Service.Collect of the same
+// plan, seed and scale. Cancelling ctx aborts every in-flight cell;
+// remote cells are cancelled with a DELETE.
 func (c *Coordinator) Collect(ctx context.Context, plan vexsmt.Plan) (*vexsmt.ResultSet, error) {
 	// Resolve through a scratch service: same vocabulary, same validation,
 	// same dedup and ordering a single-process run would use.
@@ -114,182 +143,108 @@ func (c *Coordinator) Collect(ctx context.Context, plan vexsmt.Plan) (*vexsmt.Re
 		rs.Canonicalize()
 		return rs, nil
 	}
-	shards, err := Partitioner{Shards: c.cfg.Shards}.Partition(cells)
+
+	backends, err := c.healthyBackends(ctx)
+	if err != nil {
+		return nil, err
+	}
+	for i := range backends {
+		backends[i].job = Job{
+			Scale:      c.cfg.Scale,
+			Seed:       c.cfg.Seed,
+			Techniques: scratch.Meta().Techniques,
+			CacheOff:   c.cfg.CacheOff,
+		}
+	}
+	sbs := make([]sched.Backend[vexsmt.CellSpec, vexsmt.CellResult], len(backends))
+	for i := range backends {
+		sbs[i] = backends[i]
+	}
+
+	// A cell failure aborts the run (Collect returns all or nothing), so
+	// the remaining cells are cancelled as soon as one delivers an error.
+	runCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	ch, err := sched.Run(runCtx, cells, sbs, sched.Options{
+		Retries: c.cfg.Retries,
+		Logf:    c.cfg.Logf,
+	})
 	if err != nil {
 		return nil, err
 	}
 
-	runCtx, cancel := context.WithCancel(ctx)
-	defer cancel()
-
-	st := &runState{
-		coord:    c,
-		perShard: make([]atomic.Int64, len(shards)),
-		inflight: make([]atomic.Int64, len(c.backends)),
-		total:    len(cells),
-		shards:   len(shards),
-	}
-	results := make([]*vexsmt.ResultSet, len(shards))
-	errs := make([]error, len(shards))
-	conc := c.cfg.Concurrency
-	if conc == 0 {
-		conc = c.autoConcurrency(runCtx, len(shards))
-		c.logf("auto concurrency: %d shard(s) in flight over %d backend(s)", conc, len(c.backends))
-	}
-	sem := make(chan struct{}, conc)
-	var wg sync.WaitGroup
-	for i := range shards {
-		wg.Add(1)
-		go func(i int) {
-			defer wg.Done()
-			select {
-			case sem <- struct{}{}:
-				defer func() { <-sem }()
-			case <-runCtx.Done():
-				errs[i] = runCtx.Err()
-				return
-			}
-			results[i], errs[i] = c.runShard(runCtx, i, shards[i], scratch.Meta().Techniques, st)
-			if errs[i] != nil {
-				cancel() // first shard failure aborts the rest
-				return
-			}
-			st.shardDone()
-		}(i)
-	}
-	wg.Wait()
-
-	// Report the root cause, not the collateral cancellations it caused —
-	// unless the caller's own context ended, which always wins.
-	if err := ctx.Err(); err != nil {
-		return nil, err
-	}
+	rs := &vexsmt.ResultSet{Meta: scratch.Meta()}
+	var p Progress
+	p.CellsTotal = len(cells)
 	var firstErr error
-	for _, err := range errs {
-		if err == nil {
+	for r := range ch {
+		if r.Err != nil {
+			if firstErr == nil {
+				firstErr = r.Err
+			}
+			cancel() // first failure aborts the rest; keep draining
 			continue
 		}
-		if firstErr == nil {
-			firstErr = err
+		rs.Cells = append(rs.Cells, r.Value)
+		p.CellsDone++
+		p.Retries += r.Attempts - 1
+		if r.Stolen {
+			p.Stolen++
 		}
-		if !errors.Is(err, context.Canceled) && !errors.Is(err, context.DeadlineExceeded) {
-			firstErr = err
-			break
+		if r.Value.Cached {
+			p.CacheHits++
+		} else {
+			p.CacheMisses++
 		}
+		if c.cfg.OnProgress != nil {
+			c.cfg.OnProgress(p)
+		}
+	}
+
+	// Report the caller's own cancellation over anything it caused.
+	if err := ctx.Err(); err != nil {
+		return nil, err
 	}
 	if firstErr != nil {
 		return nil, firstErr
 	}
-
-	merged, err := results[0].Merge(results[1:]...)
-	if err != nil {
-		return nil, err
+	if len(rs.Cells) != len(cells) {
+		return nil, fmt.Errorf("shard: collected %d cells but the plan has %d — a backend dropped results",
+			len(rs.Cells), len(cells))
 	}
-	if len(merged.Cells) != len(cells) {
-		return nil, fmt.Errorf("shard: merged %d cells but the plan has %d — a backend returned an incomplete shard",
-			len(merged.Cells), len(cells))
-	}
-	return merged, nil
+	rs.Canonicalize()
+	return rs, nil
 }
 
-// runShard runs one shard with retry and failover: every attempt asks
-// placement for the healthiest backend that has not yet failed this shard,
-// and a retry discards the failed attempt's progress so the aggregate
-// count never double-counts a cell.
-func (c *Coordinator) runShard(ctx context.Context, idx int, cells []vexsmt.CellSpec, techniques string, st *runState) (*vexsmt.ResultSet, error) {
-	failed := make(map[int]bool)
-	var lastErr error
-	for attempt := 0; attempt <= c.cfg.Retries; attempt++ {
-		if err := ctx.Err(); err != nil {
-			return nil, err
+// healthyBackends probes every backend and returns a scheduler-ready
+// adapter per healthy one, each sized to the backend's free capacity (at
+// least one slot). Backends whose probe fails or that speak a foreign
+// schema version are left out of the run entirely — they receive no
+// cells.
+func (c *Coordinator) healthyBackends(ctx context.Context) ([]*cellBackend, error) {
+	probes := c.probeAll(ctx)
+	var out []*cellBackend
+	for i, r := range probes {
+		if r.err != nil {
+			c.logf("placement: %s unhealthy: %v", c.backends[i].Name(), r.err)
+			continue
 		}
-		if attempt > 0 {
-			st.retry(idx)
-			// Back off briefly before failing over: a backend that 503'd on
-			// admission frees a slot in well under a second, and immediate
-			// re-submission would just burn the remaining attempts.
-			select {
-			case <-time.After(retryBackoff(attempt)):
-			case <-ctx.Done():
-				return nil, ctx.Err()
-			}
+		if r.h.SchemaVersion != 0 && r.h.SchemaVersion != vexsmt.SchemaVersion {
+			c.logf("placement: %s speaks schema v%d, want v%d",
+				c.backends[i].Name(), r.h.SchemaVersion, vexsmt.SchemaVersion)
+			continue
 		}
-		bi, err := c.pick(ctx, st, failed)
-		if err != nil {
-			if lastErr == nil {
-				lastErr = err
-			}
-			break
+		slots := r.h.Capacity - r.h.Running
+		if slots < 1 {
+			slots = 1 // saturated or unknown: still queue one cell at a time
 		}
-		b := c.backends[bi]
-		c.logf("shard %d/%d: %d cells on %s (attempt %d)", idx+1, st.shards, len(cells), b.Name(), attempt+1)
-		rs, err := b.Run(ctx, Job{
-			Cells:      cells,
-			Scale:      c.cfg.Scale,
-			Seed:       c.cfg.Seed,
-			Techniques: techniques,
-			Progress: func(vexsmt.CellResult) {
-				st.cellDone(idx)
-			},
-		})
-		st.inflight[bi].Add(-1)
-		if err == nil {
-			return rs, nil
-		}
-		if ctx.Err() != nil {
-			// The caller (or a sibling shard's failure) cancelled the run;
-			// that is not this backend's fault and retrying is pointless.
-			return nil, ctx.Err()
-		}
-		var perm *permanentError
-		if errors.As(err, &perm) {
-			// Deterministic simulation failure: every backend would
-			// reproduce it, so don't blame this one or re-simulate.
-			return nil, err
-		}
-		c.logf("shard %d/%d: backend %s failed: %v", idx+1, st.shards, b.Name(), err)
-		failed[bi] = true
-		lastErr = err
+		c.logf("placement: %s healthy, %d slot(s)", c.backends[i].Name(), slots)
+		out = append(out, &cellBackend{b: c.backends[i], slots: slots})
 	}
-	return nil, fmt.Errorf("shard: shard %d/%d gave up after %d attempt(s): %w",
-		idx+1, st.shards, c.cfg.Retries+1, lastErr)
-}
-
-// retryBackoff is the wait before failover attempt n (1-based): 250ms
-// doubling per attempt, capped at 2s.
-func retryBackoff(attempt int) time.Duration {
-	d := 250 * time.Millisecond << (attempt - 1)
-	if d > 2*time.Second {
-		d = 2 * time.Second
+	if len(out) == 0 {
+		return nil, fmt.Errorf("shard: no healthy backend among %d", len(c.backends))
 	}
-	return d
-}
-
-// autoConcurrency sizes the shard window when Config.Concurrency is
-// unset: the sum of the backends' advertised capacities (counting 1 for a
-// backend whose probe fails), clamped to at least one per backend and at
-// most one per shard. Extra shards on one big backend thus actually run
-// concurrently — `-k 4` against a single four-slot daemon overlaps all
-// four shards instead of serializing them.
-func (c *Coordinator) autoConcurrency(ctx context.Context, shards int) int {
-	total := 0
-	for _, r := range c.probeAll(ctx) {
-		free := r.h.Capacity - r.h.Running
-		if r.err != nil || free < 1 {
-			free = 1 // unknown or saturated: still count one queued shard
-		}
-		total += free
-	}
-	if total < len(c.backends) {
-		total = len(c.backends)
-	}
-	if total > shards {
-		total = shards
-	}
-	if total < 1 {
-		total = 1
-	}
-	return total
+	return out, nil
 }
 
 // probeResult is one backend's health probe outcome.
@@ -315,106 +270,4 @@ func (c *Coordinator) probeAll(ctx context.Context) []probeResult {
 	}
 	wg.Wait()
 	return out
-}
-
-// pick chooses the backend with the most free capacity and reserves a
-// slot on it (st.inflight), preferring backends that have not failed the
-// current shard. Free capacity is the health probe's capacity minus
-// running, further discounted by shards this coordinator has placed there
-// but that the probe may not reflect yet (a plan just submitted hasn't
-// registered remotely). Probe-and-reserve runs under st.placeMu so
-// concurrent shards cannot all observe the same free backend and pile
-// onto it while the others idle; the caller releases the slot when the
-// backend's Run returns. Backends whose probe errors or that speak a
-// foreign schema version are skipped. When every healthy backend is
-// excluded, the exclusions are forgiven — a backend that failed once may
-// have recovered, and trying it again beats giving up. Ties resolve to
-// the lowest index, keeping placement deterministic for equal health.
-func (c *Coordinator) pick(ctx context.Context, st *runState, exclude map[int]bool) (int, error) {
-	st.placeMu.Lock()
-	defer st.placeMu.Unlock()
-	probes := c.probeAll(ctx)
-	choose := func(skipExcluded bool) int {
-		best, bestFree := -1, 0
-		for i, r := range probes {
-			if skipExcluded && exclude[i] {
-				continue
-			}
-			if r.err != nil {
-				c.logf("placement: %s unhealthy: %v", c.backends[i].Name(), r.err)
-				continue
-			}
-			if r.h.SchemaVersion != 0 && r.h.SchemaVersion != vexsmt.SchemaVersion {
-				c.logf("placement: %s speaks schema v%d, want v%d",
-					c.backends[i].Name(), r.h.SchemaVersion, vexsmt.SchemaVersion)
-				continue
-			}
-			free := r.h.Capacity - r.h.Running - int(st.inflight[i].Load())
-			if best < 0 || free > bestFree {
-				best, bestFree = i, free
-			}
-		}
-		return best
-	}
-	best := choose(true)
-	if best < 0 && len(exclude) > 0 {
-		best = choose(false)
-	}
-	if best < 0 {
-		return 0, fmt.Errorf("shard: no healthy backend among %d", len(c.backends))
-	}
-	st.inflight[best].Add(1)
-	return best, nil
-}
-
-// runState aggregates live progress across shard goroutines. Per-shard
-// cell counts are kept separately so a retried shard's discarded attempt
-// can be subtracted back out of the aggregate.
-type runState struct {
-	coord    *Coordinator
-	perShard []atomic.Int64
-	inflight []atomic.Int64 // shards currently placed on each backend
-	placeMu  sync.Mutex     // serializes probe-and-reserve in pick
-	total    int
-	shards   int
-
-	shardsDone atomic.Int64
-	retries    atomic.Int64
-
-	mu sync.Mutex // serializes OnProgress
-}
-
-func (st *runState) notify() {
-	if st.coord.cfg.OnProgress == nil {
-		return
-	}
-	st.mu.Lock()
-	defer st.mu.Unlock()
-	done := 0
-	for i := range st.perShard {
-		done += int(st.perShard[i].Load())
-	}
-	st.coord.cfg.OnProgress(Progress{
-		CellsDone:   done,
-		CellsTotal:  st.total,
-		ShardsDone:  int(st.shardsDone.Load()),
-		ShardsTotal: st.shards,
-		Retries:     int(st.retries.Load()),
-	})
-}
-
-func (st *runState) cellDone(shard int) {
-	st.perShard[shard].Add(1)
-	st.notify()
-}
-
-func (st *runState) retry(shard int) {
-	st.perShard[shard].Store(0)
-	st.retries.Add(1)
-	st.notify()
-}
-
-func (st *runState) shardDone() {
-	st.shardsDone.Add(1)
-	st.notify()
 }

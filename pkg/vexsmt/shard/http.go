@@ -1,7 +1,6 @@
 package shard
 
 import (
-	"bufio"
 	"bytes"
 	"context"
 	"encoding/json"
@@ -13,12 +12,13 @@ import (
 	"time"
 
 	"vexsmt/pkg/vexsmt"
+	"vexsmt/pkg/vexsmt/sched"
 )
 
-// HTTP is the remote backend: it runs shards on a vexsmtd daemon over its
-// /v1 control plane — POST the shard as a plan, follow the NDJSON results
-// stream, and DELETE the plan on the way out (cancelling it if still
-// running, evicting it if terminal). Context cancellation therefore
+// HTTP is the remote backend: it runs jobs on a vexsmtd daemon over its
+// /v1 control plane — POST the job's cells as a plan, follow the NDJSON
+// results stream, and DELETE the plan on the way out (cancelling it if
+// still running, evicting it if terminal). Context cancellation therefore
 // reaches the remote simulation within one timeslice-bounded poll.
 type HTTP struct {
 	base   string
@@ -30,7 +30,7 @@ type HTTPOption func(*HTTP)
 
 // WithClient substitutes the http.Client used for every request (for
 // custom transports or timeouts). Clients must not set an overall request
-// timeout shorter than a shard's runtime: the results stream stays open
+// timeout shorter than a job's runtime: the results stream stays open
 // for the whole simulation.
 func WithClient(c *http.Client) HTTPOption {
 	return func(h *HTTP) { h.client = c }
@@ -89,27 +89,21 @@ func (h *HTTP) Health(ctx context.Context) (Health, error) {
 	}, nil
 }
 
-// ndLine decodes one NDJSON line of a /v1/results stream, which is either
-// a cell (mix/technique/... fields) or the terminal status object. The
-// outer Status/ErrMsg fields shadow the embedded CellResult's "error" tag
-// (shallower depth wins in encoding/json), so one decode handles both
-// shapes; Run copies ErrMsg back into the cell for cell lines.
-type ndLine struct {
-	vexsmt.CellResult
-	Status string `json:"status"`
-	ErrMsg string `json:"error"`
-}
-
-// Run implements Backend: submit the shard as a plan pinned to the job's
-// seed and scale, stream its results, and always DELETE the plan on
+// Run implements Backend: submit the job's cells as a plan pinned to the
+// job's seed and scale, stream its results, and always DELETE the plan on
 // return — which cancels the remote simulation when Run is abandoned
 // mid-stream and frees the daemon's memory when it completed.
 func (h *HTTP) Run(ctx context.Context, job Job) (*vexsmt.ResultSet, error) {
-	body, err := json.Marshal(struct {
+	submit := struct {
 		Cells []vexsmt.CellSpec `json:"cells"`
 		Scale int64             `json:"scale"`
 		Seed  uint64            `json:"seed"`
-	}{job.Cells, job.Scale, job.Seed})
+		Cache string            `json:"cache,omitempty"`
+	}{Cells: job.Cells, Scale: job.Scale, Seed: job.Seed}
+	if job.CacheOff {
+		submit.Cache = "off"
+	}
+	body, err := json.Marshal(submit)
 	if err != nil {
 		return nil, err
 	}
@@ -142,8 +136,8 @@ func (h *HTTP) Run(ctx context.Context, job Job) (*vexsmt.ResultSet, error) {
 		return nil, fmt.Errorf("shard: %s: submit response: %w", h.base, err)
 	}
 	// Guard against a daemon that ignored the overrides or disagrees about
-	// the grid: running a shard at a foreign seed, scale or technique set
-	// would only be caught by the merge after minutes of wasted simulation.
+	// the grid: running a job at a foreign seed, scale or technique set
+	// would only be caught downstream after wasted simulation.
 	if sub.Meta.SchemaVersion != vexsmt.SchemaVersion ||
 		sub.Meta.Seed != job.Seed || sub.Meta.Scale != job.Scale ||
 		(job.Techniques != "" && sub.Meta.Techniques != job.Techniques) {
@@ -168,37 +162,20 @@ func (h *HTTP) Run(ctx context.Context, job Job) (*vexsmt.ResultSet, error) {
 	}
 
 	rs := &vexsmt.ResultSet{Meta: sub.Meta}
-	sc := bufio.NewScanner(sresp.Body)
-	sc.Buffer(make([]byte, 0, 64<<10), 1<<20)
-	status, jobErr := "", ""
-	for sc.Scan() {
-		line := bytes.TrimSpace(sc.Bytes())
-		if len(line) == 0 {
-			continue
-		}
-		var l ndLine
-		if err := json.Unmarshal(line, &l); err != nil {
-			return nil, fmt.Errorf("shard: %s: bad stream line %q: %w", h.base, line, err)
-		}
-		if l.Status != "" {
-			status, jobErr = l.Status, l.ErrMsg
-			break
-		}
-		cell := l.CellResult
-		cell.Err = l.ErrMsg
+	status, jobErr, err := DecodeResultStream(sresp.Body, func(cell vexsmt.CellResult) {
 		if cell.Err != "" {
-			continue // the terminal status line will carry the failure
+			return // the terminal status line will carry the failure
 		}
 		rs.Cells = append(rs.Cells, cell)
 		if job.Progress != nil {
 			job.Progress(cell)
 		}
+	})
+	if cerr := ctx.Err(); cerr != nil {
+		return nil, cerr // deferred DELETE cancels the remote plan
 	}
-	if err := ctx.Err(); err != nil {
-		return nil, err // deferred DELETE cancels the remote plan
-	}
-	if err := sc.Err(); err != nil {
-		return nil, fmt.Errorf("shard: %s: stream: %w", h.base, err)
+	if err != nil {
+		return nil, fmt.Errorf("shard: %s: %w", h.base, err)
 	}
 	switch status {
 	case "done":
@@ -207,7 +184,7 @@ func (h *HTTP) Run(ctx context.Context, job Job) (*vexsmt.ResultSet, error) {
 	case "failed":
 		// A failed plan is a deterministic simulation failure (cell seeds
 		// travel with the cells); rerunning it elsewhere reproduces it.
-		return nil, &permanentError{fmt.Errorf("shard: %s: plan failed: %s", h.base, jobErr)}
+		return nil, sched.Permanent(fmt.Errorf("shard: %s: plan failed: %s", h.base, jobErr))
 	default:
 		return nil, fmt.Errorf("shard: %s: plan %s: %s", h.base, status, jobErr)
 	}

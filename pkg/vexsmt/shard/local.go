@@ -6,13 +6,14 @@ import (
 	"sync/atomic"
 
 	"vexsmt/pkg/vexsmt"
+	"vexsmt/pkg/vexsmt/sched"
 )
 
-// Local is the in-process backend: it runs shards directly on a
-// *vexsmt.Service. Shards sharing one Local (or several Locals wrapping
-// one Service) share the service's memoization, which is what makes the
-// determinism tests cheap — and it is also the single-machine way to use
-// the coordinator without any daemon.
+// Local is the in-process backend: it runs jobs directly on a
+// *vexsmt.Service. Jobs sharing one Local (or several Locals wrapping
+// one Service) share the service's memoization and result cache, which is
+// what makes the determinism tests cheap — and it is also the
+// single-machine way to use the coordinator without any daemon.
 type Local struct {
 	name    string
 	svc     *vexsmt.Service
@@ -28,7 +29,7 @@ func NewLocal(name string, svc *vexsmt.Service) *Local {
 func (l *Local) Name() string { return l.name }
 
 // Health reports the wrapped service's configuration; capacity is the
-// service's worker-pool bound and running counts shards currently inside
+// service's worker-pool bound and running counts jobs currently inside
 // Run.
 func (l *Local) Health(ctx context.Context) (Health, error) {
 	return Health{
@@ -40,9 +41,11 @@ func (l *Local) Health(ctx context.Context) (Health, error) {
 	}, nil
 }
 
-// Run implements Backend by streaming the shard's cells off the wrapped
+// Run implements Backend by streaming the job's cells off the wrapped
 // service. A service is immutable after construction, so a job asking for
-// a different seed or scale is an error, not a silent reconfiguration.
+// a different seed or scale is an error, not a silent reconfiguration;
+// Job.CacheOff is ignored for the same reason (the service's cache policy
+// is fixed — build the service without WithCache to run uncached).
 func (l *Local) Run(ctx context.Context, job Job) (*vexsmt.ResultSet, error) {
 	if job.Scale != l.svc.Scale() || job.Seed != l.svc.Seed() {
 		return nil, fmt.Errorf("shard: backend %s runs 1/%d scale seed %d; job wants 1/%d scale seed %d",
@@ -82,8 +85,8 @@ func (l *Local) Run(ctx context.Context, job Job) (*vexsmt.ResultSet, error) {
 	if failed != nil {
 		// Cells fail deterministically (their seed travels with them), so
 		// this failure would reproduce on any backend.
-		return nil, &permanentError{fmt.Errorf("shard: backend %s: %s/%s/%dT: %s",
-			l.name, failed.Mix, failed.Technique, failed.Threads, failed.Err)}
+		return nil, sched.Permanent(fmt.Errorf("shard: backend %s: %s/%s/%dT: %s",
+			l.name, failed.Mix, failed.Technique, failed.Threads, failed.Err))
 	}
 	rs.Sort()
 	return rs, nil

@@ -1,0 +1,77 @@
+package shard
+
+import (
+	"strings"
+	"testing"
+
+	"vexsmt/pkg/vexsmt"
+)
+
+func TestDecodeResultStream(t *testing.T) {
+	stream := `
+{"mix":"mmhh","technique":"SMT","threads":2,"seed":7,"ipc":1.5,"counters":{"cycles":10}}
+
+{"mix":"llll","technique":"CSMT","threads":4,"error":"boom"}
+{"status":"done","error":"","completed":2,"cells":2}
+{"mix":"after-terminal","technique":"SMT","threads":2}
+`
+	var cells []vexsmt.CellResult
+	status, errMsg, err := DecodeResultStream(strings.NewReader(stream), func(c vexsmt.CellResult) {
+		cells = append(cells, c)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if status != "done" || errMsg != "" {
+		t.Fatalf("status %q err %q", status, errMsg)
+	}
+	// Blank lines skipped, reading stops at the terminal line.
+	if len(cells) != 2 {
+		t.Fatalf("%d cells, want 2", len(cells))
+	}
+	if cells[0].Mix != "mmhh" || cells[0].IPC != 1.5 || cells[0].Counters.Cycles != 10 {
+		t.Fatalf("cell 0: %+v", cells[0])
+	}
+	// The outer error field travels into CellResult.Err.
+	if cells[1].Err != "boom" {
+		t.Fatalf("cell 1 error %q, want boom", cells[1].Err)
+	}
+}
+
+func TestDecodeResultStreamMalformedLine(t *testing.T) {
+	for name, stream := range map[string]string{
+		"not-json":       `{"mix":"mmhh","technique":"SMT","threads":2}` + "\nthis is not json\n",
+		"truncated-json": `{"mix":"mmhh","technique":`,
+		"wrong-type":     `{"mix":42}`,
+	} {
+		t.Run(name, func(t *testing.T) {
+			calls := 0
+			_, _, err := DecodeResultStream(strings.NewReader(stream), func(vexsmt.CellResult) { calls++ })
+			if err == nil {
+				t.Fatal("malformed line accepted")
+			}
+			if !strings.Contains(err.Error(), "bad stream line") {
+				t.Fatalf("unhelpful error: %v", err)
+			}
+		})
+	}
+}
+
+func TestDecodeResultStreamNoTerminal(t *testing.T) {
+	// A stream that just stops (daemon died) reports status "" without
+	// inventing an error — the caller owns that decision.
+	status, _, err := DecodeResultStream(strings.NewReader(
+		`{"mix":"mmhh","technique":"SMT","threads":2}`+"\n"), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if status != "" {
+		t.Fatalf("status %q, want empty", status)
+	}
+	// A failed plan's terminal line carries the failure.
+	status, errMsg, err := DecodeResultStream(strings.NewReader(
+		`{"status":"failed","error":"cell exploded"}`+"\n"), nil)
+	if err != nil || status != "failed" || errMsg != "cell exploded" {
+		t.Fatalf("status %q errMsg %q err %v", status, errMsg, err)
+	}
+}

@@ -5,7 +5,6 @@ import (
 	"context"
 	"encoding/json"
 	"errors"
-	"fmt"
 	"net/http"
 	"net/http/httptest"
 	"sync/atomic"
@@ -13,6 +12,7 @@ import (
 	"time"
 
 	"vexsmt/pkg/vexsmt"
+	"vexsmt/pkg/vexsmt/cache"
 	"vexsmt/pkg/vexsmt/server"
 	"vexsmt/pkg/vexsmt/shard"
 )
@@ -27,9 +27,9 @@ var fullGrid = vexsmt.Plan{Figures: []string{"14", "15", "16"}}
 
 func testService(t *testing.T) *vexsmt.Service { return testServiceAt(t, testScale) }
 
-func testServiceAt(t *testing.T, scale int64) *vexsmt.Service {
+func testServiceAt(t *testing.T, scale int64, opts ...vexsmt.Option) *vexsmt.Service {
 	t.Helper()
-	svc, err := vexsmt.New(vexsmt.WithScale(scale))
+	svc, err := vexsmt.New(append([]vexsmt.Option{vexsmt.WithScale(scale)}, opts...)...)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -57,84 +57,23 @@ func collectBaseline(t *testing.T, svc *vexsmt.Service, plan vexsmt.Plan) string
 	return encodeCanonical(t, rs)
 }
 
-func TestPartitionBalancedDeterministic(t *testing.T) {
-	svc := testService(t)
-	cells, err := svc.PlanCells(fullGrid)
-	if err != nil {
-		t.Fatal(err)
-	}
-	for _, k := range []int{1, 2, 3, 5, 7, len(cells), len(cells) + 10} {
-		parts, err := shard.Partitioner{Shards: k}.Partition(cells)
-		if err != nil {
-			t.Fatal(err)
-		}
-		wantParts := k
-		if k > len(cells) {
-			wantParts = len(cells)
-		}
-		if len(parts) != wantParts {
-			t.Fatalf("k=%d: %d parts, want %d", k, len(parts), wantParts)
-		}
-		seen := make(map[vexsmt.CellSpec]bool, len(cells))
-		min, max := len(cells), 0
-		for _, part := range parts {
-			if len(part) == 0 {
-				t.Fatalf("k=%d: empty shard", k)
-			}
-			if len(part) < min {
-				min = len(part)
-			}
-			if len(part) > max {
-				max = len(part)
-			}
-			for _, c := range part {
-				if seen[c] {
-					t.Fatalf("k=%d: cell %+v in two shards", k, c)
-				}
-				seen[c] = true
-			}
-		}
-		if len(seen) != len(cells) {
-			t.Fatalf("k=%d: %d cells partitioned, want %d", k, len(seen), len(cells))
-		}
-		if max-min > 1 {
-			t.Fatalf("k=%d: unbalanced shards (sizes %d..%d)", k, min, max)
-		}
-		again, err := shard.Partitioner{Shards: k}.Partition(cells)
-		if err != nil {
-			t.Fatal(err)
-		}
-		for i := range parts {
-			for j := range parts[i] {
-				if parts[i][j] != again[i][j] {
-					t.Fatalf("k=%d: partition is not deterministic", k)
-				}
-			}
-		}
-	}
-	if _, err := (shard.Partitioner{Shards: 0}).Partition(cells); err == nil {
-		t.Fatal("shard count 0 accepted")
-	}
-}
-
 // TestCoordinatorMatchesCollectLocal is the in-process half of the
-// sharding determinism property: for several shard counts, a coordinated
-// run over in-process backends is bit-identical to a single Service.Collect
-// of the full figure grid. Both backends wrap the baseline service, so the
-// whole test simulates the grid exactly once.
+// cell-scheduling determinism property: for several backend counts, a
+// coordinated run over in-process backends is bit-identical to a single
+// Service.Collect of the full figure grid. All backends wrap the baseline
+// service, so the whole test simulates the grid exactly once.
 func TestCoordinatorMatchesCollectLocal(t *testing.T) {
 	svc := testService(t)
 	want := collectBaseline(t, svc, fullGrid)
-	backends := []shard.Backend{
-		shard.NewLocal("local-a", svc),
-		shard.NewLocal("local-b", svc),
-	}
-	for _, k := range []int{1, 2, 3, 5} {
+	for _, k := range []int{1, 2, 3} {
+		var backends []shard.Backend
+		for i := 0; i < k; i++ {
+			backends = append(backends, shard.NewLocal("local-"+string(rune('a'+i)), svc))
+		}
 		var last shard.Progress
 		coord, err := shard.New(shard.Config{
 			Scale:      testScale,
 			Seed:       svc.Seed(),
-			Shards:     k,
 			OnProgress: func(p shard.Progress) { last = p },
 		}, backends...)
 		if err != nil {
@@ -147,43 +86,44 @@ func TestCoordinatorMatchesCollectLocal(t *testing.T) {
 		if got := encodeCanonical(t, rs); got != want {
 			t.Fatalf("k=%d: coordinated result differs from Service.Collect", k)
 		}
-		if last.CellsDone != last.CellsTotal || last.ShardsDone != k || last.Retries != 0 {
+		if last.CellsDone != last.CellsTotal || last.Retries != 0 {
 			t.Fatalf("k=%d: final progress %+v", k, last)
 		}
 	}
 }
 
 // TestCoordinatorMatchesCollectHTTP is the remote half of the property:
-// the same grid coordinated across two real vexsmtd servers (httptest)
-// over the /v1 plan/results protocol stays bit-identical to the
-// single-process run for every shard count.
+// the same grid coordinated cell-by-cell across two real vexsmtd servers
+// (httptest) over the /v1 plan/results protocol stays bit-identical to
+// the single-process run.
 func TestCoordinatorMatchesCollectHTTP(t *testing.T) {
-	// Every shard count re-simulates the whole grid daemon-side (one
-	// service per plan, no cross-plan memoization), so this test runs at a
-	// finer scale than the in-process one to stay cheap.
+	// Every cell is a fresh daemon-side service (no cross-plan
+	// memoization), so this test runs at a finer scale than the in-process
+	// one to stay cheap.
 	const httpScale = 50000
 	want := collectBaseline(t, testServiceAt(t, httpScale), fullGrid)
 	a := httptest.NewServer(server.New(httpScale, 1, 4).Handler())
 	defer a.Close()
 	b := httptest.NewServer(server.New(httpScale, 1, 4).Handler())
 	defer b.Close()
-	backends := httpBackends(t, a.URL, b.URL)
-	for _, k := range []int{1, 2, 3, 5} {
-		coord, err := shard.New(shard.Config{
-			Scale:  httpScale,
-			Seed:   1,
-			Shards: k,
-		}, backends...)
-		if err != nil {
-			t.Fatal(err)
-		}
-		rs, err := coord.Collect(context.Background(), fullGrid)
-		if err != nil {
-			t.Fatalf("k=%d: %v", k, err)
-		}
-		if got := encodeCanonical(t, rs); got != want {
-			t.Fatalf("k=%d: coordinated HTTP result differs from Service.Collect", k)
-		}
+	var last shard.Progress
+	coord, err := shard.New(shard.Config{
+		Scale:      httpScale,
+		Seed:       1,
+		OnProgress: func(p shard.Progress) { last = p },
+	}, httpBackends(t, a.URL, b.URL)...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs, err := coord.Collect(context.Background(), fullGrid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := encodeCanonical(t, rs); got != want {
+		t.Fatal("coordinated HTTP result differs from Service.Collect")
+	}
+	if last.CellsDone != 144 || last.CellsTotal != 144 {
+		t.Fatalf("final progress %+v", last)
 	}
 }
 
@@ -200,53 +140,32 @@ func httpBackends(t *testing.T, urls ...string) []shard.Backend {
 	return out
 }
 
-// failOnce wraps a backend and kills its first Run: immediately when
-// after == 0, or mid-run after that many cells have streamed (simulating a
-// shard dying partway). Later Runs pass through untouched.
-type failOnce struct {
+// failFirst wraps a backend and fails its first n Runs with a transient
+// error, simulating a machine that dies and is failed over.
+type failFirst struct {
 	shard.Backend
-	after   int
-	tripped atomic.Bool
+	n       int64
+	tripped atomic.Int64
 }
 
-func (f *failOnce) Run(ctx context.Context, job shard.Job) (*vexsmt.ResultSet, error) {
-	if !f.tripped.CompareAndSwap(false, true) {
-		return f.Backend.Run(ctx, job)
-	}
-	if f.after == 0 {
+func (f *failFirst) Run(ctx context.Context, job shard.Job) (*vexsmt.ResultSet, error) {
+	if f.tripped.Add(1) <= f.n {
 		return nil, errors.New("injected backend death")
 	}
-	dctx, die := context.WithCancel(ctx)
-	defer die()
-	inner := job.Progress
-	var n atomic.Int64
-	job.Progress = func(c vexsmt.CellResult) {
-		if inner != nil {
-			inner(c)
-		}
-		if n.Add(1) >= int64(f.after) {
-			die()
-		}
-	}
-	rs, err := f.Backend.Run(dctx, job)
-	if err == nil {
-		return nil, fmt.Errorf("injected death raced completion; treat as failed (got %d cells)", len(rs.Cells))
-	}
-	return nil, fmt.Errorf("injected mid-run death: %w", err)
+	return f.Backend.Run(ctx, job)
 }
 
-// TestCoordinatorFailoverLocal: a shard whose backend dies immediately is
-// retried on the surviving backend and the merged output is still
-// bit-identical; the retry is visible in the progress feed.
+// TestCoordinatorFailoverLocal: cells whose backend dies are retried on
+// the surviving backend and the output is still bit-identical; the
+// retries are visible in the progress feed.
 func TestCoordinatorFailoverLocal(t *testing.T) {
 	svc := testService(t)
 	want := collectBaseline(t, svc, fullGrid)
-	flaky := &failOnce{Backend: shard.NewLocal("flaky", svc)}
+	flaky := &failFirst{Backend: shard.NewLocal("flaky", svc), n: 2}
 	var last shard.Progress
 	coord, err := shard.New(shard.Config{
 		Scale:      testScale,
 		Seed:       svc.Seed(),
-		Shards:     3,
 		OnProgress: func(p shard.Progress) { last = p },
 	}, flaky, shard.NewLocal("steady", svc))
 	if err != nil {
@@ -259,21 +178,21 @@ func TestCoordinatorFailoverLocal(t *testing.T) {
 	if got := encodeCanonical(t, rs); got != want {
 		t.Fatal("failover result differs from Service.Collect")
 	}
-	if !flaky.tripped.Load() {
-		t.Fatal("flaky backend was never placed — failover untested")
+	if flaky.tripped.Load() == 0 {
+		t.Fatal("flaky backend was never used — failover untested")
 	}
 	if last.Retries < 1 {
 		t.Fatalf("no retry recorded: %+v", last)
 	}
 	if last.CellsDone != last.CellsTotal {
-		t.Fatalf("progress double-counted or lost cells across the retry: %+v", last)
+		t.Fatalf("progress double-counted or lost cells across retries: %+v", last)
 	}
 }
 
-// TestCoordinatorFailoverHTTP kills one HTTP shard mid-stream (after two
-// cells) and expects the coordinator to rerun those cells on the surviving
-// daemon with no effect on the merged bits — the paper-grid equivalent of
-// losing a machine mid-sweep.
+// TestCoordinatorFailoverHTTP kills the first two cell submissions on one
+// daemon and expects the coordinator to rerun those cells on the
+// surviving daemon with no effect on the merged bits — the paper-grid
+// equivalent of losing a machine mid-sweep.
 func TestCoordinatorFailoverHTTP(t *testing.T) {
 	plan := vexsmt.Plan{Figures: []string{"14"}}
 	want := collectBaseline(t, testService(t), plan)
@@ -282,11 +201,10 @@ func TestCoordinatorFailoverHTTP(t *testing.T) {
 	b := httptest.NewServer(server.New(testScale, 1, 2).Handler())
 	defer b.Close()
 	backends := httpBackends(t, a.URL, b.URL)
-	flaky := &failOnce{Backend: backends[0], after: 2}
+	flaky := &failFirst{Backend: backends[0], n: 2}
 	coord, err := shard.New(shard.Config{
-		Scale:  testScale,
-		Seed:   1,
-		Shards: 2,
+		Scale: testScale,
+		Seed:  1,
 	}, flaky, backends[1])
 	if err != nil {
 		t.Fatal(err)
@@ -298,9 +216,56 @@ func TestCoordinatorFailoverHTTP(t *testing.T) {
 	if got := encodeCanonical(t, rs); got != want {
 		t.Fatal("mid-run failover result differs from Service.Collect")
 	}
-	if !flaky.tripped.Load() {
-		t.Fatal("flaky backend was never placed — failover untested")
+	if flaky.tripped.Load() == 0 {
+		t.Fatal("flaky backend was never used — failover untested")
 	}
+}
+
+// TestWorkStealingDrainsStragglerBackend: one backend is an order of
+// magnitude slower per cell; the fast backend must steal most of the
+// slow one's queue and the output stays bit-identical.
+func TestWorkStealingDrainsStragglerBackend(t *testing.T) {
+	svc := testService(t)
+	want := collectBaseline(t, svc, fullGrid)
+	slow := &slowBackend{Backend: shard.NewLocal("slow", svc), delay: 20 * time.Millisecond}
+	var last shard.Progress
+	coord, err := shard.New(shard.Config{
+		Scale:      testScale,
+		Seed:       svc.Seed(),
+		OnProgress: func(p shard.Progress) { last = p },
+	}, slow, shard.NewLocal("fast", svc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs, err := coord.Collect(context.Background(), fullGrid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := encodeCanonical(t, rs); got != want {
+		t.Fatal("stolen cells changed the result bits")
+	}
+	if last.Stolen == 0 {
+		t.Fatalf("no cells were stolen from the straggler: %+v", last)
+	}
+	if n := slow.ran.Load(); n >= 144 {
+		t.Fatalf("slow backend ran all %d cells — stealing is inert", n)
+	}
+}
+
+type slowBackend struct {
+	shard.Backend
+	delay time.Duration
+	ran   atomic.Int64
+}
+
+func (s *slowBackend) Run(ctx context.Context, job shard.Job) (*vexsmt.ResultSet, error) {
+	s.ran.Add(1)
+	select {
+	case <-time.After(s.delay):
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+	return s.Backend.Run(ctx, job)
 }
 
 // runningPlans reports how many plans a vexsmtd lists as running.
@@ -332,9 +297,8 @@ func TestCoordinatorCancelPropagatesDelete(t *testing.T) {
 
 	ctx, cancel := context.WithCancel(context.Background())
 	coord, err := shard.New(shard.Config{
-		Scale:  slowScale,
-		Seed:   1,
-		Shards: 2,
+		Scale: slowScale,
+		Seed:  1,
 	}, httpBackends(t, a.URL, b.URL)...)
 	if err != nil {
 		t.Fatal(err)
@@ -344,12 +308,12 @@ func TestCoordinatorCancelPropagatesDelete(t *testing.T) {
 		_, err := coord.Collect(ctx, fullGrid)
 		done <- err
 	}()
-	// Cancel as soon as the daemons report the shards running — no cell
-	// needs to complete first.
+	// Cancel as soon as the daemons report cells running — no cell needs
+	// to complete first.
 	deadlineUp := time.Now().Add(30 * time.Second)
 	for runningPlans(t, a.URL)+runningPlans(t, b.URL) < 2 {
 		if time.Now().After(deadlineUp) {
-			t.Fatal("shards not running on the daemons within 30s")
+			t.Fatal("cells not running on the daemons within 30s")
 		}
 		time.Sleep(20 * time.Millisecond)
 	}
@@ -373,7 +337,7 @@ func TestCoordinatorCancelPropagatesDelete(t *testing.T) {
 }
 
 // TestPlacementSkipsUnhealthyBackend: a daemon whose /healthz fails never
-// receives a shard; the healthy one absorbs the whole grid.
+// receives a cell; the healthy one absorbs the whole grid.
 func TestPlacementSkipsUnhealthyBackend(t *testing.T) {
 	plan := vexsmt.Plan{Figures: []string{"14"}}
 	want := collectBaseline(t, testService(t), plan)
@@ -384,9 +348,8 @@ func TestPlacementSkipsUnhealthyBackend(t *testing.T) {
 	healthy := httptest.NewServer(server.New(testScale, 1, 2).Handler())
 	defer healthy.Close()
 	coord, err := shard.New(shard.Config{
-		Scale:  testScale,
-		Seed:   1,
-		Shards: 2,
+		Scale: testScale,
+		Seed:  1,
 	}, httpBackends(t, sick.URL, healthy.URL)...)
 	if err != nil {
 		t.Fatal(err)
@@ -397,6 +360,45 @@ func TestPlacementSkipsUnhealthyBackend(t *testing.T) {
 	}
 	if got := encodeCanonical(t, rs); got != want {
 		t.Fatal("result with an unhealthy backend differs from Service.Collect")
+	}
+}
+
+// wrongCellBackend answers every one-cell job with a fixed foreign cell.
+type wrongCellBackend struct {
+	shard.Backend
+}
+
+func (w *wrongCellBackend) Run(ctx context.Context, job shard.Job) (*vexsmt.ResultSet, error) {
+	rs, err := w.Backend.Run(ctx, job)
+	if err != nil {
+		return nil, err
+	}
+	for i := range rs.Cells {
+		rs.Cells[i].Mix = "hhhh" // lie about the identity
+	}
+	return rs, nil
+}
+
+// TestCoordinatorRejectsWrongCellIdentity: a backend answering a one-cell
+// job with a different cell must not slip into the result set as a
+// silent duplicate-plus-gap (the guarantee the old merge's conflict
+// detection provided).
+func TestCoordinatorRejectsWrongCellIdentity(t *testing.T) {
+	svc := testService(t)
+	liar := &wrongCellBackend{Backend: shard.NewLocal("liar", svc)}
+	coord, err := shard.New(shard.Config{
+		Scale:   testScale,
+		Seed:    svc.Seed(),
+		Retries: -1, // every attempt lies; fail fast
+	}, liar)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = coord.Collect(context.Background(), vexsmt.Plan{Cells: []vexsmt.CellSpec{
+		{Mix: "llll", Technique: "SMT", Threads: 2},
+	}})
+	if err == nil {
+		t.Fatal("wrong-identity cell accepted")
 	}
 }
 
@@ -416,5 +418,78 @@ func TestLocalBackendRejectsForeignJob(t *testing.T) {
 	}
 	if _, err := l.Run(context.Background(), shard.Job{Cells: cells, Scale: 1, Seed: svc.Seed()}); err == nil {
 		t.Fatal("foreign scale accepted")
+	}
+}
+
+// TestWarmCacheCoordinatedCollect is the distributed half of the cache
+// property (the single-process half lives in pkg/vexsmt): over K ∈ {1,3}
+// backends sharing one on-disk cache directory, a warm coordinated
+// Collect of the full figure grid is byte-identical to the cold run and
+// to the uncached single-process baseline, performs zero simulator runs,
+// and reports every cell as a cache hit.
+func TestWarmCacheCoordinatedCollect(t *testing.T) {
+	baseline := collectBaseline(t, testService(t), fullGrid)
+	for _, k := range []int{1, 3} {
+		k := k
+		t.Run(map[int]string{1: "K=1", 3: "K=3"}[k], func(t *testing.T) {
+			dir := t.TempDir()
+			newBackends := func() ([]shard.Backend, []*vexsmt.Service) {
+				var bs []shard.Backend
+				var svcs []*vexsmt.Service
+				for i := 0; i < k; i++ {
+					d, err := cache.NewDisk(dir)
+					if err != nil {
+						t.Fatal(err)
+					}
+					svc := testServiceAt(t, testScale, vexsmt.WithCache(d))
+					svcs = append(svcs, svc)
+					bs = append(bs, shard.NewLocal("cached-"+string(rune('a'+i)), svc))
+				}
+				return bs, svcs
+			}
+			run := func() (string, shard.Progress, []*vexsmt.Service) {
+				bs, svcs := newBackends()
+				var last shard.Progress
+				coord, err := shard.New(shard.Config{
+					Scale:      testScale,
+					Seed:       1,
+					OnProgress: func(p shard.Progress) { last = p },
+				}, bs...)
+				if err != nil {
+					t.Fatal(err)
+				}
+				rs, err := coord.Collect(context.Background(), fullGrid)
+				if err != nil {
+					t.Fatal(err)
+				}
+				return encodeCanonical(t, rs), last, svcs
+			}
+
+			cold, coldProg, _ := run()
+			if cold != baseline {
+				t.Fatal("cold cached run differs from uncached baseline")
+			}
+			if coldProg.CacheHits != 0 {
+				// Backends share the directory, so a cell simulated on one
+				// backend could in principle be read back by another — but
+				// the scheduler runs each cell exactly once.
+				t.Fatalf("cold run reported cache hits: %+v", coldProg)
+			}
+
+			warm, warmProg, svcs := run()
+			if warm != baseline {
+				t.Fatal("warm cached run is not byte-identical to the cold run")
+			}
+			if warmProg.CacheHits != 144 || warmProg.CacheMisses != 0 {
+				t.Fatalf("warm run progress %+v, want 144 hits / 0 misses", warmProg)
+			}
+			var sims int64
+			for _, svc := range svcs {
+				sims += svc.SimulationsRun()
+			}
+			if sims != 0 {
+				t.Fatalf("warm run performed %d simulator runs, want 0", sims)
+			}
+		})
 	}
 }
