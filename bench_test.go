@@ -377,7 +377,7 @@ func BenchmarkCacheAccess(b *testing.B) {
 	}
 }
 
-func BenchmarkSimulatorThroughput(b *testing.B) {
+func benchmarkThroughput(b *testing.B, reference bool) {
 	// Whole-simulator speed in VLIW instructions per second.
 	mix, _ := workload.MixByLabel("mmhh")
 	profs, _ := mix.Profiles()
@@ -385,6 +385,7 @@ func BenchmarkSimulatorThroughput(b *testing.B) {
 	var instrs int64
 	for i := 0; i < b.N; i++ {
 		cfg := sim.DefaultConfig(core.CCSI(core.CommAlwaysSplit), 4).WithScale(benchScale)
+		cfg.ReferenceLoop = reference
 		s, err := sim.NewWorkload(cfg, profs)
 		if err != nil {
 			b.Fatal(err)
@@ -397,3 +398,12 @@ func BenchmarkSimulatorThroughput(b *testing.B) {
 	}
 	b.ReportMetric(float64(instrs)/b.Elapsed().Seconds(), "instrs/s")
 }
+
+func BenchmarkSimulatorThroughput(b *testing.B) { benchmarkThroughput(b, false) }
+
+// BenchmarkSimulatorThroughputReference runs the bit-identical
+// one-iteration-per-cycle reference loop (no stall fast-forward, no
+// batched prefetch). The ratio against BenchmarkSimulatorThroughput is
+// the event-driven core's speedup measured on the same hardware in the
+// same run — the hardware-independent quantity cmd/benchgate gates on.
+func BenchmarkSimulatorThroughputReference(b *testing.B) { benchmarkThroughput(b, true) }

@@ -1,0 +1,255 @@
+// Command benchgate is the CI benchmark regression gate: it reads the
+// output of `go test -bench -json` for the simulator micro-benchmarks,
+// extracts the headline metrics (BenchmarkSimulatorThroughput instrs/s and
+// the per-technique BenchmarkEngineCycle ns/op), writes them as a
+// machine-readable BENCH_*.json artifact, and fails when throughput
+// regresses more than the allowed fraction below the checked-in baseline.
+//
+//	go test -run '^$' -bench 'BenchmarkSimulatorThroughput|BenchmarkEngineCycle' \
+//	    -benchtime 1s -json . | tee bench_raw.json
+//	benchgate -raw bench_raw.json -baseline BENCH_baseline.json -out BENCH_pr5.json
+//
+// Keep the -bench pattern unanchored: it must also select
+// BenchmarkSimulatorThroughputReference, whose in-job fast/reference
+// ratio is the hardware-independent half of the gate (benchgate warns
+// and skips that check when the reference metric is absent).
+//
+// The baseline records absolute numbers from a reference machine, so the
+// gate is hardware-relative: refresh it with -update when the CI hardware
+// class changes.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "benchgate:", err)
+		os.Exit(1)
+	}
+}
+
+// Baseline is the checked-in expectation (BENCH_baseline.json).
+type Baseline struct {
+	// SimulatorInstrsPerSec is the expected BenchmarkSimulatorThroughput
+	// headline on the reference hardware; the gate fails when the measured
+	// value drops more than MaxRegress below it.
+	SimulatorInstrsPerSec float64 `json:"simulator_instrs_per_sec"`
+	// PrePRInstrsPerSec is the same benchmark measured on the same
+	// reference hardware before the event-driven core landed (PR 5); the
+	// report derives the speedup from it.
+	PrePRInstrsPerSec float64 `json:"pre_pr_instrs_per_sec"`
+	// EngineCycleNsPerOp records the per-technique engine cycle costs for
+	// context; they are reported, not gated (ns/op is too noisy across
+	// hardware classes for a hard limit).
+	EngineCycleNsPerOp map[string]float64 `json:"engine_cycle_ns_per_op,omitempty"`
+	Note               string             `json:"note,omitempty"`
+}
+
+// Report is the artifact written for each CI run (BENCH_pr5.json).
+type Report struct {
+	InstrsPerSec         float64 `json:"instrs_per_sec"`
+	BaselineInstrsPerSec float64 `json:"baseline_instrs_per_sec"`
+	RatioVsBaseline      float64 `json:"ratio_vs_baseline"`
+	PrePRInstrsPerSec    float64 `json:"pre_pr_instrs_per_sec,omitempty"`
+	SpeedupVsPrePR       float64 `json:"speedup_vs_pre_pr,omitempty"`
+	// ReferenceInstrsPerSec is BenchmarkSimulatorThroughputReference (the
+	// bit-identical per-cycle loop) measured in the same run; the
+	// fast/reference ratio is hardware-independent, so it gates that the
+	// event-driven path never becomes a pessimization even when the
+	// absolute numbers shift with the runner's hardware class.
+	ReferenceInstrsPerSec float64            `json:"reference_instrs_per_sec,omitempty"`
+	FastOverReference     float64            `json:"fast_over_reference_ratio,omitempty"`
+	EngineCycleNsPerOp    map[string]float64 `json:"engine_cycle_ns_per_op,omitempty"`
+	MaxRegressionAllowed  float64            `json:"max_regression_allowed"`
+	MinFastOverReference  float64            `json:"min_fast_over_reference,omitempty"`
+	Pass                  bool               `json:"pass"`
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("benchgate", flag.ContinueOnError)
+	var (
+		raw        = fs.String("raw", "", "benchmark output to parse: `go test -bench -json` stream or plain -bench text")
+		baseline   = fs.String("baseline", "BENCH_baseline.json", "checked-in baseline file")
+		out        = fs.String("out", "", "write the gate report as JSON to this file")
+		maxRegress = fs.Float64("max-regress", 0.10, "maximum allowed fractional drop of instrs/s below the baseline")
+		minRatio   = fs.Float64("min-ratio", 0.85, "minimum fast-loop/reference-loop throughput ratio (hardware-independent; 0 disables)")
+		update     = fs.Bool("update", false, "rewrite the baseline from the measured numbers instead of gating")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *raw == "" {
+		return fmt.Errorf("-raw is required")
+	}
+	instrs, refInstrs, engine, err := parseBench(*raw)
+	if err != nil {
+		return err
+	}
+	if instrs == 0 {
+		return fmt.Errorf("%s: no instrs/s metric found (did BenchmarkSimulatorThroughput run?)", *raw)
+	}
+
+	if *update {
+		var base Baseline
+		if data, err := os.ReadFile(*baseline); err == nil {
+			_ = json.Unmarshal(data, &base) // keep pre-PR reference and note
+		}
+		base.SimulatorInstrsPerSec = instrs
+		base.EngineCycleNsPerOp = engine
+		return writeJSON(*baseline, &base)
+	}
+
+	data, err := os.ReadFile(*baseline)
+	if err != nil {
+		return fmt.Errorf("baseline: %w", err)
+	}
+	var base Baseline
+	if err := json.Unmarshal(data, &base); err != nil {
+		return fmt.Errorf("baseline %s: %w", *baseline, err)
+	}
+	if base.SimulatorInstrsPerSec <= 0 {
+		return fmt.Errorf("baseline %s: simulator_instrs_per_sec missing", *baseline)
+	}
+
+	rep := Report{
+		InstrsPerSec:          instrs,
+		BaselineInstrsPerSec:  base.SimulatorInstrsPerSec,
+		RatioVsBaseline:       instrs / base.SimulatorInstrsPerSec,
+		PrePRInstrsPerSec:     base.PrePRInstrsPerSec,
+		ReferenceInstrsPerSec: refInstrs,
+		EngineCycleNsPerOp:    engine,
+		MaxRegressionAllowed:  *maxRegress,
+		MinFastOverReference:  *minRatio,
+	}
+	if base.PrePRInstrsPerSec > 0 {
+		rep.SpeedupVsPrePR = instrs / base.PrePRInstrsPerSec
+	}
+	if refInstrs > 0 {
+		rep.FastOverReference = instrs / refInstrs
+	}
+	absOK := rep.RatioVsBaseline >= 1.0-*maxRegress
+	ratioOK := *minRatio <= 0 || refInstrs == 0 || rep.FastOverReference >= *minRatio
+	rep.Pass = absOK && ratioOK
+	if *minRatio > 0 && refInstrs == 0 {
+		fmt.Fprintln(os.Stderr, "benchgate: warning: BenchmarkSimulatorThroughputReference metric absent; "+
+			"fast/reference ratio check skipped (use an unanchored -bench pattern to include it)")
+	}
+
+	// Write the artifact before gating so a failing job still uploads the
+	// measured numbers.
+	if *out != "" {
+		if err := writeJSON(*out, &rep); err != nil {
+			return err
+		}
+	}
+	fmt.Printf("benchgate: %.0f instrs/s (baseline %.0f, ratio %.2f, fast/reference %.2f, speedup vs pre-PR %.2fx)\n",
+		rep.InstrsPerSec, rep.BaselineInstrsPerSec, rep.RatioVsBaseline, rep.FastOverReference, rep.SpeedupVsPrePR)
+	if !absOK {
+		return fmt.Errorf("throughput regression: %.0f instrs/s is more than %.0f%% below baseline %.0f",
+			instrs, *maxRegress*100, base.SimulatorInstrsPerSec)
+	}
+	if !ratioOK {
+		return fmt.Errorf("fast loop slower than reference loop: ratio %.3f below %.3f (%.0f vs %.0f instrs/s)",
+			rep.FastOverReference, *minRatio, instrs, refInstrs)
+	}
+	return nil
+}
+
+// parseBench extracts the instrs/s headline and per-technique engine-cycle
+// ns/op from benchmark output, accepting either the test2json event stream
+// of `go test -json` or plain `go test -bench` text. test2json splits a
+// benchmark result line over several output events (the name arrives with
+// a trailing tab, the metrics separately), so events are reassembled into
+// a plain text stream before line parsing.
+func parseBench(path string) (instrs, refInstrs float64, engine map[string]float64, err error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return 0, 0, nil, err
+	}
+	defer f.Close()
+	var text strings.Builder
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		if strings.HasPrefix(line, "{") {
+			var ev struct {
+				Action string `json:"Action"`
+				Output string `json:"Output"`
+			}
+			if json.Unmarshal([]byte(line), &ev) == nil && ev.Action == "output" {
+				text.WriteString(ev.Output)
+			}
+			continue
+		}
+		text.WriteString(line)
+		text.WriteByte('\n')
+	}
+	if err := sc.Err(); err != nil {
+		return 0, 0, nil, err
+	}
+
+	engine = make(map[string]float64)
+	for _, line := range strings.Split(text.String(), "\n") {
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		name, metrics := parseBenchLine(line)
+		switch {
+		case strings.HasPrefix(name, "BenchmarkSimulatorThroughputReference"):
+			if v, ok := metrics["instrs/s"]; ok {
+				refInstrs = v
+			}
+		case strings.HasPrefix(name, "BenchmarkSimulatorThroughput"):
+			if v, ok := metrics["instrs/s"]; ok {
+				instrs = v
+			}
+		case strings.HasPrefix(name, "BenchmarkEngineCycle/"):
+			if v, ok := metrics["ns/op"]; ok {
+				tech := strings.ReplaceAll(strings.TrimPrefix(name, "BenchmarkEngineCycle/"), "_", " ")
+				// Strip the -<GOMAXPROCS> suffix go test appends.
+				if i := strings.LastIndex(tech, "-"); i > 0 {
+					if _, err := strconv.Atoi(tech[i+1:]); err == nil {
+						tech = tech[:i]
+					}
+				}
+				engine[tech] = v
+			}
+		}
+	}
+	return instrs, refInstrs, engine, nil
+}
+
+// parseBenchLine splits "BenchmarkX-8  31  77076432 ns/op  4432891 instrs/s"
+// into the benchmark name and its value-unit metric pairs.
+func parseBenchLine(line string) (string, map[string]float64) {
+	fields := strings.Fields(line)
+	if len(fields) < 3 {
+		return "", nil
+	}
+	metrics := make(map[string]float64)
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			continue
+		}
+		metrics[fields[i+1]] = v
+	}
+	return fields[0], metrics
+}
+
+func writeJSON(path string, v any) error {
+	data, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

@@ -23,6 +23,7 @@
 //	paperbench -parallel 8     # bound the worker pool explicitly
 //	paperbench -json results   # also write the grid as schema-versioned JSON
 //	paperbench -cpuprofile p   # write a pprof CPU profile
+//	paperbench -memprofile p   # write an end-of-run heap profile
 //	paperbench -cache off      # re-simulate everything, bypass the cache
 //	paperbench -cache-dir d    # result cache location (default ~/.cache/vexsmt)
 package main
@@ -60,6 +61,7 @@ func run(args []string) error {
 		parallel   = fs.Int("parallel", runtime.GOMAXPROCS(0), "max concurrent simulations")
 		jsonOut    = fs.String("json", "", "write the simulated grid as schema-versioned JSON to this file")
 		cpuprofile = fs.String("cpuprofile", "", "write a CPU profile to this file")
+		memprofile = fs.String("memprofile", "", "write an end-of-run heap profile to this file")
 		cacheOn    = fs.String("cache", "on", "result cache: on (grid cells recall prior runs from the disk cache) or off")
 		cacheDir   = fs.String("cache-dir", "", "result cache directory (default: the user cache dir, e.g. ~/.cache/vexsmt)")
 	)
@@ -141,7 +143,25 @@ func run(args []string) error {
 	if st := svc.CacheStats(); st.Hits+st.Misses > 0 {
 		fmt.Printf("(cache: %d hit(s), %d miss(es), %d put(s))\n", st.Hits, st.Misses, st.Puts)
 	}
+	if *memprofile != "" {
+		if err := writeHeapProfile(*memprofile); err != nil {
+			return err
+		}
+	}
 	return nil
+}
+
+// writeHeapProfile snapshots live-heap allocations after a GC, the shape
+// that shows what the simulated grid retains (caches, result sets) rather
+// than transient garbage.
+func writeHeapProfile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	runtime.GC()
+	return pprof.WriteHeapProfile(f)
 }
 
 // writeJSON exports the (already memoized) grid as a canonical

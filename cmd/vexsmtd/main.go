@@ -24,6 +24,7 @@ import (
 	"fmt"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"runtime"
@@ -43,15 +44,37 @@ func main() {
 
 func run() error {
 	var (
-		addr     = flag.String("addr", ":8080", "listen address (port 0 picks an ephemeral port)")
-		scale    = flag.Int64("scale", 100, "default scale divisor of paper scale")
-		seed     = flag.Uint64("seed", 1, "default simulation seed")
-		parallel = flag.Int("parallel", runtime.GOMAXPROCS(0), "default max concurrent simulations per plan")
-		drain    = flag.Duration("drain", 10*time.Second, "graceful shutdown deadline for in-flight requests")
-		cacheOn  = flag.String("cache", "on", "result cache: on (content-addressed disk cache, shared across runs) or off")
-		cacheDir = flag.String("cache-dir", "", "result cache directory (default: the user cache dir, e.g. ~/.cache/vexsmt)")
+		addr      = flag.String("addr", ":8080", "listen address (port 0 picks an ephemeral port)")
+		scale     = flag.Int64("scale", 100, "default scale divisor of paper scale")
+		seed      = flag.Uint64("seed", 1, "default simulation seed")
+		parallel  = flag.Int("parallel", runtime.GOMAXPROCS(0), "default max concurrent simulations per plan")
+		drain     = flag.Duration("drain", 10*time.Second, "graceful shutdown deadline for in-flight requests")
+		cacheOn   = flag.String("cache", "on", "result cache: on (content-addressed disk cache, shared across runs) or off")
+		cacheDir  = flag.String("cache-dir", "", "result cache directory (default: the user cache dir, e.g. ~/.cache/vexsmt)")
+		pprofAddr = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060); off when empty")
 	)
 	flag.Parse()
+
+	// Profiling stays on its own listener so the /v1 API surface never
+	// exposes pprof, and a wedged simulation pool cannot starve it.
+	if *pprofAddr != "" {
+		mux := http.NewServeMux()
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		pln, err := net.Listen("tcp", *pprofAddr)
+		if err != nil {
+			return fmt.Errorf("pprof: %w", err)
+		}
+		fmt.Printf("vexsmtd pprof on http://%s/debug/pprof/\n", pln.Addr())
+		go func() {
+			if err := http.Serve(pln, mux); err != nil {
+				fmt.Fprintln(os.Stderr, "vexsmtd: pprof server:", err)
+			}
+		}()
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()

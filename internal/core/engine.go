@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"math/bits"
 
 	"vexsmt/internal/isa"
 )
@@ -15,14 +16,21 @@ const MaxThreads = 8
 // thread: the next instruction is loaded only after the current one has
 // issued in its entirety (its "last part").
 type ThreadIssue struct {
-	active    bool
-	started   bool // some part already issued in an earlier cycle
-	demand    isa.InstrDemand
+	active  bool
+	started bool // some part already issued in an earlier cycle
+	// kind is the instruction's issue routine, lowered at Load time from
+	// the engine's technique and the instruction's comm contents (NS
+	// downgrades comm instructions to whole-instruction issue), so the
+	// per-cycle issue path never consults the Technique policy struct.
+	kind      issueKind
 	remaining [isa.MaxClusters]isa.BundleDemand
-	// storeBuffered marks clusters whose store was split-issued into the
-	// memory delay buffer and is still awaiting commit at the last part
-	// (Section V-B / V-D).
-	storeBuffered [isa.MaxClusters]bool
+	// live is the bitmask of clusters with unissued demand; it mirrors
+	// remaining so the issue loops visit only clusters that still hold work.
+	live uint8
+	// storeBuffered is the bitmask of clusters whose store was split-issued
+	// into the memory delay buffer and is still awaiting commit at the last
+	// part (Section V-B / V-D).
+	storeBuffered uint8
 }
 
 // ThreadResult reports what one thread did during a cycle.
@@ -37,6 +45,13 @@ type ThreadResult struct {
 
 // CycleResult reports one issue cycle of the whole machine.
 type CycleResult struct {
+	// Issued is the bitmask of threads that issued operations this cycle:
+	// exactly the threads whose Thread entry has Ops > 0. After CycleInto,
+	// Thread entries of non-issuing threads may hold stale data from an
+	// earlier cycle; consumers on the scratch-reuse path must iterate via
+	// Issued. (Cycle returns a fully zeroed result, so indexing Thread
+	// directly remains safe there.)
+	Issued uint8
 	Thread [MaxThreads]ThreadResult
 	// MemOps counts memory-port uses per cluster this cycle: loads execute
 	// (and use the port) at issue time; stores use the port only when
@@ -69,18 +84,44 @@ func (r *CycleResult) MemPortOverflow(geom isa.Geometry) int {
 	return worst
 }
 
+// issueKind selects one of the specialized per-cycle issue routines: the
+// merge x split policy cross-product lowered to a flat decision table
+// entry at NewEngine/Load time.
+type issueKind uint8
+
+const (
+	kindWhole     issueKind = iota // all remaining bundles or nothing
+	kindClusterCM                  // cluster split, cluster-granularity merge (CCSI)
+	kindClusterOM                  // cluster split, operation-granularity merge (COSI)
+	kindOpSplit                    // operation split (OOSI)
+)
+
 // Engine is the merging hardware plus split-issue state machine. It is
 // deliberately independent of fetch, caches and scheduling: the caller
 // loads per-thread instruction demands and asks for one issue cycle at a
 // time, passing which threads are ready (not stalled).
+//
+// At construction the Technique (merge policy x split policy x comm
+// policy) is lowered into flat decision fields — the packet's collision
+// granularity, the engine-wide split mode, the NS comm restriction and a
+// precomputed priority-order table — so the per-cycle path runs on plain
+// branches over precomputed state instead of consulting policy structs.
 type Engine struct {
-	geom   isa.Geometry
-	tech   Technique
-	nt     int
+	geom isa.Geometry
+	tech Technique
+	nt   int
+
+	// Lowered decision state (NewEngine time).
+	clusters      int
+	loadKind      issueKind // issue routine for non-comm instructions
+	commDowngrade bool      // NS + split: comm instructions issue whole
+	// orderTab[b] is the thread priority order when the rotation base is b:
+	// b, b+1 mod n, ... (Section VI-A round-robin priority).
+	orderTab [MaxThreads][MaxThreads]uint8
+
 	state  [MaxThreads]ThreadIssue
-	packet *Packet
+	packet Packet
 	prio   Rotator
-	order  [MaxThreads]int
 }
 
 // NewEngine builds an issue engine. It returns an error for invalid
@@ -95,13 +136,33 @@ func NewEngine(geom isa.Geometry, tech Technique, threads int) (*Engine, error) 
 	if threads <= 0 || threads > MaxThreads {
 		return nil, fmt.Errorf("core: thread count %d out of range [1,%d]", threads, MaxThreads)
 	}
-	return &Engine{
-		geom:   geom,
-		tech:   tech,
-		nt:     threads,
-		packet: NewPacket(geom),
-		prio:   NewRotator(threads),
-	}, nil
+	e := &Engine{
+		geom:          geom,
+		tech:          tech,
+		nt:            threads,
+		clusters:      geom.Clusters,
+		commDowngrade: tech.Split != SplitNone && tech.Comm == CommNoSplit,
+		prio:          NewRotator(threads),
+	}
+	switch tech.Split {
+	case SplitNone:
+		e.loadKind = kindWhole
+	case SplitCluster:
+		if tech.Merge == MergeCluster {
+			e.loadKind = kindClusterCM
+		} else {
+			e.loadKind = kindClusterOM
+		}
+	default:
+		e.loadKind = kindOpSplit
+	}
+	e.packet.init(geom, tech.Merge == MergeCluster)
+	for b := 0; b < threads; b++ {
+		for i := 0; i < threads; i++ {
+			e.orderTab[b][i] = uint8((b + i) % threads)
+		}
+	}
+	return e, nil
 }
 
 // Geometry returns the machine geometry.
@@ -109,7 +170,7 @@ func (e *Engine) Geometry() isa.Geometry { return e.geom }
 
 // PacketUsed returns the resources claimed at cluster c by the most recent
 // Cycle call. Intended for tests and ablation instrumentation.
-func (e *Engine) PacketUsed(c int) isa.BundleDemand { return e.packet.used[c] }
+func (e *Engine) PacketUsed(c int) isa.BundleDemand { return e.packet.Used(c) }
 
 // Technique returns the configured multithreading technique.
 func (e *Engine) Technique() Technique { return e.tech }
@@ -132,17 +193,34 @@ func (e *Engine) Remaining(t, c int) isa.BundleDemand { return e.state[t].remain
 // cluster-renamed if renaming is in effect (the simulator owns renaming so
 // that its per-cluster metadata stays aligned).
 func (e *Engine) Load(t int, d isa.InstrDemand) {
+	e.LoadFrom(t, &d)
+}
+
+// LoadFrom is Load without the by-value demand copy, for fetch loops that
+// already hold the demand in stable storage. d is read, never retained.
+func (e *Engine) LoadFrom(t int, d *isa.InstrDemand) {
 	st := &e.state[t]
 	if st.active {
 		panic("core: Load on thread with in-flight instruction")
 	}
 	st.active = true
 	st.started = false
-	st.demand = d
 	st.remaining = d.B
-	for c := range st.storeBuffered {
-		st.storeBuffered[c] = false
+	st.storeBuffered = 0
+	// Lower the split decision once per instruction: under NS, an
+	// instruction containing send/recv must issue whole (Section V-E).
+	kind := e.loadKind
+	if d.HasComm && e.commDowngrade {
+		kind = kindWhole
 	}
+	st.kind = kind
+	live := uint8(0)
+	for c := 0; c < e.clusters; c++ {
+		if d.B[c].Ops != 0 {
+			live |= 1 << uint(c)
+		}
+	}
+	st.live = live
 }
 
 // Flush abandons thread t's in-flight instruction (context switch between
@@ -152,19 +230,6 @@ func (e *Engine) Flush(t int) {
 	e.state[t] = ThreadIssue{}
 }
 
-// splittable reports whether the in-flight instruction of st may be issued
-// in parts: split-issue must be enabled, and under the NS communication
-// policy instructions containing send/recv are never split.
-func (e *Engine) splittable(st *ThreadIssue) bool {
-	if e.tech.Split == SplitNone {
-		return false
-	}
-	if st.demand.HasComm && e.tech.Comm == CommNoSplit {
-		return false
-	}
-	return true
-}
-
 // Cycle assembles one execution packet. ready[t] gates which threads may
 // issue this cycle (false models fetch stalls, cache-miss stalls and branch
 // penalties). Threads are considered in round-robin rotated priority order;
@@ -172,159 +237,195 @@ func (e *Engine) splittable(st *ThreadIssue) bool {
 // packet never collides with it).
 func (e *Engine) Cycle(ready *[MaxThreads]bool) CycleResult {
 	var res CycleResult
+	e.CycleInto(ready, &res)
+	return res
+}
+
+// CycleInto is Cycle writing into caller-owned scratch so a simulation
+// loop allocates nothing per cycle. Entries for threads [0,Threads) and
+// clusters [0,Clusters) are overwritten; entries beyond them are left
+// untouched and must not be read.
+func (e *Engine) CycleInto(ready *[MaxThreads]bool, res *CycleResult) {
+	nt := e.nt
+	for c := 0; c < e.clusters; c++ {
+		res.MemOps[c] = 0
+		res.Commits[c] = 0
+	}
+	res.Issued = 0
+	res.Ops = 0
+	res.Threads = 0
 	e.packet.Reset()
-	e.prio.Order(&e.order)
-	for i := 0; i < e.nt; i++ {
-		t := e.order[i]
+	ord := &e.orderTab[e.prio.base]
+	e.prio.advance(1)
+	for i := 0; i < nt; i++ {
+		t := int(ord[i])
 		st := &e.state[t]
 		if !st.active || !ready[t] {
 			continue
 		}
-		tr := e.tryIssue(st)
+		tr := &res.Thread[t]
+		*tr = ThreadResult{}
+		switch st.kind {
+		case kindWhole:
+			e.issueWhole(st, tr)
+		case kindClusterCM:
+			e.issueClusterSplitCM(st, tr)
+		case kindClusterOM:
+			e.issueClusterSplitOM(st, tr)
+		default:
+			e.issueOpSplit(st, tr)
+		}
 		if tr.Ops == 0 {
 			continue
 		}
-		res.Thread[t] = tr
+		res.Issued |= 1 << uint(t)
 		res.Ops += tr.Ops
 		res.Threads++
 		if tr.LastPart {
 			// Commit delayed stores; make the context available for the
-			// next instruction.
-			for c := 0; c < e.geom.Clusters; c++ {
-				if st.storeBuffered[c] {
-					res.Commits[c]++
-				}
+			// next instruction. Last-part stores take the memory port at
+			// issue time.
+			for m := st.storeBuffered; m != 0; m &= m - 1 {
+				res.Commits[bits.TrailingZeros8(m)]++
+			}
+			for m := tr.StoresAt; m != 0; m &= m - 1 {
+				res.MemOps[bits.TrailingZeros8(m)]++
 			}
 			st.active = false
 			st.started = false
 		} else {
 			st.started = true
 		}
+		for m := tr.LoadsAt; m != 0; m &= m - 1 {
+			res.MemOps[bits.TrailingZeros8(m)]++
+		}
 	}
-	for t := 0; t < e.nt; t++ {
-		tr := &res.Thread[t]
-		if tr.Ops == 0 {
+}
+
+// SkipCycles accounts n issue cycles during which no thread was ready: it
+// is exactly equivalent to n Cycle calls with an all-false ready mask (the
+// priority rotation advances; no other engine state can change), folded
+// into one step. The simulator's stall fast-forward uses it to jump over
+// dead cycles.
+func (e *Engine) SkipCycles(n int64) {
+	if n > 0 {
+		e.prio.advance(n)
+	}
+}
+
+// issueWhole issues st's instruction with whole-instruction semantics: all
+// remaining bundles or nothing. (An unsplittable instruction always has
+// remaining == full demand.)
+func (e *Engine) issueWhole(st *ThreadIssue, tr *ThreadResult) {
+	for m := st.live; m != 0; m &= m - 1 {
+		if !e.packet.fits(bits.TrailingZeros8(m), &st.remaining[bits.TrailingZeros8(m)]) {
+			return
+		}
+	}
+	for m := st.live; m != 0; m &= m - 1 {
+		c := bits.TrailingZeros8(m)
+		d := &st.remaining[c]
+		e.packet.add(c, d)
+		tr.Ops += int(d.Ops)
+		tr.Clusters |= 1 << uint(c)
+		if d.Load {
+			tr.LoadsAt |= 1 << uint(c)
+		}
+		if d.Stor {
+			tr.StoresAt |= 1 << uint(c)
+		}
+		st.remaining[c] = isa.BundleDemand{}
+	}
+	st.live = 0
+	tr.LastPart = tr.Ops > 0
+}
+
+// issueClusterSplitCM issues whichever whole bundles of st's instruction
+// land on clusters no other thread claimed this cycle (the paper's CCSI):
+// operations within a bundle stay together, but bundles of one instruction
+// may issue in different cycles.
+func (e *Engine) issueClusterSplitCM(st *ThreadIssue, tr *ThreadResult) {
+	for m := st.live; m != 0; m &= m - 1 {
+		c := bits.TrailingZeros8(m)
+		d := &st.remaining[c]
+		if !e.packet.tryAddCM(c, d) {
 			continue
 		}
-		for c := 0; c < e.geom.Clusters; c++ {
-			bit := uint8(1) << uint(c)
-			if tr.LoadsAt&bit != 0 {
-				res.MemOps[c]++
-			}
-			if tr.LastPart && tr.StoresAt&bit != 0 {
-				res.MemOps[c]++
-			}
+		tr.Ops += int(d.Ops)
+		tr.Clusters |= 1 << uint(c)
+		if d.Load {
+			tr.LoadsAt |= 1 << uint(c)
 		}
+		if d.Stor {
+			tr.StoresAt |= 1 << uint(c)
+		}
+		st.remaining[c] = isa.BundleDemand{}
+		st.live &^= 1 << uint(c)
 	}
-	return res
+	e.finishSplit(st, tr)
 }
 
-// tryIssue attempts to add as much of st's remaining instruction to the
-// packet as the technique allows, returning what happened.
-func (e *Engine) tryIssue(st *ThreadIssue) ThreadResult {
-	var tr ThreadResult
-	if !e.splittable(st) {
-		// Whole-instruction semantics: all remaining bundles or nothing.
-		// (An unsplittable instruction always has remaining == full demand.)
-		if !e.packet.FitsWhole(&st.remaining, e.tech.Merge) {
-			return tr
+// issueClusterSplitOM is cluster-level split with operation-granularity
+// collision detection (COSI): a bundle joins a cluster whenever issue
+// slots and functional units suffice.
+func (e *Engine) issueClusterSplitOM(st *ThreadIssue, tr *ThreadResult) {
+	for m := st.live; m != 0; m &= m - 1 {
+		c := bits.TrailingZeros8(m)
+		d := &st.remaining[c]
+		if !e.packet.tryAddOM(c, d) {
+			continue
 		}
-		for c := 0; c < e.geom.Clusters; c++ {
-			d := st.remaining[c]
-			if d.IsEmpty() {
-				continue
-			}
-			e.packet.AddBundle(c, d)
-			tr.Ops += int(d.Ops)
-			tr.Clusters |= 1 << uint(c)
-			if d.Load {
-				tr.LoadsAt |= 1 << uint(c)
-			}
-			if d.Stor {
-				tr.StoresAt |= 1 << uint(c)
-			}
-			st.remaining[c] = isa.BundleDemand{}
+		tr.Ops += int(d.Ops)
+		tr.Clusters |= 1 << uint(c)
+		if d.Load {
+			tr.LoadsAt |= 1 << uint(c)
 		}
-		tr.LastPart = tr.Ops > 0
-		return tr
+		if d.Stor {
+			tr.StoresAt |= 1 << uint(c)
+		}
+		st.remaining[c] = isa.BundleDemand{}
+		st.live &^= 1 << uint(c)
 	}
-
-	switch e.tech.Split {
-	case SplitCluster:
-		done := true
-		for c := 0; c < e.geom.Clusters; c++ {
-			d := st.remaining[c]
-			if d.IsEmpty() {
-				continue
-			}
-			if !e.packet.FitsBundle(c, d, e.tech.Merge) {
-				done = false
-				continue
-			}
-			e.packet.AddBundle(c, d)
-			tr.Ops += int(d.Ops)
-			tr.Clusters |= 1 << uint(c)
-			if d.Load {
-				tr.LoadsAt |= 1 << uint(c)
-			}
-			if d.Stor {
-				tr.StoresAt |= 1 << uint(c)
-			}
-			st.remaining[c] = isa.BundleDemand{}
-		}
-		tr.LastPart = done && tr.Ops > 0
-		tr.Split = !done && tr.Ops > 0
-		if tr.Split {
-			e.markBufferedStores(st, tr.StoresAt)
-		}
-		return tr
-
-	case SplitOperation:
-		done := true
-		for c := 0; c < e.geom.Clusters; c++ {
-			d := st.remaining[c]
-			if d.IsEmpty() {
-				continue
-			}
-			take := e.packet.TakeOps(c, d)
-			if take.IsEmpty() {
-				done = false
-				continue
-			}
-			e.packet.AddBundle(c, take)
-			tr.Ops += int(take.Ops)
-			tr.Clusters |= 1 << uint(c)
-			if take.Load {
-				tr.LoadsAt |= 1 << uint(c)
-			}
-			if take.Stor {
-				tr.StoresAt |= 1 << uint(c)
-			}
-			st.remaining[c] = subDemand(d, take)
-			if !st.remaining[c].IsEmpty() {
-				done = false
-			}
-		}
-		tr.LastPart = done && tr.Ops > 0
-		tr.Split = !done && tr.Ops > 0
-		if tr.Split {
-			e.markBufferedStores(st, tr.StoresAt)
-		}
-		return tr
-	}
-	return tr
+	e.finishSplit(st, tr)
 }
 
-// markBufferedStores records that stores issued this cycle went to the
-// memory delay buffer because the instruction is still split (not its last
-// part); they will be committed — and will contend for memory ports — when
-// the last part issues.
-func (e *Engine) markBufferedStores(st *ThreadIssue, storesAt uint8) {
-	for c := 0; c < e.geom.Clusters; c++ {
-		if storesAt&(1<<uint(c)) != 0 {
-			st.storeBuffered[c] = true
+// finishSplit derives the last-part/split flags shared by the split-issue
+// routines and books split-issued stores into the delay buffer.
+func (e *Engine) finishSplit(st *ThreadIssue, tr *ThreadResult) {
+	done := st.live == 0
+	tr.LastPart = done && tr.Ops > 0
+	tr.Split = !done && tr.Ops > 0
+	if tr.Split {
+		st.storeBuffered |= tr.StoresAt
+	}
+}
+
+// issueOpSplit issues as many individual operations of st's instruction as
+// the packet has room for (prior work; requires superscalar-like hardware).
+func (e *Engine) issueOpSplit(st *ThreadIssue, tr *ThreadResult) {
+	for m := st.live; m != 0; m &= m - 1 {
+		c := bits.TrailingZeros8(m)
+		d := &st.remaining[c]
+		take := e.packet.take(c, d)
+		if take.IsEmpty() {
+			continue
+		}
+		e.packet.add(c, &take)
+		tr.Ops += int(take.Ops)
+		tr.Clusters |= 1 << uint(c)
+		if take.Load {
+			tr.LoadsAt |= 1 << uint(c)
+		}
+		if take.Stor {
+			tr.StoresAt |= 1 << uint(c)
+		}
+		rem := subDemand(*d, take)
+		st.remaining[c] = rem
+		if rem.IsEmpty() {
+			st.live &^= 1 << uint(c)
 		}
 	}
+	e.finishSplit(st, tr)
 }
 
 // subDemand returns d minus take (component-wise), clearing satisfied

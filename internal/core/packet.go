@@ -6,30 +6,74 @@ import "vexsmt/internal/isa"
 // resources already claimed at every cluster. The collision-detection logic
 // (CL in Figure 7) checks a candidate bundle against the packet; the merge
 // logic (ML) then adds it.
+//
+// The per-cluster scratch is epoch-stamped: Reset is a single counter
+// increment, and a cluster's claimed resources are live only when its stamp
+// matches the current epoch. The per-geometry resource limits are lowered
+// into flat fields at construction so the per-cycle fit checks never
+// consult the Geometry struct.
 type Packet struct {
-	geom isa.Geometry
-	used [isa.MaxClusters]isa.BundleDemand
-	busy [isa.MaxClusters]bool // any operations present (cluster-level collision)
+	geom     isa.Geometry
+	clusters int
+	// Lowered per-cluster limits (NewPacket time).
+	width, alus, muls, mems int
+	// clusterMerge selects cluster-granularity collision detection for the
+	// unexported fast path (newPacketFor); the public FitsBundle still takes
+	// the policy as an argument.
+	clusterMerge bool
+
+	epoch uint32
+	stamp [isa.MaxClusters]uint32
+	used  [isa.MaxClusters]isa.BundleDemand
 }
 
 // NewPacket returns an empty packet for the given machine geometry.
 func NewPacket(geom isa.Geometry) *Packet {
-	return &Packet{geom: geom}
+	p := &Packet{}
+	p.init(geom, false)
+	return p
 }
 
-// Reset empties the packet for a new cycle.
+// init lowers the geometry into flat limit fields; the zero epoch state
+// (epoch 1, all stamps 0) reads as an empty packet.
+func (p *Packet) init(geom isa.Geometry, clusterMerge bool) {
+	p.geom = geom
+	p.clusters = geom.Clusters
+	p.width = geom.IssueWidth
+	p.alus = geom.ALUs
+	p.muls = geom.Muls
+	p.mems = geom.MemUnits
+	p.clusterMerge = clusterMerge
+	p.epoch = 1
+	p.stamp = [isa.MaxClusters]uint32{}
+}
+
+// Reset empties the packet for a new cycle: one increment, no clearing loop.
 func (p *Packet) Reset() {
-	for c := 0; c < p.geom.Clusters; c++ {
-		p.used[c] = isa.BundleDemand{}
-		p.busy[c] = false
+	p.epoch++
+	if p.epoch == 0 {
+		// Epoch wrapped (once per 2^32 cycles): stale stamps could alias the
+		// new epoch, so clear them and restart.
+		p.stamp = [isa.MaxClusters]uint32{}
+		p.epoch = 1
 	}
 }
 
+// live reports whether cluster c's scratch belongs to the current cycle.
+// AddBundle only ever records non-empty demand, so a live cluster is a busy
+// cluster.
+func (p *Packet) live(c int) bool { return p.stamp[c] == p.epoch }
+
 // ClusterBusy reports whether any operations occupy cluster c.
-func (p *Packet) ClusterBusy(c int) bool { return p.busy[c] }
+func (p *Packet) ClusterBusy(c int) bool { return p.live(c) }
 
 // Used returns the resources claimed at cluster c so far this cycle.
-func (p *Packet) Used(c int) isa.BundleDemand { return p.used[c] }
+func (p *Packet) Used(c int) isa.BundleDemand {
+	if !p.live(c) {
+		return isa.BundleDemand{}
+	}
+	return p.used[c]
+}
 
 // FitsBundle is the collision-detection logic for one cluster: it reports
 // whether demand d can join cluster c under the given merge policy.
@@ -38,20 +82,40 @@ func (p *Packet) FitsBundle(c int, d isa.BundleDemand, merge MergePolicy) bool {
 		return true
 	}
 	if merge == MergeCluster {
-		return !p.busy[c]
+		return !p.live(c)
 	}
-	u := p.used[c]
-	return int(u.Ops)+int(d.Ops) <= p.geom.IssueWidth &&
-		int(u.ALU)+int(d.ALU) <= p.geom.ALUs &&
-		int(u.Mul)+int(d.Mul) <= p.geom.Muls &&
-		int(u.Mem)+int(d.Mem) <= p.geom.MemUnits
+	return p.fitsOps(c, &d)
+}
+
+// fits is the fast-path collision check under the packet's own lowered
+// merge policy. d must be non-empty.
+func (p *Packet) fits(c int, d *isa.BundleDemand) bool {
+	if p.clusterMerge {
+		return !p.live(c)
+	}
+	return p.fitsOps(c, d)
+}
+
+// fitsOps checks d against the free operation-level resources of cluster c.
+func (p *Packet) fitsOps(c int, d *isa.BundleDemand) bool {
+	if !p.live(c) {
+		return int(d.Ops) <= p.width &&
+			int(d.ALU) <= p.alus &&
+			int(d.Mul) <= p.muls &&
+			int(d.Mem) <= p.mems
+	}
+	u := &p.used[c]
+	return int(u.Ops)+int(d.Ops) <= p.width &&
+		int(u.ALU)+int(d.ALU) <= p.alus &&
+		int(u.Mul)+int(d.Mul) <= p.muls &&
+		int(u.Mem)+int(d.Mem) <= p.mems
 }
 
 // FitsWhole checks every cluster of an instruction's remaining demand: the
 // AND across clusters in Figure 7(a). Only when no cluster collides may a
 // whole instruction merge.
 func (p *Packet) FitsWhole(rem *[isa.MaxClusters]isa.BundleDemand, merge MergePolicy) bool {
-	for c := 0; c < p.geom.Clusters; c++ {
+	for c := 0; c < p.clusters; c++ {
 		if !p.FitsBundle(c, rem[c], merge) {
 			return false
 		}
@@ -65,18 +129,79 @@ func (p *Packet) AddBundle(c int, d isa.BundleDemand) {
 	if d.IsEmpty() {
 		return
 	}
-	p.used[c] = p.used[c].Add(d)
-	p.busy[c] = true
+	p.add(c, &d)
+}
+
+// add is AddBundle without the empty check (fast-path callers only hold
+// non-empty demands).
+func (p *Packet) add(c int, d *isa.BundleDemand) {
+	if !p.live(c) {
+		p.used[c] = *d
+		p.stamp[c] = p.epoch
+		return
+	}
+	p.used[c] = p.used[c].Add(*d)
+}
+
+// tryAddCM is the fused collision-check-and-merge for cluster-granularity
+// merging: a cluster carries at most one thread per cycle, so a non-empty
+// bundle joins exactly when the cluster is still stale this epoch.
+func (p *Packet) tryAddCM(c int, d *isa.BundleDemand) bool {
+	if p.live(c) {
+		return false
+	}
+	p.used[c] = *d
+	p.stamp[c] = p.epoch
+	return true
+}
+
+// tryAddOM is the fused collision-check-and-merge for operation-
+// granularity merging: one pass over the cluster's claimed resources
+// instead of a fits check followed by an add.
+func (p *Packet) tryAddOM(c int, d *isa.BundleDemand) bool {
+	if !p.live(c) {
+		if int(d.Ops) <= p.width &&
+			int(d.ALU) <= p.alus &&
+			int(d.Mul) <= p.muls &&
+			int(d.Mem) <= p.mems {
+			p.used[c] = *d
+			p.stamp[c] = p.epoch
+			return true
+		}
+		return false
+	}
+	u := &p.used[c]
+	if int(u.Ops)+int(d.Ops) > p.width ||
+		int(u.ALU)+int(d.ALU) > p.alus ||
+		int(u.Mul)+int(d.Mul) > p.muls ||
+		int(u.Mem)+int(d.Mem) > p.mems {
+		return false
+	}
+	u.Ops += d.Ops
+	u.ALU += d.ALU
+	u.Mul += d.Mul
+	u.Mem += d.Mem
+	u.Load = u.Load || d.Load
+	u.Stor = u.Stor || d.Stor
+	u.Comm = u.Comm || d.Comm
+	return true
 }
 
 // SlackOps returns the free issue slots remaining at cluster c.
-func (p *Packet) SlackOps(c int) int { return p.geom.IssueWidth - int(p.used[c].Ops) }
+func (p *Packet) SlackOps(c int) int {
+	if !p.live(c) {
+		return p.width
+	}
+	return p.width - int(p.used[c].Ops)
+}
 
 // TotalOps returns the number of operations in the packet.
 func (p *Packet) TotalOps() int {
 	n := 0
-	for c := 0; c < p.geom.Clusters; c++ {
-		n += int(p.used[c].Ops)
+	for c := 0; c < p.clusters; c++ {
+		if p.live(c) {
+			n += int(p.used[c].Ops)
+		}
 	}
 	return n
 }
@@ -90,19 +215,29 @@ func (p *Packet) TakeOps(c int, rem isa.BundleDemand) isa.BundleDemand {
 	if rem.IsEmpty() {
 		return isa.BundleDemand{}
 	}
-	u := p.used[c]
-	slots := p.geom.IssueWidth - int(u.Ops)
+	return p.take(c, &rem)
+}
+
+// take is TakeOps without the empty check.
+func (p *Packet) take(c int, rem *isa.BundleDemand) isa.BundleDemand {
+	var u *isa.BundleDemand
+	if p.live(c) {
+		u = &p.used[c]
+	} else {
+		u = &emptyDemand
+	}
+	slots := p.width - int(u.Ops)
 	if slots <= 0 {
 		return isa.BundleDemand{}
 	}
 	var take isa.BundleDemand
-	m := min3(int(rem.Mem), p.geom.MemUnits-int(u.Mem), slots)
+	m := min3(int(rem.Mem), p.mems-int(u.Mem), slots)
 	take.Mem = uint8(m)
 	slots -= m
-	mu := min3(int(rem.Mul), p.geom.Muls-int(u.Mul), slots)
+	mu := min3(int(rem.Mul), p.muls-int(u.Mul), slots)
 	take.Mul = uint8(mu)
 	slots -= mu
-	a := min3(int(rem.ALU), p.geom.ALUs-int(u.ALU), slots)
+	a := min3(int(rem.ALU), p.alus-int(u.ALU), slots)
 	take.ALU = uint8(a)
 	take.Ops = take.Mem + take.Mul + take.ALU
 	if take.Mem > 0 {
@@ -113,6 +248,8 @@ func (p *Packet) TakeOps(c int, rem isa.BundleDemand) isa.BundleDemand {
 	take.Comm = rem.Comm && take.ALU > 0
 	return take
 }
+
+var emptyDemand isa.BundleDemand
 
 func min3(a, b, c int) int {
 	if b < a {

@@ -19,10 +19,22 @@ func (r *Rotator) Order(buf *[MaxThreads]int) {
 	for i := 0; i < r.n; i++ {
 		buf[i] = (r.base + i) % r.n
 	}
-	r.base++
-	if r.base == r.n {
-		r.base = 0
+	r.advance(1)
+}
+
+// advance rotates the priority base by k cycles in one step; k cycles of
+// Order calls and one advance(k) leave the rotator in the same state. The
+// engine's SkipCycles uses it to fold fast-forwarded stall cycles. The
+// k==1 fast path avoids the per-cycle division.
+func (r *Rotator) advance(k int64) {
+	if k == 1 {
+		r.base++
+		if r.base == r.n {
+			r.base = 0
+		}
+		return
 	}
+	r.base = int((int64(r.base) + k) % int64(r.n))
 }
 
 // Peek returns the thread that will have highest priority next cycle.

@@ -1,0 +1,155 @@
+package cosim
+
+import (
+	"fmt"
+	"testing"
+
+	"vexsmt/internal/core"
+	"vexsmt/internal/isa"
+	"vexsmt/internal/rng"
+	"vexsmt/internal/sim"
+	"vexsmt/internal/synth"
+	"vexsmt/internal/workload"
+)
+
+// These tests are the differential half of the package's correctness
+// charter: the timing simulator's event-driven fast path (stall
+// fast-forwarding, precompiled issue tables, batched trace prefetch) must
+// be bit-identical to the one-iteration-per-cycle reference loop. Each
+// test runs the same configuration twice — Config.ReferenceLoop false and
+// true — and requires the full stats.Run counter structs to be equal, not
+// just the headline IPC.
+
+// runPair executes one configuration under the fast and the reference
+// loop and fails the test on any counter difference.
+func runPair(t *testing.T, label string, cfg sim.Config, profs []synth.Profile) {
+	t.Helper()
+	fastSim, err := sim.NewWorkload(cfg, profs)
+	if err != nil {
+		t.Fatalf("%s: %v", label, err)
+	}
+	fast, fastErr := fastSim.Run()
+
+	ref := cfg
+	ref.ReferenceLoop = true
+	refSim, err := sim.NewWorkload(ref, profs)
+	if err != nil {
+		t.Fatalf("%s: %v", label, err)
+	}
+	want, wantErr := refSim.Run()
+
+	if (fastErr == nil) != (wantErr == nil) {
+		t.Fatalf("%s: error mismatch: fast=%v ref=%v", label, fastErr, wantErr)
+	}
+	if *fast != *want {
+		t.Fatalf("%s: fast loop diverged from reference loop:\nfast %+v\nref  %+v",
+			label, fast, want)
+	}
+}
+
+// TestFastLoopMatchesReferenceGrid sweeps the paper's whole technique
+// space — all eight techniques (NS and AS variants included), all three
+// multithreading modes, 1/2/4 hardware threads — plus perfect-memory and
+// no-timeslice variants, comparing full counter structs between the fast
+// and reference loops.
+func TestFastLoopMatchesReferenceGrid(t *testing.T) {
+	mix, err := workload.MixByLabel("llhh")
+	if err != nil {
+		t.Fatal(err)
+	}
+	profs, err := mix.Profiles()
+	if err != nil {
+		t.Fatal(err)
+	}
+	const scale = 20000
+	for _, tech := range core.AllTechniques() {
+		for _, mode := range []sim.Mode{sim.ModeSimultaneous, sim.ModeInterleaved, sim.ModeBlocked} {
+			for _, threads := range []int{1, 2, 4} {
+				cfg := sim.DefaultConfig(tech, threads).WithScale(scale)
+				cfg.Mode = mode
+				label := fmt.Sprintf("%s/%s/%dT", tech.Name(), mode, threads)
+				runPair(t, label, cfg, profs[:min(len(profs), max(threads, 2))])
+			}
+		}
+	}
+	// Perfect memory throttles every stall source except branches; the
+	// no-timeslice single-job variant exercises fast-forward without the
+	// timeslice bound.
+	base := sim.DefaultConfig(core.CCSI(core.CommAlwaysSplit), 2).WithScale(scale)
+	base.PerfectMemory = true
+	runPair(t, "perfect-memory", base, profs[:2])
+
+	solo := sim.DefaultConfig(core.OOSI(core.CommNoSplit), 1).WithScale(scale)
+	solo.TimesliceCycles = 0
+	runPair(t, "no-timeslice", solo, profs[:1])
+}
+
+// randomProfile draws a structurally valid synthetic-benchmark profile:
+// the point is to explore stall patterns (cache-heavy, branch-heavy,
+// comm-heavy) the calibrated catalog does not cover.
+func randomProfile(r *rng.Rand, i int, geom isa.Geometry) synth.Profile {
+	return synth.Profile{
+		Name:         fmt.Sprintf("rand-%d", i),
+		Seed:         r.Uint64(),
+		MeanOps:      1 + r.Float64()*float64(geom.TotalIssueWidth()-1)*0.8,
+		SpreadProb:   r.Float64(),
+		MemFrac:      r.Float64() * 0.5,
+		MulFrac:      r.Float64() * 0.3,
+		StoreFrac:    r.Float64(),
+		CommProb:     r.Float64() * 0.3,
+		BranchProb:   r.Float64() * 0.4,
+		TakenProb:    r.Float64(),
+		LoopInstrs:   2 + r.Intn(40),
+		LoopIters:    1 + r.Intn(50),
+		CodeKB:       1 + r.Intn(256),
+		DataKB:       1 + r.Intn(512),
+		StreamKB:     1 + r.Intn(128),
+		StreamFrac:   r.Float64(),
+		LengthMInstr: 10 + r.Float64()*90,
+	}
+}
+
+// TestFastLoopPropertyRandomized is the randomized differential property:
+// random profiles, geometries, techniques, thread counts, seeds and
+// scheduling parameters, with full stats.Run equality between the fast
+// and reference cores on every draw.
+func TestFastLoopPropertyRandomized(t *testing.T) {
+	r := rng.New(0xd1ff)
+	geoms := []isa.Geometry{
+		isa.ST200x4,
+		{Clusters: 2, IssueWidth: 8, ALUs: 8, Muls: 4, MemUnits: 2},
+		{Clusters: 8, IssueWidth: 2, ALUs: 2, Muls: 1, MemUnits: 1},
+		{Clusters: 1, IssueWidth: 4, ALUs: 4, Muls: 2, MemUnits: 1},
+	}
+	techs := core.AllTechniques()
+	trials := 25
+	if testing.Short() {
+		trials = 6
+	}
+	for trial := 0; trial < trials; trial++ {
+		geom := geoms[r.Intn(len(geoms))]
+		tech := techs[r.Intn(len(techs))]
+		threads := 1 + r.Intn(4)
+		cfg := sim.DefaultConfig(tech, threads).WithScale(20000 + int64(r.Intn(20000)))
+		cfg.Geom = geom
+		cfg.Seed = r.Uint64()
+		cfg.ClusterRenaming = r.Bool(0.5)
+		cfg.PerfectMemory = r.Bool(0.2)
+		if r.Bool(0.3) {
+			// Shrink the timeslice so context switches (and their interaction
+			// with fast-forwarded stalls) happen often.
+			cfg.TimesliceCycles = int64(500 + r.Intn(5000))
+		}
+		nprofs := threads
+		if r.Bool(0.5) {
+			nprofs = threads + 1 + r.Intn(2) // oversubscribe: waiting jobs rotate in
+		}
+		profs := make([]synth.Profile, nprofs)
+		for i := range profs {
+			profs[i] = randomProfile(r, trial*10+i, geom)
+		}
+		label := fmt.Sprintf("trial %d (%s, %dC, %dT, slice %d, perfect %v)",
+			trial, tech.Name(), geom.Clusters, threads, cfg.TimesliceCycles, cfg.PerfectMemory)
+		runPair(t, label, cfg, profs)
+	}
+}

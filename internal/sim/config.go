@@ -76,6 +76,15 @@ type Config struct {
 	// MaxCycles is a runaway guard; 0 picks a generous default.
 	MaxCycles int64
 
+	// ReferenceLoop disables the event-driven fast path (stall
+	// fast-forwarding and batched trace prefetch) and runs the original
+	// one-iteration-per-cycle loop with per-instruction fetch. Completed
+	// runs are bit-identical either way; the flag exists so the
+	// differential tests in internal/cosim can machine-check that claim.
+	// It is not part of the experiment identity and must never influence
+	// result cache keys.
+	ReferenceLoop bool
+
 	Seed uint64
 }
 

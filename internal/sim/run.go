@@ -3,6 +3,7 @@ package sim
 import (
 	"context"
 	"fmt"
+	"math/bits"
 
 	"vexsmt/internal/core"
 	"vexsmt/internal/rng"
@@ -15,10 +16,22 @@ import (
 // memory-port stalls) around them. All per-cycle scratch lives in runState
 // so a cycle allocates nothing; simulators share zero mutable state, so
 // any number of them may run on concurrent goroutines.
+//
+// The loop is event-driven: when every hardware context is blocked for a
+// computable number of cycles (DCache-miss stalls, ICache fetch stalls,
+// taken-branch penalties, waiting for a timeslice switch), nextEventCycle
+// computes the first cycle at which any state can change and the loop
+// jumps straight to it, folding the skipped cycles into the counters and
+// the engine's priority rotation in one step. Completed runs are
+// bit-identical to the one-iteration-per-cycle reference loop
+// (Config.ReferenceLoop), which the differential tests in internal/cosim
+// machine-check.
 
 // runState holds one run's bookkeeping and reusable per-cycle buffers.
 type runState struct {
 	ready      [core.MaxThreads]bool // issue mask, rebuilt every cycle
+	res        core.CycleResult      // engine scratch, rewritten every cycle
+	raw        synth.TInst           // reference-loop fetch scratch
 	maxCycles  int64
 	sliceEnd   int64
 	ctxCheckAt int64 // next cycle at which ctx.Err() is polled
@@ -44,37 +57,90 @@ func (s *Simulator) Run() (*stats.Run, error) {
 // completes did exactly the same work it would have done under Run.
 func (s *Simulator) RunContext(ctx context.Context) (*stats.Run, error) {
 	s.beginRun()
+	fast := !s.cfg.ReferenceLoop
 	for cycle := int64(0); ; cycle++ {
 		// End of warmup: discard counters, keep caches and pipeline state.
 		if s.st.warming && s.run.Instrs >= s.cfg.WarmupInstrs {
 			s.endWarmup()
 		}
 		if cycle >= s.st.maxCycles {
-			s.finish(cycle)
+			s.finish()
 			return &s.run, fmt.Errorf("sim: exceeded %d cycles without reaching the instruction limit", s.st.maxCycles)
 		}
 		if cycle >= s.st.ctxCheckAt {
 			if err := ctx.Err(); err != nil {
-				s.finish(cycle)
+				s.finish()
 				return &s.run, err
 			}
 			s.st.ctxCheckAt = cycle + s.st.ctxEvery
 		}
 		s.expireTimeslice(cycle)
 
+		if fast {
+			if next := s.nextEventCycle(cycle); next > cycle {
+				// Every context is blocked until at least next: each skipped
+				// cycle would have run the three phases to no effect beyond
+				// one empty machine cycle and one priority-rotation step.
+				// Fold them all in one jump.
+				skip := next - cycle
+				s.run.Cycles += skip
+				s.run.EmptyCycles += skip
+				s.eng.SkipCycles(skip)
+				cycle = next - 1 // the loop increment lands on next
+				continue
+			}
+		}
+
 		s.fetchPhase(cycle)
-		res := s.issuePhase(cycle)
-		s.commitPhase(cycle, &res)
+		res := &s.st.res
+		s.issuePhase(cycle, res)
+		s.commitPhase(cycle, res)
 
 		// Delayed-store memory port contention stalls the whole pipeline
 		// (Section V-D, Figure 11).
-		cycle += s.portStallCycles(&res)
+		cycle += s.portStallCycles(res)
 
 		if s.st.done {
-			s.finish(cycle + 1)
+			s.finish()
 			return &s.run, nil
 		}
 	}
+}
+
+// nextEventCycle returns the earliest cycle at which any context can act.
+// A return equal to cycle means some thread can fetch, load or issue right
+// now; a later return means every cycle in [cycle, next) is provably dead:
+// the phases would only count an empty cycle and rotate the issue
+// priority. The jump is capped at the next timeslice boundary (which can
+// wake idle contexts via wantSwitch), the next cancellation poll, and the
+// runaway guard, so all scheduling bookkeeping still happens on exactly
+// the cycles it would have happened on.
+func (s *Simulator) nextEventCycle(cycle int64) int64 {
+	next := s.st.maxCycles
+	for t := range s.ctxs {
+		c := &s.ctxs[t]
+		if !c.haveInstr && c.job == nil && !c.wantSwitch {
+			continue // nothing can wake this context before the next timeslice
+		}
+		if c.ready <= cycle {
+			return cycle
+		}
+		if c.ready < next {
+			next = c.ready
+		}
+	}
+	if s.cfg.TimesliceCycles > 0 && s.st.sliceEnd < next {
+		next = s.st.sliceEnd
+	}
+	if s.st.ctxCheckAt < next {
+		next = s.st.ctxCheckAt
+	}
+	if next < cycle {
+		// A memory-port stall pushed the clock past an already-due boundary;
+		// let the normal path handle this cycle.
+		next = cycle
+	}
+	return next
 }
 
 // beginRun resets the run bookkeeping; counters and pipeline state carry
@@ -116,21 +182,30 @@ func (s *Simulator) expireTimeslice(cycle int64) {
 	}
 }
 
-// fetchPhase advances every context's front end.
+// fetchPhase advances every context's front end. Contexts whose current
+// instruction is already loaded into the engine have nothing to fetch
+// (the same early return fetch itself would take).
 func (s *Simulator) fetchPhase(cycle int64) {
 	for t := range s.ctxs {
+		c := &s.ctxs[t]
+		if c.haveInstr && c.loaded {
+			continue
+		}
 		s.fetch(t, cycle)
 	}
 }
 
 // issuePhase rebuilds the ready mask, applies the IMT/BMT mode
-// restriction, and runs the merge/split engine for one cycle.
-func (s *Simulator) issuePhase(cycle int64) core.CycleResult {
+// restriction, and runs the merge/split engine for one cycle, writing the
+// result into caller-owned scratch.
+func (s *Simulator) issuePhase(cycle int64, res *core.CycleResult) {
 	for t := range s.ctxs {
 		s.st.ready[t] = s.ctxs[t].loaded && cycle >= s.ctxs[t].ready
 	}
-	s.applyMode(cycle, &s.st.ready)
-	return s.eng.Cycle(&s.st.ready)
+	if s.cfg.Mode != ModeSimultaneous {
+		s.applyMode(cycle, &s.st.ready)
+	}
+	s.eng.CycleInto(&s.st.ready, res)
 }
 
 // commitPhase accounts the cycle's results: global counters, per-thread
@@ -145,11 +220,9 @@ func (s *Simulator) commitPhase(cycle int64, res *core.CycleResult) {
 	if res.Threads >= 2 {
 		s.run.MergedCycles++
 	}
-	for t := range s.ctxs {
+	for m := res.Issued; m != 0; m &= m - 1 {
+		t := bits.TrailingZeros8(m)
 		tr := &res.Thread[t]
-		if tr.Ops == 0 {
-			continue
-		}
 		c := &s.ctxs[t]
 		if tr.Split {
 			c.wasSplit = true
@@ -167,10 +240,8 @@ func (s *Simulator) accountLoads(c *ctx, tr *core.ThreadResult, cycle int64) {
 	if tr.LoadsAt == 0 || s.cfg.PerfectMemory {
 		return
 	}
-	for cl := 0; cl < s.cfg.Geom.Clusters; cl++ {
-		if tr.LoadsAt&(1<<uint(cl)) == 0 {
-			continue
-		}
+	for m := tr.LoadsAt; m != 0; m &= m - 1 {
+		cl := bits.TrailingZeros8(m)
 		s.run.DCacheAccesses++
 		if !s.dc.Access(c.ti.MemAddr[cl]) {
 			s.run.DCacheMisses++
@@ -242,12 +313,11 @@ func (s *Simulator) portStallCycles(res *core.CycleResult) int64 {
 func (s *Simulator) fetch(t int, cycle int64) {
 	cfg := &s.cfg
 	c := &s.ctxs[t]
-	if c.haveInstr && !c.loaded && cycle >= c.ready {
-		s.eng.Load(t, c.ti.Demand)
-		c.loaded = true
-		return
-	}
 	if c.haveInstr {
+		if !c.loaded && cycle >= c.ready {
+			s.eng.LoadFrom(t, &c.ti.Demand)
+			c.loaded = true
+		}
 		return
 	}
 	if cycle < c.ready {
@@ -262,14 +332,10 @@ func (s *Simulator) fetch(t int, cycle int64) {
 	}
 	// Respawn a completed benchmark (Section VI-A).
 	if c.job.remaining <= 0 {
-		c.job.variant++
-		c.job.Stream.Reset(c.job.variant)
-		c.job.remaining = c.job.Stream.Length(cfg.ScaleDiv)
-		s.run.Respawns++
+		s.respawn(c.job)
 	}
-	var raw synth.TInst
-	c.job.Stream.Next(&raw)
-	c.ti = rotate(&raw, c.rotation, cfg.Geom.Clusters)
+	raw := s.nextInstr(c.job)
+	rotateInto(&c.ti, raw, c.rotation, cfg.Geom.Clusters)
 	c.haveInstr = true
 	if !cfg.PerfectMemory {
 		s.run.ICacheAccesses++
@@ -280,8 +346,49 @@ func (s *Simulator) fetch(t int, cycle int64) {
 			return
 		}
 	}
-	s.eng.Load(t, c.ti.Demand)
+	s.eng.LoadFrom(t, &c.ti.Demand)
 	c.loaded = true
+}
+
+// respawn restarts a completed benchmark with a fresh variant. The job's
+// prefetch buffer is empty at this point by construction: a spawn draws
+// exactly Length instructions, and the respawn check only runs once all of
+// them have retired.
+func (s *Simulator) respawn(j *Job) {
+	j.variant++
+	j.Stream.Reset(j.variant)
+	j.remaining = j.Stream.Length(s.cfg.ScaleDiv)
+	j.drawsLeft = j.remaining
+	j.buf = j.buf[:0]
+	j.bufPos = 0
+	s.run.Respawns++
+}
+
+// nextInstr returns the job's next raw (un-renamed) trace instruction. The
+// fast path consumes the job's prefetch buffer, refilling it with whole
+// basic-block-sized runs via synth.FillN — never drawing past the current
+// spawn so respawn boundaries fall on exactly the same instruction as
+// per-instruction fetching. The reference loop bypasses the buffer and
+// draws one instruction at a time.
+func (s *Simulator) nextInstr(j *Job) *synth.TInst {
+	if j.bufPos == len(j.buf) {
+		if s.cfg.ReferenceLoop {
+			j.Stream.Next(&s.st.raw)
+			j.drawsLeft--
+			return &s.st.raw
+		}
+		n := fetchBatch
+		if int64(n) > j.drawsLeft {
+			n = int(j.drawsLeft)
+		}
+		j.buf = j.buf[:n]
+		synth.FillN(j.Stream, j.buf)
+		j.drawsLeft -= int64(n)
+		j.bufPos = 0
+	}
+	raw := &j.buf[j.bufPos]
+	j.bufPos++
+	return raw
 }
 
 // contextSwitch replaces the context's job with a randomly chosen waiting
@@ -344,7 +451,6 @@ func (s *Simulator) applyMode(cycle int64, ready *[core.MaxThreads]bool) {
 	}
 }
 
-func (s *Simulator) finish(cycles int64) {
+func (s *Simulator) finish() {
 	s.run.IssueSlots = s.run.Cycles * int64(s.cfg.Geom.TotalIssueWidth())
-	_ = cycles
 }

@@ -11,6 +11,12 @@ import (
 	"vexsmt/internal/synth"
 )
 
+// fetchBatch is how many instructions a job prefetches from its stream per
+// refill: roughly a basic-block run, so the per-instruction interface
+// dispatch of Stream.Next amortizes away without buffering so far ahead
+// that respawn bookkeeping gets complicated.
+const fetchBatch = 64
+
 // Job is one software thread of the workload: a benchmark instance that
 // respawns when it runs to completion (Section VI-A).
 type Job struct {
@@ -18,11 +24,19 @@ type Job struct {
 	Executed  int64 // cumulative VLIW instructions (drives termination)
 	remaining int64 // instructions left in the current spawn
 	variant   uint64
+
+	// Prefetch buffer: raw (un-renamed) instructions drawn from Stream in
+	// fetchBatch runs. The buffer travels with the job across context
+	// switches; renaming is applied per-context at consumption time.
+	buf       []synth.TInst
+	bufPos    int
+	drawsLeft int64 // instructions left to draw from Stream this spawn
 }
 
 // NewJob wraps a stream; scaleDiv scales the benchmark length.
 func NewJob(s synth.Stream, scaleDiv int64) *Job {
-	return &Job{Stream: s, remaining: s.Length(scaleDiv)}
+	n := s.Length(scaleDiv)
+	return &Job{Stream: s, remaining: n, drawsLeft: n}
 }
 
 // ctx is one hardware thread context.
@@ -91,6 +105,11 @@ func New(cfg Config, jobs []*Job) (*Simulator, error) {
 			return nil, err
 		}
 	}
+	for _, j := range jobs {
+		if j.buf == nil {
+			j.buf = make([]synth.TInst, 0, fetchBatch)
+		}
+	}
 	s.ctxs = make([]ctx, cfg.Threads)
 	for t := range s.ctxs {
 		if t < len(jobs) {
@@ -118,19 +137,32 @@ func NewWorkload(cfg Config, profiles []synth.Profile) (*Simulator, error) {
 	return New(cfg, jobs)
 }
 
-// rotate applies cluster renaming to a fetched instruction: demand and
-// per-cluster memory addresses move together.
-func rotate(ti *synth.TInst, by, clusters int) synth.TInst {
-	out := *ti
+// rotateInto applies cluster renaming to a fetched instruction, writing
+// the result in place: demand and per-cluster memory addresses move
+// together in one modulo-free pass (equivalent to InstrDemand.Rotate plus
+// the address rotation, fused for the fetch hot path). src and dst must
+// not alias.
+func rotateInto(dst, src *synth.TInst, by, clusters int) {
 	if by == 0 {
-		return out
+		*dst = *src
+		return
 	}
-	out.Demand = ti.Demand.Rotate(by, clusters)
+	dst.Demand.HasComm = src.Demand.HasComm
+	dst.Demand.Taken = src.Demand.Taken
+	j := by
 	for c := 0; c < clusters; c++ {
-		out.MemAddr[(c+by)%clusters] = ti.MemAddr[c]
+		dst.Demand.B[j] = src.Demand.B[c]
+		dst.MemAddr[j] = src.MemAddr[c]
+		j++
+		if j == clusters {
+			j = 0
+		}
 	}
 	for c := clusters; c < isa.MaxClusters; c++ {
-		out.MemAddr[c] = ti.MemAddr[c]
+		dst.Demand.B[c] = src.Demand.B[c]
+		dst.MemAddr[c] = src.MemAddr[c]
 	}
-	return out
+	dst.PC = src.PC
+	dst.Size = src.Size
+	dst.Taken = src.Taken
 }

@@ -403,14 +403,16 @@ func TestRotateHelper(t *testing.T) {
 	ti.Demand.B[0] = isa.BundleDemand{Ops: 2, ALU: 2}
 	ti.Demand.B[1] = isa.BundleDemand{Ops: 1, Mem: 1, Load: true}
 	ti.MemAddr[1] = 0xBEEF
-	out := rotate(&ti, 2, 4)
+	var out synth.TInst
+	rotateInto(&out, &ti, 2, 4)
 	if out.Demand.B[2].Ops != 2 || out.Demand.B[3].Mem != 1 {
 		t.Fatalf("demand not rotated: %+v", out.Demand)
 	}
 	if out.MemAddr[3] != 0xBEEF || out.MemAddr[1] != 0 {
 		t.Fatalf("addresses not rotated with demand: %v", out.MemAddr)
 	}
-	same := rotate(&ti, 0, 4)
+	var same synth.TInst
+	rotateInto(&same, &ti, 0, 4)
 	if same != ti {
 		t.Fatal("zero rotation changed instruction")
 	}

@@ -1,0 +1,27 @@
+package synth
+
+import (
+	"testing"
+
+	"vexsmt/internal/isa"
+)
+
+// TestGeneratorZeroAllocs pins the zero-allocation contract of trace
+// synthesis: Next and NextN must never touch the heap once the generator
+// is built, across the whole calibrated catalog.
+func TestGeneratorZeroAllocs(t *testing.T) {
+	for _, prof := range Catalog() {
+		g := MustNewGenerator(prof, isa.ST200x4)
+		var ti TInst
+		if allocs := testing.AllocsPerRun(1000, func() { g.Next(&ti) }); allocs != 0 {
+			t.Errorf("%s: Next allocated %.1f per call, want 0", prof.Name, allocs)
+		}
+		buf := make([]TInst, 64)
+		if allocs := testing.AllocsPerRun(200, func() { g.NextN(buf) }); allocs != 0 {
+			t.Errorf("%s: NextN allocated %.1f per call, want 0", prof.Name, allocs)
+		}
+		if allocs := testing.AllocsPerRun(200, func() { FillN(g, buf) }); allocs != 0 {
+			t.Errorf("%s: FillN allocated %.1f per call, want 0", prof.Name, allocs)
+		}
+	}
+}

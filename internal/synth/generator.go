@@ -33,6 +33,30 @@ type Stream interface {
 	Name() string
 }
 
+// BatchStream is an optional Stream extension for producers that can fill
+// whole instruction runs at once. NextN(out) must be exactly equivalent to
+// len(out) successive Next calls; batching exists so a fetch loop can
+// amortize the per-instruction interface dispatch over basic-block-sized
+// runs.
+type BatchStream interface {
+	Stream
+	// NextN fills out with the next len(out) instructions of the trace.
+	NextN(out []TInst)
+}
+
+// FillN fills out from s, using the batch path when s implements
+// BatchStream and falling back to per-instruction Next calls otherwise.
+// Either way the consumed trace prefix is identical.
+func FillN(s Stream, out []TInst) {
+	if b, ok := s.(BatchStream); ok {
+		b.NextN(out)
+		return
+	}
+	for i := range out {
+		s.Next(&out[i])
+	}
+}
+
 // codeBase separates benchmark code layouts so per-thread ICache streams
 // do not alias by construction; the generator offsets by a seed-derived
 // amount as well.
@@ -133,9 +157,15 @@ func (g *Generator) Length(scaleDiv int64) int64 {
 	return n
 }
 
-// Reset implements Stream.
+// Reset implements Stream. It reseeds the dynamic generator in place so a
+// respawn allocates nothing.
 func (g *Generator) Reset(variant uint64) {
-	g.dyn = rng.New(g.prof.Seed*0x9e37_79b9 + 0xd1b5_4a32 + variant*0x100_0001b3)
+	seed := g.prof.Seed*0x9e37_79b9 + 0xd1b5_4a32 + variant*0x100_0001b3
+	if g.dyn == nil {
+		g.dyn = rng.New(seed)
+	} else {
+		g.dyn.Seed(seed)
+	}
 	g.ri = 0
 	g.pos = 0
 	g.itersLeft = g.jitterIters(g.regions[0].meanIters)
@@ -290,7 +320,28 @@ func (g *Generator) jitterIters(mean int) int {
 
 // Next implements Stream.
 func (g *Generator) Next(t *TInst) {
-	reg := &g.regions[g.ri]
+	g.step(&g.regions[g.ri], t)
+}
+
+// NextN implements BatchStream: it emits the next len(out) instructions in
+// one call, caching the current loop region across the run so the template
+// walk stays in registers. The produced trace is exactly what len(out)
+// Next calls would have produced.
+func (g *Generator) NextN(out []TInst) {
+	ri := -1
+	var reg *region
+	for i := range out {
+		if g.ri != ri {
+			ri = g.ri
+			reg = &g.regions[ri]
+		}
+		g.step(reg, &out[i])
+	}
+}
+
+// step emits one instruction from the current position of reg (which must
+// be &g.regions[g.ri]) and advances the trace's control flow.
+func (g *Generator) step(reg *region, t *TInst) {
 	tm := &reg.body[g.pos]
 	t.Demand = tm.demand
 	t.PC = tm.pc

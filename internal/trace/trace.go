@@ -215,6 +215,19 @@ func (r *Replayer) Next(t *synth.TInst) {
 	}
 }
 
+// NextN implements synth.BatchStream: whole-slice copies per wrap instead
+// of one element copy per instruction.
+func (r *Replayer) NextN(out []synth.TInst) {
+	for len(out) > 0 {
+		n := copy(out, r.instrs[r.pos:])
+		r.pos += n
+		if r.pos == len(r.instrs) {
+			r.pos = 0
+		}
+		out = out[n:]
+	}
+}
+
 // Reset implements synth.Stream; the variant is ignored (a recorded trace
 // replays identically).
 func (r *Replayer) Reset(uint64) { r.pos = 0 }
@@ -225,4 +238,4 @@ func (r *Replayer) Length(int64) int64 { return int64(len(r.instrs)) }
 // Name implements synth.Stream.
 func (r *Replayer) Name() string { return r.name }
 
-var _ synth.Stream = (*Replayer)(nil)
+var _ synth.BatchStream = (*Replayer)(nil)
