@@ -377,14 +377,21 @@ func BenchmarkCacheAccess(b *testing.B) {
 	}
 }
 
-func benchmarkThroughput(b *testing.B, reference bool) {
+func benchmarkThroughput(b *testing.B, threads int, benchNames []string, mode sim.Mode, reference bool) {
 	// Whole-simulator speed in VLIW instructions per second.
-	mix, _ := workload.MixByLabel("mmhh")
-	profs, _ := mix.Profiles()
+	profs := make([]synth.Profile, 0, len(benchNames))
+	for _, name := range benchNames {
+		p, ok := synth.ByName(name)
+		if !ok {
+			b.Fatalf("missing profile %q", name)
+		}
+		profs = append(profs, p)
+	}
 	b.ResetTimer()
 	var instrs int64
 	for i := 0; i < b.N; i++ {
-		cfg := sim.DefaultConfig(core.CCSI(core.CommAlwaysSplit), 4).WithScale(benchScale)
+		cfg := sim.DefaultConfig(core.CCSI(core.CommAlwaysSplit), threads).WithScale(benchScale)
+		cfg.Mode = mode
 		cfg.ReferenceLoop = reference
 		s, err := sim.NewWorkload(cfg, profs)
 		if err != nil {
@@ -399,11 +406,55 @@ func benchmarkThroughput(b *testing.B, reference bool) {
 	b.ReportMetric(float64(instrs)/b.Elapsed().Seconds(), "instrs/s")
 }
 
-func BenchmarkSimulatorThroughput(b *testing.B) { benchmarkThroughput(b, false) }
+// mixNames resolves a Figure 13(b) mix label to its benchmark names.
+func mixNames(b *testing.B, label string) []string {
+	mix, err := workload.MixByLabel(label)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return mix.Benchmarks[:]
+}
+
+// imtMix is the mixed-runnability workload the per-context wake-up queue
+// targets: two software threads — one memory-bound, one compute-bound — on
+// an eight-context barrel-style interleaved machine. Six of the eight issue
+// slots are permanently dead and the other two go dead whenever their
+// thread stalls, so most cycles are skippable even though a thread is
+// runnable almost all the time — exactly the case the old global
+// all-stalled check could never skip.
+var imtMix = []string{"mcf", "x264"}
+
+const imtThreads = 8
+
+func BenchmarkSimulatorThroughput(b *testing.B) {
+	benchmarkThroughput(b, 4, mixNames(b, "mmhh"), sim.ModeSimultaneous, false)
+}
+
+// BenchmarkSimulatorThroughputIMT is the wake-up queue's target scenario
+// (see imtMix). cmd/benchgate gates it separately from the SMT-heavy
+// default so the IMT/BMT fast path cannot silently regress.
+func BenchmarkSimulatorThroughputIMT(b *testing.B) {
+	benchmarkThroughput(b, imtThreads, imtMix, sim.ModeInterleaved, false)
+}
+
+// BenchmarkSimulatorThroughputIMTReference is the bit-identical
+// one-iteration-per-cycle loop on the IMT workload; the IMT fast/reference
+// ratio is the hardware-independent quantity benchgate gates.
+func BenchmarkSimulatorThroughputIMTReference(b *testing.B) {
+	benchmarkThroughput(b, imtThreads, imtMix, sim.ModeInterleaved, true)
+}
+
+// BenchmarkSimulatorThroughputBMT tracks the blocked-multithreading
+// ablation on a stall-heavy four-thread mix (reported, not gated).
+func BenchmarkSimulatorThroughputBMT(b *testing.B) {
+	benchmarkThroughput(b, 4, mixNames(b, "hhhh"), sim.ModeBlocked, false)
+}
 
 // BenchmarkSimulatorThroughputReference runs the bit-identical
 // one-iteration-per-cycle reference loop (no stall fast-forward, no
 // batched prefetch). The ratio against BenchmarkSimulatorThroughput is
 // the event-driven core's speedup measured on the same hardware in the
 // same run — the hardware-independent quantity cmd/benchgate gates on.
-func BenchmarkSimulatorThroughputReference(b *testing.B) { benchmarkThroughput(b, true) }
+func BenchmarkSimulatorThroughputReference(b *testing.B) {
+	benchmarkThroughput(b, 4, mixNames(b, "mmhh"), sim.ModeSimultaneous, true)
+}

@@ -46,6 +46,14 @@ type Baseline struct {
 	// reference hardware before the event-driven core landed (PR 5); the
 	// report derives the speedup from it.
 	PrePRInstrsPerSec float64 `json:"pre_pr_instrs_per_sec"`
+	// IMTInstrsPerSec is the expected BenchmarkSimulatorThroughputIMT
+	// headline — the mixed-runnability interleaved-multithreading workload
+	// the per-context wake-up queue (PR 6) targets. Gated like the SMT
+	// headline; zero skips the check (pre-PR-6 baselines).
+	IMTInstrsPerSec float64 `json:"imt_instrs_per_sec,omitempty"`
+	// PrePRIMTInstrsPerSec is the IMT benchmark measured on the same
+	// reference hardware before the wake-up queue landed.
+	PrePRIMTInstrsPerSec float64 `json:"pre_pr_imt_instrs_per_sec,omitempty"`
 	// EngineCycleNsPerOp records the per-technique engine cycle costs for
 	// context; they are reported, not gated (ns/op is too noisy across
 	// hardware classes for a hard limit).
@@ -65,12 +73,22 @@ type Report struct {
 	// fast/reference ratio is hardware-independent, so it gates that the
 	// event-driven path never becomes a pessimization even when the
 	// absolute numbers shift with the runner's hardware class.
-	ReferenceInstrsPerSec float64            `json:"reference_instrs_per_sec,omitempty"`
-	FastOverReference     float64            `json:"fast_over_reference_ratio,omitempty"`
-	EngineCycleNsPerOp    map[string]float64 `json:"engine_cycle_ns_per_op,omitempty"`
-	MaxRegressionAllowed  float64            `json:"max_regression_allowed"`
-	MinFastOverReference  float64            `json:"min_fast_over_reference,omitempty"`
-	Pass                  bool               `json:"pass"`
+	ReferenceInstrsPerSec float64 `json:"reference_instrs_per_sec,omitempty"`
+	FastOverReference     float64 `json:"fast_over_reference_ratio,omitempty"`
+	// The IMT block mirrors the SMT headline for the mixed-runnability
+	// interleaved workload (BenchmarkSimulatorThroughputIMT and its
+	// bit-identical reference loop).
+	IMTInstrsPerSec          float64            `json:"imt_instrs_per_sec,omitempty"`
+	BaselineIMTInstrsPerSec  float64            `json:"baseline_imt_instrs_per_sec,omitempty"`
+	IMTRatioVsBaseline       float64            `json:"imt_ratio_vs_baseline,omitempty"`
+	PrePRIMTInstrsPerSec     float64            `json:"pre_pr_imt_instrs_per_sec,omitempty"`
+	IMTSpeedupVsPrePR        float64            `json:"imt_speedup_vs_pre_pr,omitempty"`
+	IMTReferenceInstrsPerSec float64            `json:"imt_reference_instrs_per_sec,omitempty"`
+	IMTFastOverReference     float64            `json:"imt_fast_over_reference_ratio,omitempty"`
+	EngineCycleNsPerOp       map[string]float64 `json:"engine_cycle_ns_per_op,omitempty"`
+	MaxRegressionAllowed     float64            `json:"max_regression_allowed"`
+	MinFastOverReference     float64            `json:"min_fast_over_reference,omitempty"`
+	Pass                     bool               `json:"pass"`
 }
 
 func run(args []string) error {
@@ -89,21 +107,22 @@ func run(args []string) error {
 	if *raw == "" {
 		return fmt.Errorf("-raw is required")
 	}
-	instrs, refInstrs, engine, err := parseBench(*raw)
+	m, err := parseBench(*raw)
 	if err != nil {
 		return err
 	}
-	if instrs == 0 {
+	if m.instrs == 0 {
 		return fmt.Errorf("%s: no instrs/s metric found (did BenchmarkSimulatorThroughput run?)", *raw)
 	}
 
 	if *update {
 		var base Baseline
 		if data, err := os.ReadFile(*baseline); err == nil {
-			_ = json.Unmarshal(data, &base) // keep pre-PR reference and note
+			_ = json.Unmarshal(data, &base) // keep pre-PR references and note
 		}
-		base.SimulatorInstrsPerSec = instrs
-		base.EngineCycleNsPerOp = engine
+		base.SimulatorInstrsPerSec = m.instrs
+		base.IMTInstrsPerSec = m.imt
+		base.EngineCycleNsPerOp = m.engine
 		return writeJSON(*baseline, &base)
 	}
 
@@ -120,27 +139,48 @@ func run(args []string) error {
 	}
 
 	rep := Report{
-		InstrsPerSec:          instrs,
-		BaselineInstrsPerSec:  base.SimulatorInstrsPerSec,
-		RatioVsBaseline:       instrs / base.SimulatorInstrsPerSec,
-		PrePRInstrsPerSec:     base.PrePRInstrsPerSec,
-		ReferenceInstrsPerSec: refInstrs,
-		EngineCycleNsPerOp:    engine,
-		MaxRegressionAllowed:  *maxRegress,
-		MinFastOverReference:  *minRatio,
+		InstrsPerSec:             m.instrs,
+		BaselineInstrsPerSec:     base.SimulatorInstrsPerSec,
+		RatioVsBaseline:          m.instrs / base.SimulatorInstrsPerSec,
+		PrePRInstrsPerSec:        base.PrePRInstrsPerSec,
+		ReferenceInstrsPerSec:    m.ref,
+		IMTInstrsPerSec:          m.imt,
+		BaselineIMTInstrsPerSec:  base.IMTInstrsPerSec,
+		PrePRIMTInstrsPerSec:     base.PrePRIMTInstrsPerSec,
+		IMTReferenceInstrsPerSec: m.imtRef,
+		EngineCycleNsPerOp:       m.engine,
+		MaxRegressionAllowed:     *maxRegress,
+		MinFastOverReference:     *minRatio,
 	}
 	if base.PrePRInstrsPerSec > 0 {
-		rep.SpeedupVsPrePR = instrs / base.PrePRInstrsPerSec
+		rep.SpeedupVsPrePR = m.instrs / base.PrePRInstrsPerSec
 	}
-	if refInstrs > 0 {
-		rep.FastOverReference = instrs / refInstrs
+	if m.ref > 0 {
+		rep.FastOverReference = m.instrs / m.ref
+	}
+	if m.imt > 0 && base.IMTInstrsPerSec > 0 {
+		rep.IMTRatioVsBaseline = m.imt / base.IMTInstrsPerSec
+	}
+	if m.imt > 0 && base.PrePRIMTInstrsPerSec > 0 {
+		rep.IMTSpeedupVsPrePR = m.imt / base.PrePRIMTInstrsPerSec
+	}
+	if m.imt > 0 && m.imtRef > 0 {
+		rep.IMTFastOverReference = m.imt / m.imtRef
 	}
 	absOK := rep.RatioVsBaseline >= 1.0-*maxRegress
-	ratioOK := *minRatio <= 0 || refInstrs == 0 || rep.FastOverReference >= *minRatio
-	rep.Pass = absOK && ratioOK
-	if *minRatio > 0 && refInstrs == 0 {
+	ratioOK := *minRatio <= 0 || m.ref == 0 || rep.FastOverReference >= *minRatio
+	// The IMT checks mirror the SMT ones and are skipped field-by-field when
+	// the baseline or the benchmark predates them.
+	imtAbsOK := base.IMTInstrsPerSec <= 0 || m.imt == 0 || rep.IMTRatioVsBaseline >= 1.0-*maxRegress
+	imtRatioOK := *minRatio <= 0 || m.imt == 0 || m.imtRef == 0 || rep.IMTFastOverReference >= *minRatio
+	rep.Pass = absOK && ratioOK && imtAbsOK && imtRatioOK
+	if *minRatio > 0 && m.ref == 0 {
 		fmt.Fprintln(os.Stderr, "benchgate: warning: BenchmarkSimulatorThroughputReference metric absent; "+
 			"fast/reference ratio check skipped (use an unanchored -bench pattern to include it)")
+	}
+	if base.IMTInstrsPerSec > 0 && m.imt == 0 {
+		fmt.Fprintln(os.Stderr, "benchgate: warning: BenchmarkSimulatorThroughputIMT metric absent; "+
+			"IMT checks skipped (use an unanchored -bench pattern to include it)")
 	}
 
 	// Write the artifact before gating so a failing job still uploads the
@@ -152,27 +192,49 @@ func run(args []string) error {
 	}
 	fmt.Printf("benchgate: %.0f instrs/s (baseline %.0f, ratio %.2f, fast/reference %.2f, speedup vs pre-PR %.2fx)\n",
 		rep.InstrsPerSec, rep.BaselineInstrsPerSec, rep.RatioVsBaseline, rep.FastOverReference, rep.SpeedupVsPrePR)
+	if m.imt > 0 {
+		fmt.Printf("benchgate: IMT %.0f instrs/s (baseline %.0f, ratio %.2f, fast/reference %.2f, speedup vs pre-PR %.2fx)\n",
+			rep.IMTInstrsPerSec, rep.BaselineIMTInstrsPerSec, rep.IMTRatioVsBaseline, rep.IMTFastOverReference, rep.IMTSpeedupVsPrePR)
+	}
 	if !absOK {
 		return fmt.Errorf("throughput regression: %.0f instrs/s is more than %.0f%% below baseline %.0f",
-			instrs, *maxRegress*100, base.SimulatorInstrsPerSec)
+			m.instrs, *maxRegress*100, base.SimulatorInstrsPerSec)
 	}
 	if !ratioOK {
 		return fmt.Errorf("fast loop slower than reference loop: ratio %.3f below %.3f (%.0f vs %.0f instrs/s)",
-			rep.FastOverReference, *minRatio, instrs, refInstrs)
+			rep.FastOverReference, *minRatio, m.instrs, m.ref)
+	}
+	if !imtAbsOK {
+		return fmt.Errorf("IMT throughput regression: %.0f instrs/s is more than %.0f%% below baseline %.0f",
+			m.imt, *maxRegress*100, base.IMTInstrsPerSec)
+	}
+	if !imtRatioOK {
+		return fmt.Errorf("IMT fast loop slower than reference loop: ratio %.3f below %.3f (%.0f vs %.0f instrs/s)",
+			rep.IMTFastOverReference, *minRatio, m.imt, m.imtRef)
 	}
 	return nil
 }
 
-// parseBench extracts the instrs/s headline and per-technique engine-cycle
+// benchMetrics is everything parseBench extracts from one benchmark run.
+type benchMetrics struct {
+	instrs float64 // BenchmarkSimulatorThroughput (SMT headline)
+	ref    float64 // BenchmarkSimulatorThroughputReference
+	imt    float64 // BenchmarkSimulatorThroughputIMT
+	imtRef float64 // BenchmarkSimulatorThroughputIMTReference
+	engine map[string]float64
+}
+
+// parseBench extracts the instrs/s headlines and per-technique engine-cycle
 // ns/op from benchmark output, accepting either the test2json event stream
 // of `go test -json` or plain `go test -bench` text. test2json splits a
 // benchmark result line over several output events (the name arrives with
 // a trailing tab, the metrics separately), so events are reassembled into
 // a plain text stream before line parsing.
-func parseBench(path string) (instrs, refInstrs float64, engine map[string]float64, err error) {
+func parseBench(path string) (benchMetrics, error) {
+	var m benchMetrics
 	f, err := os.Open(path)
 	if err != nil {
-		return 0, 0, nil, err
+		return m, err
 	}
 	defer f.Close()
 	var text strings.Builder
@@ -194,23 +256,36 @@ func parseBench(path string) (instrs, refInstrs float64, engine map[string]float
 		text.WriteByte('\n')
 	}
 	if err := sc.Err(); err != nil {
-		return 0, 0, nil, err
+		return m, err
 	}
 
-	engine = make(map[string]float64)
+	m.engine = make(map[string]float64)
 	for _, line := range strings.Split(text.String(), "\n") {
 		if !strings.HasPrefix(line, "Benchmark") {
 			continue
 		}
 		name, metrics := parseBenchLine(line)
+		// The throughput benchmarks share the name prefix, so match the most
+		// specific names first: IMTReference before IMT, Reference before
+		// the bare SMT headline.
 		switch {
+		case strings.HasPrefix(name, "BenchmarkSimulatorThroughputIMTReference"):
+			if v, ok := metrics["instrs/s"]; ok {
+				m.imtRef = v
+			}
+		case strings.HasPrefix(name, "BenchmarkSimulatorThroughputIMT"):
+			if v, ok := metrics["instrs/s"]; ok {
+				m.imt = v
+			}
+		case strings.HasPrefix(name, "BenchmarkSimulatorThroughputBMT"):
+			// Reported in the raw stream for trend-watching; not gated.
 		case strings.HasPrefix(name, "BenchmarkSimulatorThroughputReference"):
 			if v, ok := metrics["instrs/s"]; ok {
-				refInstrs = v
+				m.ref = v
 			}
 		case strings.HasPrefix(name, "BenchmarkSimulatorThroughput"):
 			if v, ok := metrics["instrs/s"]; ok {
-				instrs = v
+				m.instrs = v
 			}
 		case strings.HasPrefix(name, "BenchmarkEngineCycle/"):
 			if v, ok := metrics["ns/op"]; ok {
@@ -221,11 +296,11 @@ func parseBench(path string) (instrs, refInstrs float64, engine map[string]float
 						tech = tech[:i]
 					}
 				}
-				engine[tech] = v
+				m.engine[tech] = v
 			}
 		}
 	}
-	return instrs, refInstrs, engine, nil
+	return m, nil
 }
 
 // parseBenchLine splits "BenchmarkX-8  31  77076432 ns/op  4432891 instrs/s"

@@ -7,12 +7,15 @@
 //	vexsim -mix hhhh -tech SMT -threads 2 -scale 100 -seed 7
 //	vexsim -mix llll -tech CSMT -threads 4 -mode BMT        # ablation mode
 //	vexsim -mix mmhh -tech "COSI NS" -threads 4 -no-renaming
+//	vexsim -mix hhhh -mode IMT -reference-loop              # bit-identity check
+//	vexsim -mix mmhh -scale 10 -cpuprofile cpu.prof         # profile the hot loop
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime/pprof"
 
 	"vexsmt/internal/core"
 	"vexsmt/internal/sim"
@@ -20,15 +23,26 @@ import (
 )
 
 func main() {
+	// All work happens in run so its deferred cleanup (CPU profile flush,
+	// file close) executes even on error paths; os.Exit lives only here.
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "vexsim:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
 	var (
-		mixLabel = flag.String("mix", "llhh", "workload mix label (Figure 13b) or 'list'")
-		techName = flag.String("tech", "CCSI AS", `technique: SMT, CSMT, "CCSI NS", "CCSI AS", "COSI NS", "COSI AS", "OOSI NS", "OOSI AS"`)
-		threads  = flag.Int("threads", 4, "hardware thread contexts")
-		scale    = flag.Int64("scale", 100, "scale divisor of paper scale (1 = 200M instructions)")
-		seed     = flag.Uint64("seed", 1, "simulation seed")
-		mode     = flag.String("mode", "SMT", "issue mode: SMT, IMT, BMT (IMT/BMT are ablations)")
-		perfect  = flag.Bool("perfect", false, "perfect memory (no cache misses)")
-		noRename = flag.Bool("no-renaming", false, "disable cluster renaming (ablation)")
+		mixLabel   = flag.String("mix", "llhh", "workload mix label (Figure 13b) or 'list'")
+		techName   = flag.String("tech", "CCSI AS", `technique: SMT, CSMT, "CCSI NS", "CCSI AS", "COSI NS", "COSI AS", "OOSI NS", "OOSI AS"`)
+		threads    = flag.Int("threads", 4, "hardware thread contexts")
+		scale      = flag.Int64("scale", 100, "scale divisor of paper scale (1 = 200M instructions)")
+		seed       = flag.Uint64("seed", 1, "simulation seed")
+		mode       = flag.String("mode", "SMT", "issue mode: SMT, IMT, BMT (IMT/BMT are ablations)")
+		perfect    = flag.Bool("perfect", false, "perfect memory (no cache misses)")
+		noRename   = flag.Bool("no-renaming", false, "disable cluster renaming (ablation)")
+		refLoop    = flag.Bool("reference-loop", false, "use the one-iteration-per-cycle reference loop (bit-identical to the event-driven fast path, slower; for differential debugging)")
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 	)
 	flag.Parse()
 
@@ -36,20 +50,21 @@ func main() {
 		for _, m := range workload.Figure13b() {
 			fmt.Printf("%-6s %v\n", m.Label, m.Benchmarks)
 		}
-		return
+		return nil
 	}
 	mix, err := workload.MixByLabel(*mixLabel)
 	if err != nil {
-		fatal(err)
+		return err
 	}
 	tech, err := core.ParseTechnique(*techName)
 	if err != nil {
-		fatal(err)
+		return err
 	}
 	cfg := sim.DefaultConfig(tech, *threads).WithScale(*scale)
 	cfg.Seed = *seed
 	cfg.PerfectMemory = *perfect
 	cfg.ClusterRenaming = !*noRename
+	cfg.ReferenceLoop = *refLoop
 	switch *mode {
 	case "SMT":
 		cfg.Mode = sim.ModeSimultaneous
@@ -58,20 +73,32 @@ func main() {
 	case "BMT":
 		cfg.Mode = sim.ModeBlocked
 	default:
-		fatal(fmt.Errorf("unknown mode %q", *mode))
+		return fmt.Errorf("unknown mode %q", *mode)
+	}
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return err
+		}
+		defer pprof.StopCPUProfile()
 	}
 
 	profs, err := mix.Profiles()
 	if err != nil {
-		fatal(err)
+		return err
 	}
 	s, err := sim.NewWorkload(cfg, profs)
 	if err != nil {
-		fatal(err)
+		return err
 	}
 	r, err := s.Run()
 	if err != nil {
-		fatal(err)
+		return err
 	}
 
 	fmt.Printf("workload %s on %d-thread %s machine (%s mode, 1/%d scale, seed %d)\n",
@@ -93,9 +120,5 @@ func main() {
 	fmt.Printf("  mem-port stalls    %12d cycles\n", r.MemPortStallCycles)
 	fmt.Printf("  context switches   %12d\n", r.ContextSwitches)
 	fmt.Printf("  respawns           %12d\n", r.Respawns)
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "vexsim:", err)
-	os.Exit(1)
+	return nil
 }

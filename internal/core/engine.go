@@ -11,28 +11,6 @@ import (
 // arrays. The paper evaluates 1, 2 and 4 threads.
 const MaxThreads = 8
 
-// ThreadIssue tracks the in-flight VLIW instruction of one hardware thread
-// context. Execution is always in-order between the VLIW instructions of a
-// thread: the next instruction is loaded only after the current one has
-// issued in its entirety (its "last part").
-type ThreadIssue struct {
-	active  bool
-	started bool // some part already issued in an earlier cycle
-	// kind is the instruction's issue routine, lowered at Load time from
-	// the engine's technique and the instruction's comm contents (NS
-	// downgrades comm instructions to whole-instruction issue), so the
-	// per-cycle issue path never consults the Technique policy struct.
-	kind      issueKind
-	remaining [isa.MaxClusters]isa.BundleDemand
-	// live is the bitmask of clusters with unissued demand; it mirrors
-	// remaining so the issue loops visit only clusters that still hold work.
-	live uint8
-	// storeBuffered is the bitmask of clusters whose store was split-issued
-	// into the memory delay buffer and is still awaiting commit at the last
-	// part (Section V-B / V-D).
-	storeBuffered uint8
-}
-
 // ThreadResult reports what one thread did during a cycle.
 type ThreadResult struct {
 	Ops      int   // operations issued this cycle
@@ -106,6 +84,13 @@ const (
 // granularity, the engine-wide split mode, the NS comm restriction and a
 // precomputed priority-order table — so the per-cycle path runs on plain
 // branches over precomputed state instead of consulting policy structs.
+//
+// Per-thread issue state is struct-of-arrays: thread membership flags are
+// bitmasks over thread indices (active, started) and the per-thread fields
+// (issue kind, live-cluster mask, delay-buffer mask, remaining demand) are
+// flat parallel arrays, so the hot path tests and updates whole-machine
+// state with bitwise operations instead of chasing per-thread structs with
+// boolean fields.
 type Engine struct {
 	geom isa.Geometry
 	tech Technique
@@ -119,7 +104,19 @@ type Engine struct {
 	// b, b+1 mod n, ... (Section VI-A round-robin priority).
 	orderTab [MaxThreads][MaxThreads]uint8
 
-	state  [MaxThreads]ThreadIssue
+	// Per-thread issue state, struct-of-arrays (see the type comment).
+	active  uint8 // bit t: thread t has an in-flight instruction
+	started uint8 // bit t: some part of it issued in an earlier cycle
+	kind    [MaxThreads]issueKind
+	// live[t] is the bitmask of clusters with unissued demand; it mirrors
+	// remaining so the issue loops visit only clusters that still hold work.
+	live [MaxThreads]uint8
+	// storeBuf[t] is the bitmask of clusters whose store was split-issued
+	// into the memory delay buffer and is still awaiting commit at the last
+	// part (Section V-B / V-D).
+	storeBuf  [MaxThreads]uint8
+	remaining [MaxThreads][isa.MaxClusters]isa.BundleDemand
+
 	packet Packet
 	prio   Rotator
 }
@@ -179,14 +176,20 @@ func (e *Engine) Technique() Technique { return e.tech }
 func (e *Engine) Threads() int { return e.nt }
 
 // Active reports whether thread t has an in-flight instruction.
-func (e *Engine) Active(t int) bool { return e.state[t].active }
+func (e *Engine) Active(t int) bool { return e.active&(1<<uint(t)) != 0 }
+
+// ActiveMask returns the bitmask of threads with in-flight instructions.
+func (e *Engine) ActiveMask() uint8 { return e.active }
 
 // Started reports whether thread t's in-flight instruction has already
 // issued some part (and therefore must not be abandoned on context switch).
-func (e *Engine) Started(t int) bool { return e.state[t].active && e.state[t].started }
+func (e *Engine) Started(t int) bool {
+	bit := uint8(1) << uint(t)
+	return e.active&bit != 0 && e.started&bit != 0
+}
 
 // Remaining returns the unissued demand of thread t at cluster c.
-func (e *Engine) Remaining(t, c int) isa.BundleDemand { return e.state[t].remaining[c] }
+func (e *Engine) Remaining(t, c int) isa.BundleDemand { return e.remaining[t][c] }
 
 // Load hands thread t its next VLIW instruction. The caller must only call
 // it when the thread has no in-flight instruction. Demands must already be
@@ -199,35 +202,41 @@ func (e *Engine) Load(t int, d isa.InstrDemand) {
 // LoadFrom is Load without the by-value demand copy, for fetch loops that
 // already hold the demand in stable storage. d is read, never retained.
 func (e *Engine) LoadFrom(t int, d *isa.InstrDemand) {
-	st := &e.state[t]
-	if st.active {
+	bit := uint8(1) << uint(t)
+	if e.active&bit != 0 {
 		panic("core: Load on thread with in-flight instruction")
 	}
-	st.active = true
-	st.started = false
-	st.remaining = d.B
-	st.storeBuffered = 0
+	e.active |= bit
+	e.started &^= bit
+	e.remaining[t] = d.B
+	e.storeBuf[t] = 0
 	// Lower the split decision once per instruction: under NS, an
 	// instruction containing send/recv must issue whole (Section V-E).
 	kind := e.loadKind
 	if d.HasComm && e.commDowngrade {
 		kind = kindWhole
 	}
-	st.kind = kind
+	e.kind[t] = kind
 	live := uint8(0)
 	for c := 0; c < e.clusters; c++ {
 		if d.B[c].Ops != 0 {
 			live |= 1 << uint(c)
 		}
 	}
-	st.live = live
+	e.live[t] = live
 }
 
 // Flush abandons thread t's in-flight instruction (context switch between
 // timeslices; the scheduler only switches at instruction boundaries, but
 // Flush also covers squashes after taken branches in the fetch model).
 func (e *Engine) Flush(t int) {
-	e.state[t] = ThreadIssue{}
+	bit := uint8(1) << uint(t)
+	e.active &^= bit
+	e.started &^= bit
+	e.kind[t] = 0
+	e.live[t] = 0
+	e.storeBuf[t] = 0
+	e.remaining[t] = [isa.MaxClusters]isa.BundleDemand{}
 }
 
 // Cycle assembles one execution packet. ready[t] gates which threads may
@@ -244,57 +253,73 @@ func (e *Engine) Cycle(ready *[MaxThreads]bool) CycleResult {
 // CycleInto is Cycle writing into caller-owned scratch so a simulation
 // loop allocates nothing per cycle. Entries for threads [0,Threads) and
 // clusters [0,Clusters) are overwritten; entries beyond them are left
-// untouched and must not be read.
+// unspecified and must not be read.
 func (e *Engine) CycleInto(ready *[MaxThreads]bool, res *CycleResult) {
-	nt := e.nt
-	for c := 0; c < e.clusters; c++ {
-		res.MemOps[c] = 0
-		res.Commits[c] = 0
+	mask := uint8(0)
+	for t := 0; t < e.nt; t++ {
+		if ready[t] {
+			mask |= 1 << uint(t)
+		}
 	}
+	e.CycleMask(mask, res)
+}
+
+// CycleMask is the bitmask form of CycleInto and the engine's hot path:
+// ready is the bitmask of threads that may issue this cycle. An all-stalled
+// cycle (no active ready thread) reduces to the priority rotation plus the
+// packet epoch bump, with no per-thread work at all — exactly the state
+// SkipCycles folds when the simulator jumps over a run of such cycles.
+func (e *Engine) CycleMask(ready uint8, res *CycleResult) {
+	res.MemOps = [isa.MaxClusters]uint8{}
+	res.Commits = [isa.MaxClusters]uint8{}
 	res.Issued = 0
 	res.Ops = 0
 	res.Threads = 0
 	e.packet.Reset()
 	ord := &e.orderTab[e.prio.base]
 	e.prio.advance(1)
-	for i := 0; i < nt; i++ {
+	avail := e.active & ready
+	if avail == 0 {
+		return
+	}
+	for i := 0; i < e.nt; i++ {
 		t := int(ord[i])
-		st := &e.state[t]
-		if !st.active || !ready[t] {
+		bit := uint8(1) << uint(t)
+		if avail&bit == 0 {
 			continue
 		}
 		tr := &res.Thread[t]
 		*tr = ThreadResult{}
-		switch st.kind {
+		switch e.kind[t] {
 		case kindWhole:
-			e.issueWhole(st, tr)
+			e.issueWhole(t, tr)
 		case kindClusterCM:
-			e.issueClusterSplitCM(st, tr)
+			e.issueClusterSplitCM(t, tr)
 		case kindClusterOM:
-			e.issueClusterSplitOM(st, tr)
+			e.issueClusterSplitOM(t, tr)
 		default:
-			e.issueOpSplit(st, tr)
+			e.issueOpSplit(t, tr)
 		}
 		if tr.Ops == 0 {
 			continue
 		}
-		res.Issued |= 1 << uint(t)
+		res.Issued |= bit
 		res.Ops += tr.Ops
 		res.Threads++
 		if tr.LastPart {
 			// Commit delayed stores; make the context available for the
 			// next instruction. Last-part stores take the memory port at
 			// issue time.
-			for m := st.storeBuffered; m != 0; m &= m - 1 {
+			for m := e.storeBuf[t]; m != 0; m &= m - 1 {
 				res.Commits[bits.TrailingZeros8(m)]++
 			}
 			for m := tr.StoresAt; m != 0; m &= m - 1 {
 				res.MemOps[bits.TrailingZeros8(m)]++
 			}
-			st.active = false
-			st.started = false
+			e.active &^= bit
+			e.started &^= bit
 		} else {
-			st.started = true
+			e.started |= bit
 		}
 		for m := tr.LoadsAt; m != 0; m &= m - 1 {
 			res.MemOps[bits.TrailingZeros8(m)]++
@@ -313,18 +338,20 @@ func (e *Engine) SkipCycles(n int64) {
 	}
 }
 
-// issueWhole issues st's instruction with whole-instruction semantics: all
-// remaining bundles or nothing. (An unsplittable instruction always has
-// remaining == full demand.)
-func (e *Engine) issueWhole(st *ThreadIssue, tr *ThreadResult) {
-	for m := st.live; m != 0; m &= m - 1 {
-		if !e.packet.fits(bits.TrailingZeros8(m), &st.remaining[bits.TrailingZeros8(m)]) {
+// issueWhole issues thread t's instruction with whole-instruction
+// semantics: all remaining bundles or nothing. (An unsplittable instruction
+// always has remaining == full demand.)
+func (e *Engine) issueWhole(t int, tr *ThreadResult) {
+	rem := &e.remaining[t]
+	live := e.live[t]
+	for m := live; m != 0; m &= m - 1 {
+		if !e.packet.fits(bits.TrailingZeros8(m), &rem[bits.TrailingZeros8(m)]) {
 			return
 		}
 	}
-	for m := st.live; m != 0; m &= m - 1 {
+	for m := live; m != 0; m &= m - 1 {
 		c := bits.TrailingZeros8(m)
-		d := &st.remaining[c]
+		d := &rem[c]
 		e.packet.add(c, d)
 		tr.Ops += int(d.Ops)
 		tr.Clusters |= 1 << uint(c)
@@ -334,20 +361,22 @@ func (e *Engine) issueWhole(st *ThreadIssue, tr *ThreadResult) {
 		if d.Stor {
 			tr.StoresAt |= 1 << uint(c)
 		}
-		st.remaining[c] = isa.BundleDemand{}
+		rem[c] = isa.BundleDemand{}
 	}
-	st.live = 0
+	e.live[t] = 0
 	tr.LastPart = tr.Ops > 0
 }
 
-// issueClusterSplitCM issues whichever whole bundles of st's instruction
-// land on clusters no other thread claimed this cycle (the paper's CCSI):
-// operations within a bundle stay together, but bundles of one instruction
-// may issue in different cycles.
-func (e *Engine) issueClusterSplitCM(st *ThreadIssue, tr *ThreadResult) {
-	for m := st.live; m != 0; m &= m - 1 {
+// issueClusterSplitCM issues whichever whole bundles of thread t's
+// instruction land on clusters no other thread claimed this cycle (the
+// paper's CCSI): operations within a bundle stay together, but bundles of
+// one instruction may issue in different cycles.
+func (e *Engine) issueClusterSplitCM(t int, tr *ThreadResult) {
+	rem := &e.remaining[t]
+	live := e.live[t]
+	for m := live; m != 0; m &= m - 1 {
 		c := bits.TrailingZeros8(m)
-		d := &st.remaining[c]
+		d := &rem[c]
 		if !e.packet.tryAddCM(c, d) {
 			continue
 		}
@@ -359,19 +388,22 @@ func (e *Engine) issueClusterSplitCM(st *ThreadIssue, tr *ThreadResult) {
 		if d.Stor {
 			tr.StoresAt |= 1 << uint(c)
 		}
-		st.remaining[c] = isa.BundleDemand{}
-		st.live &^= 1 << uint(c)
+		rem[c] = isa.BundleDemand{}
+		live &^= 1 << uint(c)
 	}
-	e.finishSplit(st, tr)
+	e.live[t] = live
+	e.finishSplit(t, tr)
 }
 
 // issueClusterSplitOM is cluster-level split with operation-granularity
 // collision detection (COSI): a bundle joins a cluster whenever issue
 // slots and functional units suffice.
-func (e *Engine) issueClusterSplitOM(st *ThreadIssue, tr *ThreadResult) {
-	for m := st.live; m != 0; m &= m - 1 {
+func (e *Engine) issueClusterSplitOM(t int, tr *ThreadResult) {
+	rem := &e.remaining[t]
+	live := e.live[t]
+	for m := live; m != 0; m &= m - 1 {
 		c := bits.TrailingZeros8(m)
-		d := &st.remaining[c]
+		d := &rem[c]
 		if !e.packet.tryAddOM(c, d) {
 			continue
 		}
@@ -383,29 +415,33 @@ func (e *Engine) issueClusterSplitOM(st *ThreadIssue, tr *ThreadResult) {
 		if d.Stor {
 			tr.StoresAt |= 1 << uint(c)
 		}
-		st.remaining[c] = isa.BundleDemand{}
-		st.live &^= 1 << uint(c)
+		rem[c] = isa.BundleDemand{}
+		live &^= 1 << uint(c)
 	}
-	e.finishSplit(st, tr)
+	e.live[t] = live
+	e.finishSplit(t, tr)
 }
 
 // finishSplit derives the last-part/split flags shared by the split-issue
 // routines and books split-issued stores into the delay buffer.
-func (e *Engine) finishSplit(st *ThreadIssue, tr *ThreadResult) {
-	done := st.live == 0
+func (e *Engine) finishSplit(t int, tr *ThreadResult) {
+	done := e.live[t] == 0
 	tr.LastPart = done && tr.Ops > 0
 	tr.Split = !done && tr.Ops > 0
 	if tr.Split {
-		st.storeBuffered |= tr.StoresAt
+		e.storeBuf[t] |= tr.StoresAt
 	}
 }
 
-// issueOpSplit issues as many individual operations of st's instruction as
-// the packet has room for (prior work; requires superscalar-like hardware).
-func (e *Engine) issueOpSplit(st *ThreadIssue, tr *ThreadResult) {
-	for m := st.live; m != 0; m &= m - 1 {
+// issueOpSplit issues as many individual operations of thread t's
+// instruction as the packet has room for (prior work; requires
+// superscalar-like hardware).
+func (e *Engine) issueOpSplit(t int, tr *ThreadResult) {
+	rem := &e.remaining[t]
+	live := e.live[t]
+	for m := live; m != 0; m &= m - 1 {
 		c := bits.TrailingZeros8(m)
-		d := &st.remaining[c]
+		d := &rem[c]
 		take := e.packet.take(c, d)
 		if take.IsEmpty() {
 			continue
@@ -419,13 +455,14 @@ func (e *Engine) issueOpSplit(st *ThreadIssue, tr *ThreadResult) {
 		if take.Stor {
 			tr.StoresAt |= 1 << uint(c)
 		}
-		rem := subDemand(*d, take)
-		st.remaining[c] = rem
-		if rem.IsEmpty() {
-			st.live &^= 1 << uint(c)
+		r := subDemand(*d, take)
+		rem[c] = r
+		if r.IsEmpty() {
+			live &^= 1 << uint(c)
 		}
 	}
-	e.finishSplit(st, tr)
+	e.live[t] = live
+	e.finishSplit(t, tr)
 }
 
 // subDemand returns d minus take (component-wise), clearing satisfied

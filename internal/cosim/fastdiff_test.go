@@ -82,6 +82,93 @@ func TestFastLoopMatchesReferenceGrid(t *testing.T) {
 	solo := sim.DefaultConfig(core.OOSI(core.CommNoSplit), 1).WithScale(scale)
 	solo.TimesliceCycles = 0
 	runPair(t, "no-timeslice", solo, profs[:1])
+
+	// Mixed runnability: fewer jobs than contexts on a wide interleaved
+	// machine, the wake-up queue's target scenario — most issue slots are
+	// permanently dead and nearly every loop iteration is a jump.
+	for _, threads := range []int{4, 8} {
+		for _, jobs := range []int{1, 2} {
+			wide := sim.DefaultConfig(core.CCSI(core.CommAlwaysSplit), threads).WithScale(scale)
+			wide.Mode = sim.ModeInterleaved
+			runPair(t, fmt.Sprintf("imt-mixed-%dT-%dj", threads, jobs), wide, profs[:jobs])
+		}
+	}
+}
+
+// TestWakeOnTimesliceBoundary sweeps timeslice lengths around the cache
+// miss penalties so that stall expiries land before, exactly on, and after
+// timeslice boundaries (which wake idle contexts through the switch mask).
+// The queue caps every jump at the boundary; an off-by-one in that cap
+// would context-switch on a different cycle and diverge immediately.
+func TestWakeOnTimesliceBoundary(t *testing.T) {
+	mix, err := workload.MixByLabel("llhh")
+	if err != nil {
+		t.Fatal(err)
+	}
+	profs, err := mix.Profiles()
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := sim.DefaultConfig(core.CCSI(core.CommAlwaysSplit), 2).WithScale(40000)
+	pen := int64(base.DCache.MissPenalty)
+	for _, slice := range []int64{pen - 1, pen, pen + 1, 2*pen + 1, 97, 256} {
+		cfg := base
+		cfg.TimesliceCycles = slice
+		// Oversubscribe so boundary switches actually swap jobs in and out.
+		runPair(t, fmt.Sprintf("slice-%d", slice), cfg, profs[:3])
+	}
+}
+
+// TestRespawnAcrossFetchBatch gives every job a spawn length that is not a
+// multiple of the prefetch batch, so respawn boundaries repeatedly fall
+// mid-refill; the batched fast path must clamp each refill to the spawn
+// and draw the replacement stream on exactly the same instruction as the
+// one-at-a-time reference loop.
+func TestRespawnAcrossFetchBatch(t *testing.T) {
+	r := rng.New(0xba7c)
+	geom := isa.ST200x4
+	// ~100-instruction spawns against a 64-instruction fetch batch, across
+	// a few profile shapes.
+	for i := 0; i < 3; i++ {
+		prof := randomProfile(r, 100+i, geom)
+		prof.LengthMInstr = 10 + float64(i) // 100+10i instrs at scale 100000
+		cfg := sim.DefaultConfig(core.CCSI(core.CommAlwaysSplit), 2).WithScale(100_000)
+		cfg.Seed = r.Uint64()
+		profs := []synth.Profile{prof, randomProfile(r, 200+i, geom)}
+		fastSim, err := sim.NewWorkload(cfg, profs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		run, err := fastSim.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if run.Respawns == 0 {
+			t.Fatalf("trial %d: no respawns; spawn lengths too long for the scenario", i)
+		}
+		runPair(t, fmt.Sprintf("respawn-%d", i), cfg, profs)
+	}
+}
+
+// TestAllContextsWakeSameCycle runs identically-seeded copies of one
+// profile on every context: the threads stall and wake in lockstep, so
+// whole-machine sleeps end with every context waking on the same cycle and
+// the queue minimum is an n-way tie. Ties must resolve to the same cycle
+// the reference loop reaches by stepping.
+func TestAllContextsWakeSameCycle(t *testing.T) {
+	prof, ok := synth.ByName("mcf") // memory-bound: stalls constantly
+	if !ok {
+		t.Fatal("missing profile")
+	}
+	for _, mode := range []sim.Mode{sim.ModeSimultaneous, sim.ModeInterleaved, sim.ModeBlocked} {
+		cfg := sim.DefaultConfig(core.SMT(), 4).WithScale(40000)
+		cfg.Mode = mode
+		// Four byte-identical streams: same profile, and NewWorkload derives
+		// every job's generator seed from the same (profile seed, config
+		// seed) pair, so all four contexts draw the same instructions.
+		profs := []synth.Profile{prof, prof, prof, prof}
+		runPair(t, fmt.Sprintf("lockstep-%s", mode), cfg, profs)
+	}
 }
 
 // randomProfile draws a structurally valid synthetic-benchmark profile:
@@ -110,9 +197,12 @@ func randomProfile(r *rng.Rand, i int, geom isa.Geometry) synth.Profile {
 }
 
 // TestFastLoopPropertyRandomized is the randomized differential property:
-// random profiles, geometries, techniques, thread counts, seeds and
-// scheduling parameters, with full stats.Run equality between the fast
-// and reference cores on every draw.
+// random profiles, geometries, techniques, thread counts (up to the full
+// 8-context machine), issue modes, job counts (under- and oversubscribed)
+// and scheduling parameters, with full stats.Run equality between the fast
+// and reference cores on every draw. Undersubscribed interleaved draws are
+// the wake-up queue's hardest case: most issue slots are permanently dead,
+// so nearly every fast-loop step is a computed jump.
 func TestFastLoopPropertyRandomized(t *testing.T) {
 	r := rng.New(0xd1ff)
 	geoms := []isa.Geometry{
@@ -122,6 +212,7 @@ func TestFastLoopPropertyRandomized(t *testing.T) {
 		{Clusters: 1, IssueWidth: 4, ALUs: 4, Muls: 2, MemUnits: 1},
 	}
 	techs := core.AllTechniques()
+	modes := []sim.Mode{sim.ModeSimultaneous, sim.ModeInterleaved, sim.ModeBlocked}
 	trials := 25
 	if testing.Short() {
 		trials = 6
@@ -129,9 +220,10 @@ func TestFastLoopPropertyRandomized(t *testing.T) {
 	for trial := 0; trial < trials; trial++ {
 		geom := geoms[r.Intn(len(geoms))]
 		tech := techs[r.Intn(len(techs))]
-		threads := 1 + r.Intn(4)
+		threads := 1 + r.Intn(8)
 		cfg := sim.DefaultConfig(tech, threads).WithScale(20000 + int64(r.Intn(20000)))
 		cfg.Geom = geom
+		cfg.Mode = modes[r.Intn(len(modes))]
 		cfg.Seed = r.Uint64()
 		cfg.ClusterRenaming = r.Bool(0.5)
 		cfg.PerfectMemory = r.Bool(0.2)
@@ -141,15 +233,18 @@ func TestFastLoopPropertyRandomized(t *testing.T) {
 			cfg.TimesliceCycles = int64(500 + r.Intn(5000))
 		}
 		nprofs := threads
-		if r.Bool(0.5) {
+		switch {
+		case r.Bool(0.4):
 			nprofs = threads + 1 + r.Intn(2) // oversubscribe: waiting jobs rotate in
+		case r.Bool(0.5):
+			nprofs = 1 + r.Intn(threads) // undersubscribe: idle contexts, dead slots
 		}
 		profs := make([]synth.Profile, nprofs)
 		for i := range profs {
 			profs[i] = randomProfile(r, trial*10+i, geom)
 		}
-		label := fmt.Sprintf("trial %d (%s, %dC, %dT, slice %d, perfect %v)",
-			trial, tech.Name(), geom.Clusters, threads, cfg.TimesliceCycles, cfg.PerfectMemory)
+		label := fmt.Sprintf("trial %d (%s, %s, %dC, %dT, %d jobs, slice %d, perfect %v)",
+			trial, tech.Name(), cfg.Mode, geom.Clusters, threads, nprofs, cfg.TimesliceCycles, cfg.PerfectMemory)
 		runPair(t, label, cfg, profs)
 	}
 }

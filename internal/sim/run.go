@@ -17,21 +17,25 @@ import (
 // so a cycle allocates nothing; simulators share zero mutable state, so
 // any number of them may run on concurrent goroutines.
 //
-// The loop is event-driven: when every hardware context is blocked for a
-// computable number of cycles (DCache-miss stalls, ICache fetch stalls,
-// taken-branch penalties, waiting for a timeslice switch), nextEventCycle
-// computes the first cycle at which any state can change and the loop
-// jumps straight to it, folding the skipped cycles into the counters and
-// the engine's priority rotation in one step. Completed runs are
-// bit-identical to the one-iteration-per-cycle reference loop
-// (Config.ReferenceLoop), which the differential tests in internal/cosim
-// machine-check.
+// The loop is event-driven around a per-context wake-up queue: every
+// hardware context owns a computed wake-up cycle (DCache-miss stalls,
+// ICache fetch stalls, taken-branch penalties, timeslice waits, and the
+// wait for the context's own issue slot under interleaved multithreading
+// are all computable at the point they begin). nextEventCycle takes the
+// queue minimum — capped at timeslice boundaries and cancellation polls —
+// and the loop jumps straight to it, folding the skipped cycles into the
+// counters and the engine's priority rotation in one step. Unlike a
+// global all-stalled check, the queue jumps even when some contexts are
+// runnable: under IMT a runnable thread still leaves the cycles between
+// its issue slots provably dead. Completed runs are bit-identical to the
+// one-iteration-per-cycle reference loop (Config.ReferenceLoop), which
+// the differential tests in internal/cosim machine-check.
 
 // runState holds one run's bookkeeping and reusable per-cycle buffers.
 type runState struct {
-	ready      [core.MaxThreads]bool // issue mask, rebuilt every cycle
-	res        core.CycleResult      // engine scratch, rewritten every cycle
-	raw        synth.TInst           // reference-loop fetch scratch
+	wq         wakeQueue        // per-context wake-up event queue
+	res        core.CycleResult // engine scratch, rewritten every cycle
+	raw        synth.TInst      // reference-loop fetch scratch
 	maxCycles  int64
 	sliceEnd   int64
 	ctxCheckAt int64 // next cycle at which ctx.Err() is polled
@@ -58,6 +62,15 @@ func (s *Simulator) Run() (*stats.Run, error) {
 func (s *Simulator) RunContext(ctx context.Context) (*stats.Run, error) {
 	s.beginRun()
 	fast := !s.cfg.ReferenceLoop
+	// Jump-check policy: attempting a jump costs a wake-up-queue rebuild,
+	// so it runs lazily, only on the iteration right after an empty cycle.
+	// A dead stretch always announces itself with one empty cycle — a cycle
+	// where nothing issues — so at most one dead cycle per stretch executes
+	// through the phases before the queue folds the rest into a jump, while
+	// productive cycles (the expensive ones) never pay for a rebuild. The
+	// policy is bit-identical by construction: a forgone jump just executes
+	// dead cycles one at a time, exactly like the reference loop.
+	tryJump := fast
 	for cycle := int64(0); ; cycle++ {
 		// End of warmup: discard counters, keep caches and pipeline state.
 		if s.st.warming && s.run.Instrs >= s.cfg.WarmupInstrs {
@@ -76,12 +89,13 @@ func (s *Simulator) RunContext(ctx context.Context) (*stats.Run, error) {
 		}
 		s.expireTimeslice(cycle)
 
-		if fast {
+		if tryJump {
+			tryJump = false // re-armed by the next empty cycle
 			if next := s.nextEventCycle(cycle); next > cycle {
-				// Every context is blocked until at least next: each skipped
-				// cycle would have run the three phases to no effect beyond
-				// one empty machine cycle and one priority-rotation step.
-				// Fold them all in one jump.
+				// No context can fetch, load or issue before next: each
+				// skipped cycle would have run the three phases to no effect
+				// beyond one empty machine cycle and one priority-rotation
+				// step. Fold them all in one jump.
 				skip := next - cycle
 				s.run.Cycles += skip
 				s.run.EmptyCycles += skip
@@ -104,31 +118,67 @@ func (s *Simulator) RunContext(ctx context.Context) (*stats.Run, error) {
 			s.finish()
 			return &s.run, nil
 		}
+		tryJump = fast && res.Ops == 0
 	}
 }
 
-// nextEventCycle returns the earliest cycle at which any context can act.
-// A return equal to cycle means some thread can fetch, load or issue right
-// now; a later return means every cycle in [cycle, next) is provably dead:
-// the phases would only count an empty cycle and rotate the issue
-// priority. The jump is capped at the next timeslice boundary (which can
-// wake idle contexts via wantSwitch), the next cancellation poll, and the
-// runaway guard, so all scheduling bookkeeping still happens on exactly
-// the cycles it would have happened on.
+// nextEventCycle rebuilds the per-context wake-up queue and returns the
+// earliest cycle at which any context can act. A return equal to cycle
+// means some context can fetch, load or issue right now; a later return
+// means every cycle in [cycle, next) is provably dead: the phases would
+// only count an empty cycle and rotate the issue priority.
+//
+// A context's wake-up cycle is its stall expiry (ready), with one
+// mode-dependent refinement: under interleaved multithreading a context
+// whose instruction is already loaded can only issue on its own slot —
+// cycles congruent to its index modulo the context count — so its wake-up
+// rounds up to that slot and the loop jumps over the dead slots of other
+// contexts even while this one is runnable. The jump is capped at the next
+// timeslice boundary (which can wake idle contexts via the switch mask),
+// the next cancellation poll, and the runaway guard, so all scheduling
+// bookkeeping still happens on exactly the cycles it would have happened
+// on.
 func (s *Simulator) nextEventCycle(cycle int64) int64 {
-	next := s.st.maxCycles
-	for t := range s.ctxs {
-		c := &s.ctxs[t]
-		if !c.haveInstr && c.job == nil && !c.wantSwitch {
-			continue // nothing can wake this context before the next timeslice
-		}
-		if c.ready <= cycle {
-			return cycle
-		}
-		if c.ready < next {
-			next = c.ready
-		}
+	q := &s.st.wq
+	horizon := s.st.maxCycles
+	imt := s.cfg.Mode == ModeInterleaved
+	n := int64(len(s.ctxs))
+	pick := int64(0)
+	if imt {
+		pick = cycle % n // the cycle's issue-slot phase, computed once
 	}
+	for t := range s.ctxs {
+		bit := uint8(1) << uint(t)
+		if s.have&bit == 0 && s.ctxs[t].job == nil && s.wantSw&bit == 0 {
+			q.park(t, horizon) // nothing can wake it before the next timeslice
+			continue
+		}
+		w := s.ready[t]
+		if w < cycle {
+			w = cycle
+		}
+		if imt && s.loaded&bit != 0 {
+			// Round w up to the context's own issue slot (cycles congruent
+			// to t mod n), derived from the precomputed phase with small
+			// adjustments: (t - w) mod n = (t - pick - (w-cycle) mod n) mod n,
+			// and the inner reduction only needs a division in the rare case
+			// of a loaded context stalled a full rotation or more ahead.
+			d := w - cycle
+			if d >= n {
+				d %= n
+			}
+			off := int64(t) - pick - d // in [-(2n-2), n-1]
+			if off < 0 {
+				off += n
+				if off < 0 {
+					off += n
+				}
+			}
+			w += off
+		}
+		q.set(t, w)
+	}
+	next := q.min()
 	if s.cfg.TimesliceCycles > 0 && s.st.sliceEnd < next {
 		next = s.st.sliceEnd
 	}
@@ -151,6 +201,7 @@ func (s *Simulator) beginRun() {
 	if s.st.maxCycles == 0 {
 		s.st.maxCycles = cfg.LimitInstrs*64 + 10_000_000
 	}
+	s.st.wq.reset(len(s.ctxs), s.st.maxCycles)
 	s.st.sliceEnd = cfg.TimesliceCycles
 	s.st.ctxEvery = cfg.TimesliceCycles
 	if s.st.ctxEvery <= 0 || s.st.ctxEvery > cancelCheckCycles {
@@ -175,37 +226,37 @@ func (s *Simulator) endWarmup() {
 // ends; switches happen at each context's next instruction boundary.
 func (s *Simulator) expireTimeslice(cycle int64) {
 	if s.cfg.TimesliceCycles > 0 && cycle >= s.st.sliceEnd {
-		for t := range s.ctxs {
-			s.ctxs[t].wantSwitch = true
-		}
+		s.wantSw = s.allCtx
 		s.st.sliceEnd += s.cfg.TimesliceCycles
 	}
 }
 
-// fetchPhase advances every context's front end. Contexts whose current
-// instruction is already loaded into the engine have nothing to fetch
-// (the same early return fetch itself would take).
+// fetchPhase advances the front end of every context that is not already
+// loaded into the engine (a loaded bit implies the have bit, and such
+// contexts have nothing to fetch — the same early return fetch itself
+// would take).
 func (s *Simulator) fetchPhase(cycle int64) {
-	for t := range s.ctxs {
-		c := &s.ctxs[t]
-		if c.haveInstr && c.loaded {
-			continue
-		}
-		s.fetch(t, cycle)
+	for m := s.allCtx &^ s.loaded; m != 0; m &= m - 1 {
+		s.fetch(bits.TrailingZeros8(m), cycle)
 	}
 }
 
-// issuePhase rebuilds the ready mask, applies the IMT/BMT mode
-// restriction, and runs the merge/split engine for one cycle, writing the
-// result into caller-owned scratch.
+// issuePhase builds the ready mask branchlessly from the struct-of-arrays
+// context state, applies the IMT/BMT mode restriction, and runs the
+// merge/split engine for one cycle, writing the result into caller-owned
+// scratch.
 func (s *Simulator) issuePhase(cycle int64, res *core.CycleResult) {
+	mask := uint8(0)
 	for t := range s.ctxs {
-		s.st.ready[t] = s.ctxs[t].loaded && cycle >= s.ctxs[t].ready
+		// Bit t is set when ready[t] <= cycle: the sign bit of
+		// cycle-ready[t], inverted — no compare-and-branch per context.
+		mask |= uint8((^uint64(cycle-s.ready[t]))>>63) << uint(t)
 	}
+	mask &= s.loaded
 	if s.cfg.Mode != ModeSimultaneous {
-		s.applyMode(cycle, &s.st.ready)
+		mask = s.applyMode(cycle, mask)
 	}
-	s.eng.CycleInto(&s.st.ready, res)
+	s.eng.CycleMask(mask, res)
 }
 
 // commitPhase accounts the cycle's results: global counters, per-thread
@@ -223,32 +274,32 @@ func (s *Simulator) commitPhase(cycle int64, res *core.CycleResult) {
 	for m := res.Issued; m != 0; m &= m - 1 {
 		t := bits.TrailingZeros8(m)
 		tr := &res.Thread[t]
-		c := &s.ctxs[t]
 		if tr.Split {
-			c.wasSplit = true
+			s.wasSplit |= 1 << uint(t)
 		}
-		s.accountLoads(c, tr, cycle)
+		s.accountLoads(t, tr, cycle)
 		if tr.LastPart {
-			s.retire(c, cycle)
+			s.retire(t, cycle)
 		}
 	}
 }
 
 // accountLoads charges DCache accesses for loads, which access at issue
 // time and stall the thread on a miss (VEX less-than-or-equal semantics).
-func (s *Simulator) accountLoads(c *ctx, tr *core.ThreadResult, cycle int64) {
+func (s *Simulator) accountLoads(t int, tr *core.ThreadResult, cycle int64) {
 	if tr.LoadsAt == 0 || s.cfg.PerfectMemory {
 		return
 	}
+	c := &s.ctxs[t]
 	for m := tr.LoadsAt; m != 0; m &= m - 1 {
 		cl := bits.TrailingZeros8(m)
 		s.run.DCacheAccesses++
 		if !s.dc.Access(c.ti.MemAddr[cl]) {
 			s.run.DCacheMisses++
 			pen := int64(s.cfg.DCache.MissPenalty)
-			if nr := cycle + 1 + pen; nr > c.ready {
+			if nr := cycle + 1 + pen; nr > s.ready[t] {
 				s.run.MemStallCycles += pen
-				c.ready = nr
+				s.ready[t] = nr
 			}
 		}
 	}
@@ -257,22 +308,24 @@ func (s *Simulator) accountLoads(c *ctx, tr *core.ThreadResult, cycle int64) {
 // retire completes a VLIW instruction on its last issued part: split
 // accounting, store commit, counters, branch penalty, and the run's
 // termination condition.
-func (s *Simulator) retire(c *ctx, cycle int64) {
-	if c.wasSplit {
+func (s *Simulator) retire(t int, cycle int64) {
+	bit := uint8(1) << uint(t)
+	if s.wasSplit&bit != 0 {
 		s.run.SplitInstrs++
-		c.wasSplit = false
+		s.wasSplit &^= bit
 	}
+	c := &s.ctxs[t]
 	s.commitStores(c)
 	s.run.Instrs++
 	c.job.Executed++
 	c.job.remaining--
-	c.haveInstr = false
-	c.loaded = false
+	s.have &^= bit
+	s.loaded &^= bit
 	if c.ti.Taken {
 		pen := int64(s.cfg.TakenBranchPenalty)
-		if nr := cycle + 1 + pen; nr > c.ready {
+		if nr := cycle + 1 + pen; nr > s.ready[t] {
 			s.run.BranchStallCycles += pen
-			c.ready = nr
+			s.ready[t] = nr
 		}
 	}
 	if c.job.Executed >= s.cfg.LimitInstrs {
@@ -313,19 +366,20 @@ func (s *Simulator) portStallCycles(res *core.CycleResult) int64 {
 func (s *Simulator) fetch(t int, cycle int64) {
 	cfg := &s.cfg
 	c := &s.ctxs[t]
-	if c.haveInstr {
-		if !c.loaded && cycle >= c.ready {
+	bit := uint8(1) << uint(t)
+	if s.have&bit != 0 {
+		if s.loaded&bit == 0 && cycle >= s.ready[t] {
 			s.eng.LoadFrom(t, &c.ti.Demand)
-			c.loaded = true
+			s.loaded |= bit
 		}
 		return
 	}
-	if cycle < c.ready {
+	if cycle < s.ready[t] {
 		return
 	}
-	if c.wantSwitch {
+	if s.wantSw&bit != 0 {
 		s.contextSwitch(t)
-		c.wantSwitch = false
+		s.wantSw &^= bit
 	}
 	if c.job == nil {
 		return
@@ -336,18 +390,18 @@ func (s *Simulator) fetch(t int, cycle int64) {
 	}
 	raw := s.nextInstr(c.job)
 	rotateInto(&c.ti, raw, c.rotation, cfg.Geom.Clusters)
-	c.haveInstr = true
+	s.have |= bit
 	if !cfg.PerfectMemory {
 		s.run.ICacheAccesses++
 		if pen := s.ic.AccessPenalty(raw.PC); pen > 0 {
 			s.run.ICacheMisses++
 			s.run.FetchStallCycles += int64(pen)
-			c.ready = cycle + int64(pen)
+			s.ready[t] = cycle + int64(pen)
 			return
 		}
 	}
 	s.eng.LoadFrom(t, &c.ti.Demand)
-	c.loaded = true
+	s.loaded |= bit
 }
 
 // respawn restarts a completed benchmark with a fresh variant. The job's
@@ -422,33 +476,25 @@ func (s *Simulator) contextSwitch(t int) {
 }
 
 // applyMode restricts the ready mask for the IMT/BMT ablation modes.
-func (s *Simulator) applyMode(cycle int64, ready *[core.MaxThreads]bool) {
+func (s *Simulator) applyMode(cycle int64, mask uint8) uint8 {
 	switch s.cfg.Mode {
 	case ModeInterleaved:
-		pick := int(cycle % int64(s.cfg.Threads))
-		for t := range s.ctxs {
-			if t != pick {
-				ready[t] = false
-			}
-		}
+		return mask & (1 << uint(cycle%int64(s.cfg.Threads)))
 	case ModeBlocked:
 		// Stay on the current thread while it is ready; otherwise rotate to
 		// the next ready one.
-		if !ready[s.bmtCur] {
+		if mask&(1<<uint(s.bmtCur)) == 0 {
 			for i := 1; i <= s.cfg.Threads; i++ {
 				cand := (s.bmtCur + i) % s.cfg.Threads
-				if ready[cand] {
+				if mask&(1<<uint(cand)) != 0 {
 					s.bmtCur = cand
 					break
 				}
 			}
 		}
-		for t := range s.ctxs {
-			if t != s.bmtCur {
-				ready[t] = false
-			}
-		}
+		return mask & (1 << uint(s.bmtCur))
 	}
+	return mask
 }
 
 func (s *Simulator) finish() {

@@ -12,10 +12,8 @@ import (
 )
 
 // fetchBatch is how many instructions a job prefetches from its stream per
-// refill: roughly a basic-block run, so the per-instruction interface
-// dispatch of Stream.Next amortizes away without buffering so far ahead
-// that respawn bookkeeping gets complicated.
-const fetchBatch = 64
+// refill; the sizing rationale lives with the generator (synth.BatchSize).
+const fetchBatch = synth.BatchSize
 
 // Job is one software thread of the workload: a benchmark instance that
 // respawns when it runs to completion (Section VI-A).
@@ -39,16 +37,16 @@ func NewJob(s synth.Stream, scaleDiv int64) *Job {
 	return &Job{Stream: s, remaining: n, drawsLeft: n}
 }
 
-// ctx is one hardware thread context.
+// ctx is one hardware thread context's boxed state: the job it runs and
+// its in-flight instruction. The context's scheduling state — wake-up
+// cycle and pipeline condition flags — lives in flat struct-of-arrays on
+// the Simulator (ready, and the have/loaded/wantSw/wasSplit bitmasks), so
+// the per-cycle paths evaluate whole-machine conditions with bitwise
+// operations instead of walking per-context structs with bool fields.
 type ctx struct {
-	job        *Job
-	ti         synth.TInst // current instruction, cluster-renamed
-	haveInstr  bool
-	loaded     bool
-	wasSplit   bool
-	ready      int64 // cycle at which the context may fetch/issue again
-	wantSwitch bool
-	rotation   int
+	job      *Job
+	ti       synth.TInst // current instruction, cluster-renamed
+	rotation int
 }
 
 // Simulator runs one configuration over one workload. A Simulator owns all
@@ -65,6 +63,15 @@ type Simulator struct {
 	ctxs []ctx
 	r    *rng.Rand
 	run  stats.Run
+
+	// Per-context scheduling state, struct-of-arrays (bit t of a mask is
+	// hardware context t; see the ctx type comment).
+	ready    [core.MaxThreads]int64 // cycle at which the context may fetch/issue again
+	have     uint8                  // contexts holding a fetched instruction
+	loaded   uint8                  // contexts whose instruction is loaded into the engine
+	wantSw   uint8                  // contexts marked for replacement at the next boundary
+	wasSplit uint8                  // contexts whose current instruction has split-issued
+	allCtx   uint8                  // (1 << Threads) - 1
 
 	st      runState // per-run bookkeeping and per-cycle scratch
 	waiting []*Job   // reusable context-switch candidate buffer
@@ -111,6 +118,7 @@ func New(cfg Config, jobs []*Job) (*Simulator, error) {
 		}
 	}
 	s.ctxs = make([]ctx, cfg.Threads)
+	s.allCtx = uint8(1)<<uint(cfg.Threads) - 1
 	for t := range s.ctxs {
 		if t < len(jobs) {
 			s.ctxs[t].job = jobs[t]

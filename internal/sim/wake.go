@@ -1,0 +1,49 @@
+package sim
+
+import "vexsmt/internal/core"
+
+// wakeQueue is the per-context wake-up event queue of the event-driven run
+// loop: one computed wake-up cycle per hardware context, held in a fixed
+// flat array. Every stall source is computable at the point it begins
+// (DCache miss penalties, ICache fetch stalls, taken-branch penalties,
+// timeslice waits, and — under interleaved multithreading — the wait for
+// the context's next issue slot), so the loop asks the queue for the
+// earliest wake-up and jumps straight to it.
+//
+// The queue is deliberately a flat array with a linear minimum scan, not a
+// heap: the context count is at most core.MaxThreads (8), every entry can
+// change on every simulated event, and an unordered fixed array makes
+// set/park single stores and min() a handful of conditional moves — cheaper
+// than maintaining any sorted invariant at this size, and allocation-free
+// by construction.
+type wakeQueue struct {
+	n   int
+	cyc [core.MaxThreads]int64
+}
+
+// reset sizes the queue for n contexts and parks them all at horizon.
+func (q *wakeQueue) reset(n int, horizon int64) {
+	q.n = n
+	for t := 0; t < n; t++ {
+		q.cyc[t] = horizon
+	}
+}
+
+// set records context t's next wake-up cycle.
+func (q *wakeQueue) set(t int, cycle int64) { q.cyc[t] = cycle }
+
+// park removes context t from consideration until horizon (a context with
+// no job, no instruction and no pending switch: only a timeslice boundary
+// can make it runnable again, and jumps are capped there separately).
+func (q *wakeQueue) park(t int, horizon int64) { q.cyc[t] = horizon }
+
+// min returns the earliest wake-up cycle over all contexts.
+func (q *wakeQueue) min() int64 {
+	m := q.cyc[0]
+	for t := 1; t < q.n; t++ {
+		if c := q.cyc[t]; c < m {
+			m = c
+		}
+	}
+	return m
+}

@@ -1,0 +1,127 @@
+package sim
+
+import (
+	"testing"
+
+	"vexsmt/internal/core"
+)
+
+// TestWakeQueueBasics pins the queue's semantics: reset parks everything at
+// the horizon, set/park are per-context stores, and min scans all sized
+// contexts (and only those).
+func TestWakeQueueBasics(t *testing.T) {
+	var q wakeQueue
+	q.reset(4, 1000)
+	if got := q.min(); got != 1000 {
+		t.Fatalf("fresh queue min = %d, want horizon 1000", got)
+	}
+	q.set(2, 70)
+	q.set(0, 90)
+	if got := q.min(); got != 70 {
+		t.Fatalf("min = %d, want 70", got)
+	}
+	q.park(2, 1000)
+	if got := q.min(); got != 90 {
+		t.Fatalf("min after park = %d, want 90", got)
+	}
+	// Entries beyond n must not leak into min: size down to 2 contexts
+	// after planting an early wake-up in slot 3.
+	q.set(3, 1)
+	q.reset(2, 500)
+	if got := q.min(); got != 500 {
+		t.Fatalf("resized queue min = %d, want 500 (slot 3 out of range)", got)
+	}
+}
+
+// TestNextEventCycleIMTSlotRounding checks the interleaved-mode refinement
+// directly: a loaded, runnable context's wake-up rounds up to its own issue
+// slot (cycles congruent to its index mod the context count), while an
+// unloaded context keeps its exact stall expiry (ICache penalties are
+// relative to the fetch cycle, so fetching later would change behavior).
+func TestNextEventCycleIMTSlotRounding(t *testing.T) {
+	cfg := testConfig(core.CCSI(core.CommAlwaysSplit), 4)
+	cfg.Mode = ModeInterleaved
+	m := mustMix(t, "hhhh")
+	profs, err := m.Profiles()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := NewWorkload(cfg, profs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.beginRun()
+
+	// Context 2 is the only live context: loaded and ready since cycle 0.
+	// At cycle 5 its next issue slot is cycle 6 (6 mod 4 == 2).
+	s.have, s.loaded = 1<<2, 1<<2
+	for i := range s.ctxs {
+		if i != 2 {
+			s.ctxs[i].job = nil
+		}
+		s.ready[i] = 0
+	}
+	if got := s.nextEventCycle(5); got != 6 {
+		t.Fatalf("loaded context slot rounding: next = %d, want 6", got)
+	}
+	// Stalled until cycle 8: first own slot at or after 8 is 10.
+	s.ready[2] = 8
+	if got := s.nextEventCycle(5); got != 10 {
+		t.Fatalf("stalled loaded context: next = %d, want 10", got)
+	}
+	// Stalled across multiple rotations: 21 rounds up to 22.
+	s.ready[2] = 21
+	if got := s.nextEventCycle(5); got != 22 {
+		t.Fatalf("multi-rotation stall: next = %d, want 22", got)
+	}
+	// Unloaded context: the wake-up is the exact stall expiry (a fetch
+	// event), not a slot.
+	s.loaded = 0
+	s.ready[2] = 8
+	if got := s.nextEventCycle(5); got != 8 {
+		t.Fatalf("unloaded context: next = %d, want exact expiry 8", got)
+	}
+}
+
+// TestFastForwardJumpZeroAllocsIMT pins zero allocations per fast-forward
+// jump on the wake-up queue's target scenario: an interleaved machine with
+// most contexts empty, where nearly every loop iteration is a queue rebuild
+// followed by a multi-cycle jump.
+func TestFastForwardJumpZeroAllocsIMT(t *testing.T) {
+	cfg := testConfig(core.CCSI(core.CommAlwaysSplit), 8)
+	cfg.Mode = ModeInterleaved
+	m := mustMix(t, "llhh")
+	profs, err := m.Profiles()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := NewWorkload(cfg, profs[:2])
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.beginRun()
+	cycle := int64(0)
+	jumps := 0
+	allocs := testing.AllocsPerRun(20_000, func() {
+		s.expireTimeslice(cycle)
+		if next := s.nextEventCycle(cycle); next > cycle {
+			skip := next - cycle
+			s.run.Cycles += skip
+			s.run.EmptyCycles += skip
+			s.eng.SkipCycles(skip)
+			cycle = next
+			jumps++
+			return
+		}
+		s.fetchPhase(cycle)
+		s.issuePhase(cycle, &s.st.res)
+		s.commitPhase(cycle, &s.st.res)
+		cycle += s.portStallCycles(&s.st.res) + 1
+	})
+	if allocs != 0 {
+		t.Errorf("%.2f allocs per iteration, want 0", allocs)
+	}
+	if jumps == 0 {
+		t.Error("mixed-runnability IMT run performed no jumps; scenario is not exercising the queue")
+	}
+}

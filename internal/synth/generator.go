@@ -44,6 +44,16 @@ type BatchStream interface {
 	NextN(out []TInst)
 }
 
+// BatchSize is the recommended refill size for prefetch buffers drawing
+// from a Stream: roughly one basic-block run, big enough to amortize the
+// per-instruction interface dispatch of Next. Consumers must clamp a
+// refill to the current spawn (respawn boundaries fall mid-refill
+// otherwise), which also bounds how far a buffer can run ahead of what a
+// context will consume — the event-driven run loop jumps the clock over
+// dead cycles, but each context still drains its buffer strictly in trace
+// order, so larger batches buy nothing once dispatch is amortized.
+const BatchSize = 64
+
 // FillN fills out from s, using the batch path when s implements
 // BatchStream and falling back to per-instruction Next calls otherwise.
 // Either way the consumed trace prefix is identical.
