@@ -19,13 +19,24 @@
 //	vexsmtctl -shards http://a:8080,http://b:8080       # two-backend sweep
 //	vexsmtctl -fig 14,15 -scale 1000 -json results.json # JSON export
 //	vexsmtctl -cache off                                # bypass result caches
+//
+// Fleet mode (see pkg/vexsmt/fleet) replaces the static -shards list with
+// a registry daemons join on their own:
+//
+//	vexsmtctl -coordinator :9090            # host the fleet registry
+//	vexsmtctl -fleet http://host:9090 -status            # member table
+//	vexsmtctl -fleet http://host:9090 -fig 14            # fleet sweep
+//	vexsmtctl -fleet http://host:9090 -fig 14 -prefetch  # warm caches only
 package main
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
+	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"runtime"
@@ -36,6 +47,7 @@ import (
 
 	"vexsmt/pkg/vexsmt"
 	"vexsmt/pkg/vexsmt/cache"
+	"vexsmt/pkg/vexsmt/fleet"
 	"vexsmt/pkg/vexsmt/shard"
 )
 
@@ -86,6 +98,12 @@ func run(args []string) error {
 		cacheOn  = fs.String("cache", "on", "result cache: on (in-process runs use the disk cache; remote backends use theirs) or off (bypass everywhere)")
 		cacheDir = fs.String("cache-dir", "", "in-process result cache directory (default: the user cache dir, e.g. ~/.cache/vexsmt)")
 		verbose  = fs.Bool("v", false, "log placement, steals, retries and backend failures")
+
+		coordinator = fs.String("coordinator", "", "serve a standalone fleet registry on this address (e.g. :9090) instead of running a sweep")
+		fleetTTL    = fs.Duration("fleet-ttl", fleet.DefaultTTL, "with -coordinator: registration lease; members silent longer are evicted")
+		fleetURL    = fs.String("fleet", "", "fleet registry URL; the sweep runs across the daemons registered there")
+		status      = fs.Bool("status", false, "with -fleet: print the fleet's member table and exit")
+		prefetch    = fs.Bool("prefetch", false, "with -fleet: push the plan's cells to the fleet's caches, wait for warm-up, and exit")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -100,20 +118,31 @@ func run(args []string) error {
 			urls = append(urls, u)
 		}
 	}
+	if *fleetURL != "" && len(urls) > 0 {
+		return fmt.Errorf("-fleet and -shards are exclusive: the fleet registry replaces the static backend list")
+	}
+	if (*status || *prefetch) && *fleetURL == "" {
+		return fmt.Errorf("-status and -prefetch need -fleet (the registry to talk to)")
+	}
 
-	// Only the in-process path opens the disk cache — a remote run
+	// Only the in-process sweep path opens the disk cache — a remote run
 	// forwards the on/off decision to the daemons, which own their caches,
 	// and must not create an unused directory on the client. The mode is
 	// still validated up front either way, so a bad -cache value dies
 	// before any daemon is contacted.
 	var diskCache *cache.Disk
-	if len(urls) == 0 {
+	switch {
+	case *coordinator != "" || *status:
+		// No sweep runs; no cache is involved.
+	case len(urls) > 0 || *fleetURL != "":
+		if err := cache.ValidateMode(*cacheOn); err != nil {
+			return err
+		}
+	default:
 		var err error
 		if diskCache, err = cache.FromFlag(*cacheOn, *cacheDir); err != nil {
 			return err
 		}
-	} else if err := cache.ValidateMode(*cacheOn); err != nil {
-		return err
 	}
 
 	// SIGTERM too: CI cancellation and `timeout` send it, and dying without
@@ -121,16 +150,26 @@ func run(args []string) error {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
+	if *coordinator != "" {
+		return runCoordinator(ctx, *coordinator, *fleetTTL)
+	}
+	if *status {
+		return printFleetStatus(ctx, *fleetURL)
+	}
+
 	plan, err := gridPlan(*fig, *sweep)
 	if err != nil {
 		return err
+	}
+	if *prefetch {
+		return runPrefetch(ctx, *fleetURL, plan, *scale, *seed)
 	}
 
 	start := time.Now()
 	var rs *vexsmt.ResultSet
 	nBackends := len(urls)
 	var cacheStats func() vexsmt.CacheStats
-	if len(urls) == 0 {
+	if len(urls) == 0 && *fleetURL == "" {
 		// Single-process reference path: a plain Service.Collect routed
 		// through the same cell scheduler as everything else. Its canonical
 		// encoding is exactly what distributed runs are diffed against.
@@ -157,14 +196,6 @@ func run(args []string) error {
 		}
 		rs.Canonicalize()
 	} else {
-		var backends []shard.Backend
-		for _, u := range urls {
-			b, err := shard.NewHTTP(u)
-			if err != nil {
-				return err
-			}
-			backends = append(backends, b)
-		}
 		cfg := shard.Config{
 			Scale:    *scale,
 			Seed:     *seed,
@@ -180,9 +211,38 @@ func run(args []string) error {
 			}
 		}
 		progressDone := liveProgress(&cfg)
-		coord, err := shard.New(cfg, backends...)
-		if err != nil {
-			return err
+		var coord *shard.Coordinator
+		if *fleetURL != "" {
+			// The registry is the backend source, re-resolved per sweep —
+			// daemons that joined since the last run are picked up here.
+			src, err := fleet.NewHTTPSource(*fleetURL, nil)
+			if err != nil {
+				return err
+			}
+			members, err := fleet.FetchMembers(ctx, nil, *fleetURL)
+			if err != nil {
+				return err
+			}
+			if len(members) == 0 {
+				return fmt.Errorf("fleet at %s has no registered daemons", *fleetURL)
+			}
+			nBackends = len(members)
+			if coord, err = shard.NewFromSource(cfg, src); err != nil {
+				return err
+			}
+		} else {
+			var backends []shard.Backend
+			for _, u := range urls {
+				b, err := shard.NewHTTP(u)
+				if err != nil {
+					return err
+				}
+				backends = append(backends, b)
+			}
+			var err error
+			if coord, err = shard.New(cfg, backends...); err != nil {
+				return err
+			}
 		}
 		rs, err = coord.Collect(ctx, plan)
 		progressDone()
@@ -210,6 +270,145 @@ func run(args []string) error {
 	}
 	printIPCSummary(rs)
 	return nil
+}
+
+// runCoordinator hosts a standalone fleet registry: daemons register
+// under /v1/fleet/ and /healthz answers with a fleet-wide rollup, so one
+// curl shows the whole fleet's capacity and cache footprint. Serves
+// until SIGINT/SIGTERM.
+func runCoordinator(ctx context.Context, addr string, ttl time.Duration) error {
+	if ttl <= 0 {
+		return fmt.Errorf("-fleet-ttl must be positive")
+	}
+	// Three beats per lease: one dropped heartbeat never evicts a member,
+	// a dead one leaves within a lease.
+	interval := ttl / 3
+	if interval < 200*time.Millisecond {
+		interval = 200 * time.Millisecond
+	}
+	reg := fleet.NewRegistry(fleet.WithTTL(ttl), fleet.WithHeartbeatInterval(interval))
+	mux := http.NewServeMux()
+	mux.Handle("/v1/fleet/", reg.Handler())
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(map[string]any{"ok": true, "role": "coordinator", "fleet": reg.Rollup()})
+	})
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("vexsmtctl coordinator listening on %s (lease %s, heartbeat %s)\n", ln.Addr(), ttl, interval)
+	hs := &http.Server{Handler: mux}
+	errc := make(chan error, 1)
+	go func() { errc <- hs.Serve(ln) }()
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+	shctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	return hs.Shutdown(shctx)
+}
+
+// printFleetStatus renders the registry's member table.
+func printFleetStatus(ctx context.Context, registryURL string) error {
+	members, err := fleet.FetchMembers(ctx, nil, registryURL)
+	if err != nil {
+		return err
+	}
+	if len(members) == 0 {
+		fmt.Println("fleet: no registered daemons")
+		return nil
+	}
+	fmt.Printf("%-20s %-28s %5s %5s %6s %8s %9s %9s\n",
+		"MEMBER", "URL", "CAP", "RUN", "SIMS", "ENTRIES", "PEERHITS", "UPTIME")
+	for _, m := range members {
+		cacheEntries := "-"
+		if m.CacheEnabled {
+			cacheEntries = fmt.Sprintf("%d", m.CacheSize.Entries)
+		}
+		fmt.Printf("%-20s %-28s %5d %5d %6d %8s %9d %9s\n",
+			m.ID, m.URL, m.Capacity, m.Running, m.Simulations,
+			cacheEntries, m.Cache.PeerHits,
+			(time.Duration(m.UptimeSeconds) * time.Second).String())
+	}
+	return nil
+}
+
+// runPrefetch pushes the plan's cells across the fleet's caches
+// (round-robin over the cacheful members) and waits until every member's
+// background warm-up drains, so a sweep scheduled right after runs
+// against a warm fleet.
+func runPrefetch(ctx context.Context, registryURL string, plan vexsmt.Plan, scale int64, seed uint64) error {
+	scratch, err := vexsmt.New(vexsmt.WithScale(scale), vexsmt.WithSeed(seed))
+	if err != nil {
+		return err
+	}
+	cells, err := scratch.PlanCells(plan)
+	if err != nil {
+		return err
+	}
+	members, err := fleet.FetchMembers(ctx, nil, registryURL)
+	if err != nil {
+		return err
+	}
+	assignments := fleet.Assign(cells, members)
+	if err := fleet.Push(ctx, nil, assignments, scale, seed); err != nil {
+		return err
+	}
+	for _, a := range assignments {
+		fmt.Printf("prefetch: %d cell(s) -> %s\n", len(a.Cells), a.Member.ID)
+	}
+	deadline := time.Now().Add(10 * time.Minute)
+	for {
+		warming := 0
+		for _, a := range assignments {
+			n, err := prefetchActive(ctx, a.Member.URL)
+			if err != nil {
+				continue // a dead member costs warmth, not the prefetch
+			}
+			warming += n
+		}
+		if warming == 0 {
+			fmt.Printf("prefetch: fleet warm (%d cells over %d member(s))\n", len(cells), len(assignments))
+			return nil
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("prefetch still warming after 10m")
+		}
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-time.After(200 * time.Millisecond):
+		}
+	}
+}
+
+// prefetchActive reads one daemon's background warm-up count off
+// /healthz.
+func prefetchActive(ctx context.Context, baseURL string) (int, error) {
+	ctx, cancel := context.WithTimeout(ctx, 3*time.Second)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet,
+		strings.TrimRight(baseURL, "/")+"/healthz", nil)
+	if err != nil {
+		return 0, err
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	var out struct {
+		PrefetchActive int `json:"prefetch_active"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return 0, err
+	}
+	return out.PrefetchActive, nil
 }
 
 // liveProgress wires a single-line progress meter into cfg and returns a

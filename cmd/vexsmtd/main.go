@@ -16,6 +16,13 @@
 // contract. On SIGINT/SIGTERM the daemon cancels every running plan (so
 // attached NDJSON streams receive a terminal "cancelled" status line),
 // drains in-flight requests for up to -drain, and exits.
+//
+// With -join, the daemon becomes a fleet member (see pkg/vexsmt/fleet):
+// it registers with the registry at the given URL, heartbeats its
+// capacity and cache footprint, fills local cache misses from its peers'
+// caches before simulating, and deregisters on shutdown:
+//
+//	vexsmtd -addr :0 -join http://coordinator:9090
 package main
 
 import (
@@ -28,10 +35,13 @@ import (
 	"os"
 	"os/signal"
 	"runtime"
+	"strconv"
 	"syscall"
 	"time"
 
+	"vexsmt/pkg/vexsmt"
 	"vexsmt/pkg/vexsmt/cache"
+	"vexsmt/pkg/vexsmt/fleet"
 	"vexsmt/pkg/vexsmt/server"
 )
 
@@ -52,6 +62,9 @@ func run() error {
 		cacheOn   = flag.String("cache", "on", "result cache: on (content-addressed disk cache, shared across runs) or off")
 		cacheDir  = flag.String("cache-dir", "", "result cache directory (default: the user cache dir, e.g. ~/.cache/vexsmt)")
 		pprofAddr = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060); off when empty")
+		join      = flag.String("join", "", "fleet registry URL to register with (e.g. http://coordinator:9090); empty runs standalone")
+		name      = flag.String("name", "", "fleet member id (default: the advertised host:port)")
+		advertise = flag.String("advertise", "", "base URL peers reach this daemon at (default: derived from the bound listener)")
 	)
 	flag.Parse()
 
@@ -79,26 +92,75 @@ func run() error {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
-	var srvOpts []server.Option
 	d, err := cache.FromFlag(*cacheOn, *cacheDir)
 	if err != nil {
 		return err
 	}
-	if d != nil {
-		srvOpts = append(srvOpts, server.WithCache(d))
-		fmt.Printf("vexsmtd result cache at %s\n", d.Dir())
-	}
-	srv := server.New(*scale, *seed, *parallel, srvOpts...)
 	// Listen explicitly (rather than ListenAndServe) so the bound address is
 	// printable: with -addr :0 the kernel picks the port, and shard
-	// coordinators or test harnesses scrape it from this line.
+	// coordinators or test harnesses scrape it from this line. Listening
+	// before building the server also fixes the advertised URL a fleet
+	// member registers under.
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		return err
 	}
+
+	// Fleet wiring: the heartbeat's snapshot closes over srv (assigned
+	// below, before the heartbeat loop starts), and the cache gains a
+	// peer-fill tier reading the heartbeat's peer view.
+	var srv *server.Server
+	var cellCache vexsmt.CellCache
+	if d != nil {
+		cellCache = d
+	}
+	var hb *fleet.Heartbeat
+	if *join != "" {
+		advURL := *advertise
+		if advURL == "" {
+			advURL = deriveAdvertise(ln.Addr())
+		}
+		id := *name
+		if id == "" {
+			id = advURL
+		}
+		snapshot := func() fleet.Member {
+			m := fleet.Member{ID: id, URL: advURL}
+			if srv == nil {
+				return m
+			}
+			st := srv.Stats()
+			m.Capacity = st.Capacity
+			m.Running = st.Running
+			m.UptimeSeconds = st.UptimeSeconds
+			m.Simulations = st.Simulations
+			m.CacheEnabled = st.CacheEnabled
+			m.Cache = st.Cache
+			m.CacheSize = st.CacheSize
+			return m
+		}
+		if hb, err = fleet.NewHeartbeat(*join, snapshot); err != nil {
+			ln.Close()
+			return err
+		}
+		if d != nil {
+			cellCache = cache.WithPeerFill(d, fleet.NewFetcher(id, hb.Peers).Fetch)
+		}
+		fmt.Printf("vexsmtd joining fleet at %s as %s (%s)\n", *join, id, advURL)
+	}
+
+	var srvOpts []server.Option
+	if cellCache != nil {
+		srvOpts = append(srvOpts, server.WithCache(cellCache))
+		fmt.Printf("vexsmtd result cache at %s\n", d.Dir())
+	}
+	srv = server.New(*scale, *seed, *parallel, srvOpts...)
 	hs := &http.Server{Handler: srv.Handler()}
 	errc := make(chan error, 1)
 	go func() { errc <- hs.Serve(ln) }()
+	if hb != nil {
+		go hb.Run(ctx)
+	}
 	fmt.Printf("vexsmtd listening on %s (defaults: 1/%d scale, seed %d, parallelism %d)\n",
 		ln.Addr(), *scale, *seed, *parallel)
 
@@ -134,4 +196,19 @@ func run() error {
 		return fmt.Errorf("drain: %w", drainErr)
 	}
 	return nil
+}
+
+// deriveAdvertise turns the bound listener address into a URL peers can
+// dial. A wildcard bind (":8080", "0.0.0.0", "::") advertises loopback —
+// right for single-machine fleets and CI; multi-host fleets pass
+// -advertise explicitly.
+func deriveAdvertise(addr net.Addr) string {
+	host, port := "127.0.0.1", ""
+	if ta, ok := addr.(*net.TCPAddr); ok {
+		port = strconv.Itoa(ta.Port)
+		if ta.IP != nil && !ta.IP.IsUnspecified() {
+			host = ta.IP.String()
+		}
+	}
+	return "http://" + net.JoinHostPort(host, port)
 }

@@ -179,3 +179,119 @@ func TestDiskConcurrentWritersAgree(t *testing.T) {
 		<-done
 	}
 }
+
+func TestCacheSizeTracking(t *testing.T) {
+	m := NewMemory(2)
+	m.Put("a", []byte("1234"))
+	m.Put("b", []byte("56"))
+	if sz := m.CacheSize(); sz.Entries != 2 || sz.Bytes != 6 {
+		t.Fatalf("memory size %+v, want 2 entries / 6 bytes", sz)
+	}
+	m.Put("a", []byte("1")) // overwrite shrinks
+	m.Put("c", []byte("789"))
+	// b evicted (a refreshed by overwrite): entries a(1) + c(3).
+	if sz := m.CacheSize(); sz.Entries != 2 || sz.Bytes != 4 {
+		t.Fatalf("memory size after eviction %+v, want 2 entries / 4 bytes", sz)
+	}
+
+	dir := t.TempDir()
+	d, err := NewDisk(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.Put("abcd", []byte("payload"))
+	sz := d.CacheSize()
+	if sz.Entries != 1 || sz.Bytes <= int64(len("payload")) {
+		t.Fatalf("disk size %+v, want 1 entry incl. checksum overhead", sz)
+	}
+	// A fresh instance over the same directory seeds its counters by scan.
+	d2, err := NewDisk(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := d2.CacheSize(); got != sz {
+		t.Fatalf("rescanned size %+v != live size %+v", got, sz)
+	}
+}
+
+// fetchFunc is a test peer-fill hook with call accounting.
+type fetchFunc struct {
+	calls int
+	data  map[string][]byte
+}
+
+func (f *fetchFunc) fetch(key string) ([]byte, bool) {
+	f.calls++
+	v, ok := f.data[key]
+	return v, ok
+}
+
+func TestPeerFillFillsLocalOnPeerHit(t *testing.T) {
+	peer := &fetchFunc{data: map[string][]byte{"k1": []byte("from-peer")}}
+	local := NewMemory(0)
+	pf := WithPeerFill(local, peer.fetch)
+
+	// Local miss, peer hit: payload returned and written back locally.
+	got, ok := pf.Get("k1")
+	if !ok || string(got) != "from-peer" {
+		t.Fatalf("peer fill: ok=%v got=%q", ok, got)
+	}
+	if peer.calls != 1 {
+		t.Fatalf("peer asked %d times, want 1", peer.calls)
+	}
+	// Second Get is a local hit; peers are not bothered again.
+	if _, ok := pf.Get("k1"); !ok {
+		t.Fatal("filled entry missing locally")
+	}
+	if peer.calls != 1 {
+		t.Fatalf("peer asked again after local fill (%d calls)", peer.calls)
+	}
+	// Miss everywhere counts a peer miss.
+	if _, ok := pf.Get("absent"); ok {
+		t.Fatal("absent key hit")
+	}
+	st := pf.Stats()
+	if st.PeerHits != 1 || st.PeerMisses != 1 {
+		t.Fatalf("peer stats %+v, want 1 hit / 1 miss", st)
+	}
+	if st.Hits != 1 || st.Misses != 2 {
+		t.Fatalf("local stats %+v, want 1 hit / 2 misses", st)
+	}
+	if pf.Local() != vexsmt.CellCache(local) {
+		t.Fatal("Local() does not return the wrapped cache")
+	}
+}
+
+func TestPeerFillWithoutLocalStore(t *testing.T) {
+	peer := &fetchFunc{data: map[string][]byte{"k": []byte("v")}}
+	pf := WithPeerFill(nil, peer.fetch)
+	if got, ok := pf.Get("k"); !ok || string(got) != "v" {
+		t.Fatalf("ok=%v got=%q", ok, got)
+	}
+	pf.Put("dropped", []byte("x")) // must not panic
+	if _, ok := pf.Get("dropped"); ok {
+		t.Fatal("Put stored despite nil local cache (peer should not have it)")
+	}
+	st := pf.Stats()
+	if st.PeerHits != 1 || st.PeerMisses != 1 || st.Misses != 2 {
+		t.Fatalf("stats %+v", st)
+	}
+	if sz := pf.CacheSize(); sz != (vexsmt.CacheSize{}) {
+		t.Fatalf("nil local cache sized %+v", sz)
+	}
+}
+
+func TestPeerFillNilFetchIsPlainCache(t *testing.T) {
+	local := NewMemory(0)
+	pf := WithPeerFill(local, nil)
+	pf.Put("k", []byte("v"))
+	if got, ok := pf.Get("k"); !ok || string(got) != "v" {
+		t.Fatalf("ok=%v got=%q", ok, got)
+	}
+	if _, ok := pf.Get("absent"); ok {
+		t.Fatal("absent key hit")
+	}
+	if st := pf.Stats(); st.PeerHits != 0 || st.PeerMisses != 0 {
+		t.Fatalf("peer traffic without a fetch hook: %+v", st)
+	}
+}

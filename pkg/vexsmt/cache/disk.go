@@ -5,8 +5,11 @@ import (
 	"crypto/sha256"
 	"encoding/hex"
 	"fmt"
+	"io/fs"
 	"os"
 	"path/filepath"
+	"strings"
+	"sync/atomic"
 
 	"vexsmt/pkg/vexsmt"
 )
@@ -26,6 +29,11 @@ import (
 // daemons and CLIs at once.
 type Disk struct {
 	dir string
+	// entries/bytes approximate the store's footprint: seeded by a scan at
+	// open and adjusted by this process's Puts and corrupt-entry removals.
+	// Other processes sharing the directory drift the numbers — they are a
+	// sizing signal for prefetch/eviction decisions, not accounting.
+	entries, bytes atomic.Int64
 	counters
 }
 
@@ -41,7 +49,24 @@ func NewDisk(dir string) (*Disk, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("cache: %w", err)
 	}
-	return &Disk{dir: dir}, nil
+	d := &Disk{dir: dir}
+	d.scanSize()
+	return d, nil
+}
+
+// scanSize walks the store once to seed the footprint counters with the
+// entries previous processes left behind.
+func (d *Disk) scanSize() {
+	_ = filepath.WalkDir(d.dir, func(path string, de fs.DirEntry, err error) error {
+		if err != nil || de.IsDir() || strings.HasPrefix(de.Name(), ".tmp-") {
+			return nil
+		}
+		if info, err := de.Info(); err == nil {
+			d.entries.Add(1)
+			d.bytes.Add(info.Size())
+		}
+		return nil
+	})
 }
 
 // Dir returns the cache's root directory.
@@ -83,7 +108,12 @@ func (d *Disk) Get(key string) ([]byte, bool) {
 func (d *Disk) corrupt(key string) {
 	d.errs.Add(1)
 	d.misses.Add(1)
-	os.Remove(d.path(key))
+	if info, err := os.Stat(d.path(key)); err == nil {
+		if os.Remove(d.path(key)) == nil {
+			d.entries.Add(-1)
+			d.bytes.Add(-info.Size())
+		}
+	}
 }
 
 // Put implements vexsmt.CellCache: write checksum + payload to a temp
@@ -108,6 +138,10 @@ func (d *Disk) Put(key string, value []byte) {
 	if cerr := f.Close(); werr == nil {
 		werr = cerr
 	}
+	var oldSize int64 = -1 // -1: no prior entry
+	if info, err := os.Stat(p); err == nil {
+		oldSize = info.Size()
+	}
 	if werr == nil {
 		werr = os.Rename(f.Name(), p)
 	}
@@ -116,8 +150,21 @@ func (d *Disk) Put(key string, value []byte) {
 		d.errs.Add(1)
 		return
 	}
+	newSize := int64(len(value)) + sha256.Size*2 + 1 // checksum line + payload
+	if oldSize < 0 {
+		d.entries.Add(1)
+		d.bytes.Add(newSize)
+	} else {
+		d.bytes.Add(newSize - oldSize)
+	}
 	d.puts.Add(1)
 }
 
 // Stats implements vexsmt.CellCache.
 func (d *Disk) Stats() vexsmt.CacheStats { return d.stats() }
+
+// CacheSize implements vexsmt.CacheSizer (see the entries/bytes field
+// comment for the approximation contract).
+func (d *Disk) CacheSize() vexsmt.CacheSize {
+	return vexsmt.CacheSize{Entries: d.entries.Load(), Bytes: d.bytes.Load()}
+}

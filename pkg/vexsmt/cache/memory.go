@@ -17,10 +17,11 @@ const defaultMemoryEntries = 4096
 // safe for concurrent use and returns defensive copies, so callers can
 // never corrupt a stored payload.
 type Memory struct {
-	mu  sync.Mutex
-	max int
-	ll  *list.List // front = most recent; values are *memEntry
-	idx map[string]*list.Element
+	mu    sync.Mutex
+	max   int
+	bytes int64      // sum of live payload lengths
+	ll    *list.List // front = most recent; values are *memEntry
+	idx   map[string]*list.Element
 	counters
 }
 
@@ -63,22 +64,35 @@ func (m *Memory) Put(key string, value []byte) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	if el, ok := m.idx[key]; ok {
-		el.Value.(*memEntry).val = cp
+		e := el.Value.(*memEntry)
+		m.bytes += int64(len(cp)) - int64(len(e.val))
+		e.val = cp
 		m.ll.MoveToFront(el)
 		m.puts.Add(1)
 		return
 	}
 	m.idx[key] = m.ll.PushFront(&memEntry{key: key, val: cp})
+	m.bytes += int64(len(cp))
 	for m.ll.Len() > m.max {
 		oldest := m.ll.Back()
 		m.ll.Remove(oldest)
-		delete(m.idx, oldest.Value.(*memEntry).key)
+		e := oldest.Value.(*memEntry)
+		m.bytes -= int64(len(e.val))
+		delete(m.idx, e.key)
 	}
 	m.puts.Add(1)
 }
 
 // Stats implements vexsmt.CellCache.
 func (m *Memory) Stats() vexsmt.CacheStats { return m.stats() }
+
+// CacheSize implements vexsmt.CacheSizer: live entries and their payload
+// bytes (bookkeeping overhead excluded).
+func (m *Memory) CacheSize() vexsmt.CacheSize {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return vexsmt.CacheSize{Entries: int64(m.ll.Len()), Bytes: m.bytes}
+}
 
 // Len returns the number of live entries (test instrumentation).
 func (m *Memory) Len() int {

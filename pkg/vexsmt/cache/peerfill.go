@@ -1,0 +1,101 @@
+package cache
+
+import (
+	"sync/atomic"
+
+	"vexsmt/pkg/vexsmt"
+)
+
+// PeerFill layers fleet-wide cache coordination over a local cache: a Get
+// that misses locally asks peers for the content-addressed key — results
+// are location-independent by construction, so any member's entry is as
+// good as a local simulation — and a peer hit is written back into the
+// local store so the next Get is local. The fetch hook is transport-
+// agnostic; pkg/vexsmt/fleet provides the HTTP implementation (GET
+// /v1/cache/{key} against registered peers, checksum-verified).
+//
+// Like every CellCache, PeerFill is best-effort and strictly transparent:
+// a peer returns exactly the bytes it stored (the fetcher rejects anything
+// that fails its checksum), so peer-filled sweeps stay byte-identical to
+// simulated ones. A nil local cache is allowed — Gets then go straight to
+// peers and Puts are dropped — so a daemon running -cache off can still
+// read the fleet's entries.
+type PeerFill struct {
+	local vexsmt.CellCache
+	fetch func(key string) ([]byte, bool)
+
+	peerHits, peerMisses atomic.Int64
+}
+
+var (
+	_ vexsmt.CellCache  = (*PeerFill)(nil)
+	_ vexsmt.CacheSizer = (*PeerFill)(nil)
+)
+
+// WithPeerFill wraps local (which may be nil) with a peer-fill hook.
+// fetch must be safe for concurrent use and return ok only for payloads it
+// has verified; a nil fetch just returns local.
+func WithPeerFill(local vexsmt.CellCache, fetch func(key string) ([]byte, bool)) *PeerFill {
+	return &PeerFill{local: local, fetch: fetch}
+}
+
+// Get implements vexsmt.CellCache: local first, then peers, filling the
+// local store on a peer hit.
+func (p *PeerFill) Get(key string) ([]byte, bool) {
+	if p.local != nil {
+		if v, ok := p.local.Get(key); ok {
+			return v, true
+		}
+	}
+	if p.fetch == nil {
+		return nil, false
+	}
+	v, ok := p.fetch(key)
+	if !ok {
+		p.peerMisses.Add(1)
+		return nil, false
+	}
+	p.peerHits.Add(1)
+	if p.local != nil {
+		p.local.Put(key, v)
+	}
+	return v, true
+}
+
+// Put implements vexsmt.CellCache, storing locally only — peers pull
+// entries on demand; nothing is pushed.
+func (p *PeerFill) Put(key string, value []byte) {
+	if p.local != nil {
+		p.local.Put(key, value)
+	}
+}
+
+// Stats implements vexsmt.CellCache: the local cache's counters plus the
+// wrapper's peer traffic.
+func (p *PeerFill) Stats() vexsmt.CacheStats {
+	var st vexsmt.CacheStats
+	if p.local != nil {
+		st = p.local.Stats()
+	} else {
+		// No local store: every peer probe was also a miss of the (absent)
+		// local tier, so the headline counters still add up for dashboards.
+		st.Misses = p.peerHits.Load() + p.peerMisses.Load()
+	}
+	st.PeerHits = p.peerHits.Load()
+	st.PeerMisses = p.peerMisses.Load()
+	return st
+}
+
+// CacheSize implements vexsmt.CacheSizer by forwarding to the local cache
+// when it can size itself.
+func (p *PeerFill) CacheSize() vexsmt.CacheSize {
+	if s, ok := p.local.(vexsmt.CacheSizer); ok {
+		return s.CacheSize()
+	}
+	return vexsmt.CacheSize{}
+}
+
+// Local returns the wrapped cache (possibly nil) — servers export it on
+// GET /v1/cache/{key} so peer requests read the local tier only and two
+// cold daemons cannot ping-pong a missing key between each other.
+func (p *PeerFill) Local() vexsmt.CellCache { return p.local }

@@ -30,12 +30,34 @@ type CellCache interface {
 
 // CacheStats counts cache traffic. Errors counts entries that existed but
 // failed verification (corrupt files, short reads); every such entry also
-// counts as a miss.
+// counts as a miss. PeerHits/PeerMisses count local misses that were then
+// resolved (or not) by asking fleet peers for the key — they are only
+// non-zero behind a peer-fill wrapper (see pkg/vexsmt/cache.WithPeerFill),
+// and a peer hit is also a local miss in Misses: the local store was
+// consulted first.
 type CacheStats struct {
-	Hits   int64 `json:"hits"`
-	Misses int64 `json:"misses"`
-	Puts   int64 `json:"puts"`
-	Errors int64 `json:"errors"`
+	Hits       int64 `json:"hits"`
+	Misses     int64 `json:"misses"`
+	Puts       int64 `json:"puts"`
+	Errors     int64 `json:"errors"`
+	PeerHits   int64 `json:"peer_hits,omitempty"`
+	PeerMisses int64 `json:"peer_misses,omitempty"`
+}
+
+// CacheSize is a cache's current footprint: live entries and their payload
+// bytes. Both are sizing signals (prefetch planning, eviction pressure,
+// the fleet /healthz rollup), not accounting — implementations sharing a
+// directory between processes report their best local approximation.
+type CacheSize struct {
+	Entries int64 `json:"entries"`
+	Bytes   int64 `json:"bytes"`
+}
+
+// CacheSizer is optionally implemented by CellCache implementations that
+// can report their footprint. The server's /healthz checks for it; caches
+// that cannot size themselves simply omit the numbers.
+type CacheSizer interface {
+	CacheSize() CacheSize
 }
 
 // CacheEpoch versions the simulator's *behavior* for cache addressing.

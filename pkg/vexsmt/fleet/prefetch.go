@@ -1,0 +1,110 @@
+package fleet
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strings"
+	"time"
+
+	"vexsmt/pkg/vexsmt"
+)
+
+// Assignment is one member's share of a prefetch: the cells it is asked
+// to warm its cache with.
+type Assignment struct {
+	Member Member
+	Cells  []vexsmt.CellSpec
+}
+
+// Assign deals cells round-robin over the members sorted by ID. The
+// deal is deterministic — same cells, same membership, same assignments
+// — so repeated prefetches of one plan land each cell on the same
+// daemon, and a subsequent sweep finds entries either locally or one
+// peer fill away. Members without a cache warm nothing; with no cacheful
+// member the result is empty.
+func Assign(cells []vexsmt.CellSpec, members []Member) []Assignment {
+	targets := make([]Assignment, 0, len(members))
+	for _, m := range members {
+		if m.CacheEnabled {
+			targets = append(targets, Assignment{Member: m})
+		}
+	}
+	if len(targets) == 0 || len(cells) == 0 {
+		return nil
+	}
+	sort.Slice(targets, func(i, j int) bool { return targets[i].Member.ID < targets[j].Member.ID })
+	for i, c := range cells {
+		t := &targets[i%len(targets)]
+		t.Cells = append(t.Cells, c)
+	}
+	out := targets[:0]
+	for _, t := range targets {
+		if len(t.Cells) > 0 {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// Push POSTs each assignment to its member's /v1/prefetch, pinning the
+// keys' seed and scale. Pushes are best-effort per member — a dead
+// daemon costs its share of warmth — but a fleet that accepts nothing is
+// an error. A nil client uses http.DefaultClient.
+func Push(ctx context.Context, client *http.Client, assignments []Assignment, scale int64, seed uint64) error {
+	if client == nil {
+		client = http.DefaultClient
+	}
+	if len(assignments) == 0 {
+		return fmt.Errorf("fleet: nothing to prefetch (no cacheful members?)")
+	}
+	accepted := 0
+	var firstErr error
+	for _, a := range assignments {
+		if err := pushOne(ctx, client, a, scale, seed); err != nil {
+			if firstErr == nil {
+				firstErr = err
+			}
+			continue
+		}
+		accepted++
+	}
+	if accepted == 0 {
+		return fmt.Errorf("fleet: no member accepted its prefetch: %w", firstErr)
+	}
+	return nil
+}
+
+func pushOne(ctx context.Context, client *http.Client, a Assignment, scale int64, seed uint64) error {
+	body, err := json.Marshal(struct {
+		Cells []vexsmt.CellSpec `json:"cells"`
+		Scale int64             `json:"scale"`
+		Seed  uint64            `json:"seed"`
+	}{Cells: a.Cells, Scale: scale, Seed: seed})
+	if err != nil {
+		return err
+	}
+	ctx, cancel := context.WithTimeout(ctx, 5*time.Second)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost,
+		strings.TrimRight(a.Member.URL, "/")+"/v1/prefetch", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := client.Do(req)
+	if err != nil {
+		return fmt.Errorf("fleet: prefetch to %s: %w", a.Member.ID, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 4<<10))
+		return fmt.Errorf("fleet: prefetch to %s: status %d: %s",
+			a.Member.ID, resp.StatusCode, strings.TrimSpace(string(msg)))
+	}
+	return nil
+}

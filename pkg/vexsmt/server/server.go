@@ -7,12 +7,16 @@ package server
 
 import (
 	"context"
+	"crypto/sha256"
+	"encoding/hex"
 	"encoding/json"
 	"fmt"
 	"net/http"
 	"sort"
 	"strconv"
+	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"vexsmt/pkg/vexsmt"
@@ -29,14 +33,31 @@ import (
 //	                            NDJSON: one CellResult per line as cells
 //	                            complete, then a final status line
 //	DELETE /v1/plans?id=ID      cancel a running plan
+//	GET    /v1/cache/{key}      serve one local result-cache entry (peer fill)
+//	POST   /v1/prefetch         warm the local cache with upcoming cells
 //	GET    /healthz             capacity/running/defaults/cache stats
+//
+// With WithFleet, a registry handler (pkg/vexsmt/fleet) is additionally
+// mounted under /v1/fleet/, so any daemon can host the fleet's membership.
 type Server struct {
 	defaults serverDefaults // server-level default scale/seed/parallelism
 	cache    vexsmt.CellCache
+	fleet    http.Handler // optional registry routes under /v1/fleet/
+	started  time.Time
 
-	mu   sync.Mutex
-	jobs map[string]*job
-	next int
+	simulations atomic.Int64 // simulator runs performed by finished jobs
+
+	mu       sync.Mutex
+	jobs     map[string]*job
+	next     int
+	prefetch map[int]*prefetchJob
+	nextPre  int
+}
+
+// prefetchJob is one background cache-warming run.
+type prefetchJob struct {
+	cancel context.CancelFunc
+	done   chan struct{}
 }
 
 // planRequest is the POST /v1/plans body: the plan itself plus per-plan
@@ -57,14 +78,15 @@ type planRequest struct {
 // terminal state. Mutable state is guarded by mu; done closes when the
 // stream drains.
 type job struct {
-	id      string
-	num     int // submission order, drives oldest-first eviction
-	meta    vexsmt.RunMeta
-	total   int
-	weight  int // simulation workers the plan can occupy (admission unit)
-	created time.Time
-	cancel  context.CancelFunc
-	done    chan struct{}
+	id       string
+	num      int // submission order, drives oldest-first eviction
+	meta     vexsmt.RunMeta
+	total    int
+	weight   int // simulation workers the plan can occupy (admission unit)
+	created  time.Time
+	cancel   context.CancelFunc
+	done     chan struct{}
+	finished func() // runs once when the stream drains (simulation accounting)
 
 	mu     sync.Mutex
 	cells  []vexsmt.CellResult
@@ -85,9 +107,19 @@ type Option func(*Server)
 
 // WithCache attaches a content-addressed result cache shared by every
 // plan the server runs (unless a submission opts out with cache=off).
-// Cache statistics surface on /healthz.
+// Cache statistics surface on /healthz. The cache may be a peer-fill
+// wrapper (pkg/vexsmt/cache.WithPeerFill); /v1/cache then serves from the
+// wrapped local tier only, so peer requests never recurse back into the
+// fleet.
 func WithCache(c vexsmt.CellCache) Option {
 	return func(s *Server) { s.cache = c }
+}
+
+// WithFleet mounts h under /v1/fleet/ — pass pkg/vexsmt/fleet's Handler to
+// make this daemon the fleet's registry host. The handler is plain
+// http.Handler so the server package needs no fleet dependency.
+func WithFleet(h http.Handler) Option {
+	return func(s *Server) { s.fleet = h }
 }
 
 // New builds a server whose jobs default to the given scale, seed and
@@ -95,7 +127,9 @@ func WithCache(c vexsmt.CellCache) Option {
 func New(scale int64, seed uint64, parallelism int, opts ...Option) *Server {
 	s := &Server{
 		defaults: serverDefaults{scale: scale, seed: seed, parallelism: parallelism},
+		started:  time.Now(),
 		jobs:     make(map[string]*job),
+		prefetch: make(map[int]*prefetchJob),
 	}
 	for _, o := range opts {
 		o(s)
@@ -108,58 +142,263 @@ func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/v1/plans", s.handlePlans)
 	mux.HandleFunc("/v1/results", s.handleResults)
+	mux.HandleFunc("/v1/cache/", s.handleCacheGet)
+	mux.HandleFunc("/v1/prefetch", s.handlePrefetch)
 	mux.HandleFunc("/healthz", s.handleHealthz)
+	if s.fleet != nil {
+		mux.Handle("/v1/fleet/", s.fleet)
+	}
 	return mux
 }
 
-// handleHealthz reports liveness plus the numbers a shard coordinator
-// needs for placement and failover: how many more plans this server will
-// admit (capacity vs running) and the simulation defaults it applies to
-// requests that don't override them.
-// handleHealthz's "running" is the committed simulation-worker weight,
-// so a coordinator's capacity-running arithmetic yields free worker
-// slots (for one-cell plans, weight and plan count coincide).
-func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+// localCacheUnwrapper is implemented by peer-fill wrappers: Local returns
+// the store this daemon actually owns. /v1/cache serves only that tier —
+// answering peer requests through the wrapper would bounce a fleet-wide
+// missing key between cold daemons forever.
+type localCacheUnwrapper interface {
+	Local() vexsmt.CellCache
+}
+
+// exportCache returns the cache tier /v1/cache serves from.
+func (s *Server) exportCache() vexsmt.CellCache {
+	if u, ok := s.cache.(localCacheUnwrapper); ok {
+		return u.Local()
+	}
+	return s.cache
+}
+
+// Stats is a point-in-time snapshot of the server's fleet signals: the
+// admission numbers a coordinator places by, uptime, cumulative simulator
+// runs (finished jobs and prefetches; cache hits excluded), background
+// prefetch activity, and the result cache's traffic and footprint. The
+// same numbers back /healthz and the fleet heartbeat, so the registry's
+// member table and a direct probe can never disagree about a daemon.
+type Stats struct {
+	Capacity       int
+	Running        int
+	UptimeSeconds  float64
+	Simulations    int64
+	PrefetchActive int
+	CacheEnabled   bool
+	Cache          vexsmt.CacheStats
+	CacheSize      vexsmt.CacheSize
+}
+
+// Stats returns the current snapshot (see the Stats type).
+func (s *Server) Stats() Stats {
 	s.mu.Lock()
 	running := s.runningWeightLocked()
+	prefetching := len(s.prefetch)
 	s.mu.Unlock()
-	body := map[string]any{
-		"ok":             true,
-		"capacity":       s.capacity(),
-		"running":        running,
-		"scale":          s.defaults.scale,
-		"seed":           s.defaults.seed,
-		"schema_version": vexsmt.SchemaVersion,
+	st := Stats{
+		Capacity:       s.capacity(),
+		Running:        running,
+		UptimeSeconds:  time.Since(s.started).Seconds(),
+		Simulations:    s.simulations.Load(),
+		PrefetchActive: prefetching,
+		CacheEnabled:   s.cache != nil,
 	}
-	cacheInfo := map[string]any{"enabled": s.cache != nil}
 	if s.cache != nil {
-		st := s.cache.Stats()
-		cacheInfo["hits"] = st.Hits
-		cacheInfo["misses"] = st.Misses
-		cacheInfo["puts"] = st.Puts
-		cacheInfo["errors"] = st.Errors
+		st.Cache = s.cache.Stats()
+		if sizer, ok := s.cache.(vexsmt.CacheSizer); ok {
+			st.CacheSize = sizer.CacheSize()
+		}
+	}
+	return st
+}
+
+// handleHealthz reports liveness plus the numbers a shard coordinator
+// needs for placement and failover — how many more plans this server will
+// admit (capacity vs running) and the simulation defaults it applies to
+// requests that don't override them — and the fleet's sizing signals:
+// uptime, cumulative simulations, prefetch activity, and the cache's
+// entry/byte footprint. "running" is the committed simulation-worker
+// weight, so a coordinator's capacity-running arithmetic yields free
+// worker slots (for one-cell plans, weight and plan count coincide).
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	st := s.Stats()
+	body := map[string]any{
+		"ok":              true,
+		"capacity":        st.Capacity,
+		"running":         st.Running,
+		"scale":           s.defaults.scale,
+		"seed":            s.defaults.seed,
+		"schema_version":  vexsmt.SchemaVersion,
+		"uptime_seconds":  st.UptimeSeconds,
+		"simulations":     st.Simulations,
+		"prefetch_active": st.PrefetchActive,
+	}
+	cacheInfo := map[string]any{"enabled": st.CacheEnabled}
+	if st.CacheEnabled {
+		cacheInfo["hits"] = st.Cache.Hits
+		cacheInfo["misses"] = st.Cache.Misses
+		cacheInfo["puts"] = st.Cache.Puts
+		cacheInfo["errors"] = st.Cache.Errors
+		cacheInfo["peer_hits"] = st.Cache.PeerHits
+		cacheInfo["peer_misses"] = st.Cache.PeerMisses
+		cacheInfo["entries"] = st.CacheSize.Entries
+		cacheInfo["bytes"] = st.CacheSize.Bytes
 	}
 	body["cache"] = cacheInfo
 	writeJSON(w, http.StatusOK, body)
 }
 
-// CancelJobs cancels every job and waits for their streams to drain — the
-// server half of graceful shutdown. Jobs stay registered (terminal, e.g.
-// "cancelled") so watchers attached to an NDJSON stream receive a final
-// status line instead of a dropped connection; evicting them is left to
-// the normal retention policy.
+// handleCacheGet serves one entry of the local result-cache tier, the
+// supply side of fleet peer fill: a daemon that misses locally asks its
+// peers here before simulating. The X-Vexsmt-Sha256 header carries the
+// payload's digest and clients must verify it, so a torn or corrupted
+// response degrades to a peer miss, never a wrong result.
+func (s *Server) handleCacheGet(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		httpError(w, http.StatusMethodNotAllowed, "use GET")
+		return
+	}
+	key := strings.TrimPrefix(r.URL.Path, "/v1/cache/")
+	if key == "" || strings.ContainsAny(key, "/\\") {
+		httpError(w, http.StatusBadRequest, "bad cache key %q", key)
+		return
+	}
+	c := s.exportCache()
+	if c == nil {
+		httpError(w, http.StatusNotFound, "no result cache on this daemon")
+		return
+	}
+	payload, ok := c.Get(key)
+	if !ok {
+		httpError(w, http.StatusNotFound, "miss")
+		return
+	}
+	sum := sha256.Sum256(payload)
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set("X-Vexsmt-Sha256", hex.EncodeToString(sum[:]))
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write(payload)
+}
+
+// maxActivePrefetch bounds concurrent background warm-up runs; beyond it
+// requests shed with 503 + Retry-After, exactly like plan admission.
+const maxActivePrefetch = 4
+
+// prefetchRequest is the POST /v1/prefetch body: the cells to warm and
+// the seed/scale their keys are addressed under (defaults apply when
+// absent, mirroring plan submission).
+type prefetchRequest struct {
+	Cells []vexsmt.CellSpec `json:"cells"`
+	Scale *int64            `json:"scale,omitempty"`
+	Seed  *uint64           `json:"seed,omitempty"`
+}
+
+// handlePrefetch warms the local result cache with the posted cells in the
+// background: each cell is simulated (or peer-filled) once and stored, so
+// a sweep scheduled to land later runs against a warm fleet. Prefetch is
+// deliberately gentle — single simulation worker, results discarded, no
+// admission weight — and best-effort: it returns 202 as soon as the run is
+// started, and a daemon death mid-prefetch costs warmth, not correctness.
+func (s *Server) handlePrefetch(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		httpError(w, http.StatusMethodNotAllowed, "use POST")
+		return
+	}
+	if s.cache == nil {
+		httpError(w, http.StatusBadRequest, "no result cache on this daemon; nothing to warm")
+		return
+	}
+	var req prefetchRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20)).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, "bad prefetch: %v", err)
+		return
+	}
+	if len(req.Cells) == 0 {
+		httpError(w, http.StatusBadRequest, "prefetch names no cells")
+		return
+	}
+	scale, seed := s.defaults.scale, s.defaults.seed
+	if req.Scale != nil {
+		scale = *req.Scale
+	}
+	if req.Seed != nil {
+		seed = *req.Seed
+	}
+	svc, err := vexsmt.New(
+		vexsmt.WithScale(scale),
+		vexsmt.WithSeed(seed),
+		vexsmt.WithParallelism(1), // background warming must not starve admitted plans
+		vexsmt.WithCache(s.cache),
+	)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	ch, err := svc.Stream(ctx, vexsmt.Plan{Cells: req.Cells})
+	if err != nil {
+		cancel()
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	pj := &prefetchJob{cancel: cancel, done: make(chan struct{})}
+	s.mu.Lock()
+	if len(s.prefetch) >= maxActivePrefetch {
+		s.mu.Unlock()
+		cancel()
+		for range ch {
+			// Drain the aborted stream so its worker unwinds.
+		}
+		w.Header().Set("Retry-After", "1")
+		httpError(w, http.StatusServiceUnavailable, "%d prefetches already warming; retry later", maxActivePrefetch)
+		return
+	}
+	s.nextPre++
+	id := s.nextPre
+	s.prefetch[id] = pj
+	s.mu.Unlock()
+
+	go func() {
+		defer close(pj.done)
+		defer cancel()
+		for range ch {
+			// Results are discarded: the side effect — a warm cache — is the
+			// point, and failures only cost warmth.
+		}
+		s.simulations.Add(svc.SimulationsRun())
+		s.mu.Lock()
+		delete(s.prefetch, id)
+		s.mu.Unlock()
+	}()
+	writeJSON(w, http.StatusAccepted, map[string]any{
+		"cells": len(req.Cells),
+		"scale": scale,
+		"seed":  seed,
+	})
+}
+
+// CancelJobs cancels every job (plans and background prefetches) and
+// waits for their streams to drain — the server half of graceful shutdown.
+// Jobs stay registered (terminal, e.g. "cancelled") so watchers attached
+// to an NDJSON stream receive a final status line instead of a dropped
+// connection; evicting them is left to the normal retention policy.
 func (s *Server) CancelJobs() {
 	s.mu.Lock()
 	jobs := make([]*job, 0, len(s.jobs))
 	for _, j := range s.jobs {
 		jobs = append(jobs, j)
 	}
+	pre := make([]*prefetchJob, 0, len(s.prefetch))
+	for _, p := range s.prefetch {
+		pre = append(pre, p)
+	}
 	s.mu.Unlock()
 	for _, j := range jobs {
 		j.cancel()
 	}
+	for _, p := range pre {
+		p.cancel()
+	}
 	for _, j := range jobs {
 		<-j.done
+	}
+	for _, p := range pre {
+		<-p.done
 	}
 }
 
@@ -254,6 +493,11 @@ func (s *Server) submitPlan(w http.ResponseWriter, r *http.Request) {
 	if used := s.runningWeightLocked(); used+weight > cap {
 		s.mu.Unlock()
 		cancel()
+		// Admission shedding: overload answers fast with a machine-readable
+		// backoff hint instead of queueing work it cannot start — a fleet
+		// coordinator treats the 503 as "place elsewhere, come back in a
+		// beat" rather than a dead member.
+		w.Header().Set("Retry-After", "1")
 		httpError(w, http.StatusServiceUnavailable, "at capacity (%d/%d simulation workers committed); retry later",
 			used, cap)
 		return
@@ -274,6 +518,10 @@ func (s *Server) submitPlan(w http.ResponseWriter, r *http.Request) {
 	s.evictTerminalLocked()
 	s.mu.Unlock()
 
+	// The job's simulator runs roll into the server-wide counter when the
+	// stream drains (cache hits excluded), so /healthz "simulations" tells
+	// the fleet whether this daemon worked or recalled.
+	j.finished = func() { s.simulations.Add(svc.SimulationsRun()) }
 	go j.consume(ctx, ch)
 
 	// The id also travels as a header so a client whose body read fails
@@ -291,6 +539,9 @@ func (s *Server) submitPlan(w http.ResponseWriter, r *http.Request) {
 func (j *job) consume(ctx context.Context, ch <-chan vexsmt.CellResult) {
 	defer close(j.done)
 	defer j.cancel()
+	if j.finished != nil {
+		defer j.finished()
+	}
 	for cell := range ch {
 		if cell.Err != "" && ctx.Err() != nil {
 			// Cancellation abort, not a simulation failure: the cell never

@@ -312,6 +312,9 @@ func TestRunningJobsCap(t *testing.T) {
 	if resp.StatusCode != http.StatusServiceUnavailable {
 		t.Fatalf("submission over the cap: status %d, want 503", resp.StatusCode)
 	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("admission shedding without a Retry-After hint")
+	}
 	// Cancelling one frees capacity.
 	req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/v1/plans?id="+ids[0], nil)
 	resp, err = http.DefaultClient.Do(req)
@@ -333,12 +336,18 @@ func TestHealthzReportsPlacementSignals(t *testing.T) {
 	defer ts.Close()
 
 	health := func() (h struct {
-		OK            bool   `json:"ok"`
-		Capacity      int    `json:"capacity"`
-		Running       int    `json:"running"`
-		Scale         int64  `json:"scale"`
-		Seed          uint64 `json:"seed"`
-		SchemaVersion int    `json:"schema_version"`
+		OK            bool    `json:"ok"`
+		Capacity      int     `json:"capacity"`
+		Running       int     `json:"running"`
+		Scale         int64   `json:"scale"`
+		Seed          uint64  `json:"seed"`
+		SchemaVersion int     `json:"schema_version"`
+		Uptime        float64 `json:"uptime_seconds"`
+		Cache         struct {
+			Enabled bool   `json:"enabled"`
+			Entries *int64 `json:"entries"`
+			Bytes   *int64 `json:"bytes"`
+		} `json:"cache"`
 	}) {
 		t.Helper()
 		resp, err := http.Get(ts.URL + "/healthz")
@@ -361,6 +370,13 @@ func TestHealthzReportsPlacementSignals(t *testing.T) {
 	}
 	if h.Scale != 50 || h.Seed != 7 || h.SchemaVersion != vexsmt.SchemaVersion {
 		t.Fatalf("healthz defaults: %+v", h)
+	}
+	if h.Uptime <= 0 {
+		t.Fatalf("healthz uptime_seconds %v, want > 0", h.Uptime)
+	}
+	// No cache configured: enabled false and no sizing fields at all.
+	if h.Cache.Enabled || h.Cache.Entries != nil || h.Cache.Bytes != nil {
+		t.Fatalf("cacheless healthz reported cache sizing: %+v", h.Cache)
 	}
 
 	id := postPlan(t, ts, `{"figures":["14"]}`)

@@ -48,6 +48,20 @@ type Config struct {
 	Logf func(format string, args ...any)
 }
 
+// Source yields the backends a run should consider. A static deployment
+// is a fixed list; a fleet deployment is a registry lookup, so the
+// member set is re-resolved at every Collect and daemons that joined or
+// left between sweeps are picked up without rebuilding the Coordinator.
+// Backends resolves against ctx and may be called concurrently.
+type Source interface {
+	Backends(ctx context.Context) ([]Backend, error)
+}
+
+// staticSource is the fixed-list Source behind New.
+type staticSource []Backend
+
+func (s staticSource) Backends(context.Context) ([]Backend, error) { return s, nil }
+
 // Coordinator schedules a plan's cells over backends and assembles the
 // results. It holds no per-run state: one Coordinator may serve any
 // number of concurrent Collects. Scheduling is cell-level (see
@@ -55,14 +69,25 @@ type Config struct {
 // dead backend sheds individual queued cells to idle backends instead of
 // stalling a whole pre-assigned shard.
 type Coordinator struct {
-	cfg      Config
-	backends []Backend
+	cfg    Config
+	source Source
 }
 
-// New builds a Coordinator over one or more backends.
+// New builds a Coordinator over a fixed set of one or more backends.
 func New(cfg Config, backends ...Backend) (*Coordinator, error) {
 	if len(backends) == 0 {
 		return nil, fmt.Errorf("shard: coordinator needs at least one backend")
+	}
+	return NewFromSource(cfg, staticSource(backends))
+}
+
+// NewFromSource builds a Coordinator whose backend set is re-resolved
+// from src at the start of every Collect. Membership is fixed for the
+// duration of one run (a mid-sweep death is handled by retry/steal, a
+// mid-sweep join is picked up by the next run).
+func NewFromSource(cfg Config, src Source) (*Coordinator, error) {
+	if src == nil {
+		return nil, fmt.Errorf("shard: coordinator needs a backend source")
 	}
 	if cfg.Scale == 0 {
 		cfg.Scale = 100
@@ -76,7 +101,7 @@ func New(cfg Config, backends ...Backend) (*Coordinator, error) {
 	case cfg.Retries < 0:
 		cfg.Retries = 0
 	}
-	return &Coordinator{cfg: cfg, backends: backends}, nil
+	return &Coordinator{cfg: cfg, source: src}, nil
 }
 
 func (c *Coordinator) logf(format string, args ...any) {
@@ -216,33 +241,40 @@ func (c *Coordinator) Collect(ctx context.Context, plan vexsmt.Plan) (*vexsmt.Re
 	return rs, nil
 }
 
-// healthyBackends probes every backend and returns a scheduler-ready
-// adapter per healthy one, each sized to the backend's free capacity (at
-// least one slot). Backends whose probe fails or that speak a foreign
-// schema version are left out of the run entirely — they receive no
-// cells.
+// healthyBackends resolves the source's current membership, probes every
+// backend, and returns a scheduler-ready adapter per healthy one, each
+// sized to the backend's free capacity (at least one slot). Backends
+// whose probe fails or that speak a foreign schema version are left out
+// of the run entirely — they receive no cells.
 func (c *Coordinator) healthyBackends(ctx context.Context) ([]*cellBackend, error) {
-	probes := c.probeAll(ctx)
+	backends, err := c.source.Backends(ctx)
+	if err != nil {
+		return nil, fmt.Errorf("shard: resolving backends: %w", err)
+	}
+	if len(backends) == 0 {
+		return nil, fmt.Errorf("shard: backend source yielded no backends")
+	}
+	probes := c.probeAll(ctx, backends)
 	var out []*cellBackend
 	for i, r := range probes {
 		if r.err != nil {
-			c.logf("placement: %s unhealthy: %v", c.backends[i].Name(), r.err)
+			c.logf("placement: %s unhealthy: %v", backends[i].Name(), r.err)
 			continue
 		}
 		if r.h.SchemaVersion != 0 && r.h.SchemaVersion != vexsmt.SchemaVersion {
 			c.logf("placement: %s speaks schema v%d, want v%d",
-				c.backends[i].Name(), r.h.SchemaVersion, vexsmt.SchemaVersion)
+				backends[i].Name(), r.h.SchemaVersion, vexsmt.SchemaVersion)
 			continue
 		}
 		slots := r.h.Capacity - r.h.Running
 		if slots < 1 {
 			slots = 1 // saturated or unknown: still queue one cell at a time
 		}
-		c.logf("placement: %s healthy, %d slot(s)", c.backends[i].Name(), slots)
-		out = append(out, &cellBackend{b: c.backends[i], slots: slots})
+		c.logf("placement: %s healthy, %d slot(s)", backends[i].Name(), slots)
+		out = append(out, &cellBackend{b: backends[i], slots: slots})
 	}
 	if len(out) == 0 {
-		return nil, fmt.Errorf("shard: no healthy backend among %d", len(c.backends))
+		return nil, fmt.Errorf("shard: no healthy backend among %d", len(backends))
 	}
 	return out, nil
 }
@@ -253,13 +285,14 @@ type probeResult struct {
 	err error
 }
 
-// probeAll health-checks every backend concurrently (3s timeout each), so
-// one unreachable backend costs a single probe round-trip, not a
+// probeAll health-checks every backend concurrently (3s ceiling each, on
+// top of any per-backend probe timeout such as HTTP's WithHealthTimeout),
+// so one unreachable backend costs a single probe round-trip, not a
 // serialized one per backend.
-func (c *Coordinator) probeAll(ctx context.Context) []probeResult {
-	out := make([]probeResult, len(c.backends))
+func (c *Coordinator) probeAll(ctx context.Context, backends []Backend) []probeResult {
+	out := make([]probeResult, len(backends))
 	var wg sync.WaitGroup
-	for i, b := range c.backends {
+	for i, b := range backends {
 		wg.Add(1)
 		go func(i int, b Backend) {
 			defer wg.Done()

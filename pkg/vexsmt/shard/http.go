@@ -21,9 +21,15 @@ import (
 // still running, evicting it if terminal). Context cancellation therefore
 // reaches the remote simulation within one timeslice-bounded poll.
 type HTTP struct {
-	base   string
-	client *http.Client
+	base          string
+	client        *http.Client
+	healthTimeout time.Duration
 }
+
+// defaultHealthTimeout bounds a /healthz probe: health checks are a
+// placement signal, and a daemon that cannot answer one quickly should be
+// left out of the round rather than stall it.
+const defaultHealthTimeout = 2 * time.Second
 
 // HTTPOption configures an HTTP backend.
 type HTTPOption func(*HTTP)
@@ -36,6 +42,19 @@ func WithClient(c *http.Client) HTTPOption {
 	return func(h *HTTP) { h.client = c }
 }
 
+// WithHealthTimeout bounds each Health probe. Zero or negative restores
+// the default (2s). Job submission and result streaming are unaffected —
+// only the /healthz round-trip is clamped.
+func WithHealthTimeout(d time.Duration) HTTPOption {
+	return func(h *HTTP) {
+		if d > 0 {
+			h.healthTimeout = d
+		} else {
+			h.healthTimeout = defaultHealthTimeout
+		}
+	}
+}
+
 // NewHTTP builds a backend for the vexsmtd at baseURL (e.g.
 // "http://host:8080").
 func NewHTTP(baseURL string, opts ...HTTPOption) (*HTTP, error) {
@@ -46,7 +65,11 @@ func NewHTTP(baseURL string, opts ...HTTPOption) (*HTTP, error) {
 	if u.Scheme == "" || u.Host == "" {
 		return nil, fmt.Errorf("shard: backend url %q: need scheme and host", baseURL)
 	}
-	h := &HTTP{base: strings.TrimRight(baseURL, "/"), client: http.DefaultClient}
+	h := &HTTP{
+		base:          strings.TrimRight(baseURL, "/"),
+		client:        http.DefaultClient,
+		healthTimeout: defaultHealthTimeout,
+	}
 	for _, o := range opts {
 		o(h)
 	}
@@ -56,8 +79,12 @@ func NewHTTP(baseURL string, opts ...HTTPOption) (*HTTP, error) {
 // Name implements Backend: the base URL identifies the daemon.
 func (h *HTTP) Name() string { return h.base }
 
-// Health implements Backend via GET /healthz.
+// Health implements Backend via GET /healthz, bounded by the backend's
+// health timeout (WithHealthTimeout) on top of whatever deadline ctx
+// already carries.
 func (h *HTTP) Health(ctx context.Context) (Health, error) {
+	ctx, cancel := context.WithTimeout(ctx, h.healthTimeout)
+	defer cancel()
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, h.base+"/healthz", nil)
 	if err != nil {
 		return Health{}, err

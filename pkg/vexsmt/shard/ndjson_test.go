@@ -1,6 +1,8 @@
 package shard
 
 import (
+	"errors"
+	"io"
 	"strings"
 	"testing"
 
@@ -54,6 +56,72 @@ func TestDecodeResultStreamMalformedLine(t *testing.T) {
 				t.Fatalf("unhelpful error: %v", err)
 			}
 		})
+	}
+}
+
+// errAfterReader yields its payload, then fails every subsequent Read —
+// the shape of a TCP connection dropping mid-stream.
+type errAfterReader struct {
+	r   io.Reader
+	err error
+}
+
+func (e *errAfterReader) Read(p []byte) (int, error) {
+	n, err := e.r.Read(p)
+	if err == io.EOF {
+		return n, e.err
+	}
+	return n, err
+}
+
+func TestDecodeResultStreamConnectionDropBetweenRecords(t *testing.T) {
+	// The connection dies cleanly between two NDJSON records: the cells
+	// already read were delivered, but the decode must surface the read
+	// error — a caller treating this as a complete stream would silently
+	// lose every cell after the drop.
+	dropErr := errors.New("connection reset by peer")
+	r := &errAfterReader{
+		r: strings.NewReader(
+			`{"mix":"mmhh","technique":"SMT","threads":2}` + "\n" +
+				`{"mix":"llll","technique":"CSMT","threads":4}` + "\n"),
+		err: dropErr,
+	}
+	var cells []vexsmt.CellResult
+	status, _, err := DecodeResultStream(r, func(c vexsmt.CellResult) { cells = append(cells, c) })
+	if !errors.Is(err, dropErr) {
+		t.Fatalf("err %v, want the drop error", err)
+	}
+	if status != "" {
+		t.Fatalf("status %q on a dropped stream, want empty", status)
+	}
+	if len(cells) != 2 {
+		t.Fatalf("%d cells delivered before the drop, want 2", len(cells))
+	}
+}
+
+func TestDecodeResultStreamConnectionDropMidLine(t *testing.T) {
+	// The connection dies with a record half-written. The fragment must
+	// not be delivered as a cell, and the decode must report an error —
+	// either the fragment's parse failure or the read error itself; a
+	// clean return would let the caller mistake a torn stream for a
+	// complete one. (bufio.Scanner hands the buffered fragment to the
+	// split function once the read fails, so the parse failure wins.)
+	r := &errAfterReader{
+		r: strings.NewReader(
+			`{"mix":"mmhh","technique":"SMT","threads":2}` + "\n" +
+				`{"mix":"llll","techni`), // truncated mid-record, no newline
+		err: errors.New("unexpected EOF"),
+	}
+	calls := 0
+	status, _, err := DecodeResultStream(r, func(vexsmt.CellResult) { calls++ })
+	if err == nil {
+		t.Fatal("torn stream decoded without error")
+	}
+	if status != "" {
+		t.Fatalf("status %q, want empty", status)
+	}
+	if calls != 1 {
+		t.Fatalf("onCell called %d times, want 1 (the complete record only)", calls)
 	}
 }
 
