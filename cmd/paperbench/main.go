@@ -55,6 +55,7 @@ func run(args []string) error {
 	fs := flag.NewFlagSet("paperbench", flag.ContinueOnError)
 	var (
 		fig        = fs.String("fig", "all", "figures to regenerate: comma-separated list of 13a, 13b, 14, 15, 16, or all")
+		pred       = fs.String("predictor", "static", "branch predictors to cross the grid with: comma-separated list of static, bimodal, gshare, tage, or all (text figures always render the static front end)")
 		scale      = fs.Int64("scale", 100, "scale divisor of paper scale (1 = paper scale)")
 		quick      = fs.Bool("quick", false, "shorthand for -scale 1000")
 		seed       = fs.Uint64("seed", 1, "simulation seed")
@@ -72,10 +73,14 @@ func run(args []string) error {
 		*scale = 1000
 	}
 
-	// Validate the figure list before any side effects (profiles, signal
-	// handlers): a typo must die here with the list of valid names, not
-	// after machinery has spun up.
+	// Validate the figure and predictor lists before any side effects
+	// (profiles, signal handlers): a typo must die here with the list of
+	// valid names, not after machinery has spun up.
 	figures, err := vexsmt.ParseFigures(*fig)
+	if err != nil {
+		return err
+	}
+	preds, err := vexsmt.ParsePredictors(*pred)
 	if err != nil {
 		return err
 	}
@@ -112,9 +117,13 @@ func run(args []string) error {
 	start := time.Now()
 
 	// Plan the whole grid up front: cells shared between figures simulate
-	// once, concurrently, before any figure renders.
+	// once, concurrently, before any figure renders. The predictor axis
+	// multiplies the grid; the text figures below always render the static
+	// front end (the paper's machine), so modeled-predictor cells surface
+	// through the JSON export, not the figure text.
 	prefetchStart := time.Now()
-	n, err := svc.Prefetch(ctx, vexsmt.Plan{Figures: figures})
+	plan := vexsmt.Plan{Figures: figures, Predictors: preds}
+	n, err := svc.Prefetch(ctx, plan)
 	if err != nil {
 		return err
 	}
@@ -134,7 +143,7 @@ func run(args []string) error {
 	}
 
 	if *jsonOut != "" {
-		if err := writeJSON(ctx, svc, figures, *jsonOut); err != nil {
+		if err := writeJSON(ctx, svc, plan, *jsonOut); err != nil {
 			return err
 		}
 	}
@@ -168,8 +177,8 @@ func writeHeapProfile(path string) error {
 // schema-versioned results document, via the same EncodeToFile helper
 // vexsmtctl uses — so a paperbench export diffs clean against a
 // distributed run of the same plan, seed and scale.
-func writeJSON(ctx context.Context, svc *vexsmt.Service, figures []string, path string) error {
-	rs, err := svc.Collect(ctx, vexsmt.Plan{Figures: figures})
+func writeJSON(ctx context.Context, svc *vexsmt.Service, plan vexsmt.Plan, path string) error {
+	rs, err := svc.Collect(ctx, plan)
 	if err != nil {
 		return err
 	}

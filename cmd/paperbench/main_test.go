@@ -19,6 +19,21 @@ func TestUnknownFigureRejectedUpFront(t *testing.T) {
 	}
 }
 
+// TestUnknownPredictorRejectedUpFront: a typo'd -predictor must fail
+// immediately with the list of valid models, before any simulation
+// machinery starts.
+func TestUnknownPredictorRejectedUpFront(t *testing.T) {
+	for _, bad := range []string{"perceptron", "gshare,perceptron", "all,perceptron", ","} {
+		err := run([]string{"-fig", "14", "-predictor", bad})
+		if err == nil {
+			t.Fatalf("-predictor %q accepted", bad)
+		}
+		if bad != "," && !strings.Contains(err.Error(), "static, bimodal, gshare, tage") {
+			t.Errorf("-predictor %q: error does not list the valid models: %v", bad, err)
+		}
+	}
+}
+
 // TestBadCacheFlagRejected: -cache accepts only on/off.
 func TestBadCacheFlagRejected(t *testing.T) {
 	err := run([]string{"-fig", "13b", "-cache", "sideways"})

@@ -8,6 +8,7 @@
 //	vexsim -mix llll -tech CSMT -threads 4 -mode BMT        # ablation mode
 //	vexsim -mix mmhh -tech "COSI NS" -threads 4 -no-renaming
 //	vexsim -mix hhhh -mode IMT -reference-loop              # bit-identity check
+//	vexsim -mix llhh -predictor gshare                      # modeled front end
 //	vexsim -mix mmhh -scale 10 -cpuprofile cpu.prof         # profile the hot loop
 package main
 
@@ -17,6 +18,7 @@ import (
 	"os"
 	"runtime/pprof"
 
+	"vexsmt/internal/bpred"
 	"vexsmt/internal/core"
 	"vexsmt/internal/sim"
 	"vexsmt/internal/workload"
@@ -25,26 +27,30 @@ import (
 func main() {
 	// All work happens in run so its deferred cleanup (CPU profile flush,
 	// file close) executes even on error paths; os.Exit lives only here.
-	if err := run(); err != nil {
+	if err := run(os.Args[1:]); err != nil {
 		fmt.Fprintln(os.Stderr, "vexsim:", err)
 		os.Exit(1)
 	}
 }
 
-func run() error {
+func run(args []string) error {
+	fs := flag.NewFlagSet("vexsim", flag.ContinueOnError)
 	var (
-		mixLabel   = flag.String("mix", "llhh", "workload mix label (Figure 13b) or 'list'")
-		techName   = flag.String("tech", "CCSI AS", `technique: SMT, CSMT, "CCSI NS", "CCSI AS", "COSI NS", "COSI AS", "OOSI NS", "OOSI AS"`)
-		threads    = flag.Int("threads", 4, "hardware thread contexts")
-		scale      = flag.Int64("scale", 100, "scale divisor of paper scale (1 = 200M instructions)")
-		seed       = flag.Uint64("seed", 1, "simulation seed")
-		mode       = flag.String("mode", "SMT", "issue mode: SMT, IMT, BMT (IMT/BMT are ablations)")
-		perfect    = flag.Bool("perfect", false, "perfect memory (no cache misses)")
-		noRename   = flag.Bool("no-renaming", false, "disable cluster renaming (ablation)")
-		refLoop    = flag.Bool("reference-loop", false, "use the one-iteration-per-cycle reference loop (bit-identical to the event-driven fast path, slower; for differential debugging)")
-		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		mixLabel   = fs.String("mix", "llhh", "workload mix label (Figure 13b) or 'list'")
+		techName   = fs.String("tech", "CCSI AS", `technique: SMT, CSMT, "CCSI NS", "CCSI AS", "COSI NS", "COSI AS", "OOSI NS", "OOSI AS"`)
+		threads    = fs.Int("threads", 4, "hardware thread contexts")
+		scale      = fs.Int64("scale", 100, "scale divisor of paper scale (1 = 200M instructions)")
+		seed       = fs.Uint64("seed", 1, "simulation seed")
+		mode       = fs.String("mode", "SMT", "issue mode: SMT, IMT, BMT (IMT/BMT are ablations)")
+		predictor  = fs.String("predictor", "static", "branch predictor: static, bimodal, gshare, tage")
+		perfect    = fs.Bool("perfect", false, "perfect memory (no cache misses)")
+		noRename   = fs.Bool("no-renaming", false, "disable cluster renaming (ablation)")
+		refLoop    = fs.Bool("reference-loop", false, "use the one-iteration-per-cycle reference loop (bit-identical to the event-driven fast path, slower; for differential debugging)")
+		cpuprofile = fs.String("cpuprofile", "", "write a CPU profile to this file")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 
 	if *mixLabel == "list" {
 		for _, m := range workload.Figure13b() {
@@ -60,8 +66,13 @@ func run() error {
 	if err != nil {
 		return err
 	}
+	pred, err := bpred.Canonical(*predictor)
+	if err != nil {
+		return err
+	}
 	cfg := sim.DefaultConfig(tech, *threads).WithScale(*scale)
 	cfg.Seed = *seed
+	cfg.Predictor = pred
 	cfg.PerfectMemory = *perfect
 	cfg.ClusterRenaming = !*noRename
 	cfg.ReferenceLoop = *refLoop
@@ -120,5 +131,10 @@ func run() error {
 	fmt.Printf("  mem-port stalls    %12d cycles\n", r.MemPortStallCycles)
 	fmt.Printf("  context switches   %12d\n", r.ContextSwitches)
 	fmt.Printf("  respawns           %12d\n", r.Respawns)
+	if pred != bpred.Default {
+		fmt.Printf("  predictor          %12s\n", pred)
+		fmt.Printf("  branches           %12d\n", r.Branches)
+		fmt.Printf("  mispredicts        %12d (%.2f%%)\n", r.BranchMispredicts, r.MispredictRate()*100)
+	}
 	return nil
 }

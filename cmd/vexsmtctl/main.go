@@ -58,16 +58,21 @@ func main() {
 	}
 }
 
-// gridPlan resolves the -fig/-sweep flags into the grid plan, rejecting
-// unknown figure names up front (with the list of valid ones) and plans
-// that name no grid cells at all — "-fig 13a" would otherwise "run"
-// an empty sweep and print a zero-cell summary as if it had worked.
-func gridPlan(figList string, sweep bool) (vexsmt.Plan, error) {
+// gridPlan resolves the -fig/-sweep/-predictor flags into the grid plan,
+// rejecting unknown figure and predictor names up front (with the lists
+// of valid ones) and plans that name no grid cells at all — "-fig 13a"
+// would otherwise "run" an empty sweep and print a zero-cell summary as
+// if it had worked.
+func gridPlan(figList string, sweep bool, predList string) (vexsmt.Plan, error) {
 	figures, err := vexsmt.ParseFigures(figList)
 	if err != nil {
 		return vexsmt.Plan{}, err
 	}
-	plan := vexsmt.Plan{Figures: figures, Sweep: sweep}
+	preds, err := vexsmt.ParsePredictors(predList)
+	if err != nil {
+		return vexsmt.Plan{}, err
+	}
+	plan := vexsmt.Plan{Figures: figures, Sweep: sweep, Predictors: preds}
 	scratch, err := vexsmt.New()
 	if err != nil {
 		return vexsmt.Plan{}, err
@@ -89,6 +94,7 @@ func run(args []string) error {
 		shards   = fs.String("shards", "", "comma-separated vexsmtd base URLs (e.g. http://a:8080,http://b:8080); empty runs in-process")
 		fig      = fs.String("fig", "all", "figures whose grid to run: comma-separated list of 13a, 13b, 14, 15, 16, or all")
 		sweep    = fs.Bool("sweep", false, "also sweep every technique over all nine mixes at 2 and 4 threads")
+		pred     = fs.String("predictor", "static", "branch predictors to cross the grid with: comma-separated list of static, bimodal, gshare, tage, or all")
 		scale    = fs.Int64("scale", 100, "scale divisor of paper scale (1 = paper scale)")
 		quick    = fs.Bool("quick", false, "shorthand for -scale 1000")
 		seed     = fs.Uint64("seed", 1, "simulation seed")
@@ -157,7 +163,7 @@ func run(args []string) error {
 		return printFleetStatus(ctx, *fleetURL)
 	}
 
-	plan, err := gridPlan(*fig, *sweep)
+	plan, err := gridPlan(*fig, *sweep, *pred)
 	if err != nil {
 		return err
 	}
@@ -323,15 +329,19 @@ func printFleetStatus(ctx context.Context, registryURL string) error {
 		fmt.Println("fleet: no registered daemons")
 		return nil
 	}
-	fmt.Printf("%-20s %-28s %5s %5s %6s %8s %9s %9s\n",
-		"MEMBER", "URL", "CAP", "RUN", "SIMS", "ENTRIES", "PEERHITS", "UPTIME")
+	fmt.Printf("%-20s %-28s %5s %5s %6s %-14s %8s %9s %9s\n",
+		"MEMBER", "URL", "CAP", "RUN", "SIMS", "PRED", "ENTRIES", "PEERHITS", "UPTIME")
 	for _, m := range members {
 		cacheEntries := "-"
 		if m.CacheEnabled {
 			cacheEntries = fmt.Sprintf("%d", m.CacheSize.Entries)
 		}
-		fmt.Printf("%-20s %-28s %5d %5d %6d %8s %9d %9s\n",
-			m.ID, m.URL, m.Capacity, m.Running, m.Simulations,
+		pred := m.Predictors
+		if pred == "" {
+			pred = "-" // idle: no plans running, no predictor axis to report
+		}
+		fmt.Printf("%-20s %-28s %5d %5d %6d %-14s %8s %9d %9s\n",
+			m.ID, m.URL, m.Capacity, m.Running, m.Simulations, pred,
 			cacheEntries, m.Cache.PeerHits,
 			(time.Duration(m.UptimeSeconds) * time.Second).String())
 	}

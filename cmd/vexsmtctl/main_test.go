@@ -35,12 +35,30 @@ func TestEmptyGridPlanRejected(t *testing.T) {
 	}
 	// The same figures alongside a grid figure are fine — the grid is
 	// non-empty.
-	if _, err := gridPlan("13a,14", false); err != nil {
+	if _, err := gridPlan("13a,14", false, "static"); err != nil {
 		t.Fatalf("13a,14: %v", err)
 	}
 	// A sweep makes any figure list non-empty.
-	if _, err := gridPlan("13a", true); err != nil {
+	if _, err := gridPlan("13a", true, "static"); err != nil {
 		t.Fatalf("13a with -sweep: %v", err)
+	}
+}
+
+// TestUnknownPredictorRejectedUpFront: a typo'd -predictor must fail
+// immediately with the list of valid models instead of running the wrong
+// (or no) sweep.
+func TestUnknownPredictorRejectedUpFront(t *testing.T) {
+	for _, bad := range []string{"perceptron", "bimodal,perceptron", "all,perceptron"} {
+		err := run([]string{"-fig", "14", "-predictor", bad})
+		if err == nil {
+			t.Fatalf("-predictor %q accepted", bad)
+		}
+		if !strings.Contains(err.Error(), "static, bimodal, gshare, tage") {
+			t.Errorf("-predictor %q: error does not list the valid models: %v", bad, err)
+		}
+	}
+	if err := run([]string{"-fig", "14", "-predictor", ","}); err == nil {
+		t.Fatal("-predictor \",\" accepted")
 	}
 }
 

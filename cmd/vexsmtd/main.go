@@ -134,6 +134,7 @@ func run() error {
 			m.Running = st.Running
 			m.UptimeSeconds = st.UptimeSeconds
 			m.Simulations = st.Simulations
+			m.Predictors = st.Predictors
 			m.CacheEnabled = st.CacheEnabled
 			m.Cache = st.Cache
 			m.CacheSize = st.CacheSize

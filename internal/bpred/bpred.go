@@ -1,0 +1,87 @@
+// Package bpred models the branch-predictor front end as a pluggable
+// experiment axis. The paper fixes the front end entirely — every taken
+// branch pays a fixed penalty — and the "static" model reproduces that
+// behavior exactly (it predicts not-taken always and never learns), so
+// the default grid stays bit-identical to the unmodeled simulator. The
+// other models (bimodal, gshare, and a TAGE variant) convert the fixed
+// taken-branch penalty into a mispredict penalty: a branch the predictor
+// calls correctly is free, and a mispredicted one — in either direction —
+// pays the penalty the static front end charged for every taken branch.
+//
+// Determinism contract: a predictor's state is a pure function of the
+// (pc, taken) sequence it has observed since construction or Reset. No
+// model draws randomness, reads clocks, or allocates on Predict/Update,
+// so identically-fed instances agree bit-for-bit across processes and
+// machines — the property the result cache and the distributed sweeps
+// inherit from the simulator.
+package bpred
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Predictor is one branch-direction predictor. Implementations are not
+// safe for concurrent use; the simulator gives each hardware context its
+// own instance.
+type Predictor interface {
+	// Predict returns the predicted direction (true = taken) for the
+	// branch at pc. Predict must not change predictor state.
+	Predict(pc uint64) bool
+	// Update trains the predictor with the branch's resolved direction.
+	Update(pc uint64, taken bool)
+	// Reset restores the just-constructed state.
+	Reset()
+	// Name returns the model's canonical name (one of Names).
+	Name() string
+}
+
+// Default is the model every configuration gets when it names none: the
+// paper's fixed front end.
+const Default = "static"
+
+// Names lists every model in canonical presentation order.
+func Names() []string { return []string{"static", "bimodal", "gshare", "tage"} }
+
+// Canonical maps a model name (or "" meaning the default) to its
+// canonical form, rejecting unknown names with the list of valid ones.
+func Canonical(name string) (string, error) {
+	n := strings.ToLower(strings.TrimSpace(name))
+	if n == "" {
+		return Default, nil
+	}
+	for _, have := range Names() {
+		if n == have {
+			return n, nil
+		}
+	}
+	return "", fmt.Errorf("bpred: unknown predictor %q (have %s)", name, strings.Join(Names(), ", "))
+}
+
+// New builds a fresh predictor of the named model ("" selects Default).
+func New(name string) (Predictor, error) {
+	n, err := Canonical(name)
+	if err != nil {
+		return nil, err
+	}
+	switch n {
+	case "static":
+		return staticPredictor{}, nil
+	case "bimodal":
+		return newBimodal(), nil
+	case "gshare":
+		return newGshare(), nil
+	default: // "tage"
+		return newTAGE(), nil
+	}
+}
+
+// staticPredictor is the paper's front end: predict not-taken always, so
+// exactly the taken branches mispredict — the same set the unmodeled
+// simulator charges its fixed penalty to.
+type staticPredictor struct{}
+
+func (staticPredictor) Predict(uint64) bool { return false }
+func (staticPredictor) Update(uint64, bool) {}
+func (staticPredictor) Reset()              {}
+func (staticPredictor) Name() string        { return "static" }

@@ -1,0 +1,94 @@
+package bpred
+
+// Shared machinery of the table-based models: 2-bit saturating counters
+// indexed at VLIW-instruction granularity (PCs are 4-byte aligned, so
+// the low two bits carry no information).
+
+// tableBits sizes the bimodal and gshare counter tables (4096 entries —
+// 1KB of predictor state, in keeping with the paper's low-cost theme).
+const tableBits = 12
+
+// ctr2Taken reports a 2-bit counter's direction (>= weakly taken).
+func ctr2Taken(c uint8) bool { return c >= 2 }
+
+// ctr2Update saturates a 2-bit counter toward the resolved direction.
+func ctr2Update(c uint8, taken bool) uint8 {
+	if taken {
+		if c < 3 {
+			c++
+		}
+	} else if c > 0 {
+		c--
+	}
+	return c
+}
+
+// bimodal is a per-PC table of 2-bit saturating counters: the classic
+// Smith predictor. It learns each branch's bias but sees no correlation
+// between branches.
+type bimodal struct {
+	ctr [1 << tableBits]uint8
+}
+
+func newBimodal() *bimodal {
+	b := &bimodal{}
+	b.Reset()
+	return b
+}
+
+func (b *bimodal) index(pc uint64) uint64 { return (pc >> 2) & (1<<tableBits - 1) }
+
+func (b *bimodal) Predict(pc uint64) bool { return ctr2Taken(b.ctr[b.index(pc)]) }
+
+func (b *bimodal) Update(pc uint64, taken bool) {
+	i := b.index(pc)
+	b.ctr[i] = ctr2Update(b.ctr[i], taken)
+}
+
+// Reset initializes every counter weakly not-taken, matching the static
+// model's prior until the first update.
+func (b *bimodal) Reset() {
+	for i := range b.ctr {
+		b.ctr[i] = 1
+	}
+}
+
+func (b *bimodal) Name() string { return "bimodal" }
+
+// gshare XORs a global branch-history register into the table index
+// (McFarling), so the same static branch trains different counters under
+// different recent outcomes — it captures correlation up to tableBits
+// history bits that bimodal cannot see.
+type gshare struct {
+	ctr  [1 << tableBits]uint8
+	hist uint64
+}
+
+func newGshare() *gshare {
+	g := &gshare{}
+	g.Reset()
+	return g
+}
+
+func (g *gshare) index(pc uint64) uint64 { return ((pc >> 2) ^ g.hist) & (1<<tableBits - 1) }
+
+func (g *gshare) Predict(pc uint64) bool { return ctr2Taken(g.ctr[g.index(pc)]) }
+
+func (g *gshare) Update(pc uint64, taken bool) {
+	i := g.index(pc)
+	g.ctr[i] = ctr2Update(g.ctr[i], taken)
+	g.hist <<= 1
+	if taken {
+		g.hist |= 1
+	}
+	g.hist &= 1<<tableBits - 1
+}
+
+func (g *gshare) Reset() {
+	for i := range g.ctr {
+		g.ctr[i] = 1
+	}
+	g.hist = 0
+}
+
+func (g *gshare) Name() string { return "gshare" }

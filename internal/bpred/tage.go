@@ -1,0 +1,184 @@
+package bpred
+
+// tage is a deterministic TAGE variant (Seznec/Michaud): a bimodal base
+// table backed by tagged banks indexed with geometrically increasing
+// global-history lengths. Prediction comes from the matching bank with
+// the longest history (the provider); allocation on a mispredict claims
+// an entry in the shortest longer-history bank whose usefulness counter
+// has decayed to zero. Classic TAGE breaks allocation ties with a random
+// draw; this variant always takes the shortest eligible bank, so the
+// predictor stays a pure function of its input sequence — the property
+// every model in this package must hold for results to be cacheable and
+// distributable.
+
+// tageHists are the per-bank history lengths. The longest (64) is what
+// lets tage catch loop periods far beyond gshare's 12-bit reach.
+var tageHists = [4]uint{8, 16, 32, 64}
+
+const (
+	tageBankBits = 10 // 1024 entries per tagged bank
+	tageTagBits  = 8
+	// tageAgePeriod is how many updates pass between usefulness-counter
+	// decays (u >>= 1), so stale providers eventually become reclaimable.
+	tageAgePeriod = 1 << 18
+)
+
+// tageEntry is one tagged-bank slot: an 8-bit tag, a 3-bit signed
+// prediction counter in [-4,3] (>= 0 predicts taken), and a 2-bit
+// usefulness counter guarding the slot against reallocation.
+type tageEntry struct {
+	tag uint8
+	ctr int8
+	u   uint8
+}
+
+type tage struct {
+	base    [1 << tableBits]uint8
+	banks   [len(tageHists)][1 << tageBankBits]tageEntry
+	hist    uint64 // global history, newest outcome in bit 0
+	updates uint64 // drives periodic usefulness decay
+}
+
+func newTAGE() *tage {
+	t := &tage{}
+	t.Reset()
+	return t
+}
+
+func (t *tage) Reset() {
+	for i := range t.base {
+		t.base[i] = 1
+	}
+	for b := range t.banks {
+		for i := range t.banks[b] {
+			t.banks[b][i] = tageEntry{}
+		}
+	}
+	t.hist = 0
+	t.updates = 0
+}
+
+func (t *tage) Name() string { return "tage" }
+
+// fold compresses the low bits history bits of h into width bits by
+// XOR-folding successive chunks.
+func fold(h uint64, bits, width uint) uint64 {
+	h &= ^uint64(0) >> (64 - bits)
+	var f uint64
+	for ; h != 0; h >>= width {
+		f ^= h & (1<<width - 1)
+	}
+	return f
+}
+
+func (t *tage) index(bank int, pc uint64) uint64 {
+	h := fold(t.hist, tageHists[bank], tageBankBits)
+	return ((pc >> 2) ^ (pc >> (2 + tageBankBits)) ^ h ^ uint64(bank)) & (1<<tageBankBits - 1)
+}
+
+func (t *tage) tag(bank int, pc uint64) uint8 {
+	h := fold(t.hist, tageHists[bank], tageTagBits) ^ fold(t.hist, tageHists[bank], tageTagBits-1)<<1
+	return uint8((pc >> 2) ^ (pc >> (2 + tageTagBits)) ^ h ^ uint64(bank)<<3)
+}
+
+// lookup finds the provider (longest matching bank, -1 for none) and the
+// alternate prediction (next matching bank below it, or the base table).
+func (t *tage) lookup(pc uint64) (provider int, providerIdx uint64, altPred bool) {
+	provider = -1
+	altPred = ctr2Taken(t.base[(pc>>2)&(1<<tableBits-1)])
+	for b := len(t.banks) - 1; b >= 0; b-- {
+		i := t.index(b, pc)
+		if t.banks[b][i].tag != t.tag(b, pc) {
+			continue
+		}
+		if provider < 0 {
+			provider, providerIdx = b, i
+			continue
+		}
+		altPred = t.banks[b][i].ctr >= 0
+		return provider, providerIdx, altPred
+	}
+	return provider, providerIdx, altPred
+}
+
+func (t *tage) Predict(pc uint64) bool {
+	provider, idx, altPred := t.lookup(pc)
+	if provider < 0 {
+		return altPred // base prediction
+	}
+	return t.banks[provider][idx].ctr >= 0
+}
+
+func (t *tage) Update(pc uint64, taken bool) {
+	provider, idx, altPred := t.lookup(pc)
+	pred := altPred
+	if provider >= 0 {
+		pred = t.banks[provider][idx].ctr >= 0
+	}
+
+	// Train the provider, and its usefulness when it disagreed with the
+	// alternate (agreement teaches nothing about which to keep).
+	if provider >= 0 {
+		e := &t.banks[provider][idx]
+		if pred != altPred {
+			if pred == taken {
+				if e.u < 3 {
+					e.u++
+				}
+			} else if e.u > 0 {
+				e.u--
+			}
+		}
+		if taken {
+			if e.ctr < 3 {
+				e.ctr++
+			}
+		} else if e.ctr > -4 {
+			e.ctr--
+		}
+	}
+	// The base table always trains: it is the prediction of last resort
+	// and the alternate for single-match lookups.
+	bi := (pc >> 2) & (1<<tableBits - 1)
+	t.base[bi] = ctr2Update(t.base[bi], taken)
+
+	// Mispredict: allocate in the shortest longer-history bank whose slot
+	// has no residual usefulness; failing that, age every candidate so a
+	// persistent mispredict eventually claims one.
+	if pred != taken && provider < len(t.banks)-1 {
+		allocated := false
+		for b := provider + 1; b < len(t.banks); b++ {
+			i := t.index(b, pc)
+			if t.banks[b][i].u == 0 {
+				ctr := int8(-1)
+				if taken {
+					ctr = 0
+				}
+				t.banks[b][i] = tageEntry{tag: t.tag(b, pc), ctr: ctr}
+				allocated = true
+				break
+			}
+		}
+		if !allocated {
+			for b := provider + 1; b < len(t.banks); b++ {
+				i := t.index(b, pc)
+				if t.banks[b][i].u > 0 {
+					t.banks[b][i].u--
+				}
+			}
+		}
+	}
+
+	t.hist <<= 1
+	if taken {
+		t.hist |= 1
+	}
+	t.updates++
+	if t.updates%tageAgePeriod == 0 {
+		for b := range t.banks {
+			for i := range t.banks[b] {
+				t.banks[b][i].u >>= 1
+			}
+		}
+	}
+}

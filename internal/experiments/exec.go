@@ -117,15 +117,17 @@ func (m *Matrix) Parallelism() int { return m.parallel }
 func (m *Matrix) Simulations() int64 { return m.sims.Load() }
 
 // CellSeed derives the deterministic seed for one cell, splitmix-style
-// from {Seed, mix, threads}. The technique is deliberately excluded:
-// cfg.Seed drives the synthetic instruction streams and the context-
-// switch schedule, and the paper's speedup figures divide a technique's
-// IPC by its baseline's on the *same* workload — a common-random-numbers
-// pairing that small-scale runs need for stability. Every technique of a
-// (mix, threads) pair therefore shares one seed, while parallel and
-// serial execution stay bit-identical because each cell's simulator owns
-// its entire random stream. Exposed so tests and tools can reproduce a
-// single cell in isolation.
+// from {Seed, mix, threads}. The technique — and the predictor, for the
+// same reason — is deliberately excluded: cfg.Seed drives the synthetic
+// instruction streams and the context-switch schedule, and the paper's
+// speedup figures divide a technique's IPC by its baseline's on the
+// *same* workload — a common-random-numbers pairing that small-scale
+// runs need for stability. Every technique (and predictor) of a
+// (mix, threads) pair therefore shares one seed, so a predictor sweep
+// measures front-end effects against an identical instruction stream,
+// while parallel and serial execution stay bit-identical because each
+// cell's simulator owns its entire random stream. Exposed so tests and
+// tools can reproduce a single cell in isolation.
 func (m *Matrix) CellSeed(c Cell) uint64 {
 	return rng.DeriveSeed(m.Seed,
 		rng.StringToken(c.Mix.Label),
@@ -221,6 +223,7 @@ func (m *Matrix) fetchOrSimulate(ctx context.Context, c Cell) (*stats.Run, bool,
 func (m *Matrix) simulate(ctx context.Context, c Cell) (*stats.Run, error) {
 	cfg := sim.DefaultConfig(c.Tech, c.Threads).WithScale(m.Scale)
 	cfg.Seed = m.CellSeed(c)
+	cfg.Predictor = c.Pred
 	profs, err := c.Mix.Profiles()
 	if err != nil {
 		return nil, err

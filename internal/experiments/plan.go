@@ -8,17 +8,24 @@ import (
 )
 
 // Cell identifies one simulation of the evaluation grid: one workload mix
-// run under one technique at one thread count. Cells are comparable and
-// carry everything needed to derive the cell's deterministic seed, so a
-// cell simulates to the same result no matter which figure requested it or
-// which worker ran it.
+// run under one technique at one thread count, optionally with a modeled
+// branch predictor. Cells are comparable and carry everything needed to
+// derive the cell's deterministic seed, so a cell simulates to the same
+// result no matter which figure requested it or which worker ran it.
 type Cell struct {
 	Mix     workload.Mix
 	Tech    core.Technique
 	Threads int
+	// Pred names the branch-predictor model; "" is the canonical internal
+	// spelling of the default static front end, which keeps the original
+	// three-field grid (and everything keyed on it) unchanged.
+	Pred string
 }
 
 func (c Cell) String() string {
+	if c.Pred != "" {
+		return fmt.Sprintf("%s/%s/%dT/%s", c.Mix.Label, c.Tech.Name(), c.Threads, c.Pred)
+	}
 	return fmt.Sprintf("%s/%s/%dT", c.Mix.Label, c.Tech.Name(), c.Threads)
 }
 

@@ -9,6 +9,7 @@ package sim
 import (
 	"fmt"
 
+	"vexsmt/internal/bpred"
 	"vexsmt/internal/cache"
 	"vexsmt/internal/core"
 	"vexsmt/internal/isa"
@@ -55,6 +56,13 @@ type Config struct {
 	PerfectMemory bool // no cache misses anywhere (IPCp runs)
 
 	TakenBranchPenalty int
+
+	// Predictor names the branch-predictor model (internal/bpred). "" and
+	// "static" both select the paper's fixed front end and keep the legacy
+	// taken-branch-penalty path byte-for-byte: penalties, counters, and
+	// exports are untouched. Any other model charges TakenBranchPenalty on
+	// mispredicts (either direction) instead of on every taken branch.
+	Predictor string
 
 	// Scheduling (Section VI-A): timeslice length in cycles; 0 disables
 	// multitasking (all jobs must fit the hardware contexts).
@@ -159,6 +167,9 @@ func (c Config) Validate() error {
 	}
 	if c.TakenBranchPenalty < 0 {
 		return fmt.Errorf("sim: negative branch penalty")
+	}
+	if _, err := bpred.Canonical(c.Predictor); err != nil {
+		return fmt.Errorf("sim: %w", err)
 	}
 	return nil
 }

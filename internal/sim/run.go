@@ -321,11 +321,33 @@ func (s *Simulator) retire(t int, cycle int64) {
 	c.job.remaining--
 	s.have &^= bit
 	s.loaded &^= bit
-	if c.ti.Taken {
-		pen := int64(s.cfg.TakenBranchPenalty)
-		if nr := cycle + 1 + pen; nr > s.ready[t] {
-			s.run.BranchStallCycles += pen
-			s.ready[t] = nr
+	if s.preds == nil {
+		// Paper front end: every taken branch pays the fixed penalty. This
+		// branchless-of-predictor path is byte-identical to the pre-bpred
+		// simulator and must stay that way.
+		if c.ti.Taken {
+			pen := int64(s.cfg.TakenBranchPenalty)
+			if nr := cycle + 1 + pen; nr > s.ready[t] {
+				s.run.BranchStallCycles += pen
+				s.ready[t] = nr
+			}
+		}
+	} else if c.ti.IsBranch {
+		// Modeled front end: the per-context predictor resolves here, at
+		// retire, and mispredicts (either direction) charge the same stall
+		// path the paper charges taken branches. Writing s.ready[t] is all
+		// the wake-queue needs — nextEventCycle reads it directly.
+		s.run.Branches++
+		p := s.preds[t]
+		mispredict := p.Predict(c.ti.PC) != c.ti.Taken
+		p.Update(c.ti.PC, c.ti.Taken)
+		if mispredict {
+			s.run.BranchMispredicts++
+			pen := int64(s.cfg.TakenBranchPenalty)
+			if nr := cycle + 1 + pen; nr > s.ready[t] {
+				s.run.BranchStallCycles += pen
+				s.ready[t] = nr
+			}
 		}
 	}
 	if c.job.Executed >= s.cfg.LimitInstrs {

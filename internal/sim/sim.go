@@ -3,6 +3,7 @@ package sim
 import (
 	"fmt"
 
+	"vexsmt/internal/bpred"
 	"vexsmt/internal/cache"
 	"vexsmt/internal/core"
 	"vexsmt/internal/isa"
@@ -64,6 +65,12 @@ type Simulator struct {
 	r    *rng.Rand
 	run  stats.Run
 
+	// preds holds one predictor per hardware context, or nil when the
+	// configuration models the paper's fixed front end ("static"). A nil
+	// slice keeps retire() on the exact legacy taken-branch path, which is
+	// what makes the default bit-identical to the pre-predictor simulator.
+	preds []bpred.Predictor
+
 	// Per-context scheduling state, struct-of-arrays (bit t of a mask is
 	// hardware context t; see the ctx type comment).
 	ready    [core.MaxThreads]int64 // cycle at which the context may fetch/issue again
@@ -115,6 +122,14 @@ func New(cfg Config, jobs []*Job) (*Simulator, error) {
 	for _, j := range jobs {
 		if j.buf == nil {
 			j.buf = make([]synth.TInst, 0, fetchBatch)
+		}
+	}
+	if name, _ := bpred.Canonical(cfg.Predictor); name != bpred.Default {
+		s.preds = make([]bpred.Predictor, cfg.Threads)
+		for t := range s.preds {
+			if s.preds[t], err = bpred.New(name); err != nil {
+				return nil, err
+			}
 		}
 	}
 	s.ctxs = make([]ctx, cfg.Threads)
@@ -173,4 +188,5 @@ func rotateInto(dst, src *synth.TInst, by, clusters int) {
 	dst.PC = src.PC
 	dst.Size = src.Size
 	dst.Taken = src.Taken
+	dst.IsBranch = src.IsBranch
 }

@@ -27,6 +27,23 @@ type Run struct {
 
 	ContextSwitches int64
 	Respawns        int64
+
+	// Branch-predictor counters (internal/bpred). Both stay zero under the
+	// default static front end — the simulator only counts branches when a
+	// modeled predictor is configured, which keeps static runs bit-identical
+	// (and their omitempty JSON exports byte-identical) to pre-predictor
+	// builds.
+	Branches          int64
+	BranchMispredicts int64
+}
+
+// MispredictRate returns mispredicts per resolved branch (0 when the run
+// used the static front end, which counts neither).
+func (r *Run) MispredictRate() float64 {
+	if r.Branches == 0 {
+		return 0
+	}
+	return float64(r.BranchMispredicts) / float64(r.Branches)
 }
 
 // IPC returns operations per cycle, the paper's headline metric.

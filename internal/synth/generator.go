@@ -11,11 +11,12 @@ import (
 // needs plus the addresses the cache models need. It carries no operand
 // values — a statically scheduled VLIW's timing does not depend on them.
 type TInst struct {
-	Demand  isa.InstrDemand
-	PC      uint64
-	Size    uint32
-	Taken   bool // instruction ends with a taken branch
-	MemAddr [isa.MaxClusters]uint64
+	Demand   isa.InstrDemand
+	PC       uint64
+	Size     uint32
+	Taken    bool // instruction ends with a taken branch
+	IsBranch bool // instruction ends with a conditional branch (taken or not)
+	MemAddr  [isa.MaxClusters]uint64
 }
 
 // Stream produces a deterministic instruction trace.
@@ -357,6 +358,7 @@ func (g *Generator) step(reg *region, t *TInst) {
 	t.PC = tm.pc
 	t.Size = tm.size
 	t.Taken = false
+	t.IsBranch = tm.brKind != brNone
 
 	// Data addresses for the cache model.
 	for c := 0; c < g.geom.Clusters; c++ {

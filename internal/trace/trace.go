@@ -74,6 +74,9 @@ func Write(w io.Writer, name string, clusters int, instrs []synth.TInst) error {
 		if ti.Demand.HasComm {
 			flags |= 2
 		}
+		if ti.IsBranch {
+			flags |= 4
+		}
 		bw.WriteByte(flags)
 		var used byte
 		for c := 0; c < clusters; c++ {
@@ -161,6 +164,9 @@ func Read(r io.Reader) (name string, clusters int, instrs []synth.TInst, err err
 		}
 		ti.Taken = flags&1 != 0
 		ti.Demand.HasComm = flags&2 != 0
+		// Traces written before the IsBranch flag existed still mark taken
+		// branches, so OR with Taken instead of trusting bit 2 alone.
+		ti.IsBranch = flags&4 != 0 || ti.Taken
 		used, err2 := br.ReadByte()
 		if err2 != nil {
 			return "", 0, nil, err2

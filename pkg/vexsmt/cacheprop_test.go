@@ -3,6 +3,8 @@ package vexsmt_test
 import (
 	"bytes"
 	"context"
+	"crypto/sha256"
+	"encoding/hex"
 	"fmt"
 	"io/fs"
 	"os"
@@ -109,6 +111,61 @@ func TestWarmCacheCollectByteIdentical(t *testing.T) {
 				}
 			}
 		})
+	}
+}
+
+// TestEpoch1CacheEntriesMissAfterPredictorAxis: entries written by the
+// pre-predictor code (CacheEpoch 1, whose key string had no pred field)
+// must be unreachable under the current epoch — a warm epoch-1 cache
+// behaves as cold, re-simulating rather than serving stale bits.
+func TestEpoch1CacheEntriesMissAfterPredictorAxis(t *testing.T) {
+	ctx := context.Background()
+	spec := vexsmt.CellSpec{Mix: "llll", Technique: "SMT", Threads: 2}
+	plan := vexsmt.Plan{Cells: []vexsmt.CellSpec{spec}}
+	dir := t.TempDir()
+
+	// Learn the current entry's payload bytes from a cold run, then plant
+	// them in a fresh directory under the key the PR-7-era code would have
+	// computed: the epoch-1 format without the pred field.
+	seedDir := t.TempDir()
+	seedSvc := cachedService(t, seedDir, 1)
+	if _, err := seedSvc.Collect(ctx, plan); err != nil {
+		t.Fatal(err)
+	}
+	meta := seedSvc.Meta()
+	oldSum := sha256.Sum256([]byte(fmt.Sprintf("vexsmt/cell/v%d/e1|seed=%d|scale=%d|mix=%s|tech=%s|threads=%d",
+		meta.SchemaVersion, meta.Seed, meta.Scale, spec.Mix, spec.Technique, spec.Threads)))
+	oldKey := hex.EncodeToString(oldSum[:])
+	newKey := vexsmt.CacheKey(meta, spec)
+	if oldKey == newKey {
+		t.Fatal("epoch bump did not change the cache key")
+	}
+
+	seeded, err := cache.NewDisk(seedDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload, ok := seeded.Get(newKey)
+	if !ok {
+		t.Fatal("cold run left no entry under the current key")
+	}
+	planted, err := cache.NewDisk(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	planted.Put(oldKey, payload)
+
+	// The warm run must not see the epoch-1 entry: one simulation, one
+	// miss, zero hits.
+	warmSvc := cachedService(t, dir, 1)
+	if _, err := warmSvc.Collect(ctx, plan); err != nil {
+		t.Fatal(err)
+	}
+	if n := warmSvc.SimulationsRun(); n != 1 {
+		t.Fatalf("warm epoch-1 cache served a stale entry: %d simulations, want 1", n)
+	}
+	if st := warmSvc.CacheStats(); st.Hits != 0 || st.Misses != 1 {
+		t.Fatalf("warm epoch-1 cache stats %+v, want 0 hits / 1 miss", st)
 	}
 }
 

@@ -67,20 +67,32 @@ type CacheSizer interface {
 // seed derivation alters any cell's counters without touching the
 // schema. Either bump changes every CacheKey at once, so stale entries
 // from the previous code can never be served as current results.
-const CacheEpoch = 1
+//
+// Epoch 2: the key gained the predictor field and static runs gained the
+// (always-zero) branch counters; entries written before the predictor
+// axis existed must miss rather than collide with static cells.
+const CacheEpoch = 2
 
 // CacheKey is the content address of one cell's result: a canonical
 // digest over everything that determines the cell's bits — the results
 // schema version, the simulator behavior epoch (CacheEpoch), the base
 // seed, the scale divisor, and the cell identity (mix, technique,
-// threads) — and nothing that does not (parallelism, the service's
-// enabled-technique set, shard placement). Two runs agreeing on those
-// inputs may share each other's cache entries no matter which process,
-// machine or thread count produced them; bumping SchemaVersion or
-// CacheEpoch invalidates every prior entry at once, which is the cache's
-// only invalidation mechanism.
+// threads, predictor) — and nothing that does not (parallelism, the
+// service's enabled-technique set, shard placement). Two runs agreeing on
+// those inputs may share each other's cache entries no matter which
+// process, machine or thread count produced them; bumping SchemaVersion
+// or CacheEpoch invalidates every prior entry at once, which is the
+// cache's only invalidation mechanism.
+//
+// The predictor is keyed in its canonical internal spelling — "" for the
+// default static front end — and "static" normalizes to "" here so a spec
+// arriving with either spelling addresses the same entry.
 func CacheKey(meta RunMeta, spec CellSpec) string {
-	sum := sha256.Sum256([]byte(fmt.Sprintf("vexsmt/cell/v%d/e%d|seed=%d|scale=%d|mix=%s|tech=%s|threads=%d",
-		meta.SchemaVersion, CacheEpoch, meta.Seed, meta.Scale, spec.Mix, spec.Technique, spec.Threads)))
+	pred := spec.Predictor
+	if pred == "static" {
+		pred = ""
+	}
+	sum := sha256.Sum256([]byte(fmt.Sprintf("vexsmt/cell/v%d/e%d|seed=%d|scale=%d|mix=%s|tech=%s|threads=%d|pred=%s",
+		meta.SchemaVersion, CacheEpoch, meta.Seed, meta.Scale, spec.Mix, spec.Technique, spec.Threads, pred)))
 	return hex.EncodeToString(sum[:])
 }

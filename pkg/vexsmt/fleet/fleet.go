@@ -41,6 +41,7 @@ type Member struct {
 	Running       int               `json:"running"`
 	UptimeSeconds float64           `json:"uptime_seconds"`
 	Simulations   int64             `json:"simulations"`
+	Predictors    string            `json:"predictors,omitempty"`
 	CacheEnabled  bool              `json:"cache_enabled"`
 	Cache         vexsmt.CacheStats `json:"cache"`
 	CacheSize     vexsmt.CacheSize  `json:"cache_size"`

@@ -3,6 +3,7 @@ package vexsmt
 import (
 	"fmt"
 
+	"vexsmt/internal/bpred"
 	"vexsmt/internal/core"
 )
 
@@ -87,6 +88,37 @@ func WithTechniques(names ...string) Option {
 		return nil
 	}
 }
+
+// WithPredictors restricts the service to the named branch-predictor
+// models ("static", "bimodal", "gshare", "tage"). Plans naming a
+// predictor outside the set fail at resolution rather than silently
+// simulating it. The default is every model in internal/bpred.
+func WithPredictors(names ...string) Option {
+	return func(s *Service) error {
+		if len(names) == 0 {
+			return fmt.Errorf("vexsmt: WithPredictors requires at least one predictor")
+		}
+		preds := make([]string, 0, len(names))
+		seen := make(map[string]bool, len(names))
+		for _, name := range names {
+			canon, err := bpred.Canonical(name)
+			if err != nil {
+				return fmt.Errorf("vexsmt: %w", err)
+			}
+			if seen[canon] {
+				continue
+			}
+			seen[canon] = true
+			preds = append(preds, canon)
+		}
+		s.predictors = preds
+		return nil
+	}
+}
+
+// Predictors returns the names of every branch-predictor model, in
+// canonical presentation order — the default set of a Service.
+func Predictors() []string { return bpred.Names() }
 
 // Techniques returns the names of every technique the paper evaluates, in
 // the presentation order of Figure 16 — the default set of a Service.

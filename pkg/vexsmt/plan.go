@@ -4,17 +4,23 @@ import (
 	"fmt"
 	"strings"
 
+	"vexsmt/internal/bpred"
 	"vexsmt/internal/core"
 	"vexsmt/internal/experiments"
 	"vexsmt/internal/workload"
 )
 
 // CellSpec names one grid cell by its public identity. Technique names are
-// the paper's ("SMT", "CCSI AS", ...); mixes are Figure 13(b) labels.
+// the paper's ("SMT", "CCSI AS", ...); mixes are Figure 13(b) labels;
+// predictor names come from internal/bpred ("static", "bimodal", "gshare",
+// "tage"). An empty Predictor means "static" — the default front end is
+// spelled as absence so static specs (and their JSON) are identical to
+// pre-predictor ones.
 type CellSpec struct {
 	Mix       string `json:"mix"`
 	Technique string `json:"technique"`
 	Threads   int    `json:"threads"`
+	Predictor string `json:"predictor,omitempty"`
 }
 
 // Plan describes the work of one run. The three fields compose: the
@@ -30,6 +36,12 @@ type Plan struct {
 	Figures []string   `json:"figures,omitempty"`
 	Cells   []CellSpec `json:"cells,omitempty"`
 	Sweep   bool       `json:"sweep,omitempty"`
+
+	// Predictors crosses the figure/sweep grid with branch-predictor
+	// models: every planned grid cell is simulated once per named model.
+	// Empty means ["static"] — the unexpanded grid. Explicit Cells are not
+	// crossed; they carry their own Predictor field.
+	Predictors []string `json:"predictors,omitempty"`
 }
 
 // AllFigures lists every figure name a Plan accepts, in paper order.
@@ -77,22 +89,94 @@ func ParseFigures(list string) ([]string, error) {
 	return out, nil
 }
 
+// ParsePredictors expands a comma-separated predictor list
+// ("static,bimodal", "all") into canonical model names, validating each
+// against Predictors(). An empty list means the default static front end.
+func ParsePredictors(list string) ([]string, error) {
+	if strings.TrimSpace(list) == "" {
+		return []string{bpred.Default}, nil
+	}
+	var out []string
+	sawAll := false
+	seen := make(map[string]bool)
+	for _, name := range strings.Split(list, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		if name == "all" {
+			sawAll = true
+			continue
+		}
+		canon, err := bpred.Canonical(name)
+		if err != nil {
+			return nil, fmt.Errorf("vexsmt: unknown predictor %q (have %s, all)",
+				name, strings.Join(bpred.Names(), ", "))
+		}
+		if !seen[canon] {
+			seen[canon] = true
+			out = append(out, canon)
+		}
+	}
+	if sawAll {
+		return bpred.Names(), nil
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("vexsmt: empty predictor list %q", list)
+	}
+	return out, nil
+}
+
+// canonPredictor maps a public predictor name to the internal cell
+// spelling: canonical per bpred, with the default static model spelled ""
+// so static cells stay identical to pre-predictor ones everywhere they
+// are compared, keyed, or serialized.
+func canonPredictor(name string) (string, error) {
+	canon, err := bpred.Canonical(name)
+	if err != nil {
+		return "", fmt.Errorf("vexsmt: %w", err)
+	}
+	if canon == bpred.Default {
+		return "", nil
+	}
+	return canon, nil
+}
+
 // mixTable returns the paper's nine mixes (internal type; used by
 // resolution and the Mixes accessor).
 func mixTable() []workload.Mix { return workload.Figure13b() }
 
 // resolve turns a public Plan into the internal deduplicated cell plan,
-// enforcing the service's technique set.
+// enforcing the service's technique and predictor sets. The figure/sweep
+// grid is crossed with the plan's Predictors axis (predictor-major, so
+// one model's full grid streams before the next begins and paired
+// comparisons complete early); explicit Cells carry their own Predictor
+// and are never crossed.
 func (s *Service) resolve(p Plan) (*experiments.Plan, error) {
-	ip, err := experiments.PlanFigures(p.Figures...)
+	grid, err := experiments.PlanFigures(p.Figures...)
 	if err != nil {
 		return nil, fmt.Errorf("vexsmt: %w", err)
 	}
 	if p.Sweep {
 		for _, threads := range []int{2, 4} {
 			for _, t := range s.techniques {
-				ip.AddMixSweep(t, threads)
+				grid.AddMixSweep(t, threads)
 			}
+		}
+	}
+	preds := p.Predictors
+	if len(preds) == 0 {
+		preds = []string{bpred.Default}
+	}
+	ip := experiments.NewPlan()
+	for _, name := range preds {
+		pred, err := canonPredictor(name)
+		if err != nil {
+			return nil, err
+		}
+		for _, c := range grid.Cells() {
+			c.Pred = pred
+			ip.Add(c)
 		}
 	}
 	for _, spec := range p.Cells {
@@ -106,6 +190,10 @@ func (s *Service) resolve(p Plan) (*experiments.Plan, error) {
 		if !s.allowed(c.Tech) {
 			return nil, fmt.Errorf("vexsmt: technique %s not enabled on this service (WithTechniques)",
 				c.Tech.Name())
+		}
+		if !s.allowedPred(c.Pred) {
+			return nil, fmt.Errorf("vexsmt: predictor %s not enabled on this service (WithPredictors)",
+				publicPredictor(c.Pred))
 		}
 	}
 	return ip, nil
@@ -126,12 +214,35 @@ func (s *Service) cell(spec CellSpec) (experiments.Cell, error) {
 		return experiments.Cell{}, fmt.Errorf("vexsmt: thread count %d out of range [1,%d]",
 			spec.Threads, core.MaxThreads)
 	}
-	return experiments.Cell{Mix: mix, Tech: tech, Threads: spec.Threads}, nil
+	pred, err := canonPredictor(spec.Predictor)
+	if err != nil {
+		return experiments.Cell{}, err
+	}
+	return experiments.Cell{Mix: mix, Tech: tech, Threads: spec.Threads, Pred: pred}, nil
 }
 
 func (s *Service) allowed(t core.Technique) bool {
 	for _, have := range s.techniques {
 		if have == t {
+			return true
+		}
+	}
+	return false
+}
+
+// publicPredictor maps the internal cell spelling back to the public
+// model name ("" -> "static").
+func publicPredictor(pred string) string {
+	if pred == "" {
+		return bpred.Default
+	}
+	return pred
+}
+
+func (s *Service) allowedPred(pred string) bool {
+	name := publicPredictor(pred)
+	for _, have := range s.predictors {
+		if have == name {
 			return true
 		}
 	}

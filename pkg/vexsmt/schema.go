@@ -39,6 +39,12 @@ type Counters struct {
 
 	ContextSwitches int64 `json:"context_switches"`
 	Respawns        int64 `json:"respawns"`
+
+	// Branch-predictor counters; zero (and omitted from JSON) under the
+	// default static front end, which keeps static exports byte-identical
+	// to documents produced before the predictor axis existed.
+	Branches          int64 `json:"branches,omitempty"`
+	BranchMispredicts int64 `json:"branch_mispredicts,omitempty"`
 }
 
 func countersFromRun(r *stats.Run) Counters {
@@ -63,6 +69,9 @@ func countersFromRun(r *stats.Run) Counters {
 
 		ContextSwitches: r.ContextSwitches,
 		Respawns:        r.Respawns,
+
+		Branches:          r.Branches,
+		BranchMispredicts: r.BranchMispredicts,
 	}
 }
 
@@ -76,9 +85,13 @@ func countersFromRun(r *stats.Run) Counters {
 // contract, so Canonicalize and Merge clear the flag before results are
 // compared, deduplicated or exported.
 type CellResult struct {
-	Mix       string   `json:"mix"`
-	Technique string   `json:"technique"`
-	Threads   int      `json:"threads"`
+	Mix       string `json:"mix"`
+	Technique string `json:"technique"`
+	Threads   int    `json:"threads"`
+	// Predictor carries the internal canonical spelling: "" for the
+	// default static front end (omitted from JSON, so static documents
+	// match pre-predictor ones byte for byte), else the model name.
+	Predictor string   `json:"predictor,omitempty"`
 	Seed      uint64   `json:"seed"`
 	IPC       float64  `json:"ipc"`
 	Counters  Counters `json:"counters"`
@@ -118,10 +131,11 @@ type ResultSet struct {
 	Cells []CellResult `json:"cells"`
 }
 
-// Sort orders the cells by (mix, technique, threads), the canonical
-// encoding order. Collect returns sorted sets already; producers that
-// accumulate cells in completion order (e.g. a streaming server) call
-// this before encoding.
+// Sort orders the cells by (mix, technique, threads, predictor), the
+// canonical encoding order; the static predictor's empty spelling sorts
+// first, so predictor-free sets keep their historical order exactly.
+// Collect returns sorted sets already; producers that accumulate cells in
+// completion order (e.g. a streaming server) call this before encoding.
 func (rs *ResultSet) Sort() {
 	sort.Slice(rs.Cells, func(i, j int) bool {
 		a, b := rs.Cells[i], rs.Cells[j]
@@ -131,7 +145,10 @@ func (rs *ResultSet) Sort() {
 		if a.Technique != b.Technique {
 			return a.Technique < b.Technique
 		}
-		return a.Threads < b.Threads
+		if a.Threads != b.Threads {
+			return a.Threads < b.Threads
+		}
+		return a.Predictor < b.Predictor
 	})
 }
 
@@ -166,6 +183,7 @@ func (rs *ResultSet) Merge(others ...*ResultSet) (*ResultSet, error) {
 	type cellKey struct {
 		mix, technique string
 		threads        int
+		predictor      string
 	}
 	seen := make(map[cellKey]CellResult, len(rs.Cells))
 	add := func(set *ResultSet) error {
@@ -188,11 +206,11 @@ func (rs *ResultSet) Merge(others ...*ResultSet) (*ResultSet, error) {
 			// cell recalled from cache on one backend and simulated on
 			// another must deduplicate, not conflict.
 			c.Cached = false
-			k := cellKey{c.Mix, c.Technique, c.Threads}
+			k := cellKey{c.Mix, c.Technique, c.Threads, c.Predictor}
 			if prev, ok := seen[k]; ok {
 				if prev != c {
-					return fmt.Errorf("vexsmt: merge: conflicting duplicates of cell %s/%s/%dT",
-						c.Mix, c.Technique, c.Threads)
+					return fmt.Errorf("vexsmt: merge: conflicting duplicates of cell %s",
+						cellName(c))
 				}
 				continue
 			}
@@ -211,6 +229,16 @@ func (rs *ResultSet) Merge(others ...*ResultSet) (*ResultSet, error) {
 	}
 	merged.Canonicalize()
 	return merged, nil
+}
+
+// cellName renders a cell's identity for error messages, appending the
+// predictor only when it is a modeled one.
+func cellName(c CellResult) string {
+	name := fmt.Sprintf("%s/%s/%dT", c.Mix, c.Technique, c.Threads)
+	if c.Predictor != "" {
+		name += "/" + c.Predictor
+	}
+	return name
 }
 
 // EncodeResults writes rs as schema-versioned JSON. The stored schema

@@ -78,15 +78,16 @@ type planRequest struct {
 // terminal state. Mutable state is guarded by mu; done closes when the
 // stream drains.
 type job struct {
-	id       string
-	num      int // submission order, drives oldest-first eviction
-	meta     vexsmt.RunMeta
-	total    int
-	weight   int // simulation workers the plan can occupy (admission unit)
-	created  time.Time
-	cancel   context.CancelFunc
-	done     chan struct{}
-	finished func() // runs once when the stream drains (simulation accounting)
+	id         string
+	num        int // submission order, drives oldest-first eviction
+	meta       vexsmt.RunMeta
+	total      int
+	predictors string // sorted distinct predictor axis of the resolved plan
+	weight     int    // simulation workers the plan can occupy (admission unit)
+	created    time.Time
+	cancel     context.CancelFunc
+	done       chan struct{}
+	finished   func() // runs once when the stream drains (simulation accounting)
 
 	mu     sync.Mutex
 	cells  []vexsmt.CellResult
@@ -179,9 +180,13 @@ type Stats struct {
 	UptimeSeconds  float64
 	Simulations    int64
 	PrefetchActive int
-	CacheEnabled   bool
-	Cache          vexsmt.CacheStats
-	CacheSize      vexsmt.CacheSize
+	// Predictors is the comma-joined sorted distinct predictor axis of
+	// the running plans ("" when nothing runs), so fleet status tables can
+	// show what front end each daemon is simulating right now.
+	Predictors   string
+	CacheEnabled bool
+	Cache        vexsmt.CacheStats
+	CacheSize    vexsmt.CacheSize
 }
 
 // Stats returns the current snapshot (see the Stats type).
@@ -189,6 +194,7 @@ func (s *Server) Stats() Stats {
 	s.mu.Lock()
 	running := s.runningWeightLocked()
 	prefetching := len(s.prefetch)
+	predictors := s.runningPredictorsLocked()
 	s.mu.Unlock()
 	st := Stats{
 		Capacity:       s.capacity(),
@@ -196,6 +202,7 @@ func (s *Server) Stats() Stats {
 		UptimeSeconds:  time.Since(s.started).Seconds(),
 		Simulations:    s.simulations.Load(),
 		PrefetchActive: prefetching,
+		Predictors:     predictors,
 		CacheEnabled:   s.cache != nil,
 	}
 	if s.cache != nil {
@@ -227,6 +234,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		"uptime_seconds":  st.UptimeSeconds,
 		"simulations":     st.Simulations,
 		"prefetch_active": st.PrefetchActive,
+		"predictors":      st.Predictors,
 	}
 	cacheInfo := map[string]any{"enabled": st.CacheEnabled}
 	if st.CacheEnabled {
@@ -457,11 +465,12 @@ func (s *Server) submitPlan(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	total, err := svc.PlanSize(req.Plan)
+	cells, err := svc.PlanCells(req.Plan)
 	if err != nil {
 		httpError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
+	total := len(cells)
 
 	ctx, cancel := context.WithCancel(context.Background())
 	ch, err := svc.Stream(ctx, req.Plan)
@@ -504,15 +513,16 @@ func (s *Server) submitPlan(w http.ResponseWriter, r *http.Request) {
 	}
 	s.next++
 	j := &job{
-		id:      "plan-" + strconv.Itoa(s.next),
-		num:     s.next,
-		meta:    svc.Meta(),
-		total:   total,
-		weight:  weight,
-		created: time.Now(),
-		cancel:  cancel,
-		done:    make(chan struct{}),
-		status:  "running",
+		id:         "plan-" + strconv.Itoa(s.next),
+		num:        s.next,
+		meta:       svc.Meta(),
+		total:      total,
+		predictors: predictorAxis(cells),
+		weight:     weight,
+		created:    time.Now(),
+		cancel:     cancel,
+		done:       make(chan struct{}),
+		status:     "running",
 	}
 	s.jobs[j.id] = j
 	s.evictTerminalLocked()
@@ -595,7 +605,8 @@ func (s *Server) listPlans(w http.ResponseWriter) {
 		out = append(out, map[string]any{
 			"id": j.id, "status": status,
 			"completed": completed, "cells": total,
-			"created": j.created.UTC().Format(time.RFC3339),
+			"predictors": j.predictors,
+			"created":    j.created.UTC().Format(time.RFC3339),
 		})
 	}
 	s.mu.Unlock()
@@ -645,6 +656,47 @@ func (s *Server) capacity() int {
 		return s.defaults.parallelism
 	}
 	return maxRunningJobs
+}
+
+// predictorAxis derives the sorted distinct predictor set of a resolved
+// plan's cells, in public spelling (a cell's empty predictor is the
+// static front end).
+func predictorAxis(cells []vexsmt.CellSpec) string {
+	seen := make(map[string]bool, 4)
+	var names []string
+	for _, c := range cells {
+		name := c.Predictor
+		if name == "" {
+			name = "static"
+		}
+		if !seen[name] {
+			seen[name] = true
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	return strings.Join(names, ",")
+}
+
+// runningPredictorsLocked unions the predictor axes of all running jobs,
+// sorted distinct and comma-joined. Caller holds s.mu.
+func (s *Server) runningPredictorsLocked() string {
+	seen := make(map[string]bool, 4)
+	var names []string
+	for _, j := range s.jobs {
+		status, _, _ := j.progress()
+		if status != "running" || j.predictors == "" {
+			continue
+		}
+		for _, name := range strings.Split(j.predictors, ",") {
+			if !seen[name] {
+				seen[name] = true
+				names = append(names, name)
+			}
+		}
+	}
+	sort.Strings(names)
+	return strings.Join(names, ",")
 }
 
 // runningWeightLocked sums the admission weight of jobs still

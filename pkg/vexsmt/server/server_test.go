@@ -394,6 +394,65 @@ func TestHealthzReportsPlacementSignals(t *testing.T) {
 	}
 }
 
+func TestHealthzReportsPredictorAxis(t *testing.T) {
+	srv := New(50, 1, 1) // slow cells: the plan is still running when probed
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	predictors := func() string {
+		t.Helper()
+		resp, err := http.Get(ts.URL + "/healthz")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var h struct {
+			Predictors string `json:"predictors"`
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&h); err != nil {
+			t.Fatal(err)
+		}
+		return h.Predictors
+	}
+
+	if p := predictors(); p != "" {
+		t.Fatalf("idle daemon reports predictor axis %q", p)
+	}
+	id := postPlan(t, ts, `{"figures":["14"],"predictors":["bimodal","static"]}`)
+	if p := predictors(); p != "bimodal,static" {
+		t.Fatalf("running predictor axis %q, want \"bimodal,static\"", p)
+	}
+	if st := srv.Stats(); st.Predictors != "bimodal,static" {
+		t.Fatalf("Stats().Predictors = %q", st.Predictors)
+	}
+	// The plan listing names each job's axis too.
+	resp, err := http.Get(ts.URL + "/v1/plans")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var listing struct {
+		Plans []map[string]any `json:"plans"`
+	}
+	err = json.NewDecoder(resp.Body).Decode(&listing)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(listing.Plans) != 1 || listing.Plans[0]["predictors"] != "bimodal,static" {
+		t.Fatalf("plan listing predictors: %+v", listing.Plans)
+	}
+
+	req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/v1/plans?id="+id, nil)
+	dresp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dresp.Body.Close()
+	if p := predictors(); p != "" {
+		t.Fatalf("cancelled daemon still reports predictor axis %q", p)
+	}
+}
+
 func TestCancelJobsDrainsRunningPlans(t *testing.T) {
 	srv := New(50, 1, 1) // slow cells
 	ts := httptest.NewServer(srv.Handler())

@@ -6,6 +6,7 @@ import (
 	"runtime"
 	"strings"
 
+	"vexsmt/internal/bpred"
 	"vexsmt/internal/core"
 	"vexsmt/internal/experiments"
 	"vexsmt/internal/stats"
@@ -21,6 +22,7 @@ type Service struct {
 	seed       uint64
 	parallel   int
 	techniques []core.Technique
+	predictors []string // canonical model names (WithPredictors)
 	cache      CellCache
 
 	m *experiments.Matrix
@@ -34,6 +36,7 @@ func New(opts ...Option) (*Service, error) {
 		seed:       1,
 		parallel:   runtime.GOMAXPROCS(0),
 		techniques: core.AllTechniques(),
+		predictors: bpred.Names(),
 	}
 	for _, o := range opts {
 		if err := o(s); err != nil {
@@ -47,7 +50,7 @@ func New(opts ...Option) (*Service, error) {
 		// ignores the meta fields that cannot change results.
 		meta := s.Meta()
 		mopts = append(mopts, experiments.WithResultCache(s.cache, func(c experiments.Cell) string {
-			return CacheKey(meta, CellSpec{Mix: c.Mix.Label, Technique: c.Tech.Name(), Threads: c.Threads})
+			return CacheKey(meta, CellSpec{Mix: c.Mix.Label, Technique: c.Tech.Name(), Threads: c.Threads, Predictor: c.Pred})
 		}))
 	}
 	s.m = experiments.NewMatrix(s.scale, s.seed, mopts...)
@@ -71,6 +74,12 @@ func (s *Service) TechniqueNames() []string {
 		names[i] = t.Name()
 	}
 	return names
+}
+
+// PredictorNames returns the service's enabled branch-predictor models in
+// canonical order.
+func (s *Service) PredictorNames() []string {
+	return append([]string(nil), s.predictors...)
 }
 
 // Meta returns the run metadata stamped onto every ResultSet this service
@@ -108,6 +117,7 @@ func (s *Service) cellResult(c experiments.Cell, r *stats.Run, cached bool, err 
 		Mix:       c.Mix.Label,
 		Technique: c.Tech.Name(),
 		Threads:   c.Threads,
+		Predictor: c.Pred,
 		Seed:      s.m.CellSeed(c),
 	}
 	if err != nil {
@@ -161,7 +171,7 @@ func (s *Service) PlanCells(p Plan) ([]CellSpec, error) {
 	}
 	out := make([]CellSpec, 0, ip.Len())
 	for _, c := range ip.Cells() {
-		out = append(out, CellSpec{Mix: c.Mix.Label, Technique: c.Tech.Name(), Threads: c.Threads})
+		out = append(out, CellSpec{Mix: c.Mix.Label, Technique: c.Tech.Name(), Threads: c.Threads, Predictor: c.Pred})
 	}
 	return out, nil
 }

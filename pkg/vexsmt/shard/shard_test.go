@@ -421,6 +421,61 @@ func TestLocalBackendRejectsForeignJob(t *testing.T) {
 	}
 }
 
+// TestCoordinatorPredictorSweepMatchesCollect is the distributed half of
+// the predictor-axis property: a static-vs-bimodal sweep of Figure 14
+// coordinated over in-process and real HTTP backends must merge to
+// exactly the bytes a single-process Collect of the same plan produces —
+// the predictor axis adds cells, never nondeterminism.
+func TestCoordinatorPredictorSweepMatchesCollect(t *testing.T) {
+	sweep := vexsmt.Plan{Figures: []string{"14"}, Predictors: []string{"static", "bimodal"}}
+	svc := testService(t)
+	want := collectBaseline(t, svc, sweep)
+
+	t.Run("local", func(t *testing.T) {
+		coord, err := shard.New(shard.Config{Scale: testScale, Seed: svc.Seed()},
+			shard.NewLocal("a", svc), shard.NewLocal("b", svc))
+		if err != nil {
+			t.Fatal(err)
+		}
+		rs, err := coord.Collect(context.Background(), sweep)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := encodeCanonical(t, rs); got != want {
+			t.Fatal("coordinated predictor sweep differs from Service.Collect")
+		}
+		// Both models actually ran: half the cells carry the modeled name.
+		var modeled int
+		for _, c := range rs.Cells {
+			if c.Predictor == "bimodal" {
+				modeled++
+			}
+		}
+		if modeled == 0 || modeled != len(rs.Cells)/2 {
+			t.Fatalf("%d of %d cells are bimodal, want an even split", modeled, len(rs.Cells))
+		}
+	})
+
+	t.Run("http", func(t *testing.T) {
+		a := httptest.NewServer(server.New(testScale, 1, 4).Handler())
+		defer a.Close()
+		b := httptest.NewServer(server.New(testScale, 1, 4).Handler())
+		defer b.Close()
+		coord, err := shard.New(shard.Config{Scale: testScale, Seed: 1},
+			httpBackends(t, a.URL, b.URL)...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rs, err := coord.Collect(context.Background(), sweep)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := encodeCanonical(t, rs); got != want {
+			t.Fatal("two-daemon predictor sweep differs from Service.Collect")
+		}
+	})
+}
+
 // TestWarmCacheCoordinatedCollect is the distributed half of the cache
 // property (the single-process half lives in pkg/vexsmt): over K ∈ {1,3}
 // backends sharing one on-disk cache directory, a warm coordinated
