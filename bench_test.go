@@ -26,6 +26,7 @@ import (
 	"vexsmt/internal/rng"
 	"vexsmt/internal/sim"
 	"vexsmt/internal/synth"
+	"vexsmt/internal/trace"
 	"vexsmt/internal/workload"
 	"vexsmt/pkg/vexsmt"
 	rescache "vexsmt/pkg/vexsmt/cache"
@@ -457,4 +458,63 @@ func BenchmarkSimulatorThroughputBMT(b *testing.B) {
 // same run — the hardware-independent quantity cmd/benchgate gates on.
 func BenchmarkSimulatorThroughputReference(b *testing.B) {
 	benchmarkThroughput(b, 4, mixNames(b, "mmhh"), sim.ModeSimultaneous, true)
+}
+
+// benchmarkTraceThroughput is the synthetic headline scenario (mmhh, CCSI
+// AS, 4 threads) with the generators swapped for the zero-copy trace
+// replay engine: each thread's stream is recorded once outside the timer
+// and replayed from a shared immutable arena, exactly how internal/wstore
+// serves first-class workloads. The instrs/s ratio against
+// BenchmarkSimulatorThroughput is the replay path's relative speed — it
+// should be at least as fast as generating (no generator arithmetic, one
+// batched copy per fetch), and cmd/benchgate gates the ratio.
+func benchmarkTraceThroughput(b *testing.B, reference bool) {
+	names := mixNames(b, "mmhh")
+	cfg := sim.DefaultConfig(core.CCSI(core.CommAlwaysSplit), len(names)).WithScale(benchScale)
+	cfg.ReferenceLoop = reference
+	arenas := make([][]synth.TInst, len(names))
+	for i, name := range names {
+		p, ok := synth.ByName(name)
+		if !ok {
+			b.Fatalf("missing profile %q", name)
+		}
+		gen := synth.MustNewGenerator(p, isa.ST200x4)
+		// One spawn's worth of instructions, so replay does the same work
+		// per run as the synthetic path.
+		arenas[i] = trace.Record(gen, int(gen.Length(cfg.ScaleDiv)))
+	}
+	b.ResetTimer()
+	var instrs int64
+	for i := 0; i < b.N; i++ {
+		jobs := make([]*sim.Job, len(arenas))
+		for t, arena := range arenas {
+			rep, err := trace.NewReplayer(names[t], arena)
+			if err != nil {
+				b.Fatal(err)
+			}
+			jobs[t] = sim.NewJob(rep, cfg.ScaleDiv)
+		}
+		s, err := sim.New(cfg, jobs)
+		if err != nil {
+			b.Fatal(err)
+		}
+		r, err := s.Run()
+		if err != nil {
+			b.Fatal(err)
+		}
+		instrs += r.Instrs
+	}
+	b.ReportMetric(float64(instrs)/b.Elapsed().Seconds(), "instrs/s")
+}
+
+// BenchmarkTraceReplayThroughput is the trace-replay headline benchgate
+// gates against BenchmarkSimulatorThroughput (same run, same hardware).
+func BenchmarkTraceReplayThroughput(b *testing.B) {
+	benchmarkTraceThroughput(b, false)
+}
+
+// BenchmarkTraceReplayThroughputReference replays the same traces through
+// the bit-identical one-iteration-per-cycle loop (reported, not gated).
+func BenchmarkTraceReplayThroughputReference(b *testing.B) {
+	benchmarkTraceThroughput(b, true)
 }

@@ -1,18 +1,23 @@
 // Command benchgate is the CI benchmark regression gate: it reads the
 // output of `go test -bench -json` for the simulator micro-benchmarks,
-// extracts the headline metrics (BenchmarkSimulatorThroughput instrs/s and
-// the per-technique BenchmarkEngineCycle ns/op), writes them as a
-// machine-readable BENCH_*.json artifact, and fails when throughput
-// regresses more than the allowed fraction below the checked-in baseline.
+// extracts the headline metrics (BenchmarkSimulatorThroughput and
+// BenchmarkTraceReplayThroughput instrs/s and the per-technique
+// BenchmarkEngineCycle ns/op), writes them as a machine-readable
+// BENCH_*.json artifact, and fails when throughput regresses more than
+// the allowed fraction below the checked-in baseline.
 //
-//	go test -run '^$' -bench 'BenchmarkSimulatorThroughput|BenchmarkEngineCycle' \
+//	go test -run '^$' -bench 'BenchmarkSimulatorThroughput|BenchmarkTraceReplayThroughput|BenchmarkEngineCycle' \
 //	    -benchtime 1s -json . | tee bench_raw.json
-//	benchgate -raw bench_raw.json -baseline BENCH_baseline.json -out BENCH_pr5.json
+//	benchgate -raw bench_raw.json -baseline BENCH_baseline.json -out BENCH_pr9.json
 //
 // Keep the -bench pattern unanchored: it must also select
 // BenchmarkSimulatorThroughputReference, whose in-job fast/reference
 // ratio is the hardware-independent half of the gate (benchgate warns
-// and skips that check when the reference metric is absent).
+// and skips that check when the reference metric is absent). The
+// trace/synthetic ratio (-min-trace-ratio) is gated the same way: both
+// headlines come from the same run on the same hardware, so the check
+// catches a replay-path pessimization without depending on the runner's
+// hardware class.
 //
 // The baseline records absolute numbers from a reference machine, so the
 // gate is hardware-relative: refresh it with -update when the CI hardware
@@ -54,6 +59,12 @@ type Baseline struct {
 	// PrePRIMTInstrsPerSec is the IMT benchmark measured on the same
 	// reference hardware before the wake-up queue landed.
 	PrePRIMTInstrsPerSec float64 `json:"pre_pr_imt_instrs_per_sec,omitempty"`
+	// TraceReplayInstrsPerSec is the expected BenchmarkTraceReplayThroughput
+	// headline — the same SMT workload replayed from recorded traces through
+	// the zero-copy workload store (PR 9) instead of the synthetic
+	// generators. Gated like the other headlines; zero skips the check
+	// (pre-PR-9 baselines).
+	TraceReplayInstrsPerSec float64 `json:"trace_replay_instrs_per_sec,omitempty"`
 	// EngineCycleNsPerOp records the per-technique engine cycle costs for
 	// context; they are reported, not gated (ns/op is too noisy across
 	// hardware classes for a hard limit).
@@ -78,17 +89,30 @@ type Report struct {
 	// The IMT block mirrors the SMT headline for the mixed-runnability
 	// interleaved workload (BenchmarkSimulatorThroughputIMT and its
 	// bit-identical reference loop).
-	IMTInstrsPerSec          float64            `json:"imt_instrs_per_sec,omitempty"`
-	BaselineIMTInstrsPerSec  float64            `json:"baseline_imt_instrs_per_sec,omitempty"`
-	IMTRatioVsBaseline       float64            `json:"imt_ratio_vs_baseline,omitempty"`
-	PrePRIMTInstrsPerSec     float64            `json:"pre_pr_imt_instrs_per_sec,omitempty"`
-	IMTSpeedupVsPrePR        float64            `json:"imt_speedup_vs_pre_pr,omitempty"`
-	IMTReferenceInstrsPerSec float64            `json:"imt_reference_instrs_per_sec,omitempty"`
-	IMTFastOverReference     float64            `json:"imt_fast_over_reference_ratio,omitempty"`
-	EngineCycleNsPerOp       map[string]float64 `json:"engine_cycle_ns_per_op,omitempty"`
-	MaxRegressionAllowed     float64            `json:"max_regression_allowed"`
-	MinFastOverReference     float64            `json:"min_fast_over_reference,omitempty"`
-	Pass                     bool               `json:"pass"`
+	IMTInstrsPerSec          float64 `json:"imt_instrs_per_sec,omitempty"`
+	BaselineIMTInstrsPerSec  float64 `json:"baseline_imt_instrs_per_sec,omitempty"`
+	IMTRatioVsBaseline       float64 `json:"imt_ratio_vs_baseline,omitempty"`
+	PrePRIMTInstrsPerSec     float64 `json:"pre_pr_imt_instrs_per_sec,omitempty"`
+	IMTSpeedupVsPrePR        float64 `json:"imt_speedup_vs_pre_pr,omitempty"`
+	IMTReferenceInstrsPerSec float64 `json:"imt_reference_instrs_per_sec,omitempty"`
+	IMTFastOverReference     float64 `json:"imt_fast_over_reference_ratio,omitempty"`
+	// The trace block covers the recorded-workload replay path
+	// (BenchmarkTraceReplayThroughput): absolute floor against the baseline,
+	// in-job fast/reference ratio, and TraceOverSynthetic — the
+	// hardware-independent check that zero-copy replay stays within
+	// -min-trace-ratio of the synthetic-generator headline measured in the
+	// same run.
+	TraceInstrsPerSec          float64            `json:"trace_replay_instrs_per_sec,omitempty"`
+	BaselineTraceInstrsPerSec  float64            `json:"baseline_trace_replay_instrs_per_sec,omitempty"`
+	TraceRatioVsBaseline       float64            `json:"trace_ratio_vs_baseline,omitempty"`
+	TraceReferenceInstrsPerSec float64            `json:"trace_reference_instrs_per_sec,omitempty"`
+	TraceFastOverReference     float64            `json:"trace_fast_over_reference_ratio,omitempty"`
+	TraceOverSynthetic         float64            `json:"trace_over_synthetic_ratio,omitempty"`
+	EngineCycleNsPerOp         map[string]float64 `json:"engine_cycle_ns_per_op,omitempty"`
+	MaxRegressionAllowed       float64            `json:"max_regression_allowed"`
+	MinFastOverReference       float64            `json:"min_fast_over_reference,omitempty"`
+	MinTraceOverSynthetic      float64            `json:"min_trace_over_synthetic,omitempty"`
+	Pass                       bool               `json:"pass"`
 }
 
 func run(args []string) error {
@@ -99,6 +123,7 @@ func run(args []string) error {
 		out        = fs.String("out", "", "write the gate report as JSON to this file")
 		maxRegress = fs.Float64("max-regress", 0.10, "maximum allowed fractional drop of instrs/s below the baseline")
 		minRatio   = fs.Float64("min-ratio", 0.85, "minimum fast-loop/reference-loop throughput ratio (hardware-independent; 0 disables)")
+		minTrace   = fs.Float64("min-trace-ratio", 0.90, "minimum trace-replay/synthetic throughput ratio measured in the same run (hardware-independent; 0 disables)")
 		update     = fs.Bool("update", false, "rewrite the baseline from the measured numbers instead of gating")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -122,6 +147,7 @@ func run(args []string) error {
 		}
 		base.SimulatorInstrsPerSec = m.instrs
 		base.IMTInstrsPerSec = m.imt
+		base.TraceReplayInstrsPerSec = m.trc
 		base.EngineCycleNsPerOp = m.engine
 		return writeJSON(*baseline, &base)
 	}
@@ -139,18 +165,22 @@ func run(args []string) error {
 	}
 
 	rep := Report{
-		InstrsPerSec:             m.instrs,
-		BaselineInstrsPerSec:     base.SimulatorInstrsPerSec,
-		RatioVsBaseline:          m.instrs / base.SimulatorInstrsPerSec,
-		PrePRInstrsPerSec:        base.PrePRInstrsPerSec,
-		ReferenceInstrsPerSec:    m.ref,
-		IMTInstrsPerSec:          m.imt,
-		BaselineIMTInstrsPerSec:  base.IMTInstrsPerSec,
-		PrePRIMTInstrsPerSec:     base.PrePRIMTInstrsPerSec,
-		IMTReferenceInstrsPerSec: m.imtRef,
-		EngineCycleNsPerOp:       m.engine,
-		MaxRegressionAllowed:     *maxRegress,
-		MinFastOverReference:     *minRatio,
+		InstrsPerSec:               m.instrs,
+		BaselineInstrsPerSec:       base.SimulatorInstrsPerSec,
+		RatioVsBaseline:            m.instrs / base.SimulatorInstrsPerSec,
+		PrePRInstrsPerSec:          base.PrePRInstrsPerSec,
+		ReferenceInstrsPerSec:      m.ref,
+		IMTInstrsPerSec:            m.imt,
+		BaselineIMTInstrsPerSec:    base.IMTInstrsPerSec,
+		PrePRIMTInstrsPerSec:       base.PrePRIMTInstrsPerSec,
+		IMTReferenceInstrsPerSec:   m.imtRef,
+		TraceInstrsPerSec:          m.trc,
+		BaselineTraceInstrsPerSec:  base.TraceReplayInstrsPerSec,
+		TraceReferenceInstrsPerSec: m.trcRef,
+		EngineCycleNsPerOp:         m.engine,
+		MaxRegressionAllowed:       *maxRegress,
+		MinFastOverReference:       *minRatio,
+		MinTraceOverSynthetic:      *minTrace,
 	}
 	if base.PrePRInstrsPerSec > 0 {
 		rep.SpeedupVsPrePR = m.instrs / base.PrePRInstrsPerSec
@@ -167,13 +197,25 @@ func run(args []string) error {
 	if m.imt > 0 && m.imtRef > 0 {
 		rep.IMTFastOverReference = m.imt / m.imtRef
 	}
+	if m.trc > 0 && base.TraceReplayInstrsPerSec > 0 {
+		rep.TraceRatioVsBaseline = m.trc / base.TraceReplayInstrsPerSec
+	}
+	if m.trc > 0 && m.trcRef > 0 {
+		rep.TraceFastOverReference = m.trc / m.trcRef
+	}
+	if m.trc > 0 {
+		rep.TraceOverSynthetic = m.trc / m.instrs
+	}
 	absOK := rep.RatioVsBaseline >= 1.0-*maxRegress
 	ratioOK := *minRatio <= 0 || m.ref == 0 || rep.FastOverReference >= *minRatio
-	// The IMT checks mirror the SMT ones and are skipped field-by-field when
-	// the baseline or the benchmark predates them.
+	// The IMT and trace checks mirror the SMT ones and are skipped
+	// field-by-field when the baseline or the benchmark predates them.
 	imtAbsOK := base.IMTInstrsPerSec <= 0 || m.imt == 0 || rep.IMTRatioVsBaseline >= 1.0-*maxRegress
 	imtRatioOK := *minRatio <= 0 || m.imt == 0 || m.imtRef == 0 || rep.IMTFastOverReference >= *minRatio
-	rep.Pass = absOK && ratioOK && imtAbsOK && imtRatioOK
+	trcAbsOK := base.TraceReplayInstrsPerSec <= 0 || m.trc == 0 || rep.TraceRatioVsBaseline >= 1.0-*maxRegress
+	trcRatioOK := *minRatio <= 0 || m.trc == 0 || m.trcRef == 0 || rep.TraceFastOverReference >= *minRatio
+	trcSynthOK := *minTrace <= 0 || m.trc == 0 || rep.TraceOverSynthetic >= *minTrace
+	rep.Pass = absOK && ratioOK && imtAbsOK && imtRatioOK && trcAbsOK && trcRatioOK && trcSynthOK
 	if *minRatio > 0 && m.ref == 0 {
 		fmt.Fprintln(os.Stderr, "benchgate: warning: BenchmarkSimulatorThroughputReference metric absent; "+
 			"fast/reference ratio check skipped (use an unanchored -bench pattern to include it)")
@@ -181,6 +223,10 @@ func run(args []string) error {
 	if base.IMTInstrsPerSec > 0 && m.imt == 0 {
 		fmt.Fprintln(os.Stderr, "benchgate: warning: BenchmarkSimulatorThroughputIMT metric absent; "+
 			"IMT checks skipped (use an unanchored -bench pattern to include it)")
+	}
+	if (base.TraceReplayInstrsPerSec > 0 || *minTrace > 0) && m.trc == 0 {
+		fmt.Fprintln(os.Stderr, "benchgate: warning: BenchmarkTraceReplayThroughput metric absent; "+
+			"trace-replay checks skipped (add BenchmarkTraceReplayThroughput to the -bench pattern)")
 	}
 
 	// Write the artifact before gating so a failing job still uploads the
@@ -195,6 +241,10 @@ func run(args []string) error {
 	if m.imt > 0 {
 		fmt.Printf("benchgate: IMT %.0f instrs/s (baseline %.0f, ratio %.2f, fast/reference %.2f, speedup vs pre-PR %.2fx)\n",
 			rep.IMTInstrsPerSec, rep.BaselineIMTInstrsPerSec, rep.IMTRatioVsBaseline, rep.IMTFastOverReference, rep.IMTSpeedupVsPrePR)
+	}
+	if m.trc > 0 {
+		fmt.Printf("benchgate: trace replay %.0f instrs/s (baseline %.0f, ratio %.2f, fast/reference %.2f, trace/synthetic %.2f)\n",
+			rep.TraceInstrsPerSec, rep.BaselineTraceInstrsPerSec, rep.TraceRatioVsBaseline, rep.TraceFastOverReference, rep.TraceOverSynthetic)
 	}
 	if !absOK {
 		return fmt.Errorf("throughput regression: %.0f instrs/s is more than %.0f%% below baseline %.0f",
@@ -212,6 +262,18 @@ func run(args []string) error {
 		return fmt.Errorf("IMT fast loop slower than reference loop: ratio %.3f below %.3f (%.0f vs %.0f instrs/s)",
 			rep.IMTFastOverReference, *minRatio, m.imt, m.imtRef)
 	}
+	if !trcAbsOK {
+		return fmt.Errorf("trace-replay throughput regression: %.0f instrs/s is more than %.0f%% below baseline %.0f",
+			m.trc, *maxRegress*100, base.TraceReplayInstrsPerSec)
+	}
+	if !trcRatioOK {
+		return fmt.Errorf("trace-replay fast loop slower than reference loop: ratio %.3f below %.3f (%.0f vs %.0f instrs/s)",
+			rep.TraceFastOverReference, *minRatio, m.trc, m.trcRef)
+	}
+	if !trcSynthOK {
+		return fmt.Errorf("trace replay slower than synthetic generation: ratio %.3f below %.3f (%.0f vs %.0f instrs/s)",
+			rep.TraceOverSynthetic, *minTrace, m.trc, m.instrs)
+	}
 	return nil
 }
 
@@ -221,7 +283,29 @@ type benchMetrics struct {
 	ref    float64 // BenchmarkSimulatorThroughputReference
 	imt    float64 // BenchmarkSimulatorThroughputIMT
 	imtRef float64 // BenchmarkSimulatorThroughputIMTReference
+	trc    float64 // BenchmarkTraceReplayThroughput
+	trcRef float64 // BenchmarkTraceReplayThroughputReference
 	engine map[string]float64
+}
+
+// headlineBenchmarks maps instrs/s benchmark names to the benchMetrics
+// field that records them. The table is ordered most-specific-first and
+// matched by prefix, because go test suffixes names with -GOMAXPROCS and
+// the throughput benchmarks share name prefixes: IMTReference must win
+// over IMT, each Reference variant over its bare headline. A nil dst
+// recognizes the name so a later, shorter prefix cannot claim it, but
+// records nothing.
+var headlineBenchmarks = []struct {
+	prefix string
+	dst    func(*benchMetrics) *float64
+}{
+	{"BenchmarkSimulatorThroughputIMTReference", func(m *benchMetrics) *float64 { return &m.imtRef }},
+	{"BenchmarkSimulatorThroughputIMT", func(m *benchMetrics) *float64 { return &m.imt }},
+	{"BenchmarkSimulatorThroughputBMT", nil}, // reported in the raw stream for trend-watching; not gated
+	{"BenchmarkSimulatorThroughputReference", func(m *benchMetrics) *float64 { return &m.ref }},
+	{"BenchmarkSimulatorThroughput", func(m *benchMetrics) *float64 { return &m.instrs }},
+	{"BenchmarkTraceReplayThroughputReference", func(m *benchMetrics) *float64 { return &m.trcRef }},
+	{"BenchmarkTraceReplayThroughput", func(m *benchMetrics) *float64 { return &m.trc }},
 }
 
 // parseBench extracts the instrs/s headlines and per-technique engine-cycle
@@ -265,29 +349,7 @@ func parseBench(path string) (benchMetrics, error) {
 			continue
 		}
 		name, metrics := parseBenchLine(line)
-		// The throughput benchmarks share the name prefix, so match the most
-		// specific names first: IMTReference before IMT, Reference before
-		// the bare SMT headline.
-		switch {
-		case strings.HasPrefix(name, "BenchmarkSimulatorThroughputIMTReference"):
-			if v, ok := metrics["instrs/s"]; ok {
-				m.imtRef = v
-			}
-		case strings.HasPrefix(name, "BenchmarkSimulatorThroughputIMT"):
-			if v, ok := metrics["instrs/s"]; ok {
-				m.imt = v
-			}
-		case strings.HasPrefix(name, "BenchmarkSimulatorThroughputBMT"):
-			// Reported in the raw stream for trend-watching; not gated.
-		case strings.HasPrefix(name, "BenchmarkSimulatorThroughputReference"):
-			if v, ok := metrics["instrs/s"]; ok {
-				m.ref = v
-			}
-		case strings.HasPrefix(name, "BenchmarkSimulatorThroughput"):
-			if v, ok := metrics["instrs/s"]; ok {
-				m.instrs = v
-			}
-		case strings.HasPrefix(name, "BenchmarkEngineCycle/"):
+		if strings.HasPrefix(name, "BenchmarkEngineCycle/") {
 			if v, ok := metrics["ns/op"]; ok {
 				tech := strings.ReplaceAll(strings.TrimPrefix(name, "BenchmarkEngineCycle/"), "_", " ")
 				// Strip the -<GOMAXPROCS> suffix go test appends.
@@ -298,6 +360,18 @@ func parseBench(path string) (benchMetrics, error) {
 				}
 				m.engine[tech] = v
 			}
+			continue
+		}
+		for _, h := range headlineBenchmarks {
+			if !strings.HasPrefix(name, h.prefix) {
+				continue
+			}
+			if h.dst != nil {
+				if v, ok := metrics["instrs/s"]; ok {
+					*h.dst(&m) = v
+				}
+			}
+			break
 		}
 	}
 	return m, nil

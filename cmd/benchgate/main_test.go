@@ -21,6 +21,8 @@ const rawJSON = `{"Action":"start","Package":"vexsmt"}
 {"Action":"output","Package":"vexsmt","Output":"BenchmarkSimulatorThroughputIMTReference-8 \t      36\t  68802022 ns/op\t   2800000 instrs/s\n"}
 {"Action":"output","Package":"vexsmt","Output":"BenchmarkSimulatorThroughputBMT-8 \t      39\t  56521036 ns/op\t   4300000 instrs/s\n"}
 {"Action":"output","Package":"vexsmt","Output":"BenchmarkSimulatorThroughputReference-8 \t      30\t  76000000 ns/op\t   4400000 instrs/s\n"}
+{"Action":"output","Package":"vexsmt","Output":"BenchmarkTraceReplayThroughput-8 \t      34\t  70000000 ns/op\t   4900000 instrs/s\n"}
+{"Action":"output","Package":"vexsmt","Output":"BenchmarkTraceReplayThroughputReference-8 \t      28\t  80000000 ns/op\t   4100000 instrs/s\n"}
 {"Action":"output","Package":"vexsmt","Output":"PASS\n"}
 `
 
@@ -50,6 +52,11 @@ func TestParseBenchJSONStream(t *testing.T) {
 	// IMT/BMT variants into the SMT headline.
 	if m.imt != 4200000 || m.imtRef != 2800000 {
 		t.Fatalf("IMT metrics = %v/%v, want 4200000/2800000", m.imt, m.imtRef)
+	}
+	// The trace pair shares its prefix the same way: Reference must not
+	// clobber the bare headline or vice versa.
+	if m.trc != 4900000 || m.trcRef != 4100000 {
+		t.Fatalf("trace metrics = %v/%v, want 4900000/4100000", m.trc, m.trcRef)
 	}
 	if m.engine["CSMT"] != 108.7 || m.engine["CCSI AS"] != 136.7 {
 		t.Fatalf("engine metrics wrong: %v", m.engine)
@@ -107,6 +114,54 @@ func TestGatePassAndReport(t *testing.T) {
 	}
 	if rep.IMTFastOverReference <= 1.0 {
 		t.Fatalf("IMT fast/reference ratio %v, want > 1.0", rep.IMTFastOverReference)
+	}
+	if rep.TraceInstrsPerSec != 4900000 || rep.TraceOverSynthetic <= 1.0 {
+		t.Fatalf("trace report wrong: %+v", rep)
+	}
+}
+
+func TestGateFailsOnTraceRegression(t *testing.T) {
+	dir := t.TempDir()
+	raw := write(t, dir, "raw.json", rawJSON)
+	// SMT and IMT headlines healthy, trace baseline far above the measured
+	// 4900000.
+	base := write(t, dir, "base.json",
+		`{"simulator_instrs_per_sec": 4314664, "trace_replay_instrs_per_sec": 9000000}`)
+	err := run([]string{"-raw", raw, "-baseline", base})
+	if err == nil || !strings.Contains(err.Error(), "trace-replay throughput regression") {
+		t.Fatalf("expected trace regression failure, got %v", err)
+	}
+}
+
+func TestGateFailsWhenTraceSlowerThanSynthetic(t *testing.T) {
+	dir := t.TempDir()
+	// Trace replay at 77% of the synthetic headline: under the 90% floor
+	// even though it clears its own baseline and reference loop.
+	raw := write(t, dir, "raw.txt",
+		"BenchmarkSimulatorThroughput \t 10\t 100 ns/op\t 4500000 instrs/s\n"+
+			"BenchmarkTraceReplayThroughput \t 10\t 100 ns/op\t 3500000 instrs/s\n"+
+			"BenchmarkTraceReplayThroughputReference \t 10\t 100 ns/op\t 3400000 instrs/s\n")
+	base := write(t, dir, "base.json",
+		`{"simulator_instrs_per_sec": 4500000, "trace_replay_instrs_per_sec": 3500000}`)
+	err := run([]string{"-raw", raw, "-baseline", base})
+	if err == nil || !strings.Contains(err.Error(), "slower than synthetic") {
+		t.Fatalf("expected trace-vs-synthetic failure, got %v", err)
+	}
+	// The check can be disabled explicitly.
+	if err := run([]string{"-raw", raw, "-baseline", base, "-min-trace-ratio", "0"}); err != nil {
+		t.Fatalf("-min-trace-ratio 0 should disable the trace/synthetic gate: %v", err)
+	}
+}
+
+func TestGateSkipsTraceWithOldBaseline(t *testing.T) {
+	// A pre-PR-9 run has no trace benchmark at all: every trace check is
+	// skipped (with a warning) rather than failing the gate.
+	dir := t.TempDir()
+	raw := write(t, dir, "raw.txt",
+		"BenchmarkSimulatorThroughput \t 10\t 100 ns/op\t 4500000 instrs/s\n")
+	base := write(t, dir, "base.json", `{"simulator_instrs_per_sec": 4500000}`)
+	if err := run([]string{"-raw", raw, "-baseline", base}); err != nil {
+		t.Fatalf("absent trace benchmark should skip the trace checks: %v", err)
 	}
 }
 
@@ -223,6 +278,9 @@ func TestUpdateRewritesBaseline(t *testing.T) {
 	}
 	if b.IMTInstrsPerSec != 4200000 {
 		t.Fatalf("baseline IMT headline not updated: %+v", b)
+	}
+	if b.TraceReplayInstrsPerSec != 4900000 {
+		t.Fatalf("baseline trace headline not updated: %+v", b)
 	}
 }
 

@@ -1,14 +1,18 @@
 // Command tracegen inspects the synthetic benchmark generators: it dumps
 // sample instructions, measures stream shape (ops/instruction, branch and
-// memory behaviour), and reports single-thread IPC against the paper's
-// Figure 13(a) values.
+// memory behaviour), reports single-thread IPC against the paper's
+// Figure 13(a) values, and records generator streams as VXT1 trace files
+// that the replay engine (internal/wstore) serves as first-class
+// workloads.
 //
 // Usage:
 //
 //	tracegen -bench colorspace -dump 20
 //	tracegen -bench mcf -measure 100000
-//	tracegen -table            # full Figure 13(a) reproduction
-//	tracegen -table -scale 100 # longer, more accurate runs
+//	tracegen -table                      # full Figure 13(a) reproduction
+//	tracegen -table -scale 100           # longer, more accurate runs
+//	tracegen -bench fir -record 100000 -out fir.vxt
+//	tracegen -corpus traces/             # record every vector profile
 package main
 
 import (
@@ -16,6 +20,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 
 	"vexsmt/internal/experiments"
 	"vexsmt/internal/isa"
@@ -26,83 +31,104 @@ import (
 )
 
 func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "tracegen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("tracegen", flag.ContinueOnError)
 	var (
-		bench   = flag.String("bench", "", "benchmark name (see -list)")
-		list    = flag.Bool("list", false, "list benchmark profiles")
-		dump    = flag.Int("dump", 0, "dump N sample instructions")
-		measure = flag.Int64("measure", 0, "measure stream shape over N instructions")
-		table   = flag.Bool("table", false, "reproduce the Figure 13(a) IPC table")
-		scale   = flag.Int64("scale", 150, "scale divisor for -table (1 = paper scale)")
-		record  = flag.Int("record", 0, "record N instructions of -bench to -out")
-		out     = flag.String("out", "", "output trace file for -record")
-		replay  = flag.String("replay", "", "replay a recorded trace file and print its shape")
+		bench   = fs.String("bench", "", "benchmark name (see -list)")
+		list    = fs.Bool("list", false, "list benchmark profiles (scalar and vector)")
+		dump    = fs.Int("dump", 0, "dump N sample instructions")
+		measure = fs.Int64("measure", 0, "measure stream shape over N instructions")
+		table   = fs.Bool("table", false, "reproduce the Figure 13(a) IPC table")
+		scale   = fs.Int64("scale", 150, "scale divisor for -table (1 = paper scale)")
+		record  = fs.Int("record", 0, "record N instructions of -bench to -out (also sizes -corpus traces)")
+		out     = fs.String("out", "", "output trace file for -record")
+		replay  = fs.String("replay", "", "replay a recorded trace file and print its shape")
+		corpus  = fs.String("corpus", "", "record every vector profile into this directory as <name>.vxt")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 
 	switch {
+	case *corpus != "":
+		// A ready-to-serve trace corpus: every vector/SIMD profile, one
+		// VXT1 file each, loadable by vexsmtd -workload-dir and
+		// vexsmtctl -corpus.
+		n := *record
+		if n == 0 {
+			n = 100_000
+		}
+		if err := os.MkdirAll(*corpus, 0o755); err != nil {
+			return err
+		}
+		for _, prof := range synth.VectorCatalog() {
+			if err := recordTrace(prof, n, filepath.Join(*corpus, prof.Name+".vxt")); err != nil {
+				return err
+			}
+		}
+		return nil
+
 	case *record > 0:
 		prof, ok := synth.ByName(*bench)
 		if !ok {
-			fatal(fmt.Errorf("-record needs -bench (try -list)"))
+			return fmt.Errorf("-record needs -bench (try -list)")
 		}
 		if *out == "" {
-			fatal(fmt.Errorf("-record needs -out"))
+			return fmt.Errorf("-record needs -out")
 		}
-		gen, err := synth.NewGenerator(prof, isa.ST200x4)
-		if err != nil {
-			fatal(err)
-		}
-		instrs := trace.Record(gen, *record)
-		f, err := os.Create(*out)
-		if err != nil {
-			fatal(err)
-		}
-		defer f.Close()
-		if err := trace.Write(f, prof.Name, isa.ST200x4.Clusters, instrs); err != nil {
-			fatal(err)
-		}
-		fmt.Printf("recorded %d instructions of %s to %s\n", len(instrs), prof.Name, *out)
+		return recordTrace(prof, *record, *out)
 
 	case *replay != "":
 		f, err := os.Open(*replay)
 		if err != nil {
-			fatal(err)
+			return err
 		}
 		defer f.Close()
 		name, clusters, instrs, err := trace.Read(f)
 		if err != nil {
-			fatal(err)
+			return err
 		}
 		rep, err := trace.NewReplayer(name, instrs)
 		if err != nil {
-			fatal(err)
+			return err
 		}
 		sh := synth.Measure(rep, int64(len(instrs)))
 		fmt.Printf("trace %s: %d instructions, %d clusters\n", name, len(instrs), clusters)
 		fmt.Printf("  ops/instr %.3f  taken %.3f  mem/instr %.3f  comm %.3f\n",
 			sh.OpsPerInstr, sh.TakenFrac, sh.MemPerInstr, sh.CommFrac)
+		return nil
+
 	case *list:
-		fmt.Printf("%-12s %-4s %8s %8s %8s %8s\n", "name", "ilp", "meanOps", "memFrac", "commPr", "lenM")
-		for _, p := range synth.Catalog() {
-			fmt.Printf("%-12s %-4s %8.2f %8.2f %8.2f %8.0f\n",
-				p.Name, p.Class.String(), p.MeanOps, p.MemFrac, p.CommProb, p.LengthMInstr)
+		fmt.Printf("%-12s %-4s %8s %8s %8s %8s %8s\n",
+			"name", "ilp", "meanOps", "memFrac", "commPr", "burstPr", "lenM")
+		for _, p := range append(synth.Catalog(), synth.VectorCatalog()...) {
+			fmt.Printf("%-12s %-4s %8.2f %8.2f %8.2f %8.2f %8.0f\n",
+				p.Name, p.Class.String(), p.MeanOps, p.MemFrac, p.CommProb, p.BurstProb, p.LengthMInstr)
 		}
+		return nil
 
 	case *table:
 		rows, err := experiments.Figure13a(context.Background(), *scale, 0)
 		if err != nil {
-			fatal(err)
+			return err
 		}
 		fmt.Print(report.Figure13aTable(rows))
+		return nil
 
 	case *bench != "":
 		prof, ok := synth.ByName(*bench)
 		if !ok {
-			fatal(fmt.Errorf("unknown benchmark %q (try -list)", *bench))
+			return fmt.Errorf("unknown benchmark %q (try -list)", *bench)
 		}
 		gen, err := synth.NewGenerator(prof, isa.ST200x4)
 		if err != nil {
-			fatal(err)
+			return err
 		}
 		if *dump > 0 {
 			var ti synth.TInst
@@ -118,7 +144,7 @@ func main() {
 				}
 				fmt.Println()
 			}
-			return
+			return nil
 		}
 		n := *measure
 		if n == 0 {
@@ -132,17 +158,36 @@ func main() {
 		fmt.Printf("  comm frac   %.3f\n", sh.CommFrac)
 		ipcr, ipcp, err := sim.MeasuredIPC(prof, *scale)
 		if err != nil {
-			fatal(err)
+			return err
 		}
 		fmt.Printf("  IPCr %.2f  IPCp %.2f (at 1/%d paper scale)\n", ipcr, ipcp, *scale)
+		return nil
 
 	default:
-		flag.Usage()
-		os.Exit(2)
+		fs.Usage()
+		return fmt.Errorf("no mode selected (want -list, -bench, -table, -record, -replay or -corpus)")
 	}
 }
 
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "tracegen:", err)
-	os.Exit(1)
+// recordTrace generates n instructions of prof and writes them as a VXT1
+// trace file.
+func recordTrace(prof synth.Profile, n int, path string) error {
+	gen, err := synth.NewGenerator(prof, isa.ST200x4)
+	if err != nil {
+		return err
+	}
+	instrs := trace.Record(gen, n)
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := trace.Write(f, prof.Name, isa.ST200x4.Clusters, instrs); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Printf("recorded %d instructions of %s to %s\n", len(instrs), prof.Name, path)
+	return nil
 }

@@ -1,0 +1,71 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"vexsmt/internal/wstore"
+)
+
+// TestFlagValidation: bad invocations die with a helpful error instead of
+// a partial run.
+func TestFlagValidation(t *testing.T) {
+	for name, args := range map[string][]string{
+		"no-mode":             {},
+		"unknown-flag":        {"-bogus"},
+		"record-needs-bench":  {"-record", "100"},
+		"record-needs-out":    {"-bench", "idct", "-record", "100"},
+		"unknown-bench":       {"-bench", "nosuch"},
+		"replay-missing-file": {"-replay", filepath.Join(t.TempDir(), "nope.vxt")},
+	} {
+		t.Run(name, func(t *testing.T) {
+			if err := run(args); err == nil {
+				t.Fatalf("args %v accepted", args)
+			}
+		})
+	}
+}
+
+// TestRecordReplayRoundTrip: -record writes a VXT1 file that -replay (and
+// the workload store) read back.
+func TestRecordReplayRoundTrip(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "idct.vxt")
+	if err := run([]string{"-bench", "idct", "-record", "500", "-out", out}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-replay", out}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCorpusRecordsVectorProfiles: -corpus emits one loadable .vxt per
+// vector profile — the corpus vexsmtd -workload-dir serves.
+func TestCorpusRecordsVectorProfiles(t *testing.T) {
+	dir := t.TempDir()
+	if err := run([]string{"-corpus", dir, "-record", "300"}); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 3 {
+		t.Fatalf("corpus has %d files, want 3 vector profiles", len(entries))
+	}
+	for _, e := range entries {
+		if !strings.HasSuffix(e.Name(), ".vxt") {
+			t.Errorf("unexpected corpus file %s", e.Name())
+		}
+	}
+	traces, err := wstore.New().LoadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tr := range traces {
+		if tr.Len() != 300 {
+			t.Errorf("%s: %d instructions, want 300", tr.Name, tr.Len())
+		}
+	}
+}

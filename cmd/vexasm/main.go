@@ -23,35 +23,44 @@ import (
 )
 
 func main() {
-	var (
-		verify   = flag.Bool("verify", false, "run split-issue orders and verify state equivalence")
-		dis      = flag.Bool("dis", false, "disassemble and exit")
-		maxSteps = flag.Int("max-steps", 1_000_000, "step limit")
-	)
-	flag.Parse()
-	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: vexasm [-verify|-dis] <file.vex | ->")
-		os.Exit(2)
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "vexasm:", err)
+		os.Exit(1)
 	}
-	src, err := readSource(flag.Arg(0))
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("vexasm", flag.ContinueOnError)
+	var (
+		verify   = fs.Bool("verify", false, "run split-issue orders and verify state equivalence")
+		dis      = fs.Bool("dis", false, "disassemble and exit")
+		maxSteps = fs.Int("max-steps", 1_000_000, "step limit")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("usage: vexasm [-verify|-dis] <file.vex | ->")
+	}
+	src, err := readSource(fs.Arg(0))
 	if err != nil {
-		fatal(err)
+		return err
 	}
 	geom := isa.ST200x4
 	prog, err := asm.Assemble(geom, 0x1000, src)
 	if err != nil {
-		fatal(err)
+		return err
 	}
 	if *dis {
 		fmt.Print(asm.Disassemble(prog))
-		return
+		return nil
 	}
 
 	atomic := vexmach.MustNew(geom)
 	atomic.SetPC(prog.Base)
 	steps, err := atomic.Run(prog, *maxSteps)
 	if err != nil {
-		fatal(err)
+		return err
 	}
 	fmt.Printf("executed %d instructions (atomic VLIW semantics)\n", steps)
 	dumpState(atomic)
@@ -65,14 +74,15 @@ func main() {
 			m := vexmach.MustNew(geom)
 			m.SetPC(prog.Base)
 			if _, err := m.RunSplit(prog, *maxSteps, order); err != nil {
-				fatal(fmt.Errorf("split order %s: %w", name, err))
+				return fmt.Errorf("split order %s: %w", name, err)
 			}
 			if d := m.Diff(atomic); d != "" {
-				fatal(fmt.Errorf("split order %s diverged from atomic execution: %s", name, d))
+				return fmt.Errorf("split order %s diverged from atomic execution: %s", name, d)
 			}
 			fmt.Printf("split order %-20s matches atomic execution\n", name)
 		}
 	}
+	return nil
 }
 
 func readSource(arg string) (string, error) {
@@ -101,9 +111,4 @@ func dumpState(m *vexmach.Machine) {
 			fmt.Println()
 		}
 	}
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "vexasm:", err)
-	os.Exit(1)
 }

@@ -1,0 +1,78 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+const countVEX = `# count to 5
+        c0 mov $r1 = 0
+        c0 mov $r2 = 5
+;;
+loop:
+        c0 add $r1 = $r1, 1
+;;
+        c0 cmplt $b0 = $r1, $r2
+;;
+        c0 br $b0, loop
+;;
+`
+
+func writeProg(t *testing.T, src string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "prog.vex")
+	if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// TestFlagValidation: bad invocations die with an error instead of a
+// partial run.
+func TestFlagValidation(t *testing.T) {
+	for name, args := range map[string][]string{
+		"no-file":      {},
+		"two-files":    {"a.vex", "b.vex"},
+		"unknown-flag": {"-bogus", "a.vex"},
+		"missing-file": {filepath.Join(t.TempDir(), "nope.vex")},
+	} {
+		t.Run(name, func(t *testing.T) {
+			if err := run(args); err == nil {
+				t.Fatalf("args %v accepted", args)
+			}
+		})
+	}
+}
+
+// TestAssembleRunAndVerify: a well-formed program assembles, runs, and
+// passes the split-order equivalence check.
+func TestAssembleRunAndVerify(t *testing.T) {
+	path := writeProg(t, countVEX)
+	if err := run([]string{path}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-verify", path}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-dis", path}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestBadSourceRejected: an assembly error surfaces as a run error.
+func TestBadSourceRejected(t *testing.T) {
+	path := writeProg(t, "c0 frobnicate $r1 = 3\n;;\n")
+	if err := run([]string{path}); err == nil {
+		t.Fatal("nonsense opcode assembled")
+	}
+}
+
+// TestStepLimitEnforced: an infinite loop trips -max-steps instead of
+// hanging.
+func TestStepLimitEnforced(t *testing.T) {
+	path := writeProg(t, "loop:\n        c0 goto loop\n;;\n")
+	if err := run([]string{"-max-steps", "100", path}); err == nil {
+		t.Fatal("infinite loop ran to completion")
+	}
+}

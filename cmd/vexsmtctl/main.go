@@ -19,6 +19,7 @@
 //	vexsmtctl -shards http://a:8080,http://b:8080       # two-backend sweep
 //	vexsmtctl -fig 14,15 -scale 1000 -json results.json # JSON export
 //	vexsmtctl -cache off                                # bypass result caches
+//	vexsmtctl -corpus traces/ -fig 14                   # trace workloads join the grid
 //
 // Fleet mode (see pkg/vexsmt/fleet) replaces the static -shards list with
 // a registry daemons join on their own:
@@ -58,12 +59,14 @@ func main() {
 	}
 }
 
-// gridPlan resolves the -fig/-sweep/-predictor flags into the grid plan,
-// rejecting unknown figure and predictor names up front (with the lists
-// of valid ones) and plans that name no grid cells at all — "-fig 13a"
-// would otherwise "run" an empty sweep and print a zero-cell summary as
-// if it had worked.
-func gridPlan(figList string, sweep bool, predList string) (vexsmt.Plan, error) {
+// gridPlan resolves the -fig/-sweep/-predictor/-corpus flags into the
+// grid plan, rejecting unknown figure and predictor names up front (with
+// the lists of valid ones) and plans that name no grid cells at all —
+// "-fig 13a" would otherwise "run" an empty sweep and print a zero-cell
+// summary as if it had worked. Workloads arrive as full "name@sha256"
+// references (from vexsmt.LoadWorkloads), so a distributed sweep's
+// daemons accept a trace cell only when they hold byte-identical content.
+func gridPlan(figList string, sweep bool, predList string, workloads []string) (vexsmt.Plan, error) {
 	figures, err := vexsmt.ParseFigures(figList)
 	if err != nil {
 		return vexsmt.Plan{}, err
@@ -72,7 +75,7 @@ func gridPlan(figList string, sweep bool, predList string) (vexsmt.Plan, error) 
 	if err != nil {
 		return vexsmt.Plan{}, err
 	}
-	plan := vexsmt.Plan{Figures: figures, Sweep: sweep, Predictors: preds}
+	plan := vexsmt.Plan{Figures: figures, Sweep: sweep, Predictors: preds, Workloads: workloads}
 	scratch, err := vexsmt.New()
 	if err != nil {
 		return vexsmt.Plan{}, err
@@ -95,6 +98,7 @@ func run(args []string) error {
 		fig      = fs.String("fig", "all", "figures whose grid to run: comma-separated list of 13a, 13b, 14, 15, 16, or all")
 		sweep    = fs.Bool("sweep", false, "also sweep every technique over all nine mixes at 2 and 4 threads")
 		pred     = fs.String("predictor", "static", "branch predictors to cross the grid with: comma-separated list of static, bimodal, gshare, tage, or all")
+		corpus   = fs.String("corpus", "", "trace corpus directory (.vxt/.vex): every workload in it joins the plan, swept under all techniques at 2 and 4 threads")
 		scale    = fs.Int64("scale", 100, "scale divisor of paper scale (1 = paper scale)")
 		quick    = fs.Bool("quick", false, "shorthand for -scale 1000")
 		seed     = fs.Uint64("seed", 1, "simulation seed")
@@ -163,7 +167,22 @@ func run(args []string) error {
 		return printFleetStatus(ctx, *fleetURL)
 	}
 
-	plan, err := gridPlan(*fig, *sweep, *pred)
+	// The corpus loads into the process-shared store, so the in-process
+	// path replays it directly; distributed runs only ship the references,
+	// and every daemon resolves them against its own -workload-dir corpus.
+	var wlRefs []string
+	if *corpus != "" {
+		refs, err := vexsmt.LoadWorkloads(*corpus)
+		if err != nil {
+			return err
+		}
+		wlRefs = refs
+		if *verbose {
+			fmt.Fprintf(os.Stderr, "vexsmtctl: corpus %s: %s\n", *corpus, strings.Join(refs, ", "))
+		}
+	}
+
+	plan, err := gridPlan(*fig, *sweep, *pred, wlRefs)
 	if err != nil {
 		return err
 	}
@@ -329,8 +348,8 @@ func printFleetStatus(ctx context.Context, registryURL string) error {
 		fmt.Println("fleet: no registered daemons")
 		return nil
 	}
-	fmt.Printf("%-20s %-28s %5s %5s %6s %-14s %8s %9s %9s\n",
-		"MEMBER", "URL", "CAP", "RUN", "SIMS", "PRED", "ENTRIES", "PEERHITS", "UPTIME")
+	fmt.Printf("%-20s %-28s %5s %5s %6s %-14s %3s %8s %9s %9s\n",
+		"MEMBER", "URL", "CAP", "RUN", "SIMS", "PRED", "WL", "ENTRIES", "PEERHITS", "UPTIME")
 	for _, m := range members {
 		cacheEntries := "-"
 		if m.CacheEnabled {
@@ -340,8 +359,12 @@ func printFleetStatus(ctx context.Context, registryURL string) error {
 		if pred == "" {
 			pred = "-" // idle: no plans running, no predictor axis to report
 		}
-		fmt.Printf("%-20s %-28s %5d %5d %6d %-14s %8s %9d %9s\n",
-			m.ID, m.URL, m.Capacity, m.Running, m.Simulations, pred,
+		wl := 0 // advertised trace corpus size
+		if m.Workloads != "" {
+			wl = strings.Count(m.Workloads, ",") + 1
+		}
+		fmt.Printf("%-20s %-28s %5d %5d %6d %-14s %3d %8s %9d %9s\n",
+			m.ID, m.URL, m.Capacity, m.Running, m.Simulations, pred, wl,
 			cacheEntries, m.Cache.PeerHits,
 			(time.Duration(m.UptimeSeconds) * time.Second).String())
 	}

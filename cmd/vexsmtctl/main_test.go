@@ -35,11 +35,11 @@ func TestEmptyGridPlanRejected(t *testing.T) {
 	}
 	// The same figures alongside a grid figure are fine — the grid is
 	// non-empty.
-	if _, err := gridPlan("13a,14", false, "static"); err != nil {
+	if _, err := gridPlan("13a,14", false, "static", nil); err != nil {
 		t.Fatalf("13a,14: %v", err)
 	}
 	// A sweep makes any figure list non-empty.
-	if _, err := gridPlan("13a", true, "static"); err != nil {
+	if _, err := gridPlan("13a", true, "static", nil); err != nil {
 		t.Fatalf("13a with -sweep: %v", err)
 	}
 }

@@ -36,6 +36,7 @@ import (
 	"os/signal"
 	"runtime"
 	"strconv"
+	"strings"
 	"syscall"
 	"time"
 
@@ -62,6 +63,7 @@ func run() error {
 		cacheOn   = flag.String("cache", "on", "result cache: on (content-addressed disk cache, shared across runs) or off")
 		cacheDir  = flag.String("cache-dir", "", "result cache directory (default: the user cache dir, e.g. ~/.cache/vexsmt)")
 		pprofAddr = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060); off when empty")
+		wlDir     = flag.String("workload-dir", "", "trace corpus directory (.vxt/.vex) served as plan workloads; empty disables the workload axis")
 		join      = flag.String("join", "", "fleet registry URL to register with (e.g. http://coordinator:9090); empty runs standalone")
 		name      = flag.String("name", "", "fleet member id (default: the advertised host:port)")
 		advertise = flag.String("advertise", "", "base URL peers reach this daemon at (default: derived from the bound listener)")
@@ -95,6 +97,16 @@ func run() error {
 	d, err := cache.FromFlag(*cacheOn, *cacheDir)
 	if err != nil {
 		return err
+	}
+	// Load the trace corpus eagerly so a bad -workload-dir fails startup,
+	// not the first plan. The files decode once into the process-shared
+	// store; the server and every per-plan service replay the same arena.
+	var corpus []string
+	if *wlDir != "" {
+		if corpus, err = vexsmt.LoadWorkloads(*wlDir); err != nil {
+			return err
+		}
+		fmt.Printf("vexsmtd workload corpus %s: %d workloads\n", *wlDir, len(corpus))
 	}
 	// Listen explicitly (rather than ListenAndServe) so the bound address is
 	// printable: with -addr :0 the kernel picks the port, and shard
@@ -135,6 +147,7 @@ func run() error {
 			m.UptimeSeconds = st.UptimeSeconds
 			m.Simulations = st.Simulations
 			m.Predictors = st.Predictors
+			m.Workloads = strings.Join(st.Corpus, ",")
 			m.CacheEnabled = st.CacheEnabled
 			m.Cache = st.Cache
 			m.CacheSize = st.CacheSize
@@ -154,6 +167,9 @@ func run() error {
 	if cellCache != nil {
 		srvOpts = append(srvOpts, server.WithCache(cellCache))
 		fmt.Printf("vexsmtd result cache at %s\n", d.Dir())
+	}
+	if *wlDir != "" {
+		srvOpts = append(srvOpts, server.WithWorkloads(*wlDir))
 	}
 	srv = server.New(*scale, *seed, *parallel, srvOpts...)
 	hs := &http.Server{Handler: srv.Handler()}

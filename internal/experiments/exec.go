@@ -14,7 +14,9 @@ import (
 	"vexsmt/internal/rng"
 	"vexsmt/internal/sim"
 	"vexsmt/internal/stats"
+	"vexsmt/internal/synth"
 	"vexsmt/internal/workload"
+	"vexsmt/internal/wstore"
 	"vexsmt/pkg/vexsmt/sched"
 )
 
@@ -40,6 +42,7 @@ type Matrix struct {
 
 	cache    ResultCache
 	cacheKey func(Cell) string
+	wl       *wstore.Store // trace workloads; defaults to the process-global store
 
 	sims atomic.Int64 // simulator runs actually performed (cache hits excluded)
 
@@ -94,6 +97,17 @@ func WithResultCache(c ResultCache, key func(Cell) string) MatrixOption {
 	}
 }
 
+// WithWorkloadStore points trace-backed cells at a specific wstore. The
+// default is the process-global shared store; tests substitute private
+// ones.
+func WithWorkloadStore(s *wstore.Store) MatrixOption {
+	return func(m *Matrix) {
+		if s != nil {
+			m.wl = s
+		}
+	}
+}
+
 // NewMatrix builds an empty result matrix at the given scale. Parallelism
 // defaults to GOMAXPROCS and is fixed at construction.
 func NewMatrix(scale int64, seed uint64, opts ...MatrixOption) *Matrix {
@@ -101,6 +115,7 @@ func NewMatrix(scale int64, seed uint64, opts ...MatrixOption) *Matrix {
 		Scale:    scale,
 		Seed:     seed,
 		parallel: runtime.GOMAXPROCS(0),
+		wl:       wstore.Shared(),
 		cells:    make(map[Cell]*cellCall),
 	}
 	for _, o := range opts {
@@ -129,6 +144,14 @@ func (m *Matrix) Simulations() int64 { return m.sims.Load() }
 // cell's simulator owns its entire random stream. Exposed so tests and
 // tools can reproduce a single cell in isolation.
 func (m *Matrix) CellSeed(c Cell) uint64 {
+	if c.WL != "" {
+		// Trace cells: the content reference plays the mix label's role.
+		// A reference always contains '@' + a hex hash, so it can never
+		// collide with a four-letter mix label.
+		return rng.DeriveSeed(m.Seed,
+			rng.StringToken(c.WL),
+			uint64(c.Threads))
+	}
 	return rng.DeriveSeed(m.Seed,
 		rng.StringToken(c.Mix.Label),
 		uint64(c.Threads))
@@ -224,11 +247,18 @@ func (m *Matrix) simulate(ctx context.Context, c Cell) (*stats.Run, error) {
 	cfg := sim.DefaultConfig(c.Tech, c.Threads).WithScale(m.Scale)
 	cfg.Seed = m.CellSeed(c)
 	cfg.Predictor = c.Pred
-	profs, err := c.Mix.Profiles()
-	if err != nil {
-		return nil, err
+	var s *sim.Simulator
+	var err error
+	if c.WL != "" {
+		s, err = m.newTraceSim(cfg, c)
+	} else {
+		var profs []synth.Profile
+		profs, err = c.Mix.Profiles()
+		if err != nil {
+			return nil, err
+		}
+		s, err = sim.NewWorkload(cfg, profs)
 	}
-	s, err := sim.NewWorkload(cfg, profs)
 	if err != nil {
 		return nil, err
 	}
@@ -240,6 +270,27 @@ func (m *Matrix) simulate(ctx context.Context, c Cell) (*stats.Run, error) {
 	// later doesn't double-count and Simulations() means what it says.
 	m.sims.Add(1)
 	return r, nil
+}
+
+// newTraceSim builds a simulator whose every hardware context replays the
+// cell's trace workload from the shared wstore arena: one zero-copy cursor
+// per context, no decoding, no per-cell copies. The simulator's own seed
+// (context-switch schedule, cache state) still derives from the cell, so
+// trace cells are exactly as deterministic as synthetic ones.
+func (m *Matrix) newTraceSim(cfg sim.Config, c Cell) (*sim.Simulator, error) {
+	tr, ok := m.wl.Resolve(c.WL)
+	if !ok {
+		return nil, fmt.Errorf("experiments: workload %q is not loaded in this process", c.WL)
+	}
+	jobs := make([]*sim.Job, c.Threads)
+	for i := range jobs {
+		r, err := tr.NewReplayer()
+		if err != nil {
+			return nil, err
+		}
+		jobs[i] = sim.NewJob(r, cfg.ScaleDiv)
+	}
+	return sim.New(cfg, jobs)
 }
 
 // Prefetch resolves every cell of a plan over the scheduler and returns

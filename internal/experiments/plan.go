@@ -20,13 +20,24 @@ type Cell struct {
 	// spelling of the default static front end, which keeps the original
 	// three-field grid (and everything keyed on it) unchanged.
 	Pred string
+	// WL names a replayed trace workload as a full "name@sha256" content
+	// reference; "" is the canonical internal spelling of a synthetic-mix
+	// cell. When set, Mix is zero and every hardware context replays the
+	// referenced trace — the identity (and thus the seed and cache key)
+	// travels with the cell, so any worker holding the same trace bytes
+	// resolves it bit-identically.
+	WL string
 }
 
 func (c Cell) String() string {
-	if c.Pred != "" {
-		return fmt.Sprintf("%s/%s/%dT/%s", c.Mix.Label, c.Tech.Name(), c.Threads, c.Pred)
+	label := c.Mix.Label
+	if c.WL != "" {
+		label = c.WL
 	}
-	return fmt.Sprintf("%s/%s/%dT", c.Mix.Label, c.Tech.Name(), c.Threads)
+	if c.Pred != "" {
+		return fmt.Sprintf("%s/%s/%dT/%s", label, c.Tech.Name(), c.Threads, c.Pred)
+	}
+	return fmt.Sprintf("%s/%s/%dT", label, c.Tech.Name(), c.Threads)
 }
 
 // Plan is an ordered, deduplicated set of cells to simulate. Figures

@@ -195,10 +195,20 @@ func (g *Generator) buildRegions() {
 		if bodyLen < 2 {
 			bodyLen = 2
 		}
+		vecLen := 0
+		if g.prof.BurstProb > 0 {
+			// SLAP-style variable vector length: each region is one
+			// strip-mined vector loop with its own VL, a multiple of the
+			// per-cluster issue width up to the full machine width. The
+			// draw is guarded so BurstProb==0 profiles consume an
+			// unchanged layout-RNG stream.
+			w := g.geom.IssueWidth
+			vecLen = w * (1 + layout.Intn(g.geom.Clusters))
+		}
 		reg := region{meanIters: g.prof.LoopIters}
 		for i := 0; i < bodyLen; i++ {
 			last := i == bodyLen-1
-			t := g.buildTemplate(layout, pc, last, bodyLen-1-i)
+			t := g.buildTemplate(layout, pc, last, bodyLen-1-i, vecLen)
 			reg.body = append(reg.body, t)
 			pc += uint64(t.size)
 			total += uint64(t.size)
@@ -207,22 +217,31 @@ func (g *Generator) buildRegions() {
 	}
 }
 
-// buildTemplate synthesizes one compiler-legal instruction template.
-func (g *Generator) buildTemplate(r *rng.Rand, pc uint64, backEdge bool, room int) template {
+// buildTemplate synthesizes one compiler-legal instruction template. A
+// non-zero vecLen marks the enclosing region as a vector loop: templates
+// then become wide-op bursts with probability BurstProb, occupying vecLen
+// issue slots spread evenly across clusters (SIMD lane groups).
+func (g *Generator) buildTemplate(r *rng.Rand, pc uint64, backEdge bool, room int, vecLen int) template {
 	w := g.geom.IssueWidth
 	maxOps := g.geom.TotalIssueWidth()
-	// ops ~ 1 + Binomial(maxOps-1, p) with mean MeanOps, compensated for
-	// the ~2*CommProb ops the send/recv pairs add on average so the
-	// measured ops/instruction lands on MeanOps.
-	target := g.prof.MeanOps - 2*g.prof.CommProb
-	if target < 1 {
-		target = 1
-	}
-	p := (target - 1) / float64(maxOps-1)
-	ops := 1
-	for i := 0; i < maxOps-1; i++ {
-		if r.Bool(p) {
-			ops++
+	burst := vecLen > 0 && r.Bool(g.prof.BurstProb)
+	var ops int
+	if burst {
+		ops = vecLen
+	} else {
+		// ops ~ 1 + Binomial(maxOps-1, p) with mean MeanOps, compensated for
+		// the ~2*CommProb ops the send/recv pairs add on average so the
+		// measured ops/instruction lands on MeanOps.
+		target := g.prof.MeanOps - 2*g.prof.CommProb
+		if target < 1 {
+			target = 1
+		}
+		p := (target - 1) / float64(maxOps-1)
+		ops = 1
+		for i := 0; i < maxOps-1; i++ {
+			if r.Bool(p) {
+				ops++
+			}
 		}
 	}
 
@@ -234,8 +253,15 @@ func (g *Generator) buildTemplate(r *rng.Rand, pc uint64, backEdge bool, room in
 	// cluster wanders instruction to instruction. Both kinds of
 	// variability are what give the merging hardware conflicts to resolve;
 	// renaming alone cannot separate threads whose placements wander.
+	// Vector bursts instead spread lane groups evenly over as many
+	// clusters as the VL fills — the dense, slack-free placement a
+	// vectorizing compiler emits.
 	k := (ops + w - 1) / w
-	if !r.Bool(0.5) { // spread mode
+	if burst {
+		if k > g.geom.Clusters {
+			k = g.geom.Clusters
+		}
+	} else if !r.Bool(0.5) { // spread mode
 		spread := g.prof.SpreadProb
 		if spread == 0 {
 			spread = 0.85

@@ -44,6 +44,7 @@ type Profile struct {
 	MulFrac    float64 // fraction of ops targeted at multipliers (capped 2/cluster)
 	StoreFrac  float64 // of memory ops, fraction that are stores
 	CommProb   float64 // probability an instruction carries a send/recv pair
+	BurstProb  float64 // probability a template is a wide vector-op burst (0 = scalar profile)
 
 	// Control flow: loop regions with back-edges plus inner conditional
 	// branches that skip forward a few instructions.
@@ -180,9 +181,15 @@ func Catalog() []Profile {
 	}
 }
 
-// ByName returns the profile with the given benchmark name.
+// ByName returns the profile with the given benchmark name, searching the
+// paper catalog first and the vector stress catalog second.
 func ByName(name string) (Profile, bool) {
 	for _, p := range Catalog() {
+		if p.Name == name {
+			return p, true
+		}
+	}
+	for _, p := range VectorCatalog() {
 		if p.Name == name {
 			return p, true
 		}

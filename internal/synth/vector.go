@@ -1,0 +1,53 @@
+package synth
+
+// Vector/SIMD-flavored stress profiles, inspired by SLAP's variable-
+// vector-length loop pipeline (PAPERS.md): media kernels vectorized for a
+// clustered VLIW show long runs of near-full-width instructions — every
+// lane group occupies an issue slot on every cluster — punctuated by
+// narrow scalar bookkeeping. That shape is the worst case for split-issue
+// merging (dense bundles leave no slack for a co-scheduled thread), which
+// is exactly why it belongs on the experiment grid.
+//
+// BurstProb turns templates into wide vector-op bursts; the burst width is
+// the region's vector length, drawn per loop region so consecutive
+// strip-mined loops process different VLs (SLAP's variable vector length).
+// Profiles with BurstProb == 0 draw nothing extra from the layout RNG, so
+// every pre-existing catalog stream stays bit-identical.
+
+// VectorCatalog returns the vector stress profiles. They are additions to
+// the paper's Figure 13(a) set, not part of it — Catalog() is unchanged —
+// and exist to be recorded via tracegen into replayable trace corpora.
+func VectorCatalog() []Profile {
+	return []Profile{
+		{
+			// Variable-VL FIR filter: strip-mined MAC loops over a streaming
+			// sample buffer, VL varying per strip.
+			Name: "vvlfir", Class: HighILP, Seed: 0x766c66,
+			MeanOps: 2.6, MemFrac: 0.24, MulFrac: 0.20, StoreFrac: 0.25, CommProb: 0.12,
+			BurstProb:  0.60,
+			BranchProb: 0.03, TakenProb: 0.35, LoopInstrs: 24, LoopIters: 48,
+			CodeKB: 16, DataKB: 16, StreamKB: 1024, StreamFrac: 0.85,
+			LengthMInstr: 40,
+		},
+		{
+			// Sum-of-absolute-differences motion search: ALU-dominated wide
+			// compares with light multiply traffic, block-resident data.
+			Name: "vecsad", Class: HighILP, Seed: 0x767364,
+			MeanOps: 3.0, MemFrac: 0.22, MulFrac: 0.04, StoreFrac: 0.15, CommProb: 0.16,
+			BurstProb:  0.70,
+			BranchProb: 0.04, TakenProb: 0.40, LoopInstrs: 20, LoopIters: 32,
+			CodeKB: 12, DataKB: 32, StreamKB: 256, StreamFrac: 0.40,
+			LengthMInstr: 35,
+		},
+		{
+			// Matrix-vector product: multiplier-heavy bursts streaming the
+			// matrix while the vector stays cache-resident.
+			Name: "gemv", Class: HighILP, Seed: 0x676d76,
+			MeanOps: 2.8, MemFrac: 0.28, MulFrac: 0.24, StoreFrac: 0.12, CommProb: 0.10,
+			BurstProb:  0.50,
+			BranchProb: 0.02, TakenProb: 0.35, LoopInstrs: 28, LoopIters: 64,
+			CodeKB: 20, DataKB: 24, StreamKB: 2048, StreamFrac: 0.90,
+			LengthMInstr: 50,
+		},
+	}
+}

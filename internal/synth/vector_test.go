@@ -1,0 +1,85 @@
+package synth
+
+import (
+	"testing"
+
+	"vexsmt/internal/isa"
+)
+
+func TestVectorCatalogBasics(t *testing.T) {
+	seen := map[string]bool{}
+	for _, p := range Catalog() {
+		seen[p.Name] = true
+	}
+	for _, p := range VectorCatalog() {
+		if seen[p.Name] {
+			t.Fatalf("duplicate profile name %q", p.Name)
+		}
+		seen[p.Name] = true
+		if p.BurstProb <= 0 {
+			t.Fatalf("%s: vector profile without bursts", p.Name)
+		}
+		if got, ok := ByName(p.Name); !ok || got.Name != p.Name {
+			t.Fatalf("ByName(%q) failed", p.Name)
+		}
+	}
+}
+
+func TestVectorProfilesLegalAndBursty(t *testing.T) {
+	g := isa.ST200x4
+	for _, p := range VectorCatalog() {
+		gen := MustNewGenerator(p, g)
+		var ti TInst
+		widths := map[int]int{}
+		full := 0
+		for i := 0; i < 20000; i++ {
+			gen.Next(&ti)
+			ops := 0
+			for c := 0; c < g.Clusters; c++ {
+				b := ti.Demand.B[c]
+				if int(b.Ops) > g.IssueWidth || int(b.ALU) > g.ALUs ||
+					int(b.Mul) > g.Muls || int(b.Mem) > g.MemUnits {
+					t.Fatalf("%s instr %d cluster %d: illegal bundle %+v", p.Name, i, c, b)
+				}
+				if b.Ops != b.ALU+b.Mul+b.Mem {
+					t.Fatalf("%s instr %d cluster %d: inconsistent demand %+v", p.Name, i, c, b)
+				}
+				ops += int(b.Ops)
+			}
+			widths[ops]++
+			if ops == g.TotalIssueWidth() {
+				full++
+			}
+		}
+		// Wide-op bursts must actually occur, including full-width ones.
+		if full == 0 {
+			t.Fatalf("%s: no full-width burst in 20k instructions", p.Name)
+		}
+		// Variable vector length: more than one burst width beyond the
+		// scalar tail (VLs are multiples of the per-cluster issue width).
+		burstWidths := 0
+		for w, n := range widths {
+			if w >= g.IssueWidth && w%g.IssueWidth == 0 && n > 50 {
+				burstWidths++
+			}
+		}
+		if burstWidths < 2 {
+			t.Fatalf("%s: burst widths not variable: %v", p.Name, widths)
+		}
+	}
+}
+
+func TestVectorProfilesDeterministic(t *testing.T) {
+	for _, p := range VectorCatalog() {
+		a := MustNewGenerator(p, isa.ST200x4)
+		b := MustNewGenerator(p, isa.ST200x4)
+		var x, y TInst
+		for i := 0; i < 5000; i++ {
+			a.Next(&x)
+			b.Next(&y)
+			if x != y {
+				t.Fatalf("%s: diverged at %d", p.Name, i)
+			}
+		}
+	}
+}

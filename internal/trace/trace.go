@@ -221,15 +221,21 @@ func (r *Replayer) Next(t *synth.TInst) {
 	}
 }
 
-// NextN implements synth.BatchStream: whole-slice copies per wrap instead
-// of one element copy per instruction.
+// NextN implements synth.BatchStream. The hot case — a batch that fits
+// before the wrap point — is a single copy plus one modular position
+// advance; only batches that straddle the end fall back to the wrap loop.
+// The method never allocates (pinned by TestReplayerNextNZeroAlloc).
 func (r *Replayer) NextN(out []synth.TInst) {
-	for len(out) > 0 {
+	for {
 		n := copy(out, r.instrs[r.pos:])
-		r.pos += n
-		if r.pos == len(r.instrs) {
-			r.pos = 0
+		if n == len(out) {
+			r.pos += n
+			if r.pos == len(r.instrs) {
+				r.pos = 0
+			}
+			return
 		}
+		r.pos = 0
 		out = out[n:]
 	}
 }

@@ -120,6 +120,99 @@ func TestEmptyReplayerRejected(t *testing.T) {
 	}
 }
 
+func TestReplayerNextNMatchesNext(t *testing.T) {
+	// NextN must deliver exactly the sequence Next would, across batch
+	// sizes that divide the trace, straddle the wrap point, and exceed
+	// the whole trace length.
+	instrs := record(t, "idct", 37)
+	for _, batch := range []int{1, 7, 36, 37, 38, 64, 100} {
+		ref, _ := NewReplayer("a", instrs)
+		got, _ := NewReplayer("b", instrs)
+		want := make([]synth.TInst, batch)
+		out := make([]synth.TInst, batch)
+		for round := 0; round < 5; round++ {
+			for i := range want {
+				ref.Next(&want[i])
+			}
+			got.NextN(out)
+			for i := range out {
+				if out[i] != want[i] {
+					t.Fatalf("batch %d round %d: diverged at %d", batch, round, i)
+				}
+			}
+		}
+	}
+}
+
+func TestReplayerNextNZeroAlloc(t *testing.T) {
+	// The refill path must not allocate: replayed cells share one arena
+	// and ride the same zero-alloc fetch loop as synthetic streams.
+	instrs := record(t, "mcf", 100)
+	r, err := NewReplayer("mcf", instrs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := make([]synth.TInst, synth.BatchSize)
+	if n := testing.AllocsPerRun(200, func() { r.NextN(out) }); n != 0 {
+		t.Fatalf("NextN allocates %v per refill, want 0", n)
+	}
+}
+
+func TestIsBranchRoundTrip(t *testing.T) {
+	// Bit 2 of the flags byte carries IsBranch independent of Taken:
+	// a not-taken branch must survive a round trip.
+	instrs := []synth.TInst{
+		{PC: 0x1000, Size: 4, IsBranch: true, Taken: false},
+		{PC: 0x1004, Size: 4, IsBranch: true, Taken: true},
+		{PC: 0x1008, Size: 4},
+	}
+	for i := range instrs {
+		instrs[i].Demand.B[0] = isa.BundleDemand{Ops: 1, ALU: 1}
+	}
+	var buf bytes.Buffer
+	if err := Write(&buf, "br", 4, instrs); err != nil {
+		t.Fatal(err)
+	}
+	_, _, got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range instrs {
+		if got[i].IsBranch != instrs[i].IsBranch || got[i].Taken != instrs[i].Taken {
+			t.Fatalf("instr %d: IsBranch=%v Taken=%v, want IsBranch=%v Taken=%v",
+				i, got[i].IsBranch, got[i].Taken, instrs[i].IsBranch, instrs[i].Taken)
+		}
+	}
+}
+
+func TestIsBranchLegacyInference(t *testing.T) {
+	// Traces written before the IsBranch flag only set bit 0 for taken
+	// branches. The reader must infer IsBranch from Taken when bit 2 is
+	// clear. Craft the legacy encoding by writing a modern trace and
+	// clearing bit 2 in the serialized flags byte.
+	instrs := []synth.TInst{{PC: 0x2000, Size: 4, IsBranch: true, Taken: true}}
+	instrs[0].Demand.B[0] = isa.BundleDemand{Ops: 1, ALU: 1}
+	var buf bytes.Buffer
+	if err := Write(&buf, "old", 4, instrs); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	// Header: magic(4) + clusters(1) + nameLen(1) + name(3) + count(4),
+	// then pc(8) + size(4) put the flags byte at offset 25.
+	const flagsOff = 4 + 1 + 1 + 3 + 4 + 8 + 4
+	if raw[flagsOff]&4 == 0 {
+		t.Fatal("expected bit 2 set in modern encoding")
+	}
+	raw[flagsOff] &^= 4
+	_, _, got, err := Read(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got[0].IsBranch || !got[0].Taken {
+		t.Fatalf("legacy inference failed: %+v", got[0])
+	}
+}
+
 func TestReplayerMatchesGenerator(t *testing.T) {
 	// A replayed trace must drive the same instruction sequence as the
 	// generator it was recorded from.

@@ -1,0 +1,8 @@
+//go:build !(linux || darwin)
+
+package wstore
+
+// mapFile on platforms without a memory-map path reads the file whole.
+func mapFile(path string) ([]byte, func(), error) {
+	return readFallback(path)
+}

@@ -1,0 +1,32 @@
+//go:build linux || darwin
+
+package wstore
+
+import (
+	"os"
+	"syscall"
+)
+
+// mapFile maps path read-only and returns the bytes plus a release
+// function. Mapping failures (empty files, exotic filesystems) fall back
+// to a plain read; the caller cannot tell the difference.
+func mapFile(path string) ([]byte, func(), error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer f.Close()
+	st, err := f.Stat()
+	if err != nil {
+		return nil, nil, err
+	}
+	size := st.Size()
+	if size <= 0 || int64(int(size)) != size {
+		return readFallback(path)
+	}
+	data, err := syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_PRIVATE)
+	if err != nil {
+		return readFallback(path)
+	}
+	return data, func() { _ = syscall.Munmap(data) }, nil
+}

@@ -1,0 +1,248 @@
+// Package wstore is the content-addressed, load-once workload store behind
+// the experiment grid's workload axis. Binary VXT1 traces are mmap'd (with
+// a plain-read fallback) and decoded exactly once per process into an
+// immutable flat []synth.TInst arena keyed by the sha256 of the file
+// bytes; every concurrent cell and daemon job replays the same arena
+// through zero-copy trace.Replayer cursors. VEX assembly programs enter
+// the same store: they are assembled and executed through the functional
+// machine once at load time, the executed instruction stream recorded as
+// a trace, and from then on are indistinguishable from a loaded .vxt.
+//
+// Content addressing is what makes the workload axis safe to cache and to
+// distribute: a cell's cache key folds in the workload's content hash, so
+// two daemons only share results when they replay byte-identical inputs,
+// and editing a trace file invalidates exactly the cells built on it.
+package wstore
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+
+	"vexsmt/internal/isa"
+	"vexsmt/internal/synth"
+	"vexsmt/internal/trace"
+)
+
+// Trace is one immutable decoded workload. The instruction arena is shared
+// by every consumer — callers must never mutate the slice returned by
+// Instrs or feed it to code that does.
+type Trace struct {
+	Name     string // workload name: the source file's base name sans extension
+	Hash     string // sha256 hex of the source file bytes
+	Clusters int
+	instrs   []synth.TInst
+}
+
+// Len returns the trace length in instructions.
+func (t *Trace) Len() int { return len(t.instrs) }
+
+// Instrs exposes the shared arena. Read-only by contract.
+func (t *Trace) Instrs() []synth.TInst { return t.instrs }
+
+// Ref is the full workload identity, "name@sha256hex". It is what travels
+// in experiment cells and cache keys: the name for humans, the hash for
+// correctness.
+func (t *Trace) Ref() string { return t.Name + "@" + t.Hash }
+
+// NewReplayer returns a fresh zero-copy cursor over the shared arena.
+func (t *Trace) NewReplayer() (*trace.Replayer, error) {
+	return trace.NewReplayer(t.Name, t.instrs)
+}
+
+// SplitRef splits a "name@hash" workload reference. The hash part is empty
+// when the reference carries only a name.
+func SplitRef(ref string) (name, hash string) {
+	if i := strings.LastIndexByte(ref, '@'); i >= 0 {
+		return ref[:i], ref[i+1:]
+	}
+	return ref, ""
+}
+
+// Store maps content hashes and workload names to decoded traces. The zero
+// value is not usable; call New. Most callers want the process-global
+// Shared store, which is what gives "decoded exactly once per process".
+type Store struct {
+	mu     sync.Mutex
+	byHash map[string]*Trace
+	byName map[string]*Trace
+}
+
+// New returns an empty store (tests use private stores; production code
+// shares one).
+func New() *Store {
+	return &Store{byHash: map[string]*Trace{}, byName: map[string]*Trace{}}
+}
+
+var shared = New()
+
+// Shared returns the process-global store.
+func Shared() *Store { return shared }
+
+// Get looks up a trace by content hash.
+func (s *Store) Get(hash string) (*Trace, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	t, ok := s.byHash[hash]
+	return t, ok
+}
+
+// ByName looks up a trace by workload name.
+func (s *Store) ByName(name string) (*Trace, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	t, ok := s.byName[name]
+	return t, ok
+}
+
+// Resolve looks up a trace by "name@hash" reference, by bare hash, or by
+// bare name, in that order of authority.
+func (s *Store) Resolve(ref string) (*Trace, bool) {
+	name, hash := SplitRef(ref)
+	if hash != "" {
+		if t, ok := s.Get(hash); ok {
+			return t, true
+		}
+		return nil, false
+	}
+	return s.ByName(name)
+}
+
+// Names returns the sorted workload names currently loaded.
+func (s *Store) Names() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]string, 0, len(s.byName))
+	for n := range s.byName {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Refs returns the sorted "name@hash" references currently loaded.
+func (s *Store) Refs() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]string, 0, len(s.byName))
+	for _, t := range s.byName {
+		out = append(out, t.Ref())
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Load reads, hashes, and decodes one workload file (.vxt trace or .vex
+// program). The file bytes are mapped read-only when the platform allows
+// it and copied otherwise; either way the mapping is released after the
+// one-time decode. Loading the same content twice returns the already
+// decoded trace without touching the decoder.
+func (s *Store) Load(path string) (*Trace, error) {
+	data, release, err := mapFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("wstore: %w", err)
+	}
+	defer release()
+	sum := sha256.Sum256(data)
+	hash := hex.EncodeToString(sum[:])
+	name := workloadName(path)
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if t, ok := s.byHash[hash]; ok {
+		// Decode-once: same content, possibly under a new name.
+		if prev, clash := s.byName[name]; clash && prev.Hash != hash {
+			return nil, fmt.Errorf("wstore: workload %q already loaded with different content (%s vs %s)",
+				name, short(prev.Hash), short(hash))
+		}
+		s.byName[name] = t
+		return t, nil
+	}
+	if prev, clash := s.byName[name]; clash && prev.Hash != hash {
+		return nil, fmt.Errorf("wstore: workload %q already loaded with different content (%s vs %s)",
+			name, short(prev.Hash), short(hash))
+	}
+
+	t, err := decode(name, path, data)
+	if err != nil {
+		return nil, err
+	}
+	t.Hash = hash
+	s.byHash[hash] = t
+	s.byName[name] = t
+	return t, nil
+}
+
+// LoadDir loads every .vxt and .vex file in dir (sorted, deterministic)
+// and returns the loaded traces in name order.
+func (s *Store) LoadDir(dir string) ([]*Trace, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("wstore: %w", err)
+	}
+	var paths []string
+	for _, e := range entries {
+		if e.IsDir() {
+			continue
+		}
+		switch filepath.Ext(e.Name()) {
+		case ".vxt", ".vex":
+			paths = append(paths, filepath.Join(dir, e.Name()))
+		}
+	}
+	if len(paths) == 0 {
+		return nil, fmt.Errorf("wstore: no .vxt or .vex workloads in %s", dir)
+	}
+	sort.Strings(paths)
+	out := make([]*Trace, 0, len(paths))
+	for _, p := range paths {
+		t, err := s.Load(p)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", filepath.Base(p), err)
+		}
+		out = append(out, t)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out, nil
+}
+
+func decode(name, path string, data []byte) (*Trace, error) {
+	switch filepath.Ext(path) {
+	case ".vex":
+		instrs, clusters, err := recordVEX(data)
+		if err != nil {
+			return nil, fmt.Errorf("wstore: %s: %w", name, err)
+		}
+		return &Trace{Name: name, Clusters: clusters, instrs: instrs}, nil
+	default:
+		_, clusters, instrs, err := trace.Read(bytes.NewReader(data))
+		if err != nil {
+			return nil, fmt.Errorf("wstore: %s: %w", name, err)
+		}
+		if len(instrs) == 0 {
+			return nil, fmt.Errorf("wstore: %s: empty trace", name)
+		}
+		if clusters > isa.MaxClusters {
+			return nil, fmt.Errorf("wstore: %s: %d clusters exceeds maximum %d", name, clusters, isa.MaxClusters)
+		}
+		return &Trace{Name: name, Clusters: clusters, instrs: instrs}, nil
+	}
+}
+
+func workloadName(path string) string {
+	base := filepath.Base(path)
+	return strings.TrimSuffix(base, filepath.Ext(base))
+}
+
+func short(hash string) string {
+	if len(hash) > 12 {
+		return hash[:12]
+	}
+	return hash
+}

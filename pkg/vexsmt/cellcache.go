@@ -71,28 +71,37 @@ type CacheSizer interface {
 // Epoch 2: the key gained the predictor field and static runs gained the
 // (always-zero) branch counters; entries written before the predictor
 // axis existed must miss rather than collide with static cells.
-const CacheEpoch = 2
+//
+// Epoch 3: the key gained the workload field — a trace-backed cell's
+// "name@sha256" content reference, empty for synthetic mixes — so every
+// epoch-2 entry misses rather than colliding with the extended identity.
+// Folding the content hash into the key is what lets daemons that have
+// never seen each other's corpus directories share results safely: equal
+// key implies equal trace bytes, not merely an equal file name.
+const CacheEpoch = 3
 
 // CacheKey is the content address of one cell's result: a canonical
 // digest over everything that determines the cell's bits — the results
 // schema version, the simulator behavior epoch (CacheEpoch), the base
 // seed, the scale divisor, and the cell identity (mix, technique,
-// threads, predictor) — and nothing that does not (parallelism, the
-// service's enabled-technique set, shard placement). Two runs agreeing on
-// those inputs may share each other's cache entries no matter which
-// process, machine or thread count produced them; bumping SchemaVersion
-// or CacheEpoch invalidates every prior entry at once, which is the
-// cache's only invalidation mechanism.
+// threads, predictor, workload reference) — and nothing that does not
+// (parallelism, the service's enabled-technique set, shard placement).
+// Two runs agreeing on those inputs may share each other's cache entries
+// no matter which process, machine or thread count produced them; bumping
+// SchemaVersion or CacheEpoch invalidates every prior entry at once,
+// which is the cache's only invalidation mechanism.
 //
 // The predictor is keyed in its canonical internal spelling — "" for the
 // default static front end — and "static" normalizes to "" here so a spec
-// arriving with either spelling addresses the same entry.
+// arriving with either spelling addresses the same entry. The workload is
+// keyed as the full "name@sha256" content reference ("" for synthetic
+// mixes), so the trace bytes — not the file name — address the entry.
 func CacheKey(meta RunMeta, spec CellSpec) string {
 	pred := spec.Predictor
 	if pred == "static" {
 		pred = ""
 	}
-	sum := sha256.Sum256([]byte(fmt.Sprintf("vexsmt/cell/v%d/e%d|seed=%d|scale=%d|mix=%s|tech=%s|threads=%d|pred=%s",
-		meta.SchemaVersion, CacheEpoch, meta.Seed, meta.Scale, spec.Mix, spec.Technique, spec.Threads, pred)))
+	sum := sha256.Sum256([]byte(fmt.Sprintf("vexsmt/cell/v%d/e%d|seed=%d|scale=%d|mix=%s|tech=%s|threads=%d|pred=%s|wl=%s",
+		meta.SchemaVersion, CacheEpoch, meta.Seed, meta.Scale, spec.Mix, spec.Technique, spec.Threads, pred, spec.Workload)))
 	return hex.EncodeToString(sum[:])
 }

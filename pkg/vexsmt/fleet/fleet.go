@@ -35,16 +35,21 @@ import (
 // numbers the daemon's own /healthz reports — see server.Stats).
 // FirstSeen/LastSeen are stamped by the registry, never by the member.
 type Member struct {
-	ID            string            `json:"id"`
-	URL           string            `json:"url"`
-	Capacity      int               `json:"capacity"`
-	Running       int               `json:"running"`
-	UptimeSeconds float64           `json:"uptime_seconds"`
-	Simulations   int64             `json:"simulations"`
-	Predictors    string            `json:"predictors,omitempty"`
-	CacheEnabled  bool              `json:"cache_enabled"`
-	Cache         vexsmt.CacheStats `json:"cache"`
-	CacheSize     vexsmt.CacheSize  `json:"cache_size"`
+	ID            string  `json:"id"`
+	URL           string  `json:"url"`
+	Capacity      int     `json:"capacity"`
+	Running       int     `json:"running"`
+	UptimeSeconds float64 `json:"uptime_seconds"`
+	Simulations   int64   `json:"simulations"`
+	Predictors    string  `json:"predictors,omitempty"`
+	// Workloads advertises the trace corpus this daemon holds, as
+	// comma-joined sorted "name@sha256" references — a coordinator can
+	// route a trace-backed cell only to members advertising its reference,
+	// since equal reference means byte-identical trace content.
+	Workloads    string            `json:"workloads,omitempty"`
+	CacheEnabled bool              `json:"cache_enabled"`
+	Cache        vexsmt.CacheStats `json:"cache"`
+	CacheSize    vexsmt.CacheSize  `json:"cache_size"`
 
 	FirstSeen time.Time `json:"first_seen"`
 	LastSeen  time.Time `json:"last_seen"`

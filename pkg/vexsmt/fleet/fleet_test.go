@@ -17,7 +17,8 @@ import (
 )
 
 func member(id, url string) fleet.Member {
-	return fleet.Member{ID: id, URL: url, Capacity: 4, CacheEnabled: true}
+	return fleet.Member{ID: id, URL: url, Capacity: 4, CacheEnabled: true,
+		Workloads: "idct@" + strings.Repeat("a", 64)}
 }
 
 func TestRegistryLeaseLifecycle(t *testing.T) {
@@ -139,13 +140,17 @@ func TestRegistryHandler(t *testing.T) {
 		t.Fatalf("register response members %+v", rr.Members)
 	}
 
-	// The member list endpoint sees the registration.
+	// The member list endpoint sees the registration, with the advertised
+	// workload corpus (the coordinator's trace-placement signal) intact.
 	members, err := fleet.FetchMembers(context.Background(), nil, ts.URL)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if len(members) != 1 || members[0].ID != "a" {
 		t.Fatalf("members %+v", members)
+	}
+	if !strings.HasPrefix(members[0].Workloads, "idct@") {
+		t.Fatalf("workload advertisement lost in round-trip: %+v", members[0])
 	}
 
 	// Bad member bodies are 400s.

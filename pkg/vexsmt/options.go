@@ -5,6 +5,7 @@ import (
 
 	"vexsmt/internal/bpred"
 	"vexsmt/internal/core"
+	"vexsmt/internal/wstore"
 )
 
 // Option configures a Service at construction time. All knobs are fixed
@@ -112,6 +113,31 @@ func WithPredictors(names ...string) Option {
 			preds = append(preds, canon)
 		}
 		s.predictors = preds
+		return nil
+	}
+}
+
+// WithWorkloadDir loads a trace corpus directory (.vxt binary traces and
+// .vex assembly programs; see internal/wstore) and enables the workload
+// axis: Plan.Workloads and CellSpec.Workload resolve against the loaded
+// corpus. Files are content-hashed and decoded at most once per process
+// no matter how many services name the same directory — concurrent cells
+// replay one shared immutable arena. An empty dir is rejected at New.
+func WithWorkloadDir(dir string) Option {
+	return func(s *Service) error {
+		if dir == "" {
+			return fmt.Errorf("vexsmt: WithWorkloadDir requires a directory")
+		}
+		s.workloadDir = dir
+		return nil
+	}
+}
+
+// withWorkloadStore injects a private trace store (tests only; production
+// services share the process-global store so corpora decode once).
+func withWorkloadStore(st *wstore.Store) Option {
+	return func(s *Service) error {
+		s.wl = st
 		return nil
 	}
 }

@@ -21,6 +21,14 @@ type CellSpec struct {
 	Technique string `json:"technique"`
 	Threads   int    `json:"threads"`
 	Predictor string `json:"predictor,omitempty"`
+	// Workload names a replayed trace workload instead of a synthetic
+	// mix: either a bare workload name ("fir") resolved against the
+	// service's loaded corpus, or a full "name@sha256" content reference
+	// as produced by PlanCells — the reference form is what travels
+	// between coordinator and daemons, so a shard only accepts the cell
+	// when it holds byte-identical trace content. Mutually exclusive
+	// with Mix.
+	Workload string `json:"workload,omitempty"`
 }
 
 // Plan describes the work of one run. The three fields compose: the
@@ -42,6 +50,14 @@ type Plan struct {
 	// Empty means ["static"] — the unexpanded grid. Explicit Cells are not
 	// crossed; they carry their own Predictor field.
 	Predictors []string `json:"predictors,omitempty"`
+
+	// Workloads adds trace-backed cells to the grid: each named workload
+	// (bare name or "name@sha256" reference, resolved against the
+	// service's loaded corpus) is simulated under every service technique
+	// at the paper's 2- and 4-thread machines, crossed with the
+	// Predictors axis exactly like the mix grid. Explicit Cells are not
+	// crossed; they carry their own Workload field.
+	Workloads []string `json:"workloads,omitempty"`
 }
 
 // AllFigures lists every figure name a Plan accepts, in paper order.
@@ -168,6 +184,16 @@ func (s *Service) resolve(p Plan) (*experiments.Plan, error) {
 	if len(preds) == 0 {
 		preds = []string{bpred.Default}
 	}
+	// Resolve workload names to full content references up front, so a
+	// bad name fails the whole plan before anything simulates.
+	wlRefs := make([]string, 0, len(p.Workloads))
+	for _, w := range p.Workloads {
+		ref, err := s.workloadRef(w)
+		if err != nil {
+			return nil, err
+		}
+		wlRefs = append(wlRefs, ref)
+	}
 	ip := experiments.NewPlan()
 	for _, name := range preds {
 		pred, err := canonPredictor(name)
@@ -177,6 +203,13 @@ func (s *Service) resolve(p Plan) (*experiments.Plan, error) {
 		for _, c := range grid.Cells() {
 			c.Pred = pred
 			ip.Add(c)
+		}
+		for _, ref := range wlRefs {
+			for _, threads := range []int{2, 4} {
+				for _, t := range s.techniques {
+					ip.Add(experiments.Cell{WL: ref, Tech: t, Threads: threads, Pred: pred})
+				}
+			}
 		}
 	}
 	for _, spec := range p.Cells {
@@ -200,12 +233,9 @@ func (s *Service) resolve(p Plan) (*experiments.Plan, error) {
 }
 
 // cell validates one CellSpec against the public vocabulary and the
-// machine's limits.
+// machine's limits. A spec names either a mix or a trace workload, never
+// both.
 func (s *Service) cell(spec CellSpec) (experiments.Cell, error) {
-	mix, err := workload.MixByLabel(spec.Mix)
-	if err != nil {
-		return experiments.Cell{}, fmt.Errorf("vexsmt: %w", err)
-	}
 	tech, err := core.ParseTechnique(spec.Technique)
 	if err != nil {
 		return experiments.Cell{}, fmt.Errorf("vexsmt: %w", err)
@@ -217,6 +247,20 @@ func (s *Service) cell(spec CellSpec) (experiments.Cell, error) {
 	pred, err := canonPredictor(spec.Predictor)
 	if err != nil {
 		return experiments.Cell{}, err
+	}
+	if spec.Workload != "" {
+		if spec.Mix != "" {
+			return experiments.Cell{}, fmt.Errorf("vexsmt: cell names both mix %q and workload %q", spec.Mix, spec.Workload)
+		}
+		ref, err := s.workloadRef(spec.Workload)
+		if err != nil {
+			return experiments.Cell{}, err
+		}
+		return experiments.Cell{WL: ref, Tech: tech, Threads: spec.Threads, Pred: pred}, nil
+	}
+	mix, err := workload.MixByLabel(spec.Mix)
+	if err != nil {
+		return experiments.Cell{}, fmt.Errorf("vexsmt: %w", err)
 	}
 	return experiments.Cell{Mix: mix, Tech: tech, Threads: spec.Threads, Pred: pred}, nil
 }

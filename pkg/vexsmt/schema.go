@@ -91,12 +91,17 @@ type CellResult struct {
 	// Predictor carries the internal canonical spelling: "" for the
 	// default static front end (omitted from JSON, so static documents
 	// match pre-predictor ones byte for byte), else the model name.
-	Predictor string   `json:"predictor,omitempty"`
-	Seed      uint64   `json:"seed"`
-	IPC       float64  `json:"ipc"`
-	Counters  Counters `json:"counters"`
-	Cached    bool     `json:"cached,omitempty"`
-	Err       string   `json:"error,omitempty"`
+	Predictor string `json:"predictor,omitempty"`
+	// Workload carries the full "name@sha256" content reference of a
+	// trace-backed cell; "" (omitted from JSON) marks a synthetic-mix
+	// cell, so mix-only documents match pre-workload ones byte for byte.
+	// Workload cells leave Mix empty.
+	Workload string   `json:"workload,omitempty"`
+	Seed     uint64   `json:"seed"`
+	IPC      float64  `json:"ipc"`
+	Counters Counters `json:"counters"`
+	Cached   bool     `json:"cached,omitempty"`
+	Err      string   `json:"error,omitempty"`
 }
 
 // SpeedupPct returns the percentage IPC speedup of tech over base, the
@@ -131,16 +136,20 @@ type ResultSet struct {
 	Cells []CellResult `json:"cells"`
 }
 
-// Sort orders the cells by (mix, technique, threads, predictor), the
-// canonical encoding order; the static predictor's empty spelling sorts
-// first, so predictor-free sets keep their historical order exactly.
-// Collect returns sorted sets already; producers that accumulate cells in
-// completion order (e.g. a streaming server) call this before encoding.
+// Sort orders the cells by (mix, workload, technique, threads, predictor),
+// the canonical encoding order; the static predictor's and synthetic
+// workload's empty spellings sort first, so pre-axis sets keep their
+// historical order exactly. Collect returns sorted sets already; producers
+// that accumulate cells in completion order (e.g. a streaming server) call
+// this before encoding.
 func (rs *ResultSet) Sort() {
 	sort.Slice(rs.Cells, func(i, j int) bool {
 		a, b := rs.Cells[i], rs.Cells[j]
 		if a.Mix != b.Mix {
 			return a.Mix < b.Mix
+		}
+		if a.Workload != b.Workload {
+			return a.Workload < b.Workload
 		}
 		if a.Technique != b.Technique {
 			return a.Technique < b.Technique
@@ -184,6 +193,7 @@ func (rs *ResultSet) Merge(others ...*ResultSet) (*ResultSet, error) {
 		mix, technique string
 		threads        int
 		predictor      string
+		workload       string
 	}
 	seen := make(map[cellKey]CellResult, len(rs.Cells))
 	add := func(set *ResultSet) error {
@@ -206,7 +216,7 @@ func (rs *ResultSet) Merge(others ...*ResultSet) (*ResultSet, error) {
 			// cell recalled from cache on one backend and simulated on
 			// another must deduplicate, not conflict.
 			c.Cached = false
-			k := cellKey{c.Mix, c.Technique, c.Threads, c.Predictor}
+			k := cellKey{c.Mix, c.Technique, c.Threads, c.Predictor, c.Workload}
 			if prev, ok := seen[k]; ok {
 				if prev != c {
 					return fmt.Errorf("vexsmt: merge: conflicting duplicates of cell %s",
@@ -232,9 +242,14 @@ func (rs *ResultSet) Merge(others ...*ResultSet) (*ResultSet, error) {
 }
 
 // cellName renders a cell's identity for error messages, appending the
-// predictor only when it is a modeled one.
+// predictor only when it is a modeled one. Workload cells show the trace
+// reference where mix cells show their label.
 func cellName(c CellResult) string {
-	name := fmt.Sprintf("%s/%s/%dT", c.Mix, c.Technique, c.Threads)
+	label := c.Mix
+	if c.Workload != "" {
+		label = c.Workload
+	}
+	name := fmt.Sprintf("%s/%s/%dT", label, c.Technique, c.Threads)
 	if c.Predictor != "" {
 		name += "/" + c.Predictor
 	}

@@ -45,6 +45,11 @@ type Server struct {
 	fleet    http.Handler // optional registry routes under /v1/fleet/
 	started  time.Time
 
+	workloadDir string    // trace corpus directory (WithWorkloads); "" = synthetic only
+	wlOnce      sync.Once // corpus loads once per server, on first need
+	wlRefs      []string  // sorted "name@sha256" references of the loaded corpus
+	wlErr       error
+
 	simulations atomic.Int64 // simulator runs performed by finished jobs
 
 	mu       sync.Mutex
@@ -83,6 +88,7 @@ type job struct {
 	meta       vexsmt.RunMeta
 	total      int
 	predictors string // sorted distinct predictor axis of the resolved plan
+	workloads  string // sorted distinct workload axis of the resolved plan
 	weight     int    // simulation workers the plan can occupy (admission unit)
 	created    time.Time
 	cancel     context.CancelFunc
@@ -121,6 +127,29 @@ func WithCache(c vexsmt.CellCache) Option {
 // http.Handler so the server package needs no fleet dependency.
 func WithFleet(h http.Handler) Option {
 	return func(s *Server) { s.fleet = h }
+}
+
+// WithWorkloads points the server at a trace corpus directory (.vxt /
+// .vex; see internal/wstore). The corpus loads once — content-addressed,
+// decoded a single time per process — on first need, and every plan the
+// server admits can then name its workloads (bare name or "name@sha256"
+// reference); unknown names fail admission with 400. The loaded
+// references are listed on /healthz so a coordinator can route
+// trace-backed cells only to daemons that hold the bytes.
+func WithWorkloads(dir string) Option {
+	return func(s *Server) { s.workloadDir = dir }
+}
+
+// workloads returns the loaded corpus references, loading the directory
+// on first call. Without WithWorkloads it returns (nil, nil).
+func (s *Server) workloads() ([]string, error) {
+	if s.workloadDir == "" {
+		return nil, nil
+	}
+	s.wlOnce.Do(func() {
+		s.wlRefs, s.wlErr = vexsmt.LoadWorkloads(s.workloadDir)
+	})
+	return s.wlRefs, s.wlErr
 }
 
 // New builds a server whose jobs default to the given scale, seed and
@@ -183,7 +212,14 @@ type Stats struct {
 	// Predictors is the comma-joined sorted distinct predictor axis of
 	// the running plans ("" when nothing runs), so fleet status tables can
 	// show what front end each daemon is simulating right now.
-	Predictors   string
+	Predictors string
+	// Workloads is the comma-joined sorted distinct trace-workload axis of
+	// the running plans ("" when nothing runs or everything is synthetic).
+	Workloads string
+	// Corpus is the loaded trace corpus as sorted "name@sha256" references
+	// (nil without WithWorkloads) — what this daemon can replay, as
+	// opposed to Workloads, which is what it is replaying right now.
+	Corpus       []string
 	CacheEnabled bool
 	Cache        vexsmt.CacheStats
 	CacheSize    vexsmt.CacheSize
@@ -191,10 +227,12 @@ type Stats struct {
 
 // Stats returns the current snapshot (see the Stats type).
 func (s *Server) Stats() Stats {
+	corpus, _ := s.workloads() // a broken corpus lists as empty; plan admission reports the error
 	s.mu.Lock()
 	running := s.runningWeightLocked()
 	prefetching := len(s.prefetch)
 	predictors := s.runningPredictorsLocked()
+	workloads := s.runningWorkloadsLocked()
 	s.mu.Unlock()
 	st := Stats{
 		Capacity:       s.capacity(),
@@ -203,6 +241,8 @@ func (s *Server) Stats() Stats {
 		Simulations:    s.simulations.Load(),
 		PrefetchActive: prefetching,
 		Predictors:     predictors,
+		Workloads:      workloads,
+		Corpus:         corpus,
 		CacheEnabled:   s.cache != nil,
 	}
 	if s.cache != nil {
@@ -235,6 +275,8 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		"simulations":     st.Simulations,
 		"prefetch_active": st.PrefetchActive,
 		"predictors":      st.Predictors,
+		"workloads":       st.Workloads,
+		"corpus":          st.Corpus,
 	}
 	cacheInfo := map[string]any{"enabled": st.CacheEnabled}
 	if st.CacheEnabled {
@@ -326,6 +368,12 @@ func (s *Server) handlePrefetch(w http.ResponseWriter, r *http.Request) {
 	}
 	if req.Seed != nil {
 		seed = *req.Seed
+	}
+	// Prefetched cells may name trace workloads; make sure the corpus is
+	// resolvable before the cells are validated.
+	if _, err := s.workloads(); err != nil {
+		httpError(w, http.StatusInternalServerError, "workload corpus %s: %v", s.workloadDir, err)
+		return
 	}
 	svc, err := vexsmt.New(
 		vexsmt.WithScale(scale),
@@ -460,6 +508,13 @@ func (s *Server) submitPlan(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "bad cache %q: want on or off", req.Cache)
 		return
 	}
+	// Load the corpus (once per server) before resolving, so a plan naming
+	// trace workloads resolves them against the shared store. A corpus that
+	// fails to load is this daemon's fault, not the plan's: 500, not 400.
+	if _, err := s.workloads(); err != nil {
+		httpError(w, http.StatusInternalServerError, "workload corpus %s: %v", s.workloadDir, err)
+		return
+	}
 	svc, err := vexsmt.New(opts...)
 	if err != nil {
 		httpError(w, http.StatusBadRequest, "%v", err)
@@ -518,6 +573,7 @@ func (s *Server) submitPlan(w http.ResponseWriter, r *http.Request) {
 		meta:       svc.Meta(),
 		total:      total,
 		predictors: predictorAxis(cells),
+		workloads:  workloadAxis(cells),
 		weight:     weight,
 		created:    time.Now(),
 		cancel:     cancel,
@@ -606,6 +662,7 @@ func (s *Server) listPlans(w http.ResponseWriter) {
 			"id": j.id, "status": status,
 			"completed": completed, "cells": total,
 			"predictors": j.predictors,
+			"workloads":  j.workloads,
 			"created":    j.created.UTC().Format(time.RFC3339),
 		})
 	}
@@ -697,6 +754,45 @@ func (s *Server) runningPredictorsLocked() string {
 	}
 	sort.Strings(names)
 	return strings.Join(names, ",")
+}
+
+// workloadAxis derives the sorted distinct trace-workload set of a
+// resolved plan's cells, as "name@sha256" references. Synthetic cells
+// (empty Workload) contribute nothing, so an all-synthetic plan has an
+// empty axis.
+func workloadAxis(cells []vexsmt.CellSpec) string {
+	seen := make(map[string]bool, 4)
+	var refs []string
+	for _, c := range cells {
+		if c.Workload == "" || seen[c.Workload] {
+			continue
+		}
+		seen[c.Workload] = true
+		refs = append(refs, c.Workload)
+	}
+	sort.Strings(refs)
+	return strings.Join(refs, ",")
+}
+
+// runningWorkloadsLocked unions the workload axes of all running jobs,
+// sorted distinct and comma-joined. Caller holds s.mu.
+func (s *Server) runningWorkloadsLocked() string {
+	seen := make(map[string]bool, 4)
+	var refs []string
+	for _, j := range s.jobs {
+		status, _, _ := j.progress()
+		if status != "running" || j.workloads == "" {
+			continue
+		}
+		for _, ref := range strings.Split(j.workloads, ",") {
+			if !seen[ref] {
+				seen[ref] = true
+				refs = append(refs, ref)
+			}
+		}
+	}
+	sort.Strings(refs)
+	return strings.Join(refs, ",")
 }
 
 // runningWeightLocked sums the admission weight of jobs still

@@ -11,6 +11,7 @@ import (
 	"vexsmt/internal/experiments"
 	"vexsmt/internal/stats"
 	"vexsmt/internal/workload"
+	"vexsmt/internal/wstore"
 )
 
 // Service is the façade over the simulation stack: a memoizing, concurrent
@@ -24,6 +25,10 @@ type Service struct {
 	techniques []core.Technique
 	predictors []string // canonical model names (WithPredictors)
 	cache      CellCache
+
+	workloadDir string        // corpus directory (WithWorkloadDir); "" = no trace workloads
+	wl          *wstore.Store // trace store; the process-global one unless a test injects its own
+	wlRefs      []string      // sorted "name@sha256" references loaded from workloadDir
 
 	m *experiments.Matrix
 }
@@ -43,18 +48,80 @@ func New(opts ...Option) (*Service, error) {
 			return nil, err
 		}
 	}
-	mopts := []experiments.MatrixOption{experiments.WithParallelism(s.parallel)}
+	if s.wl == nil {
+		s.wl = wstore.Shared()
+	}
+	if s.workloadDir != "" {
+		traces, err := s.wl.LoadDir(s.workloadDir)
+		if err != nil {
+			return nil, fmt.Errorf("vexsmt: %w", err)
+		}
+		s.wlRefs = make([]string, len(traces))
+		for i, t := range traces {
+			s.wlRefs[i] = t.Ref()
+		}
+	}
+	mopts := []experiments.MatrixOption{
+		experiments.WithParallelism(s.parallel),
+		experiments.WithWorkloadStore(s.wl),
+	}
 	if s.cache != nil {
 		// The key closes over the service's meta: every cell of this
 		// service shares the (schema, seed, scale) prefix, and CacheKey
 		// ignores the meta fields that cannot change results.
 		meta := s.Meta()
 		mopts = append(mopts, experiments.WithResultCache(s.cache, func(c experiments.Cell) string {
-			return CacheKey(meta, CellSpec{Mix: c.Mix.Label, Technique: c.Tech.Name(), Threads: c.Threads, Predictor: c.Pred})
+			return CacheKey(meta, cellSpecOf(c))
 		}))
 	}
 	s.m = experiments.NewMatrix(s.scale, s.seed, mopts...)
 	return s, nil
+}
+
+// cellSpecOf maps an internal cell back to its public spec: internal
+// spellings carry over verbatim (Pred "" = static, WL "" = synthetic).
+func cellSpecOf(c experiments.Cell) CellSpec {
+	return CellSpec{
+		Mix:       c.Mix.Label,
+		Technique: c.Tech.Name(),
+		Threads:   c.Threads,
+		Predictor: c.Pred,
+		Workload:  c.WL,
+	}
+}
+
+// LoadWorkloads loads a trace corpus directory (.vxt binary traces and
+// .vex assembly programs; see internal/wstore) into the process-shared
+// workload store and returns the sorted "name@sha256" content references.
+// Loading is idempotent and content-addressed — a file already present
+// (by hash) is never decoded twice — so daemons can load eagerly at
+// startup to fail fast on a bad corpus and advertise what they hold,
+// while every Service built afterwards resolves the same names against
+// the shared store without touching the directory again.
+func LoadWorkloads(dir string) ([]string, error) {
+	traces, err := wstore.Shared().LoadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("vexsmt: %w", err)
+	}
+	refs := make([]string, len(traces))
+	for i, t := range traces {
+		refs[i] = t.Ref()
+	}
+	return refs, nil
+}
+
+// workloadRef resolves a workload name or "name@sha256" reference against
+// the service's trace store to the full reference form.
+func (s *Service) workloadRef(nameOrRef string) (string, error) {
+	tr, ok := s.wl.Resolve(nameOrRef)
+	if !ok {
+		have := s.wl.Names()
+		if len(have) == 0 {
+			return "", fmt.Errorf("vexsmt: workload %q: no trace corpus loaded (WithWorkloadDir)", nameOrRef)
+		}
+		return "", fmt.Errorf("vexsmt: unknown workload %q (have %s)", nameOrRef, strings.Join(have, ", "))
+	}
+	return tr.Ref(), nil
 }
 
 // Scale returns the configured scale divisor of paper scale.
@@ -80,6 +147,14 @@ func (s *Service) TechniqueNames() []string {
 // canonical order.
 func (s *Service) PredictorNames() []string {
 	return append([]string(nil), s.predictors...)
+}
+
+// WorkloadRefs returns the sorted "name@sha256" references of the trace
+// corpus loaded via WithWorkloadDir (nil without one). Workloads loaded
+// into the shared store by other services are not listed — these are the
+// workloads *this* service advertises.
+func (s *Service) WorkloadRefs() []string {
+	return append([]string(nil), s.wlRefs...)
 }
 
 // Meta returns the run metadata stamped onto every ResultSet this service
@@ -118,6 +193,7 @@ func (s *Service) cellResult(c experiments.Cell, r *stats.Run, cached bool, err 
 		Technique: c.Tech.Name(),
 		Threads:   c.Threads,
 		Predictor: c.Pred,
+		Workload:  c.WL,
 		Seed:      s.m.CellSeed(c),
 	}
 	if err != nil {
@@ -171,7 +247,7 @@ func (s *Service) PlanCells(p Plan) ([]CellSpec, error) {
 	}
 	out := make([]CellSpec, 0, ip.Len())
 	for _, c := range ip.Cells() {
-		out = append(out, CellSpec{Mix: c.Mix.Label, Technique: c.Tech.Name(), Threads: c.Threads, Predictor: c.Pred})
+		out = append(out, cellSpecOf(c))
 	}
 	return out, nil
 }

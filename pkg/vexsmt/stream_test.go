@@ -20,7 +20,7 @@ func TestStreamMatchesSerialCollect(t *testing.T) {
 	}
 	want := make(map[CellSpec]CellResult, len(serial.Cells))
 	for _, c := range serial.Cells {
-		want[CellSpec{c.Mix, c.Technique, c.Threads, c.Predictor}] = c
+		want[CellSpec{Mix: c.Mix, Technique: c.Technique, Threads: c.Threads, Predictor: c.Predictor}] = c
 	}
 
 	ch, err := testService(t, WithParallelism(8)).Stream(ctx, plan)
@@ -33,7 +33,7 @@ func TestStreamMatchesSerialCollect(t *testing.T) {
 			t.Fatalf("%s/%s/%dT: %s", cell.Mix, cell.Technique, cell.Threads, cell.Err)
 		}
 		n++
-		w, ok := want[CellSpec{cell.Mix, cell.Technique, cell.Threads, cell.Predictor}]
+		w, ok := want[CellSpec{Mix: cell.Mix, Technique: cell.Technique, Threads: cell.Threads, Predictor: cell.Predictor}]
 		if !ok {
 			t.Fatalf("stream delivered unplanned cell %s/%s/%dT", cell.Mix, cell.Technique, cell.Threads)
 		}
