@@ -48,7 +48,9 @@ import (
 
 	"vexsmt/pkg/vexsmt"
 	"vexsmt/pkg/vexsmt/cache"
+	"vexsmt/pkg/vexsmt/fault"
 	"vexsmt/pkg/vexsmt/fleet"
+	"vexsmt/pkg/vexsmt/resilience"
 	"vexsmt/pkg/vexsmt/shard"
 )
 
@@ -109,6 +111,10 @@ func run(args []string) error {
 		cacheDir = fs.String("cache-dir", "", "in-process result cache directory (default: the user cache dir, e.g. ~/.cache/vexsmt)")
 		verbose  = fs.Bool("v", false, "log placement, steals, retries and backend failures")
 
+		chaosSeed     = fs.Uint64("chaos-seed", 0, "fault-injection seed; the same seed and profile reproduce the identical fault schedule")
+		chaosProfile  = fs.String("chaos-profile", "off", "fault-injection profile for the client paths: off, light or heavy (results stay byte-identical)")
+		localFallback = fs.Bool("local-fallback", false, "degrade to in-process execution when no backend is healthy instead of failing the run")
+
 		coordinator = fs.String("coordinator", "", "serve a standalone fleet registry on this address (e.g. :9090) instead of running a sweep")
 		fleetTTL    = fs.Duration("fleet-ttl", fleet.DefaultTTL, "with -coordinator: registration lease; members silent longer are evicted")
 		fleetURL    = fs.String("fleet", "", "fleet registry URL; the sweep runs across the daemons registered there")
@@ -120,6 +126,21 @@ func run(args []string) error {
 	}
 	if *quick {
 		*scale = 1000
+	}
+	// Chaos wiring is strictly opt-in: with the profile off no client is
+	// wrapped and the fault layer costs zero. The chaos seed also feeds
+	// the retry policy's deterministic jitter, so a reproduced failure
+	// replays its timing too.
+	chaos, err := fault.ParseProfile(*chaosProfile)
+	if err != nil {
+		return err
+	}
+	var inj *fault.Injector
+	chaosClient := http.DefaultClient
+	if chaos.Enabled() {
+		inj = fault.New(*chaosSeed, chaos)
+		chaosClient = fault.Client(inj, nil)
+		fmt.Fprintf(os.Stderr, "vexsmtctl: chaos profile %s, seed %d\n", chaos.Name, *chaosSeed)
 	}
 
 	var urls []string
@@ -205,7 +226,13 @@ func run(args []string) error {
 			vexsmt.WithParallelism(*parallel),
 		}
 		if diskCache != nil {
-			opts = append(opts, vexsmt.WithCache(diskCache))
+			var cc vexsmt.CellCache = diskCache
+			if inj != nil {
+				// Chaos grinds the in-process cache tier too; the consumer's
+				// decode-or-miss path absorbs every injected corruption.
+				cc = fault.NewCache(inj, diskCache)
+			}
+			opts = append(opts, vexsmt.WithCache(cc))
 			if *verbose {
 				fmt.Fprintf(os.Stderr, "vexsmtctl: result cache at %s\n", diskCache.Dir())
 			}
@@ -222,11 +249,14 @@ func run(args []string) error {
 		rs.Canonicalize()
 	} else {
 		cfg := shard.Config{
-			Scale:    *scale,
-			Seed:     *seed,
-			Retries:  *retries,
-			CacheOff: *cacheOn == "off",
+			Scale:         *scale,
+			Seed:          *seed,
+			Retries:       *retries,
+			CacheOff:      *cacheOn == "off",
+			LocalFallback: *localFallback,
 		}
+		cfg.Policy = resilience.Default()
+		cfg.Policy.Seed = *chaosSeed
 		if *retries <= 0 {
 			cfg.Retries = -1 // Config treats 0 as "default"; the flag means "disable"
 		}
@@ -240,7 +270,9 @@ func run(args []string) error {
 		if *fleetURL != "" {
 			// The registry is the backend source, re-resolved per sweep —
 			// daemons that joined since the last run are picked up here.
-			src, err := fleet.NewHTTPSource(*fleetURL, nil)
+			// The source's client carries the chaos transport (when on) to
+			// every backend it yields.
+			src, err := fleet.NewHTTPSource(*fleetURL, chaosClient)
 			if err != nil {
 				return err
 			}
@@ -258,7 +290,7 @@ func run(args []string) error {
 		} else {
 			var backends []shard.Backend
 			for _, u := range urls {
-				b, err := shard.NewHTTP(u)
+				b, err := shard.NewHTTP(u, shard.WithClient(chaosClient))
 				if err != nil {
 					return err
 				}

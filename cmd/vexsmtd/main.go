@@ -42,6 +42,7 @@ import (
 
 	"vexsmt/pkg/vexsmt"
 	"vexsmt/pkg/vexsmt/cache"
+	"vexsmt/pkg/vexsmt/fault"
 	"vexsmt/pkg/vexsmt/fleet"
 	"vexsmt/pkg/vexsmt/server"
 )
@@ -67,8 +68,24 @@ func run() error {
 		join      = flag.String("join", "", "fleet registry URL to register with (e.g. http://coordinator:9090); empty runs standalone")
 		name      = flag.String("name", "", "fleet member id (default: the advertised host:port)")
 		advertise = flag.String("advertise", "", "base URL peers reach this daemon at (default: derived from the bound listener)")
+
+		chaosSeed    = flag.Uint64("chaos-seed", 0, "fault-injection seed; the same seed and profile reproduce the identical fault schedule")
+		chaosProfile = flag.String("chaos-profile", "off", "fault-injection profile: off, light or heavy (wraps the result cache and the fleet client paths; results stay byte-identical)")
 	)
 	flag.Parse()
+
+	// Chaos wiring is strictly opt-in: with the profile off nothing is
+	// wrapped, so the fault layer costs zero when disabled.
+	chaos, err := fault.ParseProfile(*chaosProfile)
+	if err != nil {
+		return err
+	}
+	var inj *fault.Injector
+	if chaos.Enabled() {
+		inj = fault.New(*chaosSeed, chaos)
+		fmt.Printf("vexsmtd chaos profile %s, seed %d (deterministic fault injection active)\n",
+			chaos.Name, *chaosSeed)
+	}
 
 	// Profiling stays on its own listener so the /v1 API surface never
 	// exposes pprof, and a wedged simulation pool cannot starve it.
@@ -120,11 +137,19 @@ func run() error {
 
 	// Fleet wiring: the heartbeat's snapshot closes over srv (assigned
 	// below, before the heartbeat loop starts), and the cache gains a
-	// peer-fill tier reading the heartbeat's peer view.
+	// peer-fill tier reading the heartbeat's peer view. Under chaos the
+	// local tier is wrapped first, so injected corruption sits below the
+	// peer-fill layer exactly where real disk faults would: entries this
+	// daemon serves to peers pass through it too, and the consumers'
+	// decode-or-miss paths (plus the peer protocol's checksum) are what
+	// keep results byte-identical anyway.
 	var srv *server.Server
 	var cellCache vexsmt.CellCache
 	if d != nil {
 		cellCache = d
+		if inj != nil {
+			cellCache = fault.NewCache(inj, d)
+		}
 	}
 	var hb *fleet.Heartbeat
 	if *join != "" {
@@ -153,12 +178,23 @@ func run() error {
 			m.CacheSize = st.CacheSize
 			return m
 		}
-		if hb, err = fleet.NewHeartbeat(*join, snapshot); err != nil {
+		// Under chaos the heartbeat and peer-fill clients go through the
+		// fault transport (swallowed heartbeats, dropped/slowed peer GETs)
+		// and the peer view may read one update stale.
+		var hbOpts []fleet.HeartbeatOption
+		var fetchOpts []fleet.FetcherOption
+		peerView := func() []fleet.Member { return hb.Peers() }
+		if inj != nil {
+			hbOpts = append(hbOpts, fleet.WithHeartbeatClient(fault.Client(inj, nil)))
+			fetchOpts = append(fetchOpts, fleet.WithFetchClient(fault.Client(inj, nil)))
+			peerView = fault.StaleView(inj, "fleet.peers.stale", peerView)
+		}
+		if hb, err = fleet.NewHeartbeat(*join, snapshot, hbOpts...); err != nil {
 			ln.Close()
 			return err
 		}
-		if d != nil {
-			cellCache = cache.WithPeerFill(d, fleet.NewFetcher(id, hb.Peers).Fetch)
+		if cellCache != nil {
+			cellCache = cache.WithPeerFill(cellCache, fleet.NewFetcher(id, peerView, fetchOpts...).Fetch)
 		}
 		fmt.Printf("vexsmtd joining fleet at %s as %s (%s)\n", *join, id, advURL)
 	}

@@ -1,0 +1,32 @@
+package asm
+
+import (
+	"testing"
+
+	"vexsmt/internal/isa"
+)
+
+// FuzzAssemble feeds arbitrary source to the VEX assembler: corrupt
+// programs must come back as *Error values, never as panics, and
+// anything that assembles must survive Disassemble.
+func FuzzAssemble(f *testing.F) {
+	f.Add("c0 mov $r1 = 3\n;;\n")
+	f.Add("# comment only\n")
+	f.Add("loop:\n  c0 add $r1 = $r1, 1\n;;\n  c0 br $b0, loop\n;;\n")
+	f.Add("c0 ldw $r2 = 8[$r1]\n  c0 stw 0[$r2] = $r1\n;;\n")
+	f.Add("c1 send $r1\n  c0 recv $r3\n;;\n")
+	f.Add("c0 cmplt $b7 = $r63, -2147483648\n;;\n")
+	f.Add("c9 bogus $$$ = ,,,\n")
+	f.Add("c0 mov $r1 = 99999999999999999999\n;;\n")
+
+	f.Fuzz(func(t *testing.T, src string) {
+		p, err := Assemble(isa.ST200x4, 0x1000, src)
+		if err != nil {
+			if p != nil {
+				t.Fatal("Assemble returned both a program and an error")
+			}
+			return
+		}
+		Disassemble(p)
+	})
+}

@@ -1,0 +1,87 @@
+package trace_test
+
+import (
+	"bytes"
+	"encoding/binary"
+	"strings"
+	"testing"
+
+	"vexsmt/internal/isa"
+	"vexsmt/internal/synth"
+	"vexsmt/internal/trace"
+)
+
+// validTraceBytes encodes a small two-instruction trace for seeding.
+func validTraceBytes(t testing.TB) []byte {
+	t.Helper()
+	instrs := []synth.TInst{
+		{PC: 0x1000, Size: 12, Taken: true, IsBranch: true},
+		{PC: 0x100c, Size: 8},
+	}
+	instrs[0].Demand.B[0] = isa.BundleDemand{Ops: 3, ALU: 2, Mem: 1, Load: true}
+	instrs[0].MemAddr[0] = 0xdeadbeef
+	instrs[1].Demand.B[1] = isa.BundleDemand{Ops: 2, ALU: 2}
+	var buf bytes.Buffer
+	if err := trace.Write(&buf, "seed", 2, instrs); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// FuzzTraceRead checks the VXT1 decoder against corrupt input: Read
+// must error cleanly (no panic, no allocation sized by an untrusted
+// count), and anything it accepts must re-encode to a canonical fixed
+// point — encode(decode(e)) == e for e already produced by Write.
+func FuzzTraceRead(f *testing.F) {
+	valid := validTraceBytes(f)
+	f.Add(valid)
+	f.Add(valid[:len(valid)-3])              // truncated mid-record
+	f.Add([]byte("VXT0junk"))                // bad magic
+	f.Add(append([]byte(nil), valid[:9]...)) // header only
+	huge := append([]byte(nil), valid...)
+	binary.LittleEndian.PutUint32(huge[10:14], 0xFFFFFFFF) // name "seed": count at offset 10
+	f.Add(huge)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		name, clusters, instrs, err := trace.Read(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		var e1 bytes.Buffer
+		if err := trace.Write(&e1, name, clusters, instrs); err != nil {
+			t.Fatalf("decoded trace failed to re-encode: %v", err)
+		}
+		n2, c2, i2, err := trace.Read(bytes.NewReader(e1.Bytes()))
+		if err != nil {
+			t.Fatalf("re-encoded trace failed to decode: %v", err)
+		}
+		if n2 != name || c2 != clusters || len(i2) != len(instrs) {
+			t.Fatalf("round trip changed shape: %q/%d/%d -> %q/%d/%d",
+				name, clusters, len(instrs), n2, c2, len(i2))
+		}
+		var e2 bytes.Buffer
+		if err := trace.Write(&e2, n2, c2, i2); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(e1.Bytes(), e2.Bytes()) {
+			t.Fatal("encoding is not a fixed point after one decode/encode round")
+		}
+	})
+}
+
+// TestReadHugeCountTruncated pins the untrusted-count fix: a header
+// claiming 4G instructions over an empty body must fail on the first
+// short read, not size a slice to the claim.
+func TestReadHugeCountTruncated(t *testing.T) {
+	var buf bytes.Buffer
+	buf.WriteString("VXT1")
+	buf.WriteByte(1) // clusters
+	buf.WriteByte(0) // name length
+	var cnt [4]byte
+	binary.LittleEndian.PutUint32(cnt[:], 0xFFFFFFFF)
+	buf.Write(cnt[:])
+	_, _, _, err := trace.Read(&buf)
+	if err == nil || !strings.Contains(err.Error(), "instr 0") {
+		t.Fatalf("want a short-read error on instruction 0, got %v", err)
+	}
+}

@@ -147,8 +147,16 @@ func Read(r io.Reader) (name string, clusters int, instrs []synth.TInst, err err
 		return "", 0, nil, err
 	}
 	count := binary.LittleEndian.Uint32(buf[:4])
-	instrs = make([]synth.TInst, count)
-	for i := range instrs {
+	// count is untrusted input: cap the up-front allocation and grow by
+	// appending, so a corrupt header claiming 4G instructions fails on
+	// the first short read instead of sizing a slice to the claim.
+	capHint := int(count)
+	if capHint > 4096 {
+		capHint = 4096
+	}
+	instrs = make([]synth.TInst, 0, capHint)
+	for i := 0; i < int(count); i++ {
+		instrs = append(instrs, synth.TInst{})
 		ti := &instrs[i]
 		if _, err = io.ReadFull(br, buf[:8]); err != nil {
 			return "", 0, nil, fmt.Errorf("trace: instr %d: %w", i, err)

@@ -1,0 +1,48 @@
+package wstore
+
+import (
+	"bytes"
+	"encoding/binary"
+	"testing"
+
+	"vexsmt/internal/isa"
+	"vexsmt/internal/synth"
+	"vexsmt/internal/trace"
+)
+
+// FuzzDecodeVXT runs arbitrary bytes through the .vxt arm of the
+// workload-store decoder (the path every -workload-dir file takes on
+// daemon startup): corrupt files must error, never panic, and accepted
+// traces must be non-empty with an in-range cluster count.
+func FuzzDecodeVXT(f *testing.F) {
+	var seed bytes.Buffer
+	in := synth.TInst{PC: 0x40, Size: 16}
+	in.Demand.B[0] = isa.BundleDemand{Ops: 2, ALU: 1, Mem: 1, Stor: true}
+	in.MemAddr[0] = 0x8000
+	if err := trace.Write(&seed, "w", 1, []synth.TInst{in}); err != nil {
+		f.Fatal(err)
+	}
+	valid := seed.Bytes()
+	f.Add(valid)
+	f.Add(valid[:7]) // truncated header
+	empty := append([]byte(nil), valid...)
+	binary.LittleEndian.PutUint32(empty[7:11], 0) // name "w": count at offset 7
+	f.Add(empty[:11])                             // zero instructions: decodes but must be rejected
+	f.Add([]byte("not a trace at all"))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		tr, err := decode("fuzz", "fuzz.vxt", data)
+		if err != nil {
+			return
+		}
+		if tr.Len() == 0 {
+			t.Fatal("decoder accepted an empty trace")
+		}
+		if tr.Clusters <= 0 || tr.Clusters > isa.MaxClusters {
+			t.Fatalf("decoder accepted cluster count %d", tr.Clusters)
+		}
+		if _, err := tr.NewReplayer(); err != nil {
+			t.Fatalf("accepted trace cannot replay: %v", err)
+		}
+	})
+}

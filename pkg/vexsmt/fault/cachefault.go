@@ -1,0 +1,91 @@
+package fault
+
+import (
+	"vexsmt/pkg/vexsmt"
+)
+
+// corruptPrefix makes a corrupted entry detectably invalid: cache
+// payloads are JSON documents, and no JSON document starts with a NUL,
+// so every consumer's decode-or-miss path rejects the bytes instead of
+// mistaking them for a different valid result. (Flipping bytes inside
+// the payload could produce *valid* JSON with wrong numbers — silent
+// poison the determinism contract exists to forbid.)
+const corruptPrefix = "\x00chaos\x00"
+
+// Cache wraps a vexsmt.CellCache with read/write faults: present
+// entries read as misses or come back corrupted, writes are swallowed
+// (a full disk) or store a torn prefix (a crash between write and
+// rename). All four degrade to extra simulation, never to wrong
+// results: corrupt and torn payloads are detectably invalid (a JSON
+// prefix or NUL-prefixed bytes can never decode), so consumers treat
+// them as misses, and the fleet's peer protocol checksums entries in
+// transit on top.
+//
+// Faults are Soft — a cache fault never consumes a retry budget,
+// because the consumer absorbs it inline — so no MaxPerIdentity cap
+// applies and heavy profiles can grind the cache tier continuously.
+type Cache struct {
+	inner vexsmt.CellCache
+	inj   *Injector
+}
+
+var (
+	_ vexsmt.CellCache  = (*Cache)(nil)
+	_ vexsmt.CacheSizer = (*Cache)(nil)
+)
+
+// NewCache wraps inner with inj's cache faults. A nil injector is a
+// transparent wrapper.
+func NewCache(inj *Injector, inner vexsmt.CellCache) *Cache {
+	return &Cache{inner: inner, inj: inj}
+}
+
+// Local unwraps to the underlying store, so a server exporting its
+// local tier to peers (which unwraps cache.WithPeerFill the same way)
+// can reach through the fault layer deliberately — and a test can
+// inspect what was actually stored.
+func (c *Cache) Local() vexsmt.CellCache { return c.inner }
+
+// Get implements vexsmt.CellCache.
+func (c *Cache) Get(key string) ([]byte, bool) {
+	p := c.inj.Profile()
+	if c.inj.Soft("cache.get.drop", key, p.DropEntry) {
+		return nil, false
+	}
+	v, ok := c.inner.Get(key)
+	if !ok {
+		return nil, false
+	}
+	if c.inj.Soft("cache.get.corrupt", key, p.CorruptEntry) {
+		return append([]byte(corruptPrefix), v...), true
+	}
+	return v, true
+}
+
+// Put implements vexsmt.CellCache.
+func (c *Cache) Put(key string, value []byte) {
+	p := c.inj.Profile()
+	if c.inj.Soft("cache.put.fail", key, p.FailWrite) {
+		return // ENOSPC: the write never lands
+	}
+	if len(value) > 1 && c.inj.Soft("cache.put.tear", key, p.TearWrite) {
+		// A strict prefix of a JSON document is never a JSON document, so
+		// the torn entry reads back as detectably invalid, not as a
+		// different result.
+		c.inner.Put(key, value[:len(value)/2])
+		return
+	}
+	c.inner.Put(key, value)
+}
+
+// Stats implements vexsmt.CellCache, passing through: the faults above
+// are already visible as extra misses/errors in the consumer's counters.
+func (c *Cache) Stats() vexsmt.CacheStats { return c.inner.Stats() }
+
+// CacheSize implements vexsmt.CacheSizer when the inner store does.
+func (c *Cache) CacheSize() vexsmt.CacheSize {
+	if s, ok := c.inner.(vexsmt.CacheSizer); ok {
+		return s.CacheSize()
+	}
+	return vexsmt.CacheSize{}
+}

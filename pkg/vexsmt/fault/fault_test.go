@@ -1,0 +1,247 @@
+package fault
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"vexsmt/pkg/vexsmt/cache"
+)
+
+func TestInjectorSameSeedSameSchedule(t *testing.T) {
+	run := func(seed uint64) []string {
+		in := New(seed, Heavy())
+		for i := 0; i < 50; i++ {
+			in.Hard("http.drop", "POST host /v1/plans aa", 0.3)
+			in.Soft("http.delay", "POST host /v1/plans bb", 0.3)
+		}
+		return in.Schedule()
+	}
+	a, b := run(7), run(7)
+	if len(a) == 0 {
+		t.Fatal("heavy profile at p=0.3 over 100 draws fired nothing")
+	}
+	if strings.Join(a, "\n") != strings.Join(b, "\n") {
+		t.Fatalf("same seed, different schedules:\n%v\n%v", a, b)
+	}
+	if c := run(8); strings.Join(a, "\n") == strings.Join(c, "\n") {
+		t.Fatal("different seeds produced the identical schedule")
+	}
+}
+
+func TestInjectorOrderIndependentAcrossIdentities(t *testing.T) {
+	// Sequential per identity, interleaved across identities: the
+	// schedule must not depend on the interleaving.
+	sequential := New(3, Profile{})
+	for i := 0; i < 20; i++ {
+		sequential.Soft("s", "idA", 0.5)
+	}
+	for i := 0; i < 20; i++ {
+		sequential.Soft("s", "idB", 0.5)
+	}
+	interleaved := New(3, Profile{})
+	for i := 0; i < 20; i++ {
+		interleaved.Soft("s", "idB", 0.5)
+		interleaved.Soft("s", "idA", 0.5)
+	}
+	a, b := sequential.Schedule(), interleaved.Schedule()
+	if strings.Join(a, "\n") != strings.Join(b, "\n") {
+		t.Fatalf("interleaving changed the schedule:\n%v\n%v", a, b)
+	}
+}
+
+func TestInjectorHardBudgetCap(t *testing.T) {
+	in := New(1, Profile{MaxPerIdentity: 2})
+	fired := 0
+	for i := 0; i < 1000; i++ {
+		if in.Hard("site", "one-identity", 1.0) {
+			fired++
+		}
+	}
+	if fired != 2 {
+		t.Fatalf("hard faults at p=1 fired %d times, want cap 2", fired)
+	}
+	// A different identity has its own budget; soft faults have none.
+	if !in.Hard("site", "other-identity", 1.0) {
+		t.Error("fresh identity should not share the exhausted budget")
+	}
+	soft := 0
+	for i := 0; i < 10; i++ {
+		if in.Soft("site", "one-identity", 1.0) {
+			soft++
+		}
+	}
+	if soft != 10 {
+		t.Fatalf("soft faults fired %d/10; the cap must not apply", soft)
+	}
+}
+
+func TestNilInjectorInert(t *testing.T) {
+	var in *Injector
+	if in.Hard("s", "i", 1.0) || in.Soft("s", "i", 1.0) {
+		t.Fatal("nil injector fired")
+	}
+	if in.Schedule() != nil || in.Fired() != 0 {
+		t.Fatal("nil injector has a schedule")
+	}
+}
+
+func TestParseProfile(t *testing.T) {
+	for _, name := range []string{"off", "light", "heavy", ""} {
+		if _, err := ParseProfile(name); err != nil {
+			t.Errorf("ParseProfile(%q): %v", name, err)
+		}
+	}
+	if _, err := ParseProfile("cataclysmic"); err == nil {
+		t.Error("unknown profile accepted")
+	}
+	if Off().Enabled() {
+		t.Error("off profile reports enabled")
+	}
+	if !Light().Enabled() || !Heavy().Enabled() {
+		t.Error("light/heavy profiles report disabled")
+	}
+}
+
+func TestTransportDropAnd5xx(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Write([]byte("ok"))
+	}))
+	defer srv.Close()
+
+	drop := Client(New(1, Profile{DropRequest: 1}), nil)
+	if _, err := drop.Get(srv.URL + "/x"); err == nil ||
+		!strings.Contains(err.Error(), "chaos: connection dropped") {
+		t.Fatalf("drop profile: got err %v, want injected drop", err)
+	}
+
+	fiveXX := Client(New(1, Profile{Error5xx: 1}), nil)
+	resp, err := fiveXX.Get(srv.URL + "/x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("5xx profile: status %d, want 503", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Error("injected 503 carries no Retry-After")
+	}
+}
+
+func TestTransportTearsStream(t *testing.T) {
+	payload := strings.Repeat(`{"cell":"x"}`+"\n", 200) // ~2.6 KB of NDJSON
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		io.WriteString(w, payload)
+	}))
+	defer srv.Close()
+
+	torn := Client(New(1, Profile{TearStream: 1}), nil)
+	resp, err := torn.Get(srv.URL + "/stream")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err == nil || !strings.Contains(err.Error(), "chaos: stream torn") {
+		t.Fatalf("read %d bytes, err %v; want a torn-stream error", len(b), err)
+	}
+	if len(b) >= len(payload) {
+		t.Fatalf("tear delivered the whole %d-byte payload", len(b))
+	}
+}
+
+func TestTransportSwallowsHeartbeat(t *testing.T) {
+	reached := false
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		reached = true
+	}))
+	defer srv.Close()
+
+	c := Client(New(1, Profile{SwallowHeartbeat: 1}), nil)
+	_, err := c.Post(srv.URL+"/v1/fleet/register", "application/json", strings.NewReader("{}"))
+	if err == nil || !strings.Contains(err.Error(), "heartbeat swallowed") {
+		t.Fatalf("got err %v, want swallowed heartbeat", err)
+	}
+	if reached {
+		t.Error("swallowed heartbeat reached the registry")
+	}
+	// Non-heartbeat traffic through the same profile passes.
+	if _, err := c.Get(srv.URL + "/healthz"); err != nil {
+		t.Fatalf("non-heartbeat request failed: %v", err)
+	}
+}
+
+func TestCacheFaultsAreDetectable(t *testing.T) {
+	entry, err := json.Marshal(map[string]any{"ipc": 1.25, "cycles": 10000})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Corrupt reads and torn writes must yield bytes that fail a JSON
+	// decode — the consumers' degrade-to-miss trigger.
+	corrupt := NewCache(New(1, Profile{CorruptEntry: 1}), cache.NewMemory(16))
+	corrupt.Put("k", entry)
+	got, ok := corrupt.Get("k")
+	if !ok {
+		t.Fatal("corrupting profile dropped the entry instead")
+	}
+	var v map[string]any
+	if json.Unmarshal(got, &v) == nil {
+		t.Fatalf("corrupted entry %q still decodes", got)
+	}
+
+	tear := NewCache(New(1, Profile{TearWrite: 1}), cache.NewMemory(16))
+	tear.Put("k", entry)
+	got, ok = tear.Local().Get("k")
+	if !ok {
+		t.Fatal("torn write stored nothing; want a torn prefix")
+	}
+	if len(got) >= len(entry) {
+		t.Fatal("torn write stored the full payload")
+	}
+	if json.Unmarshal(got, &v) == nil {
+		t.Fatalf("torn entry %q still decodes", got)
+	}
+
+	drop := NewCache(New(1, Profile{DropEntry: 1}), cache.NewMemory(16))
+	drop.Put("k", entry)
+	if _, ok := drop.Get("k"); ok {
+		t.Fatal("dropping profile served the entry")
+	}
+	if _, ok := drop.Local().Get("k"); !ok {
+		t.Fatal("drop-entry fault erased the stored entry; it must only hide it")
+	}
+
+	enospc := NewCache(New(1, Profile{FailWrite: 1}), cache.NewMemory(16))
+	enospc.Put("k", entry)
+	if _, ok := enospc.Local().Get("k"); ok {
+		t.Fatal("failed write landed anyway")
+	}
+}
+
+func TestStaleView(t *testing.T) {
+	n := 0
+	fresh := func() int { n++; return n }
+
+	always := StaleView(New(1, Profile{StalePeers: 1}), "fleet.peers.stale", fresh)
+	if got := always(); got != 1 {
+		t.Fatalf("first read = %d, want fresh 1", got)
+	}
+	for i := 0; i < 5; i++ {
+		if got := always(); got != 1 {
+			t.Fatalf("stale read = %d, want remembered 1", got)
+		}
+	}
+
+	n = 0
+	never := StaleView(New(1, Profile{}), "fleet.peers.stale", fresh)
+	for want := 1; want <= 5; want++ {
+		if got := never(); got != want {
+			t.Fatalf("inert view read = %d, want fresh %d", got, want)
+		}
+	}
+}

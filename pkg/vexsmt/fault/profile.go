@@ -1,0 +1,117 @@
+package fault
+
+import (
+	"fmt"
+	"time"
+)
+
+// Profile is a fault schedule's intensity: per-site firing
+// probabilities plus the magnitudes of the faults that have one. The
+// zero value fires nothing.
+//
+// Probabilities are per occurrence — each request, cache access or
+// view read draws independently from its (site, identity) stream — so
+// a probability of 0.2 means roughly every fifth occurrence faults,
+// capped for hard faults by MaxPerIdentity.
+type Profile struct {
+	// Name is the preset the profile came from ("" for hand-built).
+	Name string
+
+	// MaxPerIdentity caps the hard (retry-budget-consuming) faults that
+	// may fire against one identity across all sites. Callers whose
+	// retry budget allows at least this many extra attempts are
+	// guaranteed to complete. 0 means uncapped — only sensible in tests
+	// that want raw fault streams.
+	MaxPerIdentity int
+
+	// Transport faults (fault.Transport).
+	DropRequest  float64       // request errors before reaching the wire
+	DelayRequest float64       // request is held for RequestDelay first
+	RequestDelay time.Duration // magnitude of DelayRequest
+	Error5xx     float64       // a synthesized 503 replaces the response
+	TearStream   float64       // the response body is cut off mid-read
+
+	// Cache faults (fault.Cache).
+	DropEntry    float64 // a present entry reads as a miss
+	CorruptEntry float64 // a read entry comes back detectably corrupted
+	FailWrite    float64 // a write is swallowed (simulated ENOSPC)
+	TearWrite    float64 // a write stores a torn prefix of the payload
+
+	// Fleet faults (path-classified in Transport, plus StaleView).
+	SwallowHeartbeat float64       // a register/heartbeat POST is dropped
+	StalePeers       float64       // a view read returns the previous snapshot
+	SlowPeerFill     float64       // a peer cache GET is held for PeerFillDelay
+	PeerFillDelay    time.Duration // magnitude of SlowPeerFill
+}
+
+// Enabled reports whether any fault can fire.
+func (p Profile) Enabled() bool {
+	return p.DropRequest > 0 || p.DelayRequest > 0 || p.Error5xx > 0 ||
+		p.TearStream > 0 || p.DropEntry > 0 || p.CorruptEntry > 0 ||
+		p.FailWrite > 0 || p.TearWrite > 0 || p.SwallowHeartbeat > 0 ||
+		p.StalePeers > 0 || p.SlowPeerFill > 0
+}
+
+// Off is the inert profile.
+func Off() Profile { return Profile{Name: "off"} }
+
+// Light faults rarely — a smoke level that exercises every degradation
+// path over a long run without dominating it.
+func Light() Profile {
+	return Profile{
+		Name:           "light",
+		MaxPerIdentity: 1,
+		DropRequest:    0.02,
+		DelayRequest:   0.05,
+		RequestDelay:   20 * time.Millisecond,
+		Error5xx:       0.02,
+		TearStream:     0.02,
+		DropEntry:      0.05,
+		CorruptEntry:   0.05,
+		FailWrite:      0.05,
+		TearWrite:      0.05,
+
+		SwallowHeartbeat: 0.05,
+		StalePeers:       0.05,
+		SlowPeerFill:     0.05,
+		PeerFillDelay:    20 * time.Millisecond,
+	}
+}
+
+// Heavy faults aggressively — the chaos-suite level. Hard transport
+// faults are capped at 2 per identity, so any retry budget of 2+ extra
+// attempts per cell still completes every sweep.
+func Heavy() Profile {
+	return Profile{
+		Name:           "heavy",
+		MaxPerIdentity: 2,
+		DropRequest:    0.15,
+		DelayRequest:   0.25,
+		RequestDelay:   30 * time.Millisecond,
+		Error5xx:       0.15,
+		TearStream:     0.10,
+		DropEntry:      0.20,
+		CorruptEntry:   0.20,
+		FailWrite:      0.20,
+		TearWrite:      0.20,
+
+		SwallowHeartbeat: 0.25,
+		StalePeers:       0.25,
+		SlowPeerFill:     0.25,
+		PeerFillDelay:    50 * time.Millisecond,
+	}
+}
+
+// ParseProfile maps a -chaos-profile flag value to its preset.
+func ParseProfile(name string) (Profile, error) {
+	switch name {
+	case "", "off":
+		return Off(), nil
+	case "light":
+		return Light(), nil
+	case "heavy":
+		return Heavy(), nil
+	default:
+		return Profile{}, fmt.Errorf("fault: profile %q: want off, light or heavy", name)
+	}
+}

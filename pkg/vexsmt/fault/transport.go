@@ -1,0 +1,166 @@
+package fault
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+)
+
+// Transport is the HTTP fault seam: an http.RoundTripper that, per
+// request, may delay it, drop it before the wire, replace the response
+// with a synthesized 503, or tear the response body mid-read. Fleet
+// traffic is classified by path — register/heartbeat POSTs can be
+// swallowed and peer cache GETs slowed — so one wrapped client
+// exercises every fleet degradation path.
+//
+// A request's identity is "METHOD host path" (query stripped — plan
+// ids are per-submission and would give every retry a fresh fault
+// budget) plus a digest of the body when the request can replay it,
+// so each distinct cell submission draws from its own fault stream
+// while its own retries share one.
+type Transport struct {
+	inj  *Injector
+	next http.RoundTripper
+}
+
+// NewTransport wraps next (nil means http.DefaultTransport) with inj's
+// faults. A nil injector passes everything through untouched.
+func NewTransport(inj *Injector, next http.RoundTripper) *Transport {
+	if next == nil {
+		next = http.DefaultTransport
+	}
+	return &Transport{inj: inj, next: next}
+}
+
+// Client returns a copy of base (nil means http.DefaultClient) whose
+// transport is wrapped with inj's faults.
+func Client(inj *Injector, base *http.Client) *http.Client {
+	if base == nil {
+		base = http.DefaultClient
+	}
+	c := *base
+	c.Transport = NewTransport(inj, base.Transport)
+	return &c
+}
+
+// fleetPath classifies the fleet seams Transport handles specially.
+func fleetPath(req *http.Request) (heartbeat, peerFill bool) {
+	p := req.URL.Path
+	heartbeat = req.Method == http.MethodPost && p == "/v1/fleet/register"
+	peerFill = req.Method == http.MethodGet && strings.HasPrefix(p, "/v1/cache/")
+	return
+}
+
+// identity names the fault stream a request draws from.
+func (t *Transport) identity(req *http.Request) string {
+	id := req.Method + " " + req.URL.Host + " " + req.URL.Path
+	// Fleet bodies change every beat (uptime, load), which would hand
+	// each heartbeat a fresh identity; the path is the identity there.
+	if req.GetBody != nil && !strings.HasPrefix(req.URL.Path, "/v1/fleet/") {
+		if body, err := req.GetBody(); err == nil {
+			b, err := io.ReadAll(body)
+			body.Close()
+			if err == nil {
+				sum := sha256.Sum256(b)
+				id += " " + hex.EncodeToString(sum[:6])
+			}
+		}
+	}
+	return id
+}
+
+// RoundTrip implements http.RoundTripper.
+func (t *Transport) RoundTrip(req *http.Request) (*http.Response, error) {
+	p := t.inj.Profile()
+	id := t.identity(req)
+	heartbeat, peerFill := fleetPath(req)
+
+	if heartbeat && t.inj.Soft("fleet.heartbeat.swallow", id, p.SwallowHeartbeat) {
+		return nil, fmt.Errorf("chaos: heartbeat swallowed (%s)", id)
+	}
+	if t.inj.Soft("http.delay", id, p.DelayRequest) {
+		if err := sleep(req, p.RequestDelay); err != nil {
+			return nil, err
+		}
+	}
+	if peerFill && t.inj.Soft("fleet.peerfill.slow", id, p.SlowPeerFill) {
+		if err := sleep(req, p.PeerFillDelay); err != nil {
+			return nil, err
+		}
+	}
+	if t.inj.Hard("http.drop", id, p.DropRequest) {
+		return nil, fmt.Errorf("chaos: connection dropped (%s)", id)
+	}
+	if t.inj.Hard("http.5xx", id, p.Error5xx) {
+		// Synthesized before the wire: the daemon never sees the request,
+		// exactly like a proxy or kernel shedding it.
+		return &http.Response{
+			Status:     "503 Service Unavailable (chaos)",
+			StatusCode: http.StatusServiceUnavailable,
+			Proto:      req.Proto,
+			ProtoMajor: req.ProtoMajor,
+			ProtoMinor: req.ProtoMinor,
+			Header:     http.Header{"Retry-After": []string{"1"}},
+			Body:       io.NopCloser(strings.NewReader("chaos: injected 503\n")),
+			Request:    req,
+		}, nil
+	}
+
+	resp, err := t.next.RoundTrip(req)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode < 400 && resp.Body != nil &&
+		t.inj.Hard("http.tear", id, p.TearStream) {
+		// The cut offset comes from the same stream as the decision, so a
+		// replayed schedule tears at the same byte. 16..527 lands inside
+		// the first NDJSON lines of a results stream.
+		n := in16to527(t.inj.Draw("http.tear.at", id, 1))
+		resp.Body = &tornBody{inner: resp.Body, remaining: n, id: id}
+	}
+	return resp, nil
+}
+
+func in16to527(draw uint64) int64 { return 16 + int64(draw%512) }
+
+// sleep holds the request for d, honoring its context.
+func sleep(req *http.Request, d time.Duration) error {
+	if d <= 0 {
+		return nil
+	}
+	select {
+	case <-req.Context().Done():
+		return req.Context().Err()
+	case <-time.After(d):
+		return nil
+	}
+}
+
+// tornBody delivers at most remaining bytes, then fails the read — a
+// connection cut mid-stream, as seen by the decoder.
+type tornBody struct {
+	inner     io.ReadCloser
+	remaining int64
+	id        string
+}
+
+func (b *tornBody) Read(p []byte) (int, error) {
+	if b.remaining <= 0 {
+		return 0, fmt.Errorf("chaos: stream torn (%s)", b.id)
+	}
+	if int64(len(p)) > b.remaining {
+		p = p[:b.remaining]
+	}
+	n, err := b.inner.Read(p)
+	b.remaining -= int64(n)
+	if err == nil && b.remaining <= 0 {
+		err = fmt.Errorf("chaos: stream torn (%s)", b.id)
+	}
+	return n, err
+}
+
+func (b *tornBody) Close() error { return b.inner.Close() }

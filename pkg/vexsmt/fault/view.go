@@ -1,0 +1,32 @@
+package fault
+
+import "sync"
+
+// StaleView wraps a snapshot function (a fleet peer view, a registry
+// member lookup) so that some reads return the previous snapshot
+// instead of the current one — the distributed-systems classic of
+// acting on a membership list that is one update behind. The first
+// read is always served fresh (there is nothing stale to serve), and a
+// stale read does not advance the remembered snapshot, so consecutive
+// stale reads observe the same past.
+//
+// Staleness is Soft: every consumer of a peer view already tolerates
+// lag (members may die between any read and use), so a stale view can
+// only send traffic somewhere unproductive, never wedge a run.
+func StaleView[T any](inj *Injector, site string, fn func() T) func() T {
+	var (
+		mu   sync.Mutex
+		prev T
+		has  bool
+	)
+	return func() T {
+		cur := fn()
+		mu.Lock()
+		defer mu.Unlock()
+		if has && inj.Soft(site, "view", inj.Profile().StalePeers) {
+			return prev
+		}
+		prev, has = cur, true
+		return cur
+	}
+}

@@ -11,6 +11,8 @@ import (
 	"strings"
 	"sync"
 	"time"
+
+	"vexsmt/pkg/vexsmt/resilience"
 )
 
 // Heartbeat keeps one daemon registered: it POSTs a fresh self-snapshot
@@ -23,6 +25,7 @@ type Heartbeat struct {
 	registry string
 	client   *http.Client
 	snapshot func() Member
+	policy   resilience.Policy
 
 	mu       sync.Mutex
 	interval time.Duration
@@ -37,6 +40,13 @@ type HeartbeatOption func(*Heartbeat)
 // request.
 func WithHeartbeatClient(c *http.Client) HeartbeatOption {
 	return func(h *Heartbeat) { h.client = c }
+}
+
+// WithHeartbeatPolicy substitutes the resilience policy bounding each
+// registration round-trip (the policy's AttemptTimeout, layered onto
+// the beat's context). The default is resilience.Default (5s).
+func WithHeartbeatPolicy(p resilience.Policy) HeartbeatOption {
+	return func(h *Heartbeat) { h.policy = p }
 }
 
 // NewHeartbeat builds a heartbeat against the registry at registryURL.
@@ -54,6 +64,7 @@ func NewHeartbeat(registryURL string, snapshot func() Member, opts ...HeartbeatO
 		registry: strings.TrimRight(registryURL, "/"),
 		client:   http.DefaultClient,
 		snapshot: snapshot,
+		policy:   resilience.Default(),
 		interval: DefaultHeartbeatInterval,
 	}
 	for _, o := range opts {
@@ -70,7 +81,7 @@ func (h *Heartbeat) Beat(ctx context.Context) error {
 	if err != nil {
 		return h.setErr(err)
 	}
-	ctx, cancel := context.WithTimeout(ctx, 5*time.Second)
+	ctx, cancel := h.policy.AttemptContext(ctx)
 	defer cancel()
 	req, err := http.NewRequestWithContext(ctx, http.MethodPost,
 		h.registry+"/v1/fleet/register", bytes.NewReader(body))

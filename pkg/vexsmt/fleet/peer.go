@@ -9,12 +9,9 @@ import (
 	"sort"
 	"strings"
 	"time"
-)
 
-// defaultPeerTimeout bounds one peer's GET /v1/cache round-trip: cache
-// entries are a few hundred bytes, so a peer that cannot answer in a
-// second is slower than simulating locally.
-const defaultPeerTimeout = time.Second
+	"vexsmt/pkg/vexsmt/resilience"
+)
 
 // maxPeerEntry bounds a peer cache response; real entries are a few
 // hundred bytes, so anything near the cap is a protocol violation.
@@ -31,10 +28,10 @@ const maxPeerEntry = 1 << 20
 // verified against its X-Vexsmt-Sha256 digest — a torn transfer is a
 // peer miss, never a poisoned cache entry.
 type Fetcher struct {
-	selfID  string
-	peers   func() []Member
-	client  *http.Client
-	timeout time.Duration
+	selfID string
+	peers  func() []Member
+	client *http.Client
+	policy resilience.Policy
 }
 
 // FetcherOption configures a Fetcher.
@@ -45,14 +42,23 @@ func WithFetchClient(c *http.Client) FetcherOption {
 	return func(f *Fetcher) { f.client = c }
 }
 
+// WithFetchPolicy substitutes the per-peer resilience policy. Only the
+// policy's AttemptTimeout participates — a peer fill is never retried
+// (the next peer, or the simulator, is the retry) — and it layers onto
+// the caller's context, never overriding an earlier deadline. The
+// default is resilience.PeerFill (1s per peer).
+func WithFetchPolicy(p resilience.Policy) FetcherOption {
+	return func(f *Fetcher) { f.policy = p }
+}
+
 // WithFetchTimeout bounds each peer's round-trip; non-positive restores
-// the default (1s).
+// the default. Retained for older call sites — it is shorthand for
+// WithFetchPolicy with the timeout swapped in.
 func WithFetchTimeout(d time.Duration) FetcherOption {
 	return func(f *Fetcher) {
+		f.policy = resilience.PeerFill()
 		if d > 0 {
-			f.timeout = d
-		} else {
-			f.timeout = defaultPeerTimeout
+			f.policy.AttemptTimeout = d
 		}
 	}
 }
@@ -62,10 +68,10 @@ func WithFetchTimeout(d time.Duration) FetcherOption {
 // Registry-backed closure on a coordinator).
 func NewFetcher(selfID string, peers func() []Member, opts ...FetcherOption) *Fetcher {
 	f := &Fetcher{
-		selfID:  selfID,
-		peers:   peers,
-		client:  http.DefaultClient,
-		timeout: defaultPeerTimeout,
+		selfID: selfID,
+		peers:  peers,
+		client: http.DefaultClient,
+		policy: resilience.PeerFill(),
 	}
 	for _, o := range opts {
 		o(f)
@@ -73,29 +79,41 @@ func NewFetcher(selfID string, peers func() []Member, opts ...FetcherOption) *Fe
 	return f
 }
 
-// Fetch implements the cache.WithPeerFill hook: try each peer's
-// /v1/cache/{key} and return the first verified entry. Any failure —
-// unreachable peer, miss, checksum mismatch — moves on to the next peer;
-// exhausting them is a peer miss and the caller simulates.
+// Fetch implements the cache.WithPeerFill hook (which carries no
+// context); it is FetchContext under context.Background.
 func (f *Fetcher) Fetch(key string) ([]byte, bool) {
+	return f.FetchContext(context.Background(), key)
+}
+
+// FetchContext tries each peer's /v1/cache/{key} and returns the first
+// verified entry. Any failure — unreachable peer, miss, checksum
+// mismatch — moves on to the next peer; exhausting them is a peer miss
+// and the caller simulates. Each peer's round-trip is bounded by the
+// fetch policy's attempt budget layered onto ctx — a caller whose
+// deadline is nearer than the policy's is respected, not overridden —
+// and a ctx already done stops the peer walk entirely.
+func (f *Fetcher) FetchContext(ctx context.Context, key string) ([]byte, bool) {
 	if f.peers == nil || key == "" || strings.ContainsAny(key, "/\\") {
 		return nil, false
 	}
 	peers := append([]Member(nil), f.peers()...)
 	sort.Slice(peers, func(i, j int) bool { return peers[i].ID < peers[j].ID })
 	for _, p := range peers {
+		if ctx.Err() != nil {
+			return nil, false
+		}
 		if p.ID == f.selfID || !p.CacheEnabled {
 			continue
 		}
-		if payload, ok := f.fetchOne(p, key); ok {
+		if payload, ok := f.fetchOne(ctx, p, key); ok {
 			return payload, true
 		}
 	}
 	return nil, false
 }
 
-func (f *Fetcher) fetchOne(p Member, key string) ([]byte, bool) {
-	ctx, cancel := context.WithTimeout(context.Background(), f.timeout)
+func (f *Fetcher) fetchOne(ctx context.Context, p Member, key string) ([]byte, bool) {
+	ctx, cancel := f.policy.AttemptContext(ctx)
 	defer cancel()
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet,
 		strings.TrimRight(p.URL, "/")+"/v1/cache/"+key, nil)

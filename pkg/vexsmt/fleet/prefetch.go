@@ -9,9 +9,9 @@ import (
 	"net/http"
 	"sort"
 	"strings"
-	"time"
 
 	"vexsmt/pkg/vexsmt"
+	"vexsmt/pkg/vexsmt/resilience"
 )
 
 // Assignment is one member's share of a prefetch: the cells it is asked
@@ -88,7 +88,7 @@ func pushOne(ctx context.Context, client *http.Client, a Assignment, scale int64
 	if err != nil {
 		return err
 	}
-	ctx, cancel := context.WithTimeout(ctx, 5*time.Second)
+	ctx, cancel := resilience.Default().AttemptContext(ctx)
 	defer cancel()
 	req, err := http.NewRequestWithContext(ctx, http.MethodPost,
 		strings.TrimRight(a.Member.URL, "/")+"/v1/prefetch", bytes.NewReader(body))

@@ -8,19 +8,20 @@ import (
 	"net/http"
 	"net/url"
 	"strings"
-	"time"
 
+	"vexsmt/pkg/vexsmt/resilience"
 	"vexsmt/pkg/vexsmt/shard"
 )
 
-// membersToBackends maps live members to HTTP shard backends. A member
-// whose advertised URL does not parse is skipped (it could never have
-// registered with one, but the registry is not the only possible
-// producer of a Member list).
-func membersToBackends(members []Member) []shard.Backend {
+// membersToBackends maps live members to HTTP shard backends, passing
+// opts (e.g. shard.WithClient for a custom or fault-injecting
+// transport) to every backend. A member whose advertised URL does not
+// parse is skipped (it could never have registered with one, but the
+// registry is not the only possible producer of a Member list).
+func membersToBackends(members []Member, opts ...shard.HTTPOption) []shard.Backend {
 	out := make([]shard.Backend, 0, len(members))
 	for _, m := range members {
-		b, err := shard.NewHTTP(m.URL)
+		b, err := shard.NewHTTP(m.URL, opts...)
 		if err != nil {
 			continue
 		}
@@ -63,13 +64,16 @@ func NewHTTPSource(registryURL string, client *http.Client) (*HTTPSource, error)
 	return &HTTPSource{base: strings.TrimRight(registryURL, "/"), client: client}, nil
 }
 
-// Backends implements shard.Source.
+// Backends implements shard.Source. The source's own client (transport
+// included) carries over to every backend it yields, so a sweep whose
+// registry lookups go through a custom transport — a proxy, a fault
+// injector — submits its cells through the same one.
 func (s *HTTPSource) Backends(ctx context.Context) ([]shard.Backend, error) {
 	members, err := FetchMembers(ctx, s.client, s.base)
 	if err != nil {
 		return nil, err
 	}
-	return membersToBackends(members), nil
+	return membersToBackends(members, shard.WithClient(s.client)), nil
 }
 
 // FetchMembers GETs a registry's live member list — shared by HTTPSource
@@ -78,7 +82,7 @@ func FetchMembers(ctx context.Context, client *http.Client, registryURL string) 
 	if client == nil {
 		client = http.DefaultClient
 	}
-	ctx, cancel := context.WithTimeout(ctx, 5*time.Second)
+	ctx, cancel := resilience.Default().AttemptContext(ctx)
 	defer cancel()
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet,
 		strings.TrimRight(registryURL, "/")+"/v1/fleet/members", nil)

@@ -1,0 +1,232 @@
+// Package resilience is the single home of the repo's failure-handling
+// knobs. Before it existed they were scattered and hardcoded: the cell
+// scheduler grew its own 250ms-doubling backoff and 3-failure circuit
+// breaker, the shard coordinator pinned health probes at 3s, the fleet
+// peer fetcher overrode every caller with a fixed 1s timeout built on
+// context.Background(), and several fleet HTTP paths picked their own 5s
+// deadlines. A Policy gathers those decisions into one value that the
+// distributed layers (sched, shard, fleet, server, the CLIs) share, so a
+// deployment tunes failure behavior in one place and the layers cannot
+// drift apart.
+//
+// Two properties are deliberate:
+//
+//   - Backoff jitter is deterministic. Randomized jitter would make a
+//     failing run's timing — and therefore its interleaving — different
+//     on every attempt, which is poison for reproducing a field failure.
+//     Jitter here derives from rng.DeriveSeed over (seed, site, attempt),
+//     so two runs of the same schedule jitter identically while distinct
+//     sites still decorrelate (no thundering herd of synchronized
+//     retries).
+//
+//   - Per-attempt deadlines never extend a caller's budget.
+//     AttemptContext layers the policy's attempt timeout onto the
+//     caller's context with context.WithTimeout, whose semantics are
+//     "whichever deadline is earlier wins" — a caller that gave the whole
+//     operation 500ms cannot be held for the policy's 2s by a lower
+//     layer.
+package resilience
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"vexsmt/internal/rng"
+)
+
+// RetryAfterHint is the machine-readable backoff hint (in seconds) that
+// load-shedding 503 responses carry in their Retry-After header. Clients
+// treat a 503+Retry-After as "place elsewhere, come back in a beat", and
+// the scheduler's backoff (see Policy.Backoff) spaces the comeback.
+const RetryAfterHint = 1
+
+// Policy is one layer's failure-handling contract: how often to retry,
+// how long to wait between attempts, how much wall-clock each attempt may
+// spend, and when to stop trusting a backend entirely. The zero value is
+// not valid; start from Default (or a sibling preset) and override.
+type Policy struct {
+	// MaxAttempts is the total number of tries an operation gets (first
+	// attempt included). Retry loops driven by Do stop after this many.
+	MaxAttempts int
+
+	// BaseBackoff is the wait after the first failure; each further
+	// consecutive failure doubles it, capped at MaxBackoff.
+	BaseBackoff time.Duration
+
+	// MaxBackoff caps the exponential growth.
+	MaxBackoff time.Duration
+
+	// JitterFrac spreads each backoff by ±(JitterFrac × backoff),
+	// deterministically (see Backoff). 0 disables jitter; 0.25 means a
+	// 1s backoff lands anywhere in [750ms, 1250ms].
+	JitterFrac float64
+
+	// AttemptTimeout bounds one attempt's wall clock via AttemptContext.
+	// 0 means the attempt runs on the caller's deadline alone.
+	AttemptTimeout time.Duration
+
+	// BreakerThreshold is how many consecutive failures take a backend
+	// out of rotation (while an alternative exists). 0 selects the
+	// default.
+	BreakerThreshold int
+
+	// Seed feeds the deterministic jitter stream. Two policies with equal
+	// seeds jitter identically; reproducing a field failure means reusing
+	// its seed.
+	Seed uint64
+}
+
+// Default is the general-purpose policy: 3 attempts, 250ms doubling to a
+// 2s cap with ±25% deterministic jitter, 5s per attempt, and a 3-failure
+// circuit breaker. These are exactly the values the scheduler and fleet
+// layers hardcoded before this package existed, so adopting the policy
+// changed no behavior.
+func Default() Policy {
+	return Policy{
+		MaxAttempts:      3,
+		BaseBackoff:      250 * time.Millisecond,
+		MaxBackoff:       2 * time.Second,
+		JitterFrac:       0.25,
+		AttemptTimeout:   5 * time.Second,
+		BreakerThreshold: 3,
+	}
+}
+
+// PeerFill is the policy for fleet cache peer fills: entries are a few
+// hundred bytes, so a peer that cannot answer in a second is slower than
+// simulating locally — and a peer fill is never retried (the next peer,
+// or the simulator, is the retry).
+func PeerFill() Policy {
+	p := Default()
+	p.MaxAttempts = 1
+	p.AttemptTimeout = time.Second
+	return p
+}
+
+// Probe is the policy for health probes: a placement signal, not work —
+// a backend that cannot answer in 2s is left out of the round rather
+// than allowed to stall it.
+func Probe() Policy {
+	p := Default()
+	p.MaxAttempts = 1
+	p.AttemptTimeout = 2 * time.Second
+	return p
+}
+
+// Validate reports a policy that cannot drive a retry loop.
+func (p Policy) Validate() error {
+	if p.MaxAttempts < 1 {
+		return fmt.Errorf("resilience: MaxAttempts %d < 1", p.MaxAttempts)
+	}
+	if p.BaseBackoff < 0 || p.MaxBackoff < 0 {
+		return fmt.Errorf("resilience: negative backoff (base %s, max %s)", p.BaseBackoff, p.MaxBackoff)
+	}
+	if p.JitterFrac < 0 || p.JitterFrac >= 1 {
+		return fmt.Errorf("resilience: JitterFrac %g outside [0,1)", p.JitterFrac)
+	}
+	return nil
+}
+
+// orDefault fills zero fields from Default so a partially-specified
+// policy (or the zero value reaching a layer that tolerates it) still
+// behaves.
+func (p Policy) orDefault() Policy {
+	d := Default()
+	if p.MaxAttempts < 1 {
+		p.MaxAttempts = d.MaxAttempts
+	}
+	if p.BaseBackoff <= 0 {
+		p.BaseBackoff = d.BaseBackoff
+	}
+	if p.MaxBackoff <= 0 {
+		p.MaxBackoff = d.MaxBackoff
+	}
+	if p.BreakerThreshold < 1 {
+		p.BreakerThreshold = d.BreakerThreshold
+	}
+	return p
+}
+
+// Breaker returns the consecutive-failure threshold past which a backend
+// leaves rotation, defaulting zero to Default's.
+func (p Policy) Breaker() int { return p.orDefault().BreakerThreshold }
+
+// Backoff returns the wait after the n-th consecutive failure (n ≥ 1) at
+// the given site: BaseBackoff doubling per failure, capped at MaxBackoff,
+// spread by ±JitterFrac deterministically. The jitter is a pure function
+// of (Seed, site, n) — same policy, same site, same failure count, same
+// wait — so a chaos run's timing replays exactly, while distinct sites
+// (or distinct attempt counts) decorrelate instead of retrying in
+// lockstep.
+func (p Policy) Backoff(site string, n int) time.Duration {
+	p = p.orDefault()
+	if n < 1 {
+		n = 1
+	}
+	d := p.BaseBackoff
+	// Shift with an overflow guard: past the cap the exact power is moot.
+	for i := 1; i < n && d < p.MaxBackoff; i++ {
+		d <<= 1
+	}
+	if d > p.MaxBackoff {
+		d = p.MaxBackoff
+	}
+	if p.JitterFrac > 0 {
+		// Uniform in [-1, 1) from the per-(site, attempt) seed stream.
+		u := unit(rng.DeriveSeed(p.Seed, rng.StringToken("backoff"), rng.StringToken(site), uint64(n)))
+		d += time.Duration(float64(d) * p.JitterFrac * (2*u - 1))
+		if d < 0 {
+			d = 0
+		}
+	}
+	return d
+}
+
+// AttemptContext bounds one attempt: the returned context carries the
+// policy's AttemptTimeout layered on ctx, which can only shorten —
+// never extend — a deadline ctx already has. With AttemptTimeout 0 the
+// caller's context is returned as-is (with a no-op cancel), so callers
+// can defer cancel() unconditionally.
+func (p Policy) AttemptContext(ctx context.Context) (context.Context, context.CancelFunc) {
+	if p.AttemptTimeout <= 0 {
+		return ctx, func() {}
+	}
+	return context.WithTimeout(ctx, p.AttemptTimeout)
+}
+
+// Do runs op under the policy's retry loop: up to MaxAttempts tries, each
+// bounded by AttemptContext, with Backoff(site, n) between consecutive
+// failures. It returns nil on the first success, the last error once the
+// budget is spent, and ctx's error as soon as the caller's context fires
+// (backoff waits watch it too).
+func (p Policy) Do(ctx context.Context, site string, op func(ctx context.Context) error) error {
+	p = p.orDefault()
+	var last error
+	for n := 1; n <= p.MaxAttempts; n++ {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		actx, cancel := p.AttemptContext(ctx)
+		err := op(actx)
+		cancel()
+		if err == nil {
+			return nil
+		}
+		last = err
+		if n == p.MaxAttempts {
+			break
+		}
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-time.After(p.Backoff(site, n)):
+		}
+	}
+	return last
+}
+
+// unit maps a 64-bit draw to [0, 1) with 53-bit precision.
+func unit(h uint64) float64 {
+	return float64(h>>11) / (1 << 53)
+}

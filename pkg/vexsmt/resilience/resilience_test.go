@@ -1,0 +1,180 @@
+package resilience
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+)
+
+func TestBackoffCappedExponential(t *testing.T) {
+	p := Default()
+	p.JitterFrac = 0 // isolate the exponential shape
+	want := []time.Duration{
+		250 * time.Millisecond,
+		500 * time.Millisecond,
+		time.Second,
+		2 * time.Second,
+		2 * time.Second, // capped
+	}
+	for i, w := range want {
+		if got := p.Backoff("site", i+1); got != w {
+			t.Errorf("Backoff(site, %d) = %s, want %s", i+1, got, w)
+		}
+	}
+	if got := p.Backoff("site", 0); got != 250*time.Millisecond {
+		t.Errorf("Backoff(site, 0) = %s, want first-failure wait", got)
+	}
+}
+
+func TestBackoffJitterDeterministicAndBounded(t *testing.T) {
+	p := Default()
+	p.Seed = 42
+	for n := 1; n <= 6; n++ {
+		a := p.Backoff("shard", n)
+		b := p.Backoff("shard", n)
+		if a != b {
+			t.Fatalf("attempt %d: jitter not deterministic: %s vs %s", n, a, b)
+		}
+		base := Default()
+		base.JitterFrac = 0
+		center := base.Backoff("shard", n)
+		lo := center - time.Duration(float64(center)*p.JitterFrac)
+		hi := center + time.Duration(float64(center)*p.JitterFrac)
+		if a < lo || a > hi {
+			t.Errorf("attempt %d: backoff %s outside [%s, %s]", n, a, lo, hi)
+		}
+	}
+	// Distinct sites (and distinct seeds) must decorrelate: at least one
+	// attempt count jitters differently.
+	q := p
+	q.Seed = 43
+	same := 0
+	for n := 1; n <= 6; n++ {
+		if p.Backoff("a", n) == p.Backoff("b", n) {
+			same++
+		}
+		if p.Backoff("a", n) == q.Backoff("a", n) {
+			same++
+		}
+	}
+	if same == 12 {
+		t.Error("jitter identical across sites and seeds; stream not decorrelating")
+	}
+}
+
+func TestAttemptContextNeverExtends(t *testing.T) {
+	p := Default()
+	p.AttemptTimeout = time.Hour
+	short, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	defer cancel()
+	actx, acancel := p.AttemptContext(short)
+	defer acancel()
+	d, ok := actx.Deadline()
+	if !ok {
+		t.Fatal("attempt context lost the caller's deadline")
+	}
+	if time.Until(d) > time.Second {
+		t.Fatalf("attempt context extended the caller's 10ms budget to %s", time.Until(d))
+	}
+}
+
+func TestAttemptContextAppliesBudget(t *testing.T) {
+	p := Default()
+	p.AttemptTimeout = 5 * time.Millisecond
+	actx, cancel := p.AttemptContext(context.Background())
+	defer cancel()
+	select {
+	case <-actx.Done():
+	case <-time.After(time.Second):
+		t.Fatal("attempt timeout never fired")
+	}
+}
+
+func TestAttemptContextZeroIsPassthrough(t *testing.T) {
+	p := Default()
+	p.AttemptTimeout = 0
+	ctx := context.Background()
+	actx, cancel := p.AttemptContext(ctx)
+	cancel() // must be a no-op
+	if actx != ctx {
+		t.Error("zero AttemptTimeout should return the caller's context unchanged")
+	}
+	if err := actx.Err(); err != nil {
+		t.Errorf("no-op cancel cancelled the caller's context: %v", err)
+	}
+}
+
+func TestDoRetriesThenSucceeds(t *testing.T) {
+	p := Default()
+	p.BaseBackoff, p.MaxBackoff = time.Millisecond, 2*time.Millisecond
+	calls := 0
+	err := p.Do(context.Background(), "test", func(context.Context) error {
+		calls++
+		if calls < 3 {
+			return errors.New("transient")
+		}
+		return nil
+	})
+	if err != nil || calls != 3 {
+		t.Fatalf("Do = %v after %d calls, want success on call 3", err, calls)
+	}
+}
+
+func TestDoExhaustsBudget(t *testing.T) {
+	p := Default()
+	p.BaseBackoff, p.MaxBackoff = time.Millisecond, 2*time.Millisecond
+	calls := 0
+	wantErr := errors.New("still down")
+	err := p.Do(context.Background(), "test", func(context.Context) error {
+		calls++
+		return fmt.Errorf("attempt %d: %w", calls, wantErr)
+	})
+	if calls != p.MaxAttempts {
+		t.Fatalf("Do made %d calls, want MaxAttempts=%d", calls, p.MaxAttempts)
+	}
+	if !errors.Is(err, wantErr) {
+		t.Fatalf("Do returned %v, want the last attempt's error", err)
+	}
+}
+
+func TestDoHonorsCallerCancellation(t *testing.T) {
+	p := Default()
+	p.BaseBackoff, p.MaxBackoff = time.Hour, time.Hour // backoff must not block cancellation
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() { time.Sleep(5 * time.Millisecond); cancel() }()
+	err := p.Do(ctx, "test", func(context.Context) error { return errors.New("down") })
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("Do = %v, want context.Canceled from the backoff wait", err)
+	}
+}
+
+func TestValidate(t *testing.T) {
+	if err := Default().Validate(); err != nil {
+		t.Fatalf("Default invalid: %v", err)
+	}
+	bad := Default()
+	bad.MaxAttempts = 0
+	if Validate := bad.Validate(); Validate == nil {
+		t.Error("MaxAttempts 0 accepted")
+	}
+	bad = Default()
+	bad.JitterFrac = 1.5
+	if err := bad.Validate(); err == nil {
+		t.Error("JitterFrac 1.5 accepted")
+	}
+}
+
+func TestPresets(t *testing.T) {
+	if p := PeerFill(); p.AttemptTimeout != time.Second || p.MaxAttempts != 1 {
+		t.Errorf("PeerFill preset drifted: %+v", p)
+	}
+	if p := Probe(); p.AttemptTimeout != 2*time.Second || p.MaxAttempts != 1 {
+		t.Errorf("Probe preset drifted: %+v", p)
+	}
+	var zero Policy
+	if zero.Breaker() != Default().BreakerThreshold {
+		t.Errorf("zero policy breaker = %d, want default %d", zero.Breaker(), Default().BreakerThreshold)
+	}
+}

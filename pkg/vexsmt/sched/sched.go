@@ -127,12 +127,23 @@ type Options struct {
 	// Logf, when non-nil, receives steal, retry and backend-removal
 	// events.
 	Logf func(format string, args ...any)
+	// Backoff, when non-nil, returns the wait a backend observes after
+	// its n-th consecutive failure before pulling the next item —
+	// typically resilience.Policy.Backoff, which adds deterministic
+	// jitter. Nil selects the historical default (250ms doubling, 2s
+	// cap, no jitter).
+	Backoff func(backend string, n int) time.Duration
+	// BreakerThreshold is how many consecutive transient failures take a
+	// backend out of rotation while another backend stays live. Values
+	// below 1 select the default (3).
+	BreakerThreshold int
 }
 
-// maxConsecutiveFailures is how many transient failures in a row take a
-// backend out of rotation (only while another backend stays live): a dead
-// machine should shed its queue to the survivors, not grind through the
-// grid one failed attempt at a time.
+// maxConsecutiveFailures is the default BreakerThreshold: how many
+// transient failures in a row take a backend out of rotation (only
+// while another backend stays live) — a dead machine should shed its
+// queue to the survivors, not grind through the grid one failed attempt
+// at a time.
 const maxConsecutiveFailures = 3
 
 // Run schedules items over the backends and returns a channel delivering
@@ -464,7 +475,7 @@ func (st *state[T, R]) noteOutcome(bi int, failed bool) {
 		return
 	}
 	st.consec[bi]++
-	if st.consec[bi] < maxConsecutiveFailures || !st.live[bi] {
+	if st.consec[bi] < st.breaker() || !st.live[bi] {
 		return
 	}
 	liveOthers := 0
@@ -541,7 +552,7 @@ func (st *state[T, R]) worker(ctx context.Context, bi int, b Backend[T, R]) {
 		st.mu.Unlock()
 		if n > 0 {
 			select {
-			case <-time.After(failureBackoff(n)):
+			case <-time.After(st.backoffFor(b.Name(), n)):
 			case <-ctx.Done():
 				return
 			}
@@ -549,10 +560,33 @@ func (st *state[T, R]) worker(ctx context.Context, bi int, b Backend[T, R]) {
 	}
 }
 
-// failureBackoff is the wait after the n-th consecutive failure: 250ms
-// doubling, capped at 2s.
+// breaker returns the effective consecutive-failure threshold.
+func (st *state[T, R]) breaker() int {
+	if st.opts.BreakerThreshold >= 1 {
+		return st.opts.BreakerThreshold
+	}
+	return maxConsecutiveFailures
+}
+
+// backoffFor returns the post-failure wait, from Options.Backoff when
+// set and the package default otherwise.
+func (st *state[T, R]) backoffFor(backend string, n int) time.Duration {
+	if st.opts.Backoff != nil {
+		return st.opts.Backoff(backend, n)
+	}
+	return failureBackoff(n)
+}
+
+// failureBackoff is the default wait after the n-th consecutive
+// failure: 250ms doubling, capped at 2s — the same shape
+// resilience.Default() describes, without the jitter.
 func failureBackoff(n int) time.Duration {
-	d := 250 * time.Millisecond << (n - 1)
+	d := 250 * time.Millisecond
+	// Shift with an overflow guard: a last-backend-standing can fail many
+	// more times than any reasonable shift width.
+	for i := 1; i < n && d < 2*time.Second; i++ {
+		d <<= 1
+	}
 	if d > 2*time.Second {
 		d = 2 * time.Second
 	}

@@ -20,6 +20,7 @@ import (
 	"time"
 
 	"vexsmt/pkg/vexsmt"
+	"vexsmt/pkg/vexsmt/resilience"
 )
 
 // Server exposes the public vexsmt API over HTTP/JSON. It is deliberately
@@ -400,7 +401,7 @@ func (s *Server) handlePrefetch(w http.ResponseWriter, r *http.Request) {
 		for range ch {
 			// Drain the aborted stream so its worker unwinds.
 		}
-		w.Header().Set("Retry-After", "1")
+		w.Header().Set("Retry-After", strconv.Itoa(resilience.RetryAfterHint))
 		httpError(w, http.StatusServiceUnavailable, "%d prefetches already warming; retry later", maxActivePrefetch)
 		return
 	}
@@ -561,7 +562,7 @@ func (s *Server) submitPlan(w http.ResponseWriter, r *http.Request) {
 		// backoff hint instead of queueing work it cannot start — a fleet
 		// coordinator treats the 503 as "place elsewhere, come back in a
 		// beat" rather than a dead member.
-		w.Header().Set("Retry-After", "1")
+		w.Header().Set("Retry-After", strconv.Itoa(resilience.RetryAfterHint))
 		httpError(w, http.StatusServiceUnavailable, "at capacity (%d/%d simulation workers committed); retry later",
 			used, cap)
 		return

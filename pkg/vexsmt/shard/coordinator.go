@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"vexsmt/pkg/vexsmt"
+	"vexsmt/pkg/vexsmt/resilience"
 	"vexsmt/pkg/vexsmt/sched"
 )
 
@@ -40,6 +41,19 @@ type Config struct {
 	// CacheOff asks every backend to bypass its result cache for this
 	// run's cells (forwarded as cache=off on remote submissions).
 	CacheOff bool
+	// Policy shapes the run's failure handling: the post-failure backoff
+	// (with deterministic jitter) and the consecutive-failure circuit
+	// breaker the cell scheduler applies per backend. Zero fields take
+	// resilience.Default()'s values, which match the scheduler's
+	// historical hardcoded behavior.
+	Policy resilience.Policy
+	// LocalFallback degrades Collect to in-process execution when no
+	// backend is healthy (source empty, every probe failed, or a foreign
+	// schema everywhere) instead of failing the run. The fallback runs
+	// the same plan at the same seed and scale through the same resolve
+	// path, so its output is byte-identical to what the fleet would have
+	// produced — slower, never different.
+	LocalFallback bool
 	// OnProgress, when non-nil, observes run progress. Calls are
 	// serialized.
 	OnProgress func(Progress)
@@ -171,6 +185,19 @@ func (c *Coordinator) Collect(ctx context.Context, plan vexsmt.Plan) (*vexsmt.Re
 
 	backends, err := c.healthyBackends(ctx)
 	if err != nil {
+		if c.cfg.LocalFallback {
+			// Graceful degradation: an unhealthy fleet costs speed, not the
+			// run. The scratch service already carries the run's seed and
+			// scale, so the local execution is byte-identical to the
+			// distributed one.
+			c.logf("placement: %v; falling back to local execution", err)
+			rs, ferr := scratch.Collect(ctx, plan)
+			if ferr != nil {
+				return nil, ferr
+			}
+			rs.Canonicalize()
+			return rs, nil
+		}
 		return nil, err
 	}
 	for i := range backends {
@@ -191,8 +218,10 @@ func (c *Coordinator) Collect(ctx context.Context, plan vexsmt.Plan) (*vexsmt.Re
 	runCtx, cancel := context.WithCancel(ctx)
 	defer cancel()
 	ch, err := sched.Run(runCtx, cells, sbs, sched.Options{
-		Retries: c.cfg.Retries,
-		Logf:    c.cfg.Logf,
+		Retries:          c.cfg.Retries,
+		Logf:             c.cfg.Logf,
+		Backoff:          c.cfg.Policy.Backoff,
+		BreakerThreshold: c.cfg.Policy.Breaker(),
 	})
 	if err != nil {
 		return nil, err
@@ -285,10 +314,17 @@ type probeResult struct {
 	err error
 }
 
-// probeAll health-checks every backend concurrently (3s ceiling each, on
-// top of any per-backend probe timeout such as HTTP's WithHealthTimeout),
-// so one unreachable backend costs a single probe round-trip, not a
-// serialized one per backend.
+// probeCeiling bounds one backend's health probe during placement: one
+// second of slack above the per-backend probe policy (resilience.Probe,
+// which HTTP backends clamp to themselves), so a backend's own bound
+// fires first and the error is attributed to the backend, with the
+// ceiling as the net under backends that carry no bound of their own.
+var probeCeiling = resilience.Probe().AttemptTimeout + time.Second
+
+// probeAll health-checks every backend concurrently (probeCeiling each,
+// on top of any per-backend probe timeout such as HTTP's
+// WithHealthTimeout), so one unreachable backend costs a single probe
+// round-trip, not a serialized one per backend.
 func (c *Coordinator) probeAll(ctx context.Context, backends []Backend) []probeResult {
 	out := make([]probeResult, len(backends))
 	var wg sync.WaitGroup
@@ -296,7 +332,7 @@ func (c *Coordinator) probeAll(ctx context.Context, backends []Backend) []probeR
 		wg.Add(1)
 		go func(i int, b Backend) {
 			defer wg.Done()
-			hctx, cancel := context.WithTimeout(ctx, 3*time.Second)
+			hctx, cancel := context.WithTimeout(ctx, probeCeiling)
 			out[i].h, out[i].err = b.Health(hctx)
 			cancel()
 		}(i, b)

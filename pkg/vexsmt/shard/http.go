@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"vexsmt/pkg/vexsmt"
+	"vexsmt/pkg/vexsmt/resilience"
 	"vexsmt/pkg/vexsmt/sched"
 )
 
@@ -28,8 +29,9 @@ type HTTP struct {
 
 // defaultHealthTimeout bounds a /healthz probe: health checks are a
 // placement signal, and a daemon that cannot answer one quickly should be
-// left out of the round rather than stall it.
-const defaultHealthTimeout = 2 * time.Second
+// left out of the round rather than stall it. The value is the fleet-wide
+// probe policy's attempt budget (resilience.Probe).
+var defaultHealthTimeout = resilience.Probe().AttemptTimeout
 
 // HTTPOption configures an HTTP backend.
 type HTTPOption func(*HTTP)
